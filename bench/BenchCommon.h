@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure reproduction binaries: budget
+/// parsing, run helpers, and the paper-style cell formatting. Every
+/// binary accepts:
+///
+///   --budget=SECONDS   per-run analysis budget (default 15; the stand-in
+///                      for the paper's 24 h / 16 GB limit)
+///   --bench=NAME       restrict to one workload
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_BENCH_BENCHCOMMON_H
+#define SWIFT_BENCH_BENCHCOMMON_H
+
+#include "genprog/Generator.h"
+#include "genprog/Workloads.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+#include "typestate/Runner.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace swift {
+namespace bench {
+
+struct Options {
+  double BudgetSeconds = 15.0;
+  uint64_t BudgetSteps = 200'000'000;
+  std::string Only; ///< Restrict to one workload name.
+};
+
+inline Options parseOptions(int Argc, char **Argv) {
+  Options O;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--budget=", 9) == 0)
+      O.BudgetSeconds = std::atof(A + 9);
+    else if (std::strncmp(A, "--bench=", 8) == 0)
+      O.Only = A + 8;
+    else if (std::strcmp(A, "--help") == 0) {
+      std::printf("usage: %s [--budget=SECONDS] [--bench=NAME]\n", Argv[0]);
+      std::exit(0);
+    }
+  }
+  return O;
+}
+
+inline RunLimits limits(const Options &O) {
+  RunLimits L;
+  L.MaxSeconds = O.BudgetSeconds;
+  L.MaxSteps = O.BudgetSteps;
+  return L;
+}
+
+/// "timeout" or a paper-style time like "4m44s" / "0.91s".
+inline std::string timeCell(const TsRunResult &R) {
+  return R.Timeout ? "timeout" : formatSeconds(R.Seconds);
+}
+
+/// "-" on timeout, else a thousands-style count ("6.5k").
+inline std::string countCell(const TsRunResult &R, uint64_t N) {
+  return R.Timeout ? "-" : Stats::formatThousands(N);
+}
+
+/// Speedup cell: "3.5X", ">3.5X" when the baseline timed out, "-" when
+/// the subject timed out.
+inline std::string speedupCell(const TsRunResult &Base,
+                               const TsRunResult &Subject,
+                               double BudgetSeconds) {
+  if (Subject.Timeout)
+    return "-";
+  double BaseTime = Base.Timeout ? BudgetSeconds : Base.Seconds;
+  double Ratio = BaseTime / std::max(Subject.Seconds, 1e-9);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%s%.1fX", Base.Timeout ? ">" : "",
+                Ratio);
+  return Buf;
+}
+
+} // namespace bench
+} // namespace swift
+
+#endif // SWIFT_BENCH_BENCHCOMMON_H

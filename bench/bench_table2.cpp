@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 2: running time and total summary counts of the three
+/// interprocedural typestate analyses — TD (conventional top-down), BU
+/// (conventional bottom-up, no pruning), and SWIFT — on the 12 workloads.
+/// SWIFT runs with k = 5 and theta = 2, the overall-optimal setting for
+/// our relation domain (the paper's domain case-splits two ways per
+/// tested expression where ours splits three ways plus a may-alias case,
+/// which shifts the optimal theta from 1 to 2; see EXPERIMENTS.md).
+///
+/// "timeout" means the per-run budget (--budget, default 15 s; the
+/// stand-in for the paper's 24 h / 16 GB) was exhausted.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace swift;
+using namespace swift::bench;
+
+int main(int Argc, char **Argv) {
+  Options O = parseOptions(Argc, Argv);
+  RunLimits L = limits(O);
+
+  std::printf("Table 2: TD vs BU vs SWIFT (k=5, theta=2), budget %.0fs "
+              "per run\n\n",
+              O.BudgetSeconds);
+  std::printf("%-10s | %8s %8s %8s | %7s %7s | %8s %8s %5s | %8s %8s %5s\n",
+              "name", "TD", "BU", "SWIFT", "spd/TD", "spd/BU", "td-sums",
+              "sw-sums", "drop", "bu-rels", "sw-rels", "drop");
+  std::printf("%.130s\n",
+              "----------------------------------------------------------"
+              "----------------------------------------------------------"
+              "----------");
+
+  for (const NamedWorkload &W : benchmarkWorkloads()) {
+    if (!O.Only.empty() && W.Name != O.Only)
+      continue;
+    std::unique_ptr<Program> Prog = generateWorkload(W.Config);
+    TsContext Ctx(*Prog, Prog->symbols().intern("File"));
+
+    TsRunResult Td = runTypestateTd(Ctx, L);
+    TsRunResult Bu = runTypestateBu(Ctx, L);
+    TsRunResult Sw = runTypestateSwift(Ctx, 5, 2, L);
+
+    auto Drop = [](const TsRunResult &Base, uint64_t BaseN,
+                   const TsRunResult &Subj, uint64_t SubjN) -> std::string {
+      if (Base.Timeout || Subj.Timeout || BaseN == 0)
+        return "-";
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "%llu%%",
+                    static_cast<unsigned long long>(
+                        100 - (100 * SubjN) / BaseN));
+      return Buf;
+    };
+
+    std::printf(
+        "%-10s | %8s %8s %8s | %7s %7s | %8s %8s %5s | %8s %8s %5s\n",
+        W.Name.c_str(), timeCell(Td).c_str(), timeCell(Bu).c_str(),
+        timeCell(Sw).c_str(),
+        speedupCell(Td, Sw, O.BudgetSeconds).c_str(),
+        speedupCell(Bu, Sw, O.BudgetSeconds).c_str(),
+        countCell(Td, Td.TdSummaries).c_str(),
+        countCell(Sw, Sw.TdSummaries).c_str(),
+        Drop(Td, Td.TdSummaries, Sw, Sw.TdSummaries).c_str(),
+        countCell(Bu, Bu.BuRelations).c_str(),
+        countCell(Sw, Sw.BuRelations).c_str(),
+        Drop(Bu, Bu.BuRelations, Sw, Sw.BuRelations).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nExpected shape (paper's Table 2): SWIFT finishes on all "
+              "12; TD times out on the largest three; BU finishes only on "
+              "the two smallest; SWIFT computes a small fraction of both "
+              "baselines' summaries.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second framework instantiation in action: an interprocedural
+/// taint audit (the kill/gen analysis family of the paper's Section 5.2).
+/// Values originating from `Request` allocations are tainted; passing a
+/// tainted value to the `exec` sink is a leak unless it went through the
+/// sanitizer (which rebinds the variable to a fresh `Clean` value).
+///
+//===----------------------------------------------------------------------===//
+
+#include "killgen/KgRunner.h"
+#include "lang/Lower.h"
+
+#include <cstdio>
+
+using namespace swift;
+
+static const char *AuditProgram = R"(
+  typestate Request { start raw; error e1; raw -exec-> raw; }
+  typestate Clean   { start ok;  error e2; ok -exec-> ok; }
+  typestate Db      { start d;   error e3; }
+
+  proc main() {
+    r = new Request;       // taint source
+    q = handle(r);
+    q.exec();              // leak: q is the raw request, reached a sink
+
+    s = new Request;
+    t = sanitize(s);
+    t.exec();              // safe: t is a fresh Clean value
+
+    db = new Db;
+    db.cache = r;          // taint escapes into the heap...
+    u = db.cache;
+    audit(u);              // ...and leaks through a load in a callee
+  }
+
+  proc handle(req) {
+    logRequest(req);
+    return req;
+  }
+
+  proc logRequest(x) {
+    y = x;                 // copies keep the taint
+  }
+
+  proc sanitize(x) {
+    c = new Clean;
+    return c;              // the tainted input does not flow out
+  }
+
+  proc audit(v) {
+    v.exec();
+  }
+)";
+
+int main() {
+  std::unique_ptr<Program> Prog = parseProgram(AuditProgram);
+  KgContext Ctx(*Prog, {Prog->symbols().intern("Request")},
+                {Prog->symbols().intern("exec")});
+
+  std::printf("Taint audit: sources = new Request, sinks = .exec()\n\n");
+
+  KgRunResult Td = runTaintTd(Ctx);
+  KgRunResult Sw = runTaintSwift(Ctx, 2, 4);
+  KgRunResult Bu = runTaintBu(Ctx);
+
+  std::printf("leaks found (TD): %zu, (SWIFT): %zu, (BU): %zu — "
+              "analyses agree: %s\n\n",
+              Td.Leaks.size(), Sw.Leaks.size(), Bu.Leaks.size(),
+              (Td.Leaks == Sw.Leaks && Td.Leaks == Bu.Leaks) ? "yes"
+                                                             : "NO");
+
+  for (const auto &[P, N] : Td.Leaks)
+    std::printf("  tainted value reaches the sink in %s (node %u): %s\n",
+                Prog->symbols().text(Prog->proc(P).name()).c_str(), N,
+                Prog->proc(P).node(N).Cmd.str(*Prog).c_str());
+
+  std::printf("\nExpected: two leaks (the raw request in main, and the "
+              "heap-laundered one in audit); the sanitized flow is "
+              "clean.\n");
+  return Td.Leaks.size() == 2 && Td.Leaks == Sw.Leaks ? 0 : 1;
+}

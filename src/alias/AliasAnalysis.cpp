@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/AliasAnalysis.h"
+
+#include <cassert>
+
+using namespace swift;
+
+size_t AliasAnalysis::varNode(ProcId P, Symbol V) {
+  auto [It, Inserted] = VarIndex.try_emplace(VarKey{P, V}, PointsTo.size());
+  if (Inserted) {
+    PointsTo.emplace_back();
+    CopyEdges.emplace_back();
+    Loads.emplace_back();
+    Stores.emplace_back();
+    InWorklist.push_back(false);
+  }
+  return It->second;
+}
+
+size_t AliasAnalysis::fieldNode(SiteId H, Symbol F) {
+  auto [It, Inserted] =
+      FieldIndex.try_emplace(FieldKey{H, F}, PointsTo.size());
+  if (Inserted) {
+    PointsTo.emplace_back();
+    CopyEdges.emplace_back();
+    Loads.emplace_back();
+    Stores.emplace_back();
+    InWorklist.push_back(false);
+  }
+  return It->second;
+}
+
+void AliasAnalysis::addEdge(size_t From, size_t To) {
+  for (size_t E : CopyEdges[From])
+    if (E == To)
+      return;
+  CopyEdges[From].push_back(To);
+  if (!PointsTo[From].empty() && !InWorklist[From]) {
+    InWorklist[From] = true;
+    Worklist.push_back(From);
+  }
+}
+
+AliasAnalysis::AliasAnalysis(const Program &Prog) {
+  // Build base constraints from every command in the program.
+  for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    for (const CfgNode &Node : Proc.nodes()) {
+      const Command &C = Node.Cmd;
+      switch (C.Kind) {
+      case CmdKind::Nop:
+      case CmdKind::AssignNull:
+      case CmdKind::TsCall:
+        break;
+      case CmdKind::Alloc: {
+        size_t N = varNode(P, C.Dst);
+        if (PointsTo[N].insert(C.Site).second && !InWorklist[N]) {
+          InWorklist[N] = true;
+          Worklist.push_back(N);
+        }
+        break;
+      }
+      case CmdKind::Copy:
+        addEdge(varNode(P, C.Src), varNode(P, C.Dst));
+        break;
+      case CmdKind::Load: {
+        // varNode may grow the vectors; resolve both nodes first.
+        size_t Dst = varNode(P, C.Dst);
+        size_t Base = varNode(P, C.Src);
+        Loads[Base].push_back(LoadConstraint{Dst, C.Field});
+        break;
+      }
+      case CmdKind::Store: {
+        size_t Base = varNode(P, C.Dst);
+        size_t Src = varNode(P, C.Src);
+        Stores[Base].push_back(StoreConstraint{Src, C.Field});
+        break;
+      }
+      case CmdKind::Call: {
+        const Procedure &Callee = Prog.proc(C.Callee);
+        assert(C.Args.size() == Callee.params().size());
+        for (size_t I = 0; I != C.Args.size(); ++I)
+          addEdge(varNode(P, C.Args[I]),
+                  varNode(C.Callee, Callee.params()[I]));
+        if (C.Dst.isValid())
+          addEdge(varNode(C.Callee, Prog.retVar()), varNode(P, C.Dst));
+        break;
+      }
+      }
+    }
+  }
+  solve();
+}
+
+void AliasAnalysis::solve() {
+  while (!Worklist.empty()) {
+    size_t N = Worklist.back();
+    Worklist.pop_back();
+    InWorklist[N] = false;
+
+    // Materialize dynamic edges implied by N's current points-to set.
+    // Copies of the constraint lists are taken because fieldNode() may
+    // reallocate the underlying vectors.
+    std::vector<LoadConstraint> LoadsOfN = Loads[N];
+    std::vector<StoreConstraint> StoresOfN = Stores[N];
+    std::set<SiteId> Pts = PointsTo[N];
+    for (SiteId H : Pts) {
+      for (const LoadConstraint &L : LoadsOfN)
+        addEdge(fieldNode(H, L.Field), L.Dst);
+      for (const StoreConstraint &S : StoresOfN)
+        addEdge(S.Src, fieldNode(H, S.Field));
+    }
+
+    // Propagate along copy edges.
+    for (size_t To : CopyEdges[N]) {
+      bool Grew = false;
+      for (SiteId H : Pts)
+        if (PointsTo[To].insert(H).second)
+          Grew = true;
+      if (Grew && !InWorklist[To]) {
+        InWorklist[To] = true;
+        Worklist.push_back(To);
+      }
+    }
+  }
+}
+
+size_t AliasAnalysis::totalPtsSize() const {
+  size_t Total = 0;
+  for (const std::set<SiteId> &S : PointsTo)
+    Total += S.size();
+  return Total;
+}

@@ -1,0 +1,117 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow- and context-insensitive, field-sensitive Andersen-style points-to
+/// analysis over the whole program. It supplies the `mayalias(v, h)` oracle
+/// that the typestate analysis consults for weak updates (summaries B3/B4
+/// in the paper's Section 2), standing in for the may-alias analysis of the
+/// Chord platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_ALIAS_ALIASANALYSIS_H
+#define SWIFT_ALIAS_ALIASANALYSIS_H
+
+#include "ir/Program.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace swift {
+
+class AliasAnalysis {
+public:
+  explicit AliasAnalysis(const Program &Prog);
+
+  /// May variable \p V of procedure \p P point to an object allocated at
+  /// site \p H? Sound over-approximation; unknown variables never point
+  /// anywhere.
+  bool mayPointTo(ProcId P, Symbol V, SiteId H) const {
+    int Node = findVar(P, V);
+    return Node >= 0 && PointsTo[Node].count(H) != 0;
+  }
+
+  /// The points-to set of variable \p V of procedure \p P (empty set if the
+  /// variable never occurs).
+  const std::set<SiteId> &pointsTo(ProcId P, Symbol V) const {
+    static const std::set<SiteId> Empty;
+    int Node = findVar(P, V);
+    return Node < 0 ? Empty : PointsTo[Node];
+  }
+
+  /// The points-to set of field \p F of objects allocated at \p H.
+  const std::set<SiteId> &fieldPointsTo(SiteId H, Symbol F) const {
+    static const std::set<SiteId> Empty;
+    int Node = findField(H, F);
+    return Node < 0 ? Empty : PointsTo[Node];
+  }
+
+  /// Total size of all points-to sets (a cheap complexity metric).
+  size_t totalPtsSize() const;
+
+private:
+  struct VarKey {
+    ProcId P;
+    Symbol V;
+    bool operator==(const VarKey &O) const { return P == O.P && V == O.V; }
+  };
+  struct VarKeyHash {
+    size_t operator()(const VarKey &K) const noexcept {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(K.P) << 32) |
+                                   K.V.id());
+    }
+  };
+  struct FieldKey {
+    SiteId H;
+    Symbol F;
+    bool operator==(const FieldKey &O) const { return H == O.H && F == O.F; }
+  };
+  struct FieldKeyHash {
+    size_t operator()(const FieldKey &K) const noexcept {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(K.H) << 32) |
+                                   K.F.id());
+    }
+  };
+
+  int findVar(ProcId P, Symbol V) const {
+    auto It = VarIndex.find(VarKey{P, V});
+    return It == VarIndex.end() ? -1 : static_cast<int>(It->second);
+  }
+  int findField(SiteId H, Symbol F) const {
+    auto It = FieldIndex.find(FieldKey{H, F});
+    return It == FieldIndex.end() ? -1 : static_cast<int>(It->second);
+  }
+
+  size_t varNode(ProcId P, Symbol V);
+  size_t fieldNode(SiteId H, Symbol F);
+  void addEdge(size_t From, size_t To);
+  void solve();
+
+  // Deferred (dynamic) constraints attached to the pointer operand.
+  struct LoadConstraint {
+    size_t Dst;
+    Symbol Field;
+  };
+  struct StoreConstraint {
+    size_t Src;
+    Symbol Field;
+  };
+
+  std::unordered_map<VarKey, size_t, VarKeyHash> VarIndex;
+  std::unordered_map<FieldKey, size_t, FieldKeyHash> FieldIndex;
+  std::vector<std::set<SiteId>> PointsTo;
+  std::vector<std::vector<size_t>> CopyEdges;
+  std::vector<std::vector<LoadConstraint>> Loads;
+  std::vector<std::vector<StoreConstraint>> Stores;
+  std::vector<bool> InWorklist;
+  std::vector<size_t> Worklist;
+};
+
+} // namespace swift
+
+#endif // SWIFT_ALIAS_ALIASANALYSIS_H

@@ -1,0 +1,173 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concrete/Interpreter.h"
+
+#include "support/Rng.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace swift;
+
+namespace {
+
+using ObjRef = int; // Index into the object store; -1 is null.
+
+struct Object {
+  SiteId Site;
+  const TypestateSpec *Spec; // Null for classes without a spec.
+  TState T = 0;
+  std::unordered_map<Symbol, ObjRef> Fields;
+};
+
+class Interp {
+public:
+  Interp(const Program &Prog, const InterpConfig &Cfg)
+      : Prog(Prog), Cfg(Cfg), R(Cfg.Seed) {}
+
+  InterpResult run() {
+    runProc(Prog.mainProc(), {}, 0);
+    Result.Completed = !Dead;
+    Result.Steps = Steps;
+    Result.ObjectsAllocated = Objects.size();
+    return Result;
+  }
+
+private:
+  using Env = std::unordered_map<Symbol, ObjRef>;
+
+  ObjRef lookup(const Env &E, Symbol V) const {
+    auto It = E.find(V);
+    return It == E.end() ? -1 : It->second;
+  }
+
+  /// Executes \p P with \p Args; returns the $ret value (-1 if none).
+  ObjRef runProc(ProcId P, const std::vector<ObjRef> &Args, unsigned Depth) {
+    if (Depth > Cfg.MaxDepth) {
+      Dead = true;
+      return -1;
+    }
+    const Procedure &Proc = Prog.proc(P);
+    Env E;
+    for (size_t I = 0; I != Proc.params().size(); ++I)
+      E[Proc.params()[I]] = I < Args.size() ? Args[I] : -1;
+
+    NodeId Cur = Proc.entry();
+    while (!Dead && !Halted && Cur != Proc.exit()) {
+      if (++Steps > Cfg.MaxSteps) {
+        Dead = true;
+        break;
+      }
+      const CfgNode &Node = Proc.node(Cur);
+      exec(P, Node.Cmd, E, Depth);
+      if (Node.Succs.empty())
+        break; // Dangling dead node; treat as termination.
+      if (Node.Succs.size() == 1) {
+        Cur = Node.Succs[0];
+      } else if (Node.Succs.size() == 2) {
+        // Biased choice: loop heads continue with the configured rate.
+        Cur = Node.Succs[R.below(1000) < Cfg.LoopContinuePerMille ? 0 : 1];
+      } else {
+        Cur = Node.Succs[R.below(Node.Succs.size())];
+      }
+    }
+    return lookup(E, Prog.retVar());
+  }
+
+  void exec(ProcId P, const Command &C, Env &E, unsigned Depth) {
+    (void)P;
+    switch (C.Kind) {
+    case CmdKind::Nop:
+      return;
+
+    case CmdKind::Alloc: {
+      ObjRef O = static_cast<ObjRef>(Objects.size());
+      Objects.push_back(
+          Object{C.Site, Prog.specFor(C.Class),
+                 Prog.specFor(C.Class) ? Prog.specFor(C.Class)->initState()
+                                       : TState(0),
+                 {}});
+      E[C.Dst] = O;
+      return;
+    }
+
+    case CmdKind::Copy:
+      E[C.Dst] = lookup(E, C.Src);
+      return;
+
+    case CmdKind::AssignNull:
+      E[C.Dst] = -1;
+      return;
+
+    case CmdKind::Load: {
+      ObjRef Base = lookup(E, C.Src);
+      if (Base < 0) {
+        Halted = true; // Null dereference terminates the run (Java NPE).
+        return;
+      }
+      auto It = Objects[Base].Fields.find(C.Field);
+      E[C.Dst] = It == Objects[Base].Fields.end() ? -1 : It->second;
+      return;
+    }
+
+    case CmdKind::Store: {
+      ObjRef Base = lookup(E, C.Dst);
+      if (Base < 0) {
+        Halted = true;
+        return;
+      }
+      Objects[Base].Fields[C.Field] = lookup(E, C.Src);
+      return;
+    }
+
+    case CmdKind::TsCall: {
+      ObjRef Recv = lookup(E, C.Src);
+      if (Recv < 0) {
+        Halted = true;
+        return;
+      }
+      Object &O = Objects[Recv];
+      if (!O.Spec || !O.Spec->hasMethod(C.Method))
+        return; // Foreign method: no typestate effect.
+      TState Err = O.Spec->errorState();
+      if (O.T == Err)
+        return; // Error is absorbing.
+      TState Next = O.Spec->apply(C.Method, O.T);
+      if (Next == Err)
+        Result.ErrorSites.insert(O.Site);
+      O.T = Next;
+      return;
+    }
+
+    case CmdKind::Call: {
+      std::vector<ObjRef> Args;
+      Args.reserve(C.Args.size());
+      for (Symbol A : C.Args)
+        Args.push_back(lookup(E, A));
+      ObjRef Ret = runProc(C.Callee, Args, Depth + 1);
+      if (C.Dst.isValid())
+        E[C.Dst] = Ret;
+      return;
+    }
+    }
+  }
+
+  const Program &Prog;
+  const InterpConfig &Cfg;
+  Rng R;
+  InterpResult Result;
+  std::vector<Object> Objects;
+  uint64_t Steps = 0;
+  bool Dead = false;
+  bool Halted = false; ///< Normal early termination (null dereference).
+};
+
+} // namespace
+
+InterpResult swift::interpret(const Program &Prog, const InterpConfig &Cfg) {
+  return Interp(Prog, Cfg).run();
+}

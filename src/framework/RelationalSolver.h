@@ -1,0 +1,475 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bottom-up relational solver with pruning: the abstract semantics
+/// [[.]]^r of the paper's Sections 3.4-3.5. It computes, per procedure, a
+/// summary (R, Sigma): a set of abstract relations from procedure entry to
+/// exit plus the set of entry states the summary ignores because pruning
+/// dropped the relations covering them.
+///
+/// Procedures are processed in callee-first SCC order; each SCC iterates
+/// until its summaries stabilize (the fix_eta0 computation of Section 3.5,
+/// restricted to the requested procedures). Within a procedure, a worklist
+/// runs over the CFG; prune-and-clean is applied to every computed node
+/// value, so the number of case-split relations per point stays bounded by
+/// theta.
+///
+/// The prune operator follows Section 3.4: case-split relations are ranked
+/// by the frequency with which the top-down analysis has seen entry states
+/// in their domains (the multiset M), the top theta survive, and the
+/// domains of the rest are added to Sigma. Relations that never case-split
+/// (concrete fresh-object relations) are exempt: they are bounded by the
+/// number of allocation sites and carry no generalization risk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_FRAMEWORK_RELATIONALSOLVER_H
+#define SWIFT_FRAMEWORK_RELATIONALSOLVER_H
+
+#include "ir/CallGraph.h"
+#include "ir/Program.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace swift {
+
+inline constexpr uint64_t NoPruning = UINT64_MAX;
+
+/// Cap on the relation count at a single program point; exceeding it
+/// aborts the run, modelling the paper's out-of-memory timeouts of the
+/// unpruned bottom-up analysis (16 GB / 24 h in their setup).
+inline constexpr uint64_t DefaultMaxRelsPerPoint = 1 << 17;
+
+/// Convergence guards for the *pruned* analysis: a recursive SCC whose
+/// summaries keep refining past this many iterations, or a procedure
+/// whose ignore set exceeds this many disjuncts, has its summary soundly
+/// degraded to "ignore every input" — callers then always fall back to
+/// the top-down analysis for it, which preserves coincidence.
+inline constexpr uint64_t MaxSccIterations = 16;
+inline constexpr uint64_t MaxSigmaDisjuncts = 256;
+
+template <typename AN> class RelationalSolver {
+public:
+  using Context = typename AN::Context;
+  using State = typename AN::State;
+  using Rel = typename AN::Rel;
+  using Ignore = typename AN::Ignore;
+  using Binding = typename AN::Binding;
+  using SummaryView = typename AN::SummaryView;
+
+  struct Summary {
+    std::vector<Rel> Rels; ///< Sorted, unique.
+    Ignore Sigma;
+    /// Whether the implicit Lambda identity reaches the exit: false when
+    /// every path to the exit passes a never-returning call, in which case
+    /// a Lambda input produces no output at all.
+    bool LambdaExit = false;
+
+    /// The observation manifest: relations from procedure entry to *any*
+    /// (transitively) reachable program point whose output can be an
+    /// observable (error) state. Needed because an error on a diverging
+    /// path never reaches the exit relations; with the manifest, serving a
+    /// call from this summary reports exactly the error sites a top-down
+    /// re-analysis would. This goes beyond the paper's formalism, which
+    /// only relates input/output behaviour (Theorem 3.1).
+    std::vector<Rel> ObsRels;
+    /// Union of the ignore sets of every program point (not just the
+    /// exit); the sound guard for using Rels *and* ObsRels.
+    Ignore SigmaAll;
+  };
+
+  /// Per-procedure entry-state frequencies (the multiset M) observed by
+  /// the top-down analysis; used to rank relations during pruning. May
+  /// return nullptr when no data exists for a procedure.
+  using FreqProvider = std::function<
+      const std::unordered_map<State, uint64_t> *(ProcId)>;
+
+  RelationalSolver(const Context &Ctx, const Program &Prog,
+                   const CallGraph &CG, uint64_t Theta, FreqProvider Freq,
+                   Budget &B, Stats &S,
+                   uint64_t MaxRelsPerPoint = DefaultMaxRelsPerPoint,
+                   bool CollectObservations = true)
+      : Ctx(Ctx), Prog(Prog), CG(CG), Theta(Theta), Freq(std::move(Freq)),
+        Bud(B), Stat(S), MaxRels(MaxRelsPerPoint),
+        CollectObs(CollectObservations) {
+    Summaries.resize(Prog.numProcs());
+    HasSummary.resize(Prog.numProcs(), false);
+  }
+
+  /// Computes summaries for \p Procs, which must be closed under calls
+  /// (every callee of a member is a member). Returns false if the budget
+  /// ran out; summaries are then incomplete and must not be used.
+  bool run(const std::vector<ProcId> &Procs) {
+    // Bucket by SCC, in callee-first order (ascending SCC index).
+    std::vector<ProcId> Order = Procs;
+    std::sort(Order.begin(), Order.end(), [this](ProcId A, ProcId B) {
+      if (CG.scc(A) != CG.scc(B))
+        return CG.scc(A) < CG.scc(B);
+      return A < B;
+    });
+
+    size_t I = 0;
+    while (I != Order.size()) {
+      size_t J = I;
+      while (J != Order.size() && CG.scc(Order[J]) == CG.scc(Order[I]))
+        ++J;
+      // Iterate the SCC's members until their summaries stabilize.
+      bool Changed = true;
+      uint64_t Iters = 0;
+      while (Changed) {
+        Changed = false;
+        ++Stat.counter("bu.scc_iterations");
+        if (++Iters > MaxSccIterations) {
+          for (size_t K = I; K != J; ++K)
+            degrade(Order[K]);
+          ++Stat.counter("bu.scc_degraded");
+          break;
+        }
+        for (size_t K = I; K != J; ++K) {
+          ++Stat.counter("bu.proc_analyses");
+          Summary New;
+          if (!analyzeProc(Order[K], New))
+            return false;
+          if (New.SigmaAll.size() > MaxSigmaDisjuncts) {
+            if (degrade(Order[K])) {
+              ++Stat.counter("bu.sigma_degraded");
+              Changed = true;
+            }
+            continue;
+          }
+          if (!HasSummary[Order[K]] || !equal(New, Summaries[Order[K]])) {
+            Summaries[Order[K]] = std::move(New);
+            HasSummary[Order[K]] = true;
+            Changed = true;
+          }
+        }
+      }
+      I = J;
+    }
+    return true;
+  }
+
+  /// Soundly gives up on \p P: its summary ignores every input, so every
+  /// call to it falls back to the top-down analysis. Returns true if the
+  /// stored summary changed.
+  bool degrade(ProcId P) {
+    Summary S;
+    AN::ignoreAll(S.Sigma);
+    AN::ignoreAll(S.SigmaAll);
+    S.LambdaExit = false;
+    if (HasSummary[P] && equal(S, Summaries[P]))
+      return false;
+    Summaries[P] = std::move(S);
+    HasSummary[P] = true;
+    return true;
+  }
+
+  bool hasSummary(ProcId P) const { return HasSummary[P]; }
+  const Summary &summary(ProcId P) const { return Summaries[P]; }
+
+  /// Total number of bottom-up summaries: one per (relation, procedure)
+  /// pair, matching the paper's counting of (r, phi) pairs.
+  uint64_t totalRelations() const {
+    uint64_t N = 0;
+    for (size_t P = 0; P != Summaries.size(); ++P)
+      if (HasSummary[P])
+        N += Summaries[P].Rels.size();
+    return N;
+  }
+
+private:
+  struct NodeVal {
+    std::vector<Rel> Rels; ///< Sorted, unique.
+    Ignore Sigma;
+    bool HasLambda = false; ///< Does the Lambda identity reach this node?
+  };
+
+  static bool equal(const Summary &A, const Summary &B) {
+    return A.Rels == B.Rels && A.Sigma == B.Sigma &&
+           A.LambdaExit == B.LambdaExit && A.ObsRels == B.ObsRels &&
+           A.SigmaAll == B.SigmaAll;
+  }
+
+  /// Sorts, dedupes, drops relations covered by Sigma (excl), and applies
+  /// bestTheta pruning ranked by the procedure's entry-state frequencies.
+  void pruneAndClean(ProcId P, std::vector<Rel> &Rels, Ignore &Sigma) {
+    std::sort(Rels.begin(), Rels.end());
+    Rels.erase(std::unique(Rels.begin(), Rels.end()), Rels.end());
+    Rels.erase(std::remove_if(Rels.begin(), Rels.end(),
+                              [&Sigma](const Rel &R) {
+                                return AN::ignoreCoversDom(Sigma, R);
+                              }),
+               Rels.end());
+    if (Theta == NoPruning)
+      return;
+
+    size_t NumPrunable = 0;
+    for (const Rel &R : Rels)
+      if (AN::relIsPrunable(R))
+        ++NumPrunable;
+    if (NumPrunable <= Theta)
+      return;
+
+    // Without frequency data the ranking would be blind and could prune
+    // the dominating case (the paper's first problematic scenario in
+    // Section 4); keep everything for such procedures.
+    const std::unordered_map<State, uint64_t> *M = Freq(P);
+    if (!M || M->empty())
+      return;
+
+    // Rank prunable relations by observed entry-state frequency (Section
+    // 3.4's rank operator), keep the top theta. Ties prefer more general
+    // relations (fewer domain constraints).
+    std::vector<std::pair<uint64_t, size_t>> Ranked;
+    for (size_t I = 0; I != Rels.size(); ++I) {
+      if (!AN::relIsPrunable(Rels[I]))
+        continue;
+      uint64_t Rank = 0;
+      for (const auto &[S, Count] : *M)
+        if (AN::domContains(Ctx, Rels[I], S))
+          Rank += Count;
+      Ranked.push_back({Rank, I});
+    }
+    std::sort(Ranked.begin(), Ranked.end(),
+              [&Rels](const auto &A, const auto &B) {
+                if (A.first != B.first)
+                  return A.first > B.first;
+                size_t GA = AN::relGenerality(Rels[A.second]);
+                size_t GB = AN::relGenerality(Rels[B.second]);
+                if (GA != GB)
+                  return GA < GB;
+                return Rels[A.second] < Rels[B.second];
+              });
+
+    std::vector<bool> Drop(Rels.size(), false);
+    for (size_t I = Theta; I < Ranked.size(); ++I) {
+      size_t Idx = Ranked[I].second;
+      Drop[Idx] = true;
+      AN::addDomToIgnore(Rels[Idx], Sigma);
+      ++Stat.counter("bu.pruned_relations");
+    }
+    std::vector<Rel> Kept;
+    Kept.reserve(Rels.size());
+    for (size_t I = 0; I != Rels.size(); ++I)
+      if (!Drop[I])
+        Kept.push_back(std::move(Rels[I]));
+    // excl: dropping domains may make retained relations redundant.
+    Kept.erase(std::remove_if(Kept.begin(), Kept.end(),
+                              [&Sigma](const Rel &R) {
+                                return AN::ignoreCoversDom(Sigma, R);
+                              }),
+               Kept.end());
+    Rels = std::move(Kept);
+  }
+
+  /// One full intraprocedural pass over \p P's CFG with the current
+  /// summary map. Returns false on budget exhaustion.
+  bool analyzeProc(ProcId P, Summary &Out) {
+    const Procedure &Proc = Prog.proc(P);
+    std::vector<NodeVal> Vals(Proc.numNodes());
+    std::vector<bool> InList(Proc.numNodes(), false);
+
+    // RPO position for worklist ordering.
+    std::vector<uint32_t> RpoPos(Proc.numNodes(), UINT32_MAX);
+    for (uint32_t I = 0; I != Proc.reachableRpo().size(); ++I)
+      RpoPos[Proc.reachableRpo()[I]] = I;
+
+    Vals[Proc.entry()].Rels.push_back(AN::identityRel(Ctx));
+    Vals[Proc.entry()].HasLambda = true;
+    std::vector<Rel> Obs;
+    size_t ObsCompactAt = 1024;
+    Ignore SigAll;
+    std::vector<NodeId> Work{Proc.entry()};
+    InList[Proc.entry()] = true;
+
+    while (!Work.empty()) {
+      if (!Bud.step())
+        return false;
+      // Pop the node earliest in RPO for fast convergence.
+      size_t Best = 0;
+      for (size_t I = 1; I != Work.size(); ++I)
+        if (RpoPos[Work[I]] < RpoPos[Work[Best]])
+          Best = I;
+      NodeId N = Work[Best];
+      Work[Best] = Work.back();
+      Work.pop_back();
+      InList[N] = false;
+      ++Stat.counter("bu.node_visits");
+
+      // Charge the budget per input relation so huge relation sets at one
+      // point cannot stall the wall-clock poll.
+      for (size_t I = 0; I != Vals[N].Rels.size(); ++I)
+        if (!Bud.step())
+          return false;
+
+      const CfgNode &Node = Proc.node(N);
+      NodeVal OutVal;
+      OutVal.Sigma = Vals[N].Sigma;
+
+      if (Node.Cmd.Kind == CmdKind::Call) {
+        ProcId G = Node.Cmd.Callee;
+        SummaryView SV;
+        static const std::vector<Rel> EmptyRels;
+        static const Ignore EmptySigma;
+        bool CalleeLambdaExit = false;
+        if (HasSummary[G]) {
+          SV.Rels = &Summaries[G].Rels;
+          SV.Sigma = &Summaries[G].Sigma;
+          CalleeLambdaExit = Summaries[G].LambdaExit;
+        } else {
+          // In-flight recursion: the empty summary is the eta_0 start of
+          // the fixpoint iteration.
+          SV.Rels = &EmptyRels;
+          SV.Sigma = &EmptySigma;
+        }
+        const Binding &Bind = binding(P, N, Node.Cmd);
+        for (const Rel &R : Vals[N].Rels) {
+          AN::composeCall(Ctx, Bind, R, SV, OutVal.Rels, OutVal.Sigma);
+          if (OutVal.Rels.size() > MaxRels) {
+            ++Stat.counter("bu.rel_cap_hits");
+            return false; // Models running out of memory.
+          }
+        }
+        if (Vals[N].HasLambda) {
+          AN::composeCallLambda(Ctx, Bind, SV, OutVal.Rels, OutVal.Sigma);
+          // Lambda survives the call only if it reaches the callee's exit
+          // and the callee's summary does not ignore it.
+          OutVal.HasLambda =
+              CalleeLambdaExit && !OutVal.Sigma.containsLambda();
+        }
+
+        // Lift the callee's observation manifest (errors at its internal
+        // points) into this procedure's entry vocabulary.
+        if (CollectObs) {
+        SummaryView ObsSV;
+        ObsSV.Rels = HasSummary[G] ? &Summaries[G].ObsRels : &EmptyRels;
+        ObsSV.Sigma = HasSummary[G] ? &Summaries[G].SigmaAll : &EmptySigma;
+        std::vector<Rel> LiftedObs;
+        for (const Rel &R : Vals[N].Rels) {
+          AN::composeCall(Ctx, Bind, R, ObsSV, LiftedObs, SigAll);
+          if (LiftedObs.size() > MaxRels) {
+            ++Stat.counter("bu.rel_cap_hits");
+            return false;
+          }
+        }
+        if (Vals[N].HasLambda)
+          AN::composeCallLambda(Ctx, Bind, ObsSV, LiftedObs, SigAll);
+        for (Rel &R : LiftedObs)
+          if (AN::relMayObserve(Ctx, R))
+            Obs.push_back(std::move(R));
+        }
+      } else {
+        OutVal.HasLambda = Vals[N].HasLambda;
+        for (const Rel &R : Vals[N].Rels) {
+          for (Rel &R2 : AN::rtrans(Ctx, P, Node.Cmd, R))
+            OutVal.Rels.push_back(std::move(R2));
+          if (OutVal.Rels.size() > MaxRels) {
+            ++Stat.counter("bu.rel_cap_hits");
+            return false;
+          }
+        }
+        if (Vals[N].HasLambda)
+          for (Rel &R2 : AN::lambdaEmits(Ctx, Node.Cmd))
+            OutVal.Rels.push_back(std::move(R2));
+      }
+
+      if (OutVal.Rels.size() > MaxRels) {
+        ++Stat.counter("bu.rel_cap_hits");
+        return false; // Models running out of memory.
+      }
+      pruneAndClean(P, OutVal.Rels, OutVal.Sigma);
+
+      // Record observable relations at this point and fold this point's
+      // ignore set into the whole-procedure guard.
+      SigAll.unionWith(OutVal.Sigma);
+      if (CollectObs)
+        for (const Rel &R : OutVal.Rels)
+          if (AN::relMayObserve(Ctx, R))
+            Obs.push_back(R);
+      if (Obs.size() > ObsCompactAt) {
+        std::sort(Obs.begin(), Obs.end());
+        Obs.erase(std::unique(Obs.begin(), Obs.end()), Obs.end());
+        if (Obs.size() > MaxRels) {
+          ++Stat.counter("bu.rel_cap_hits");
+          return false;
+        }
+        ObsCompactAt = std::max<size_t>(1024, Obs.size() * 2);
+      }
+
+      for (NodeId S : Node.Succs) {
+        bool Grew = Vals[S].Sigma.unionWith(OutVal.Sigma);
+        if (OutVal.HasLambda && !Vals[S].HasLambda) {
+          Vals[S].HasLambda = true;
+          Grew = true;
+        }
+        for (const Rel &R : OutVal.Rels) {
+          // A relation whose domain the successor already ignores was
+          // pruned there before; re-inserting it would oscillate with
+          // pruning and the loop fixpoint would never converge.
+          if (AN::ignoreCoversDom(Vals[S].Sigma, R))
+            continue;
+          auto It = std::lower_bound(Vals[S].Rels.begin(),
+                                     Vals[S].Rels.end(), R);
+          if (It == Vals[S].Rels.end() || !(*It == R)) {
+            Vals[S].Rels.insert(It, R);
+            Grew = true;
+          }
+        }
+        if (Grew) {
+          // Joins and loop heads re-prune the accumulated value (the
+          // prune-on-join and prune-on-iterate of Section 3.4).
+          pruneAndClean(P, Vals[S].Rels, Vals[S].Sigma);
+          if (!InList[S]) {
+            InList[S] = true;
+            Work.push_back(S);
+          }
+        }
+      }
+    }
+
+    Out.Rels = std::move(Vals[Proc.exit()].Rels);
+    Out.Sigma = std::move(Vals[Proc.exit()].Sigma);
+    Out.LambdaExit = Vals[Proc.exit()].HasLambda;
+    SigAll.unionWith(Out.Sigma);
+    std::sort(Obs.begin(), Obs.end());
+    Obs.erase(std::unique(Obs.begin(), Obs.end()), Obs.end());
+    Out.ObsRels = std::move(Obs);
+    Out.SigmaAll = std::move(SigAll);
+    return true;
+  }
+
+  const Binding &binding(ProcId P, NodeId N, const Command &Cmd) {
+    uint64_t Key = (static_cast<uint64_t>(P) << 32) | N;
+    auto It = Bindings.find(Key);
+    if (It == Bindings.end())
+      It = Bindings.emplace(Key, AN::makeBinding(Ctx, P, Cmd)).first;
+    return It->second;
+  }
+
+  const Context &Ctx;
+  const Program &Prog;
+  const CallGraph &CG;
+  uint64_t Theta;
+  FreqProvider Freq;
+  Budget &Bud;
+  Stats &Stat;
+  uint64_t MaxRels;
+  bool CollectObs;
+  std::vector<Summary> Summaries;
+  std::vector<bool> HasSummary;
+  std::unordered_map<uint64_t, Binding> Bindings;
+};
+
+} // namespace swift
+
+#endif // SWIFT_FRAMEWORK_RELATIONALSOLVER_H

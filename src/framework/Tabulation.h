@@ -1,0 +1,500 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SWIFT algorithm (the paper's Algorithm 1): a summary-based top-down
+/// tabulation solver (Reps-Horwitz-Sagiv style) that, when the number of
+/// distinct incoming abstract states of a procedure exceeds the threshold
+/// k, triggers the pruned bottom-up analysis on every procedure reachable
+/// from it and thereafter serves call sites from bottom-up summaries
+/// whenever the incoming state is not in the summary's ignore set.
+///
+/// With k = infinity this is exactly the conventional top-down analysis
+/// (the TD baseline).
+///
+/// Facts are pairs (entry state, current state) per program point — the
+/// paper's td map. A "top-down summary" is an (entry, exit) pair of a
+/// procedure, matching the paper's counting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_FRAMEWORK_TABULATION_H
+#define SWIFT_FRAMEWORK_TABULATION_H
+
+#include "framework/RelationalSolver.h"
+#include "ir/CallGraph.h"
+#include "ir/Program.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace swift {
+
+inline constexpr uint64_t NoBuTrigger = UINT64_MAX;
+
+template <typename AN> class TabulationSolver {
+public:
+  using Context = typename AN::Context;
+  using State = typename AN::State;
+  using Rel = typename AN::Rel;
+  using Ignore = typename AN::Ignore;
+  using Binding = typename AN::Binding;
+  using SummaryView = typename AN::SummaryView;
+  using BuSummary = typename RelationalSolver<AN>::Summary;
+
+  struct Config {
+    uint64_t K = NoBuTrigger; ///< Trigger threshold; NoBuTrigger = pure TD.
+    uint64_t Theta = 1;       ///< Cases kept by the pruned bottom-up run.
+    /// Collect and serve the observation manifest (errors at callee-
+    /// internal points; see RelationalSolver::Summary). Disabling it is
+    /// an ablation knob: value results stay coincident, but errors on
+    /// paths that diverge inside served callees can be missed.
+    bool ObservationManifest = true;
+    /// Run triggered bottom-up analyses on a worker thread while the
+    /// top-down analysis continues (the parallelization sketched in the
+    /// paper's Section 7). Summaries are installed when the worker
+    /// finishes; calls arriving in between are simply analyzed top-down,
+    /// which preserves coincidence — the install point is immaterial.
+    bool AsyncBu = false;
+  };
+
+  TabulationSolver(const Context &Ctx, const Program &Prog,
+                   const CallGraph &CG, Config Cfg, Budget &B, Stats &S)
+      : Ctx(Ctx), Prog(Prog), CG(CG), Cfg(Cfg), Bud(B), Stat(S) {
+    size_t N = Prog.numProcs();
+    Edges.resize(N);
+    Summaries.resize(N);
+    Dependents.resize(N);
+    Incoming.resize(N);
+    EverCalled.assign(N, false);
+    Bu.resize(N);
+  }
+
+  /// Runs to fixpoint from the root procedure's Lambda fact. Returns false
+  /// if the budget was exhausted (results are then partial).
+  bool run() {
+    ProcId Main = Prog.mainProc();
+    EverCalled[Main] = true;
+    propagate(Main, Prog.proc(Main).entry(), intern(AN::lambda()),
+              intern(AN::lambda()));
+
+    while (!Work.empty()) {
+      if (Async && Async->Done.load(std::memory_order_acquire))
+        installAsync();
+      if (!Bud.step()) {
+        joinAsync();
+        return false;
+      }
+      auto [P, E] = Work.back();
+      Work.pop_back();
+      process(P, E);
+
+      // The worklist may drain while a background bottom-up run is still
+      // in flight; its summaries can unlock nothing new (the top-down
+      // fixpoint is already complete), but join for cleanliness.
+      if (Work.empty() && Async)
+        joinAsync();
+    }
+    joinAsync();
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Results
+  //===--------------------------------------------------------------------===
+
+  const State &state(uint32_t Id) const { return States[Id]; }
+
+  /// Number of (entry, exit) top-down summary pairs of procedure \p P.
+  /// The trivial Lambda -> Lambda pair every procedure has is excluded so
+  /// counts line up with the paper's (which has no Lambda fact).
+  uint64_t numTdSummaries(ProcId P) const {
+    uint64_t N = 0;
+    for (const auto &[E, Exits] : Summaries[P]) {
+      (void)E;
+      for (uint32_t X : Exits)
+        if (!AN::isLambda(States[X]))
+          ++N;
+    }
+    return N;
+  }
+
+  uint64_t totalTdSummaries() const {
+    uint64_t N = 0;
+    for (ProcId P = 0; P != Prog.numProcs(); ++P)
+      N += numTdSummaries(P);
+    return N;
+  }
+
+  /// Number of distinct non-Lambda incoming abstract states of \p P.
+  uint64_t numIncoming(ProcId P) const { return Incoming[P].size(); }
+
+  uint64_t totalBuRelations() const {
+    uint64_t N = 0;
+    for (const auto &B : Bu)
+      if (B)
+        N += B->Rels.size();
+    return N;
+  }
+
+  bool buDefined(ProcId P) const { return Bu[P].has_value(); }
+  const BuSummary &buSummary(ProcId P) const { return *Bu[P]; }
+
+  /// Visits every computed fact (td map entry): (proc, node, entry state,
+  /// current state).
+  template <typename Fn> void forEachFact(Fn F) const {
+    for (ProcId P = 0; P != Prog.numProcs(); ++P)
+      for (const Edge &E : Edges[P].Set)
+        F(P, E.Node, States[E.Entry], States[E.Cur]);
+  }
+
+  /// Visits every (entry, exit) summary pair of \p P.
+  template <typename Fn> void forEachSummary(ProcId P, Fn F) const {
+    for (const auto &[E, Exits] : Summaries[P])
+      for (uint32_t X : Exits)
+        F(States[E], States[X]);
+  }
+
+  /// Visits every observable state reported through a bottom-up summary's
+  /// observation manifest: (caller proc, call node, state).
+  template <typename Fn> void forEachObserved(Fn F) const {
+    for (const auto &[P, N, S] : Observed)
+      F(P, N, States[S]);
+  }
+
+private:
+  struct Edge {
+    NodeId Node;
+    uint32_t Entry;
+    uint32_t Cur;
+    friend bool operator==(const Edge &A, const Edge &B) {
+      return A.Node == B.Node && A.Entry == B.Entry && A.Cur == B.Cur;
+    }
+  };
+  struct EdgeHash {
+    size_t operator()(const Edge &E) const noexcept {
+      uint64_t X = (static_cast<uint64_t>(E.Node) << 40) ^
+                   (static_cast<uint64_t>(E.Entry) << 20) ^ E.Cur;
+      X ^= X >> 33;
+      X *= 0xff51afd7ed558ccdULL;
+      X ^= X >> 33;
+      return static_cast<size_t>(X);
+    }
+  };
+  struct EdgeSet {
+    std::unordered_set<Edge, EdgeHash> Set;
+  };
+  struct Caller {
+    ProcId P;
+    NodeId Node;
+    uint32_t Entry; ///< Caller's own entry-state id.
+    uint32_t Frame; ///< Caller's state at the call site.
+  };
+
+  uint32_t intern(const State &S) {
+    auto It = StateIds.find(S);
+    if (It != StateIds.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(States.size());
+    States.push_back(S);
+    StateIds.emplace(States.back(), Id);
+    return Id;
+  }
+
+  void propagate(ProcId P, NodeId N, uint32_t Entry, uint32_t Cur) {
+    Edge E{N, Entry, Cur};
+    if (!Edges[P].Set.insert(E).second)
+      return;
+    ++Stat.counter("td.path_edges");
+    Work.push_back({P, E});
+  }
+
+  const Binding &binding(ProcId P, NodeId N, const Command &Cmd) {
+    uint64_t Key = (static_cast<uint64_t>(P) << 32) | N;
+    auto It = Bindings.find(Key);
+    if (It == Bindings.end())
+      It = Bindings.emplace(Key, AN::makeBinding(Ctx, P, Cmd)).first;
+    return It->second;
+  }
+
+  std::vector<State> combineDispatch(const Binding &B, const State &Frame,
+                                     const State &Exit) {
+    if (AN::isLambda(Frame)) {
+      if (AN::isLambda(Exit))
+        return {Exit};
+      return AN::combineFresh(B, Exit);
+    }
+    assert(!AN::isLambda(Exit) &&
+           "non-Lambda entries never reach a Lambda exit");
+    return AN::combine(B, Frame, Exit);
+  }
+
+  void process(ProcId P, const Edge &E) {
+    const Procedure &Proc = Prog.proc(P);
+
+    if (E.Node == Proc.exit()) {
+      recordSummary(P, E.Entry, E.Cur);
+      return;
+    }
+
+    const CfgNode &Node = Proc.node(E.Node);
+    if (Node.Cmd.Kind == CmdKind::Call) {
+      processCall(P, E, Node);
+      return;
+    }
+
+    for (const State &S2 :
+         AN::transfer(Ctx, P, Node.Cmd, States[E.Cur])) {
+      uint32_t Id = intern(S2);
+      for (NodeId Succ : Node.Succs)
+        propagate(P, Succ, E.Entry, Id);
+    }
+  }
+
+  void processCall(ProcId P, const Edge &E, const CfgNode &Node) {
+    ProcId G = Node.Cmd.Callee;
+    const Binding &B = binding(P, E.Node, Node.Cmd);
+    EverCalled[G] = true;
+
+    // Call-to-return flow that bypasses the callee (empty for analyses
+    // whose facts all travel through the callee, like the typestate one).
+    for (const State &S : AN::callLocal(B, States[E.Cur])) {
+      uint32_t Id = intern(S);
+      for (NodeId Succ : Node.Succs)
+        propagate(P, Succ, E.Entry, Id);
+    }
+
+    std::vector<State> Entries = AN::enter(B, States[E.Cur]);
+    std::sort(Entries.begin(), Entries.end());
+    Entries.erase(std::unique(Entries.begin(), Entries.end()),
+                  Entries.end());
+    for (const State &EntryState : Entries) {
+      uint32_t EntryId = intern(EntryState);
+      if (!AN::isLambda(EntryState))
+        ++Incoming[G][EntryId];
+
+      // Serve from the bottom-up summary when one covers this entry
+      // state. The guard uses SigmaAll (every point's ignore set), which
+      // also validates the observation manifest.
+      if (Bu[G] &&
+          !(Cfg.ObservationManifest ? Bu[G]->SigmaAll : Bu[G]->Sigma)
+               .contains(Ctx, EntryState)) {
+        ++Stat.counter("td.bu_served_calls");
+        if (AN::isLambda(EntryState) && Bu[G]->LambdaExit)
+          applyAfter(P, E, Node, B, States[E.Cur], EntryState);
+        for (const Rel &R : Bu[G]->Rels)
+          if (std::optional<State> Out = AN::applyRel(Ctx, R, EntryState))
+            applyAfter(P, E, Node, B, States[E.Cur], *Out);
+        // Errors at the callee's internal points, reported at this call.
+        for (const Rel &R : Bu[G]->ObsRels)
+          if (std::optional<State> Out = AN::applyRel(Ctx, R, EntryState))
+            if (AN::stateObservable(Ctx, *Out))
+              Observed.insert({P, E.Node, intern(*Out)});
+        continue;
+      }
+
+      if (Bu[G])
+        ++Stat.counter("td.bu_fallback_calls");
+
+      // Top-down route: register for resumption and seed the callee.
+      Dependents[G][EntryId].push_back(Caller{P, E.Node, E.Entry, E.Cur});
+      propagate(G, Prog.proc(G).entry(), EntryId, EntryId);
+      auto SumIt = Summaries[G].find(EntryId);
+      if (SumIt != Summaries[G].end())
+        for (uint32_t ExitId : SumIt->second)
+          applyAfter(P, E, Node, B, States[E.Cur], States[ExitId]);
+
+      // The SWIFT trigger (Algorithm 1, line 17).
+      if (Cfg.K != NoBuTrigger && !Bu[G] && Incoming[G].size() > Cfg.K)
+        tryRunBu(G);
+    }
+  }
+
+  void applyAfter(ProcId P, const Edge &E, const CfgNode &Node,
+                  const Binding &B, const State &Frame, const State &Exit) {
+    std::vector<State> Afters = combineDispatch(B, Frame, Exit);
+    for (const State &After : Afters) {
+      uint32_t Id = intern(After);
+      for (NodeId Succ : Node.Succs)
+        propagate(P, Succ, E.Entry, Id);
+    }
+  }
+
+  void recordSummary(ProcId P, uint32_t Entry, uint32_t Exit) {
+    std::vector<uint32_t> &Exits = Summaries[P][Entry];
+    for (uint32_t X : Exits)
+      if (X == Exit)
+        return;
+    Exits.push_back(Exit);
+    ++Stat.counter("td.summaries");
+
+    // Resume callers waiting on this (callee, entry) pair.
+    auto DepIt = Dependents[P].find(Entry);
+    if (DepIt == Dependents[P].end())
+      return;
+    // Copy: applyAfter may grow the dependents map.
+    std::vector<Caller> Waiting = DepIt->second;
+    for (const Caller &C : Waiting) {
+      const CfgNode &Node = Prog.proc(C.P).node(C.Node);
+      const Binding &B = binding(C.P, C.Node, Node.Cmd);
+      Edge CallerEdge{C.Node, C.Entry, C.Frame};
+      applyAfter(C.P, CallerEdge, Node, B, States[C.Frame],
+                 States[Exit]);
+    }
+  }
+
+  /// Runs the pruned bottom-up analysis on every procedure reachable from
+  /// \p G (Algorithm 1's run_bu), unless some reachable procedure has not
+  /// been seen by the top-down analysis yet (the paper's postponement for
+  /// its first problematic scenario in Section 4). With Config::AsyncBu
+  /// the run happens on a worker thread (one at a time) and the top-down
+  /// analysis keeps going.
+  void tryRunBu(ProcId G) {
+    if (Async) {
+      if (Async->Done.load(std::memory_order_acquire))
+        installAsync();
+      if (Async) {
+        ++Stat.counter("swift.bu_busy_skips");
+        return; // A bottom-up run is already in flight.
+      }
+    }
+
+    std::vector<ProcId> F = CG.reachableFrom(G);
+    for (ProcId Q : F)
+      if (!EverCalled[Q]) {
+        ++Stat.counter("swift.bu_postponed");
+        return;
+      }
+
+    // Materialize the frequency multisets M for the pruning ranking.
+    auto Freq = std::make_shared<
+        std::vector<std::unordered_map<State, uint64_t>>>();
+    Freq->resize(Prog.numProcs());
+    for (ProcId Q : F)
+      for (const auto &[StateId, Count] : Incoming[Q])
+        (*Freq)[Q].emplace(States[StateId], Count);
+
+    if (!Cfg.AsyncBu) {
+      Timer BuTimer;
+      RelationalSolver<AN> Solver(
+          Ctx, Prog, CG, Cfg.Theta,
+          [Freq](ProcId Q) { return &(*Freq)[Q]; }, Bud, Stat,
+          DefaultMaxRelsPerPoint, Cfg.ObservationManifest);
+      bool Ok = Solver.run(F);
+      Stat.counter("swift.bu_time_us") +=
+          static_cast<uint64_t>(BuTimer.seconds() * 1e6);
+      if (!Ok)
+        return; // Budget exhausted; leave summaries uninstalled.
+      for (ProcId Q : F)
+        install(Q, Solver.summary(Q));
+      ++Stat.counter("swift.bu_triggers");
+      return;
+    }
+
+    // Asynchronous run: the worker owns a snapshot of the frequency data
+    // and its own budget (same caps as the main one) and touches only
+    // immutable analysis state (context, program, call graph).
+    Async = std::make_unique<AsyncJob>();
+    Async->F = F;
+    AsyncJob *Job = Async.get();
+    const Context *CtxPtr = &Ctx;
+    const Program *ProgPtr = &Prog;
+    const CallGraph *CGPtr = &CG;
+    uint64_t Theta = Cfg.Theta;
+    bool Manifest = Cfg.ObservationManifest;
+    uint64_t MaxSteps = Bud.maxSteps();
+    double MaxSeconds = Bud.maxSeconds();
+    Async->Worker = std::thread([Job, Freq, CtxPtr, ProgPtr, CGPtr, Theta,
+                                 Manifest, MaxSteps, MaxSeconds]() {
+      Budget OwnBudget(MaxSteps, MaxSeconds);
+      RelationalSolver<AN> Solver(
+          *CtxPtr, *ProgPtr, *CGPtr, Theta,
+          [Freq](ProcId Q) { return &(*Freq)[Q]; }, OwnBudget,
+          Job->WorkerStats, DefaultMaxRelsPerPoint, Manifest);
+      Job->Ok = Solver.run(Job->F);
+      if (Job->Ok)
+        for (ProcId Q : Job->F)
+          Job->Results.push_back(Solver.summary(Q));
+      Job->WorkerStats.counter("swift.bu_time_us") +=
+          static_cast<uint64_t>(OwnBudget.seconds() * 1e6);
+      Job->Done.store(true, std::memory_order_release);
+    });
+  }
+
+  void install(ProcId Q, BuSummary Summary) {
+    Bu[Q] = std::move(Summary);
+    Stat.counter("swift.bu_summary_rels") += Bu[Q]->Rels.size();
+    Stat.counter("swift.bu_summary_sigma") += Bu[Q]->SigmaAll.size();
+  }
+
+  /// Installs a finished asynchronous run's summaries and merges its
+  /// stats.
+  void installAsync() {
+    assert(Async && Async->Done.load());
+    Async->Worker.join();
+    if (Async->Ok) {
+      for (size_t I = 0; I != Async->F.size(); ++I)
+        install(Async->F[I], std::move(Async->Results[I]));
+      ++Stat.counter("swift.bu_triggers");
+    }
+    for (const auto &[Key, Value] : Async->WorkerStats.all())
+      Stat.counter(Key) += Value;
+    Async.reset();
+  }
+
+  /// Blocks on an in-flight asynchronous run, installing its results.
+  void joinAsync() {
+    if (!Async)
+      return;
+    while (!Async->Done.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    installAsync();
+  }
+
+  const Context &Ctx;
+  const Program &Prog;
+  const CallGraph &CG;
+  Config Cfg;
+  Budget &Bud;
+  Stats &Stat;
+
+  std::vector<State> States;
+  std::unordered_map<State, uint32_t> StateIds;
+  std::vector<EdgeSet> Edges;
+  std::vector<std::pair<ProcId, Edge>> Work;
+  std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> Summaries;
+  std::vector<std::unordered_map<uint32_t, std::vector<Caller>>> Dependents;
+  std::vector<std::unordered_map<uint32_t, uint64_t>> Incoming;
+  std::vector<bool> EverCalled;
+  std::vector<std::optional<BuSummary>> Bu;
+  std::unordered_map<uint64_t, Binding> Bindings;
+  std::set<std::tuple<ProcId, NodeId, uint32_t>> Observed;
+
+  struct AsyncJob {
+    std::thread Worker;
+    std::atomic<bool> Done{false};
+    bool Ok = false;
+    std::vector<ProcId> F;
+    std::vector<BuSummary> Results;
+    Stats WorkerStats;
+  };
+  std::unique_ptr<AsyncJob> Async;
+};
+
+} // namespace swift
+
+#endif // SWIFT_FRAMEWORK_TABULATION_H

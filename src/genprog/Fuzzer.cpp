@@ -1,0 +1,133 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genprog/Fuzzer.h"
+
+#include "ir/ProgramBuilder.h"
+#include "support/Rng.h"
+
+using namespace swift;
+
+namespace {
+
+class Fuzzer {
+public:
+  Fuzzer(const FuzzConfig &Cfg) : Cfg(Cfg), R(Cfg.Seed) {}
+
+  std::unique_ptr<Program> run() {
+    B.addTypestate("File", {"closed", "opened", "err"}, "closed", "err",
+                   {{"closed", "open", "opened"},
+                    {"opened", "close", "closed"},
+                    {"closed", "reset", "closed"},
+                    {"opened", "reset", "closed"}});
+
+    // Random arity (0-2) per procedure, decided up front so call sites can
+    // be generated before the callee body.
+    for (unsigned P = 0; P != Cfg.NumProcs; ++P)
+      Arity.push_back(static_cast<unsigned>(R.below(3)));
+
+    for (unsigned P = 0; P != Cfg.NumProcs; ++P) {
+      std::vector<std::string> Params;
+      for (unsigned I = 0; I != Arity[P]; ++I)
+        Params.push_back("p" + std::to_string(I));
+      B.beginProc(procName(P), Params);
+      emitBlock(Cfg.StmtsPerProc, 0, Arity[P]);
+      if (R.chance(1, 2))
+        B.ret(randomVar(Arity[P]));
+      B.endProc();
+    }
+
+    B.beginProc("main", {});
+    emitBlock(Cfg.StmtsPerProc, 0, 0);
+    B.endProc();
+    return B.finish("main");
+  }
+
+private:
+  static std::string procName(unsigned P) {
+    return "q" + std::to_string(P);
+  }
+
+  /// A random variable: a local from the pool or (sometimes) a parameter.
+  std::string randomVar(unsigned NumParams) {
+    if (NumParams && R.chance(1, 3))
+      return "p" + std::to_string(R.below(NumParams));
+    return "v" + std::to_string(R.below(Cfg.NumVars));
+  }
+
+  std::string randomField() {
+    return "g" + std::to_string(R.below(std::max(1u, Cfg.NumFields)));
+  }
+
+  std::string randomMethod() {
+    const char *Methods[] = {"open", "close", "reset"};
+    return Methods[R.below(3)];
+  }
+
+  void emitBlock(unsigned Budget, unsigned Depth, unsigned NumParams) {
+    for (unsigned S = 0; S != Budget; ++S) {
+      switch (R.below(Depth < Cfg.MaxDepth ? 10 : 8)) {
+      case 0:
+        B.alloc(randomVar(NumParams), "File");
+        break;
+      case 1:
+        B.copy(randomVar(NumParams), randomVar(NumParams));
+        break;
+      case 2:
+        B.assignNull(randomVar(NumParams));
+        break;
+      case 3:
+        B.load(randomVar(NumParams), randomVar(NumParams), randomField());
+        break;
+      case 4:
+        B.store(randomVar(NumParams), randomField(), randomVar(NumParams));
+        break;
+      case 5:
+        B.tsCall(randomVar(NumParams), randomMethod());
+        break;
+      case 6:
+      case 7: {
+        unsigned Callee = static_cast<unsigned>(R.below(Cfg.NumProcs));
+        std::vector<std::string> Args;
+        for (unsigned I = 0; I != Arity[Callee]; ++I)
+          Args.push_back(randomVar(NumParams));
+        if (R.chance(1, 2))
+          B.callAssign(randomVar(NumParams), procName(Callee), Args);
+        else
+          B.call(procName(Callee), Args);
+        break;
+      }
+      case 8: {
+        B.beginIf();
+        emitBlock(Budget / 2, Depth + 1, NumParams);
+        if (R.chance(2, 3)) {
+          B.orElse();
+          emitBlock(Budget / 2, Depth + 1, NumParams);
+        }
+        B.endIf();
+        break;
+      }
+      case 9: {
+        B.beginLoop();
+        emitBlock(Budget / 3, Depth + 1, NumParams);
+        B.endLoop();
+        break;
+      }
+      }
+    }
+  }
+
+  const FuzzConfig &Cfg;
+  Rng R;
+  ProgramBuilder B;
+  std::vector<unsigned> Arity;
+};
+
+} // namespace
+
+std::unique_ptr<Program> swift::generateFuzzProgram(const FuzzConfig &Cfg) {
+  return Fuzzer(Cfg).run();
+}

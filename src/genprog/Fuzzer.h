@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chaotic random-program generator for property-based testing. Unlike
+/// the workload generator it makes no attempt to respect the typestate
+/// protocol or to be realistic: it samples arbitrary command sequences,
+/// nested branches/loops, recursive calls, duplicate and self arguments,
+/// parameter reassignment, use-before-def — everything the analyses must
+/// handle. Used by the coincidence (Theorem 3.1) and soundness property
+/// tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_GENPROG_FUZZER_H
+#define SWIFT_GENPROG_FUZZER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace swift {
+
+struct FuzzConfig {
+  uint64_t Seed = 1;
+  unsigned NumProcs = 4;       ///< Besides main.
+  unsigned StmtsPerProc = 10;  ///< Approximate body length.
+  unsigned NumVars = 4;        ///< Local variable pool size.
+  unsigned NumFields = 2;
+  unsigned MaxDepth = 2;       ///< Max if/loop nesting.
+};
+
+/// Generates a random program over a 3-state File protocol (open / close /
+/// reset). Deterministic in the seed.
+std::unique_ptr<Program> generateFuzzProgram(const FuzzConfig &Cfg);
+
+} // namespace swift
+
+#endif // SWIFT_GENPROG_FUZZER_H

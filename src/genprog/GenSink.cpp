@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genprog/GenSink.h"
+
+using namespace swift;
+
+std::string TslSink::joinArgs(const std::vector<std::string> &A) {
+  std::string S;
+  for (size_t I = 0; I != A.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += A[I];
+  }
+  return S;
+}
+
+void TslSink::line(const std::string &S) {
+  for (unsigned I = 0; I != Indent; ++I)
+    Out += "  ";
+  Out += S;
+  Out += "\n";
+  ++Lines;
+}
+
+void TslSink::typestate(const std::string &Name,
+                        const std::vector<std::string> &States,
+                        const std::string &Init, const std::string &Error,
+                        const std::vector<ProgramBuilder::Transition> &Ts) {
+  line("typestate " + Name + " {");
+  ++Indent;
+  line("start " + Init + ";");
+  line("error " + Error + ";");
+  for (const std::string &S : States)
+    if (S != Init && S != Error)
+      line("state " + S + ";");
+  for (const ProgramBuilder::Transition &T : Ts)
+    line(T.From + " -" + T.Method + "-> " + T.To + ";");
+  --Indent;
+  line("}");
+}
+
+void TslSink::beginProc(const std::string &Name,
+                        const std::vector<std::string> &Params) {
+  line("proc " + Name + "(" + joinArgs(Params) + ") {");
+  ++Indent;
+}
+
+void TslSink::endProc() {
+  --Indent;
+  line("}");
+}

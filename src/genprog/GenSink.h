@@ -1,0 +1,192 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Output interface of the workload generator. The generator drives a
+/// GenSink with structured program-construction events; one sink builds
+/// the IR directly, another renders TSL source text (used to measure
+/// workload KLOC for the Table 1 reproduction and to persist generated
+/// programs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_GENPROG_GENSINK_H
+#define SWIFT_GENPROG_GENSINK_H
+
+#include "ir/ProgramBuilder.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace swift {
+
+class GenSink {
+public:
+  virtual ~GenSink() = default;
+
+  virtual void typestate(const std::string &Name,
+                         const std::vector<std::string> &States,
+                         const std::string &Init, const std::string &Error,
+                         const std::vector<ProgramBuilder::Transition> &Ts) = 0;
+  virtual void beginProc(const std::string &Name,
+                         const std::vector<std::string> &Params) = 0;
+  virtual void endProc() = 0;
+  virtual void alloc(const std::string &Dst, const std::string &Class) = 0;
+  virtual void copy(const std::string &Dst, const std::string &Src) = 0;
+  virtual void assignNull(const std::string &Dst) = 0;
+  virtual void load(const std::string &Dst, const std::string &Base,
+                    const std::string &Field) = 0;
+  virtual void store(const std::string &Base, const std::string &Field,
+                     const std::string &Src) = 0;
+  virtual void tsCall(const std::string &Recv, const std::string &M) = 0;
+  virtual void call(const std::string &Callee,
+                    const std::vector<std::string> &Args) = 0;
+  virtual void callAssign(const std::string &Dst, const std::string &Callee,
+                          const std::vector<std::string> &Args) = 0;
+  virtual void beginIf() = 0;
+  virtual void orElse() = 0;
+  virtual void endIf() = 0;
+  virtual void beginLoop() = 0;
+  virtual void endLoop() = 0;
+  virtual void ret(const std::string &V) = 0;
+  virtual void ret() = 0;
+};
+
+/// Builds the IR via ProgramBuilder.
+class BuilderSink : public GenSink {
+public:
+  BuilderSink() = default;
+
+  /// Finalizes and returns the program. Call once, after generation.
+  std::unique_ptr<Program> finish(const std::string &MainName) {
+    return B.finish(MainName);
+  }
+
+  void typestate(const std::string &Name,
+                 const std::vector<std::string> &States,
+                 const std::string &Init, const std::string &Error,
+                 const std::vector<ProgramBuilder::Transition> &Ts) override {
+    B.addTypestate(Name, States, Init, Error, Ts);
+  }
+  void beginProc(const std::string &Name,
+                 const std::vector<std::string> &Params) override {
+    B.beginProc(Name, Params);
+  }
+  void endProc() override { B.endProc(); }
+  void alloc(const std::string &D, const std::string &C) override {
+    B.alloc(D, C);
+  }
+  void copy(const std::string &D, const std::string &S) override {
+    B.copy(D, S);
+  }
+  void assignNull(const std::string &D) override { B.assignNull(D); }
+  void load(const std::string &D, const std::string &Ba,
+            const std::string &F) override {
+    B.load(D, Ba, F);
+  }
+  void store(const std::string &Ba, const std::string &F,
+             const std::string &S) override {
+    B.store(Ba, F, S);
+  }
+  void tsCall(const std::string &R, const std::string &M) override {
+    B.tsCall(R, M);
+  }
+  void call(const std::string &C,
+            const std::vector<std::string> &A) override {
+    B.call(C, A);
+  }
+  void callAssign(const std::string &D, const std::string &C,
+                  const std::vector<std::string> &A) override {
+    B.callAssign(D, C, A);
+  }
+  void beginIf() override { B.beginIf(); }
+  void orElse() override { B.orElse(); }
+  void endIf() override { B.endIf(); }
+  void beginLoop() override { B.beginLoop(); }
+  void endLoop() override { B.endLoop(); }
+  void ret(const std::string &V) override { B.ret(V); }
+  void ret() override { B.ret(); }
+
+private:
+  ProgramBuilder B;
+};
+
+/// Renders TSL source text.
+class TslSink : public GenSink {
+public:
+  const std::string &text() const { return Out; }
+  size_t lines() const { return Lines; }
+
+  void typestate(const std::string &Name,
+                 const std::vector<std::string> &States,
+                 const std::string &Init, const std::string &Error,
+                 const std::vector<ProgramBuilder::Transition> &Ts) override;
+  void beginProc(const std::string &Name,
+                 const std::vector<std::string> &Params) override;
+  void endProc() override;
+  void alloc(const std::string &D, const std::string &C) override {
+    line(D + " = new " + C + ";");
+  }
+  void copy(const std::string &D, const std::string &S) override {
+    line(D + " = " + S + ";");
+  }
+  void assignNull(const std::string &D) override { line(D + " = null;"); }
+  void load(const std::string &D, const std::string &Ba,
+            const std::string &F) override {
+    line(D + " = " + Ba + "." + F + ";");
+  }
+  void store(const std::string &Ba, const std::string &F,
+             const std::string &S) override {
+    line(Ba + "." + F + " = " + S + ";");
+  }
+  void tsCall(const std::string &R, const std::string &M) override {
+    line(R + "." + M + "();");
+  }
+  void call(const std::string &C,
+            const std::vector<std::string> &A) override {
+    line(C + "(" + joinArgs(A) + ");");
+  }
+  void callAssign(const std::string &D, const std::string &C,
+                  const std::vector<std::string> &A) override {
+    line(D + " = " + C + "(" + joinArgs(A) + ");");
+  }
+  void beginIf() override {
+    line("if (*) {");
+    ++Indent;
+  }
+  void orElse() override {
+    --Indent;
+    line("} else {");
+    ++Indent;
+  }
+  void endIf() override {
+    --Indent;
+    line("}");
+  }
+  void beginLoop() override {
+    line("while (*) {");
+    ++Indent;
+  }
+  void endLoop() override {
+    --Indent;
+    line("}");
+  }
+  void ret(const std::string &V) override { line("return " + V + ";"); }
+  void ret() override { line("return;"); }
+
+private:
+  static std::string joinArgs(const std::vector<std::string> &A);
+  void line(const std::string &S);
+
+  std::string Out;
+  size_t Lines = 0;
+  unsigned Indent = 0;
+};
+
+} // namespace swift
+
+#endif // SWIFT_GENPROG_GENSINK_H

@@ -1,0 +1,278 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genprog/Generator.h"
+
+#include "ir/Dumper.h"
+#include "support/Rng.h"
+
+using namespace swift;
+
+namespace {
+
+class WorkloadGenerator {
+public:
+  WorkloadGenerator(const GenConfig &Cfg, GenSink &Sink)
+      : Cfg(Cfg), Sink(Sink), R(Cfg.Seed) {}
+
+  void run() {
+    emitTypestate();
+    for (unsigned L = 0; L != Cfg.Layers; ++L)
+      for (unsigned I = 0; I != Cfg.ProcsPerLayer; ++I)
+        emitUtility(L, I);
+    for (unsigned D = 0; D != Cfg.NumDrivers; ++D)
+      emitDriver(D);
+    emitMain();
+  }
+
+private:
+  static std::string utilName(unsigned Layer, unsigned Idx) {
+    return "u" + std::to_string(Layer) + "_" + std::to_string(Idx);
+  }
+  static std::string driverName(unsigned Idx) {
+    return "driver" + std::to_string(Idx);
+  }
+  std::string fieldName(unsigned Idx) const {
+    return "fld" + std::to_string(Idx % std::max(1u, Cfg.NumFields));
+  }
+  std::string randomField() {
+    return fieldName(static_cast<unsigned>(R.below(
+        std::max(1u, Cfg.NumFields))));
+  }
+  bool perMille(unsigned Rate) { return R.below(1000) < Rate; }
+
+  void emitTypestate() {
+    Sink.typestate("File", {"closed", "opened", "err"}, "closed", "err",
+                   {{"closed", "open", "opened"},
+                    {"opened", "close", "closed"},
+                    {"closed", "reset", "closed"},
+                    {"opened", "reset", "closed"}});
+    // An untracked auxiliary class: most generated procedures manipulate
+    // Data objects only, so tracked File tuples flow through them as pure
+    // identities — the dominant real-world structure behind the paper's
+    // observation that "the identity function with a certain precondition
+    // was the dominating case".
+    Sink.typestate("Data", {"fresh", "errd"}, "fresh", "errd",
+                   {{"fresh", "touch", "fresh"}});
+  }
+
+  /// A balanced open/close on \p V — net identity on the typestate.
+  void useObject(const std::string &V) {
+    Sink.tsCall(V, "open");
+    Sink.tsCall(V, "close");
+  }
+
+  /// A call to a random procedure in \p Layer passing \p Args.
+  void callLayer(unsigned Layer, const std::vector<std::string> &Args) {
+    std::vector<std::string> A = Args;
+    A.resize(Cfg.ParamsPerProc, Args.empty() ? "nil" : Args.back());
+    Sink.call(utilName(Layer,
+                       static_cast<unsigned>(R.below(Cfg.ProcsPerLayer))),
+              A);
+  }
+
+  /// Workers operate on a *single* parameter: one case family, with a
+  /// dominating case — the structure under which the paper found theta=1
+  /// effective ("the identity function with a certain precondition was
+  /// the dominating case"). Plumbing procedures never touch typestates;
+  /// their summaries are pure identities that serve every context. The
+  /// unpruned bottom-up analysis still blows up: plumbing composes the
+  /// case families of several callees over distinct arguments, which
+  /// multiplies across layers.
+  void emitUtility(unsigned Layer, unsigned Idx) {
+    std::vector<std::string> Params;
+    for (unsigned P = 0; P != Cfg.ParamsPerProc; ++P)
+      Params.push_back("f" + std::to_string(P));
+    Sink.beginProc(utilName(Layer, Idx), Params);
+
+    // Three procedure flavours, in decreasing frequency:
+    //  * plumbing: manipulates untracked Data objects only; File tuples
+    //    flow through as identities,
+    //  * straight workers: an unconditional balanced use of the first
+    //    parameter; their case families partition the input space, so
+    //    theta = 1 keeps the dominating case,
+    //  * branchy workers: the use sits behind if(*); the skip arm's
+    //    identity overlaps the use cases, so these need theta >= 2 to be
+    //    servable (the effect behind the paper's Table 4).
+    enum class Flavour { Plumbing, Straight, Branchy, Gnarly };
+    uint64_t Draw = R.below(1000);
+    Flavour F =
+        Draw < Cfg.GnarlyPerMille ? Flavour::Gnarly
+        : Draw < Cfg.GnarlyPerMille + Cfg.BranchyPerMille ? Flavour::Branchy
+        : Draw < Cfg.GnarlyPerMille + Cfg.BranchyPerMille +
+                     Cfg.StraightPerMille
+            ? Flavour::Straight
+            : Flavour::Plumbing;
+    if (Layer + 1 == Cfg.Layers && F == Flavour::Plumbing)
+      F = Flavour::Straight; // Leaves always do something.
+
+    switch (F) {
+    case Flavour::Plumbing: {
+      Sink.alloc("d", "Data");
+      Sink.tsCall("d", "touch");
+      std::string Fld = randomField();
+      Sink.store("d", Fld, "d");
+      Sink.load("e", "d", Fld);
+      Sink.tsCall("e", "touch");
+      break;
+    }
+    case Flavour::Straight:
+      useObject(Params[0]);
+      if (perMille(Cfg.LoopPerMille)) {
+        Sink.beginLoop();
+        useObject(Params[0]);
+        Sink.endLoop();
+      }
+      break;
+    case Flavour::Branchy:
+      for (unsigned B = 0; B != Cfg.BranchesPerProc; ++B) {
+        Sink.beginIf();
+        useObject(Params[0]);
+        Sink.endIf();
+      }
+      break;
+    case Flavour::Gnarly:
+      // Distinct typestate effects on *both* parameters behind nested
+      // branches: the unpruned bottom-up analysis must track the full
+      // product of cases (the exponential growth of Section 2.2), while
+      // the pruned analysis keeps theta of them and falls back for the
+      // rest.
+      for (unsigned B = 0; B != std::max(1u, Cfg.BranchesPerProc); ++B) {
+        Sink.beginIf();
+        useObject(Params[0]);
+        Sink.orElse();
+        Sink.tsCall(Params[B % Params.size()], "reset");
+        Sink.beginIf();
+        useObject(Params[(B + 1) % Params.size()]);
+        Sink.endIf();
+        Sink.endIf();
+      }
+      break;
+    }
+
+    // Field segment: stash a fresh tracked object in a field of a
+    // parameter, read it back, use it. Exercises load/store transfer
+    // functions and the mod-ref framing at call boundaries.
+    if (F != Flavour::Plumbing && perMille(Cfg.FieldSegmentPerMille)) {
+      std::string Fld = randomField();
+      Sink.alloc("x", "File");
+      Sink.store(Params[0], Fld, "x");
+      Sink.load("y", Params[0], Fld);
+      useObject("y");
+    }
+
+    // Calls into the next layer. The first call passes parameters
+    // straight through (keeping incoming profiles uniform — the common
+    // case in real code); later calls rotate them, which diversifies the
+    // callee's argument bindings and is the composition pressure that
+    // blows up the unpruned bottom-up analysis.
+    if (Layer + 1 != Cfg.Layers) {
+      for (unsigned C = 0; C != Cfg.CallsPerProc; ++C) {
+        std::vector<std::string> Args;
+        unsigned Rot = C <= 1 ? 0 : C - 1;
+        for (unsigned P = 0; P != Cfg.ParamsPerProc; ++P)
+          Args.push_back(Params[(P + Rot) % Params.size()]);
+        callLayer(Layer + 1, Args);
+      }
+    }
+
+    // Guarded self-recursion (same argument order, as recursive helpers
+    // overwhelmingly do; reversing arguments makes the relational
+    // fixpoint enumerate argument-permutation cases).
+    if (perMille(Cfg.RecursionPerMille)) {
+      Sink.beginIf();
+      Sink.call(utilName(Layer, Idx), Params);
+      Sink.endIf();
+    }
+
+    Sink.ret(Params[0]);
+    Sink.endProc();
+  }
+
+  void emitDriver(unsigned Idx) {
+    (void)Idx;
+    Sink.beginProc(driverName(Idx), {});
+    std::vector<std::string> Objects;
+    for (unsigned J = 0; J != Cfg.ObjectsPerDriver; ++J) {
+      std::string V = "v" + std::to_string(J);
+      Sink.alloc(V, "File");
+      Objects.push_back(V);
+      // Feed the fresh object into the top utility layer. Distinct
+      // allocation sites and growing must-not sets give each call a
+      // distinct incoming abstract state — the top-down analysis's
+      // context blow-up. Occasionally an older object rides along, which
+      // diversifies the secondary-argument profile.
+      std::vector<std::string> Args{V};
+      if (J > 0 && R.chance(1, 8))
+        Args.push_back(Objects[static_cast<size_t>(R.below(J))]);
+      callLayer(0, Args);
+    }
+
+    // A merged variable with unknown aliasing (neither must nor must-not):
+    // exercises the may-alias weak-update cases B3/B4.
+    if (Objects.size() >= 2 && perMille(Cfg.MixedCallPerMille)) {
+      Sink.beginIf();
+      Sink.copy("m", Objects[0]);
+      Sink.orElse();
+      Sink.copy("m", Objects[1]);
+      Sink.endIf();
+      callLayer(0, {"m", Objects[0]});
+    }
+
+    // A genuine protocol violation: double open.
+    if (!Objects.empty() && perMille(Cfg.BugPerMille)) {
+      Sink.tsCall(Objects[0], "open");
+      Sink.tsCall(Objects[0], "open");
+    }
+
+    // A loop allocating at a fixed site: the classic converging context.
+    Sink.beginLoop();
+    Sink.alloc("w", "File");
+    callLayer(0, {"w"});
+    Sink.endLoop();
+
+    Sink.ret();
+    Sink.endProc();
+  }
+
+  void emitMain() {
+    Sink.beginProc("main", {});
+    for (unsigned D = 0; D != Cfg.NumDrivers; ++D)
+      Sink.call(driverName(D), {});
+    Sink.endProc();
+  }
+
+  const GenConfig &Cfg;
+  GenSink &Sink;
+  Rng R;
+};
+
+} // namespace
+
+void swift::emitWorkload(const GenConfig &Cfg, GenSink &Sink) {
+  WorkloadGenerator(Cfg, Sink).run();
+}
+
+std::unique_ptr<Program> swift::generateWorkload(const GenConfig &Cfg,
+                                                 GenStats *Stats) {
+  BuilderSink Sink;
+  emitWorkload(Cfg, Sink);
+  std::unique_ptr<Program> Prog = Sink.finish("main");
+  if (Stats) {
+    Stats->Procs = Prog->numProcs();
+    Stats->Commands = Prog->numCommands();
+    Stats->Calls = Prog->numCallCommands();
+    Stats->Sites = Prog->numSites();
+    Stats->SourceLines = sourceLineEstimate(*Prog);
+  }
+  return Prog;
+}
+
+std::string swift::generateWorkloadTsl(const GenConfig &Cfg) {
+  TslSink Sink;
+  emitWorkload(Cfg, Sink);
+  return Sink.text();
+}

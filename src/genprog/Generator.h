@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic-workload generator (see GenConfig.h and
+/// DESIGN.md Section 2). The same seed and configuration always produce
+/// the same program, whether emitted as IR or as TSL text.
+///
+/// Generated shape: `main` calls NumDrivers driver procedures; each driver
+/// allocates tracked objects and feeds them into a layered DAG of shared
+/// utility procedures. Utilities perform balanced (protocol-respecting)
+/// typestate operations on their parameters behind branches, loops, field
+/// traffic, and further calls — the structure that separates the TD, BU,
+/// and SWIFT regimes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_GENPROG_GENERATOR_H
+#define SWIFT_GENPROG_GENERATOR_H
+
+#include "genprog/GenConfig.h"
+#include "genprog/GenSink.h"
+
+#include <memory>
+#include <string>
+
+namespace swift {
+
+/// Drives \p Sink with the workload described by \p Cfg.
+void emitWorkload(const GenConfig &Cfg, GenSink &Sink);
+
+/// Generates the workload as a Program; fills \p Stats if non-null.
+std::unique_ptr<Program> generateWorkload(const GenConfig &Cfg,
+                                          GenStats *Stats = nullptr);
+
+/// Generates the workload as TSL source text.
+std::string generateWorkloadTsl(const GenConfig &Cfg);
+
+} // namespace swift
+
+#endif // SWIFT_GENPROG_GENERATOR_H

@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "genprog/Workloads.h"
+
+using namespace swift;
+
+namespace {
+
+GenConfig make(uint64_t Seed, unsigned Layers, unsigned ProcsPerLayer,
+               unsigned Drivers, unsigned Objects, unsigned Branches,
+               unsigned Calls, unsigned FieldPm, unsigned RecPm,
+               unsigned LoopPm, unsigned MixedPm, unsigned GnarlyPm = 125) {
+  GenConfig C;
+  C.Seed = Seed;
+  C.Layers = Layers;
+  C.ProcsPerLayer = ProcsPerLayer;
+  C.NumDrivers = Drivers;
+  C.ObjectsPerDriver = Objects;
+  C.BranchesPerProc = Branches;
+  C.CallsPerProc = Calls;
+  C.FieldSegmentPerMille = FieldPm;
+  C.RecursionPerMille = RecPm;
+  C.LoopPerMille = LoopPm;
+  C.MixedCallPerMille = MixedPm;
+  C.GnarlyPerMille = GnarlyPm;
+  C.BugPerMille = 0;
+  return C;
+}
+
+std::vector<NamedWorkload> build() {
+  std::vector<NamedWorkload> W;
+  // The two smallest: shallow, few contexts — the bottom-up baseline
+  // finishes here (paper: jpat-p, elevator are BU's only successes).
+  W.push_back({"jpat-p", "protein analysis tools",
+               make(101, 1, 3, 2, 2, 1, 1, 100, 0, 100, 0, 0)});
+  W.push_back({"elevator", "discrete event simulator",
+               make(102, 2, 3, 2, 3, 1, 1, 150, 0, 200, 100, 0)});
+  // Mid-size: TD finishes but slowly; BU blows up on case splits.
+  W.push_back({"toba-s", "java bytecode to C compiler",
+               make(103, 3, 8, 12, 14, 2, 2, 250, 50, 200, 100, 350)});
+  W.push_back({"javasrc-p", "java source to HTML translator",
+               make(104, 3, 10, 14, 15, 2, 2, 250, 50, 200, 100, 420)});
+  W.push_back({"hedc", "web crawler from ETH",
+               make(105, 3, 10, 16, 16, 2, 2, 300, 100, 200, 100, 350)});
+  W.push_back({"antlr", "parser/translator generator",
+               make(106, 3, 14, 22, 17, 2, 2, 300, 100, 250, 120, 300)});
+  W.push_back({"luindex", "document indexing and search tool",
+               make(107, 3, 16, 24, 18, 3, 2, 300, 100, 250, 120, 240)});
+  W.push_back({"lusearch", "text indexing and search tool",
+               make(108, 3, 16, 24, 19, 3, 2, 300, 100, 250, 120, 320)});
+  W.push_back({"kawa-c", "scheme to java bytecode compiler",
+               make(109, 4, 14, 24, 18, 3, 2, 300, 100, 250, 120, 240)});
+  // The largest three: TD exhausts the budget (paper: avrora, rhino-a,
+  // sablecc-j time out under TD).
+  W.push_back({"avrora", "microcontroller simulator/analyzer",
+               make(110, 4, 24, 36, 22, 3, 3, 350, 150, 300, 150, 150)});
+  W.push_back({"rhino-a", "JavaScript interpreter",
+               make(111, 4, 22, 32, 22, 3, 3, 350, 150, 300, 150, 110)});
+  W.push_back({"sablecc-j", "parser generator",
+               make(112, 4, 24, 38, 23, 3, 3, 350, 150, 300, 150, 130)});
+  return W;
+}
+
+} // namespace
+
+const std::vector<NamedWorkload> &swift::benchmarkWorkloads() {
+  static const std::vector<NamedWorkload> W = build();
+  return W;
+}
+
+const NamedWorkload *swift::findWorkload(const std::string &Name) {
+  for (const NamedWorkload &W : benchmarkWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

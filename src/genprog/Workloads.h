@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 12 benchmark configurations of the reproduced evaluation, named
+/// after the paper's Ashes/DaCapo benchmarks (Table 1). Each is a
+/// deterministic synthetic workload (see DESIGN.md Section 2 for the
+/// substitution argument) scaled so the paper's three regimes reproduce:
+/// the bottom-up baseline only finishes on the two smallest, the top-down
+/// baseline exhausts its budget on the largest three, SWIFT finishes on
+/// all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_GENPROG_WORKLOADS_H
+#define SWIFT_GENPROG_WORKLOADS_H
+
+#include "genprog/GenConfig.h"
+
+#include <string>
+#include <vector>
+
+namespace swift {
+
+struct NamedWorkload {
+  std::string Name;
+  std::string Description;
+  GenConfig Config;
+};
+
+/// The 12 configurations in the paper's Table 1 order.
+const std::vector<NamedWorkload> &benchmarkWorkloads();
+
+/// Looks a workload up by name; nullptr if unknown.
+const NamedWorkload *findWorkload(const std::string &Name);
+
+} // namespace swift
+
+#endif // SWIFT_GENPROG_WORKLOADS_H

@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace swift;
+
+CallGraph::CallGraph(const Program &Prog) {
+  size_t N = Prog.numProcs();
+  Succs.resize(N);
+  Preds.resize(N);
+  SccOf.assign(N, 0);
+  Recursive.assign(N, false);
+
+  for (ProcId P = 0; P != N; ++P) {
+    for (const CfgNode &Node : Prog.proc(P).nodes()) {
+      if (Node.Cmd.Kind != CmdKind::Call)
+        continue;
+      ProcId Q = Node.Cmd.Callee;
+      assert(Q != InvalidProc && "unresolved call in finished program");
+      if (std::find(Succs[P].begin(), Succs[P].end(), Q) == Succs[P].end()) {
+        Succs[P].push_back(Q);
+        Preds[Q].push_back(P);
+      }
+      if (P == Q)
+        Recursive[P] = true;
+    }
+  }
+
+  // Iterative Tarjan SCC. Tarjan emits SCCs in reverse topological order of
+  // the condensation (all callees' SCCs before the caller's SCC).
+  std::vector<uint32_t> Index(N, UINT32_MAX), Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<ProcId> Stack;
+  uint32_t NextIndex = 0;
+
+  struct Frame {
+    ProcId P;
+    size_t NextSucc;
+  };
+  std::vector<Frame> Dfs;
+
+  for (ProcId Root = 0; Root != N; ++Root) {
+    if (Index[Root] != UINT32_MAX)
+      continue;
+    Dfs.push_back(Frame{Root, 0});
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      if (F.NextSucc < Succs[F.P].size()) {
+        ProcId Q = Succs[F.P][F.NextSucc++];
+        if (Index[Q] == UINT32_MAX) {
+          Index[Q] = Low[Q] = NextIndex++;
+          Stack.push_back(Q);
+          OnStack[Q] = true;
+          Dfs.push_back(Frame{Q, 0});
+        } else if (OnStack[Q]) {
+          Low[F.P] = std::min(Low[F.P], Index[Q]);
+        }
+        continue;
+      }
+      // All successors done; maybe emit an SCC, then propagate lowlink.
+      if (Low[F.P] == Index[F.P]) {
+        size_t SccId = Sccs.size();
+        Sccs.emplace_back();
+        for (;;) {
+          ProcId Q = Stack.back();
+          Stack.pop_back();
+          OnStack[Q] = false;
+          SccOf[Q] = SccId;
+          Sccs.back().push_back(Q);
+          if (Q == F.P)
+            break;
+        }
+        if (Sccs.back().size() > 1)
+          for (ProcId Q : Sccs.back())
+            Recursive[Q] = true;
+      }
+      ProcId Done = F.P;
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        Low[Dfs.back().P] = std::min(Low[Dfs.back().P], Low[Done]);
+    }
+  }
+}
+
+std::vector<ProcId> CallGraph::reachableFrom(ProcId Root) const {
+  std::vector<bool> Seen(Succs.size(), false);
+  std::vector<ProcId> Work{Root};
+  Seen[Root] = true;
+  std::vector<ProcId> Out;
+  while (!Work.empty()) {
+    ProcId P = Work.back();
+    Work.pop_back();
+    Out.push_back(P);
+    for (ProcId Q : Succs[P])
+      if (!Seen[Q]) {
+        Seen[Q] = true;
+        Work.push_back(Q);
+      }
+  }
+  // Callee-before-caller: ascending SCC index (Tarjan emits callees first).
+  std::sort(Out.begin(), Out.end(), [this](ProcId A, ProcId B) {
+    if (SccOf[A] != SccOf[B])
+      return SccOf[A] < SccOf[B];
+    return A < B;
+  });
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph over a Program's direct calls, with Tarjan SCCs and a
+/// reverse-topological order over the SCC DAG. The bottom-up analysis
+/// processes procedures in this order, iterating within each SCC until its
+/// summaries stabilize (Section 3.5's fixpoint over the summary map).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_IR_CALLGRAPH_H
+#define SWIFT_IR_CALLGRAPH_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace swift {
+
+class CallGraph {
+public:
+  explicit CallGraph(const Program &Prog);
+
+  /// Deduplicated callees of \p P.
+  const std::vector<ProcId> &callees(ProcId P) const { return Succs[P]; }
+  /// Deduplicated callers of \p P.
+  const std::vector<ProcId> &callers(ProcId P) const { return Preds[P]; }
+
+  /// The SCC index of \p P. SCC indices are in reverse topological order:
+  /// if P calls Q (and they are in different SCCs), scc(Q) < scc(P).
+  size_t scc(ProcId P) const { return SccOf[P]; }
+  size_t numSccs() const { return Sccs.size(); }
+  /// Members of an SCC.
+  const std::vector<ProcId> &sccMembers(size_t Scc) const {
+    return Sccs[Scc];
+  }
+  /// True if \p P can (transitively) call itself.
+  bool isRecursive(ProcId P) const { return Recursive[P]; }
+
+  /// All procedures reachable from \p Root via call chains, including
+  /// \p Root itself, in callee-before-caller (reverse topological) order.
+  std::vector<ProcId> reachableFrom(ProcId Root) const;
+
+private:
+  std::vector<std::vector<ProcId>> Succs;
+  std::vector<std::vector<ProcId>> Preds;
+  std::vector<size_t> SccOf;
+  std::vector<std::vector<ProcId>> Sccs;
+  std::vector<bool> Recursive;
+};
+
+} // namespace swift
+
+#endif // SWIFT_IR_CALLGRAPH_H

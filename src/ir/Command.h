@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Primitive commands of the analyzed language (Section 3.1 of the paper,
+/// extended with fields and procedure calls as in the paper's evaluated
+/// "full" analysis): allocation, copy, null assignment, field load/store,
+/// typestate method call, and direct procedure call. Non-deterministic
+/// choice and iteration are CFG structure, not commands. `return e` is
+/// normalized by the builder into an assignment to the distinguished $ret
+/// variable followed by a jump to the unique exit node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_IR_COMMAND_H
+#define SWIFT_IR_COMMAND_H
+
+#include "support/Symbol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swift {
+
+class Program;
+
+/// Dense procedure identifier within a Program.
+using ProcId = uint32_t;
+/// Dense allocation-site identifier within a Program.
+using SiteId = uint32_t;
+/// Dense CFG node identifier within a Procedure.
+using NodeId = uint32_t;
+
+inline constexpr ProcId InvalidProc = static_cast<ProcId>(-1);
+inline constexpr NodeId InvalidNode = static_cast<NodeId>(-1);
+
+enum class CmdKind : uint8_t {
+  Nop,        ///< Control-flow-only node (joins, branch points, entry/exit).
+  Alloc,      ///< Dst = new Class @ Site
+  Copy,       ///< Dst = Src
+  AssignNull, ///< Dst = null
+  Load,       ///< Dst = Src.Field
+  Store,      ///< Dst.Field = Src
+  TsCall,     ///< Src.Method()   (typestate method call on receiver Src)
+  Call,       ///< [Dst =] proc Callee(Args...)
+};
+
+/// One primitive command. A plain aggregate; factory functions below build
+/// well-formed instances.
+struct Command {
+  CmdKind Kind = CmdKind::Nop;
+  Symbol Dst;    ///< Alloc/Copy/AssignNull/Load: defined var; Store: base
+                 ///< var; Call: result var (may be invalid).
+  Symbol Src;    ///< Copy: source; Load: base; Store: stored value;
+                 ///< TsCall: receiver.
+  Symbol Field;  ///< Load/Store.
+  Symbol Method; ///< TsCall.
+  Symbol Class;  ///< Alloc: typestate class of the allocated object.
+  SiteId Site = 0;              ///< Alloc.
+  ProcId Callee = InvalidProc;  ///< Call.
+  std::vector<Symbol> Args;     ///< Call actuals.
+  NodeId Self = InvalidNode;    ///< The CFG node holding this command.
+
+  static Command makeNop() { return Command(); }
+
+  static Command makeAlloc(Symbol Dst, Symbol Class, SiteId Site) {
+    Command C;
+    C.Kind = CmdKind::Alloc;
+    C.Dst = Dst;
+    C.Class = Class;
+    C.Site = Site;
+    return C;
+  }
+
+  static Command makeCopy(Symbol Dst, Symbol Src) {
+    Command C;
+    C.Kind = CmdKind::Copy;
+    C.Dst = Dst;
+    C.Src = Src;
+    return C;
+  }
+
+  static Command makeAssignNull(Symbol Dst) {
+    Command C;
+    C.Kind = CmdKind::AssignNull;
+    C.Dst = Dst;
+    return C;
+  }
+
+  static Command makeLoad(Symbol Dst, Symbol Base, Symbol Field) {
+    Command C;
+    C.Kind = CmdKind::Load;
+    C.Dst = Dst;
+    C.Src = Base;
+    C.Field = Field;
+    return C;
+  }
+
+  static Command makeStore(Symbol Base, Symbol Field, Symbol Src) {
+    Command C;
+    C.Kind = CmdKind::Store;
+    C.Dst = Base;
+    C.Field = Field;
+    C.Src = Src;
+    return C;
+  }
+
+  static Command makeTsCall(Symbol Receiver, Symbol Method) {
+    Command C;
+    C.Kind = CmdKind::TsCall;
+    C.Src = Receiver;
+    C.Method = Method;
+    return C;
+  }
+
+  static Command makeCall(Symbol Dst, ProcId Callee,
+                          std::vector<Symbol> Args) {
+    Command C;
+    C.Kind = CmdKind::Call;
+    C.Dst = Dst;
+    C.Callee = Callee;
+    C.Args = std::move(Args);
+    return C;
+  }
+
+  bool isCall() const { return Kind == CmdKind::Call; }
+
+  /// Renders the command as TSL-like source text.
+  std::string str(const Program &Prog) const;
+};
+
+} // namespace swift
+
+#endif // SWIFT_IR_COMMAND_H

@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dumper.h"
+
+using namespace swift;
+
+void swift::dumpCfg(const Program &Prog, std::ostream &OS) {
+  const SymbolTable &Syms = Prog.symbols();
+  for (size_t P = 0; P != Prog.numProcs(); ++P) {
+    const Procedure &Proc = Prog.proc(static_cast<ProcId>(P));
+    OS << "proc " << Syms.text(Proc.name()) << "(";
+    for (size_t I = 0; I != Proc.params().size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Syms.text(Proc.params()[I]);
+    }
+    OS << ")  entry=" << Proc.entry() << " exit=" << Proc.exit() << "\n";
+    for (NodeId N : Proc.reachableRpo()) {
+      const CfgNode &Node = Proc.node(N);
+      OS << "  " << N << ": " << Node.Cmd.str(Prog) << "  ->";
+      for (NodeId S : Node.Succs)
+        OS << " " << S;
+      OS << "\n";
+    }
+  }
+}
+
+size_t swift::sourceLineEstimate(const Program &Prog) {
+  size_t Lines = 0;
+  for (size_t I = 0; I != Prog.numSpecs(); ++I) {
+    const TypestateSpec &Spec = Prog.spec(I);
+    Lines += 2 + Spec.numStates();
+    for (const auto &[M, Tr] : Spec.methods()) {
+      (void)M;
+      Lines += Tr.size();
+    }
+  }
+  for (size_t P = 0; P != Prog.numProcs(); ++P) {
+    Lines += 2; // header + closing brace
+    for (const CfgNode &Node : Prog.proc(static_cast<ProcId>(P)).nodes())
+      if (Node.Cmd.Kind != CmdKind::Nop)
+        ++Lines;
+  }
+  return Lines;
+}

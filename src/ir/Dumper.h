@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual dump of a Program's CFGs for debugging, plus a source-size
+/// estimate backing the "KLOC" column of the reproduced Table 1.
+/// (Structured TSL text for generated workloads is emitted by the
+/// generator itself, which knows the control structure; recovering
+/// structure from an arbitrary CFG is out of scope.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_IR_DUMPER_H
+#define SWIFT_IR_DUMPER_H
+
+#include "ir/Program.h"
+
+#include <ostream>
+
+namespace swift {
+
+/// Prints every procedure's CFG: one line per node with command and
+/// successor list.
+void dumpCfg(const Program &Prog, std::ostream &OS);
+
+/// Estimated source line count: one line per primitive command plus
+/// procedure header/footer and typestate declarations.
+size_t sourceLineEstimate(const Program &Prog);
+
+} // namespace swift
+
+#endif // SWIFT_IR_DUMPER_H

@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ModRef.h"
+
+using namespace swift;
+
+ModRef::ModRef(const Program &Prog, const CallGraph &CG) {
+  size_t N = Prog.numProcs();
+  ModFields.resize(N);
+
+  // Direct stores.
+  for (ProcId P = 0; P != N; ++P)
+    for (const CfgNode &Node : Prog.proc(P).nodes())
+      if (Node.Cmd.Kind == CmdKind::Store)
+        ModFields[P].insert(Node.Cmd.Field);
+
+  // Transitive closure over the call graph: process SCCs in reverse
+  // topological order (callees first), iterating within an SCC until
+  // stable.
+  for (size_t Scc = 0; Scc != CG.numSccs(); ++Scc) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (ProcId P : CG.sccMembers(Scc)) {
+        for (ProcId Q : CG.callees(P)) {
+          for (Symbol F : ModFields[Q])
+            if (ModFields[P].insert(F).second)
+              Changed = true;
+        }
+      }
+    }
+  }
+}

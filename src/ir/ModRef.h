@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-procedure side-effect summaries: the set of fields a procedure may
+/// (transitively) store to. The call-return mapping of the typestate
+/// analysis uses this to decide which caller access paths survive a call —
+/// a path mentioning a modified field may have been redirected by the
+/// callee and is conservatively dropped from both the must and the
+/// must-not set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_IR_MODREF_H
+#define SWIFT_IR_MODREF_H
+
+#include "ir/CallGraph.h"
+#include "ir/Program.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace swift {
+
+class ModRef {
+public:
+  ModRef(const Program &Prog, const CallGraph &CG);
+
+  /// True if \p P may (transitively) store to field \p F.
+  bool mayModField(ProcId P, Symbol F) const {
+    return ModFields[P].count(F) != 0;
+  }
+
+  const std::unordered_set<Symbol> &modFields(ProcId P) const {
+    return ModFields[P];
+  }
+
+private:
+  std::vector<std::unordered_set<Symbol>> ModFields;
+};
+
+} // namespace swift
+
+#endif // SWIFT_IR_MODREF_H

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+using namespace swift;
+
+size_t Program::numCommands() const {
+  size_t N = 0;
+  for (const Procedure &P : Procs)
+    for (const CfgNode &Node : P.nodes())
+      if (Node.Cmd.Kind != CmdKind::Nop)
+        ++N;
+  return N;
+}
+
+size_t Program::numCallCommands() const {
+  size_t N = 0;
+  for (const Procedure &P : Procs)
+    for (const CfgNode &Node : P.nodes())
+      if (Node.Cmd.Kind == CmdKind::Call)
+        ++N;
+  return N;
+}
+
+std::string Command::str(const Program &Prog) const {
+  const SymbolTable &S = Prog.symbols();
+  switch (Kind) {
+  case CmdKind::Nop:
+    return "nop";
+  case CmdKind::Alloc:
+    return S.text(Dst) + " = new " + S.text(Class) + "@h" +
+           std::to_string(Site);
+  case CmdKind::Copy:
+    return S.text(Dst) + " = " + S.text(Src);
+  case CmdKind::AssignNull:
+    return S.text(Dst) + " = null";
+  case CmdKind::Load:
+    return S.text(Dst) + " = " + S.text(Src) + "." + S.text(Field);
+  case CmdKind::Store:
+    return S.text(Dst) + "." + S.text(Field) + " = " + S.text(Src);
+  case CmdKind::TsCall:
+    return S.text(Src) + "." + S.text(Method) + "()";
+  case CmdKind::Call: {
+    std::string Out;
+    if (Dst.isValid())
+      Out = S.text(Dst) + " = ";
+    Out += Callee == InvalidProc ? std::string("<unresolved>")
+                                 : S.text(Prog.proc(Callee).name());
+    Out += "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += S.text(Args[I]);
+    }
+    Out += ")";
+    return Out;
+  }
+  }
+  return "<?>";
+}

@@ -1,0 +1,150 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzed program: procedures with control-flow graphs of primitive
+/// commands, typestate class specifications, and allocation sites. This is
+/// the substrate standing in for Java bytecode + the Chord IR used by the
+/// paper (see DESIGN.md, Section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_IR_PROGRAM_H
+#define SWIFT_IR_PROGRAM_H
+
+#include "ir/Command.h"
+#include "ir/TypestateSpec.h"
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace swift {
+
+/// One CFG node: a primitive command plus successor edges. Facts live at
+/// node entries; the command executes when flowing to successors.
+struct CfgNode {
+  Command Cmd;
+  std::vector<NodeId> Succs;
+};
+
+/// A procedure: parameters, a CFG with unique entry and exit nodes, and the
+/// set of variables it mentions. `return e` is normalized to an assignment
+/// to the program's $ret variable followed by an edge to the exit node, so
+/// the exit node is a Nop and every procedure has exactly one exit.
+class Procedure {
+public:
+  Procedure(Symbol Name, ProcId Id, std::vector<Symbol> Params)
+      : Name(Name), Id(Id), Params(std::move(Params)) {}
+
+  Symbol name() const { return Name; }
+  ProcId id() const { return Id; }
+  const std::vector<Symbol> &params() const { return Params; }
+
+  NodeId entry() const { return Entry; }
+  NodeId exit() const { return Exit; }
+  size_t numNodes() const { return Nodes.size(); }
+  const CfgNode &node(NodeId N) const {
+    assert(N < Nodes.size());
+    return Nodes[N];
+  }
+  const std::vector<CfgNode> &nodes() const { return Nodes; }
+
+  /// All variables referenced by the procedure (params included).
+  const std::vector<Symbol> &vars() const { return Vars; }
+
+  /// Nodes reachable from the entry, in reverse postorder. Computed once by
+  /// the builder; solvers iterate this instead of all nodes so dead code
+  /// after `return` is skipped.
+  const std::vector<NodeId> &reachableRpo() const { return Rpo; }
+
+  /// True if \p V is a parameter that is never reassigned in the body, so
+  /// at procedure exit it still holds the caller's actual.
+  bool isStableParam(Symbol V) const {
+    for (Symbol P : Params)
+      if (P == V)
+        return !Reassigned.count(V);
+    return false;
+  }
+
+private:
+  friend class ProgramBuilder;
+
+  Symbol Name;
+  ProcId Id;
+  std::vector<Symbol> Params;
+  std::vector<CfgNode> Nodes;
+  std::vector<Symbol> Vars;
+  std::vector<NodeId> Rpo;
+  std::unordered_map<Symbol, bool> Reassigned;
+  NodeId Entry = InvalidNode;
+  NodeId Exit = InvalidNode;
+};
+
+/// An allocation site: where it is, and what class it allocates.
+struct AllocSite {
+  Symbol Class;
+  ProcId Proc = InvalidProc;
+  NodeId Node = InvalidNode;
+};
+
+/// A whole program. Built via ProgramBuilder; immutable afterwards.
+class Program {
+public:
+  SymbolTable &symbols() { return Syms; }
+  const SymbolTable &symbols() const { return Syms; }
+
+  /// The distinguished return-value variable ("$ret").
+  Symbol retVar() const { return RetVar; }
+
+  size_t numProcs() const { return Procs.size(); }
+  const Procedure &proc(ProcId P) const {
+    assert(P < Procs.size());
+    return Procs[P];
+  }
+  ProcId procId(Symbol Name) const {
+    auto It = ProcIndex.find(Name);
+    return It == ProcIndex.end() ? InvalidProc : It->second;
+  }
+  ProcId mainProc() const { return Main; }
+
+  size_t numSites() const { return Sites.size(); }
+  const AllocSite &site(SiteId S) const {
+    assert(S < Sites.size());
+    return Sites[S];
+  }
+
+  size_t numSpecs() const { return Specs.size(); }
+  const TypestateSpec &spec(size_t I) const { return Specs[I]; }
+  const TypestateSpec *specFor(Symbol Class) const {
+    auto It = SpecIndex.find(Class);
+    return It == SpecIndex.end() ? nullptr : &Specs[It->second];
+  }
+
+  /// Total number of primitive commands (non-Nop CFG nodes).
+  size_t numCommands() const;
+
+  /// Total number of call edges (Call commands).
+  size_t numCallCommands() const;
+
+private:
+  friend class ProgramBuilder;
+
+  SymbolTable Syms;
+  Symbol RetVar;
+  std::vector<Procedure> Procs;
+  std::unordered_map<Symbol, ProcId> ProcIndex;
+  std::vector<AllocSite> Sites;
+  std::vector<TypestateSpec> Specs;
+  std::unordered_map<Symbol, size_t> SpecIndex;
+  ProcId Main = InvalidProc;
+};
+
+} // namespace swift
+
+#endif // SWIFT_IR_PROGRAM_H

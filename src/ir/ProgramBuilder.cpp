@@ -1,0 +1,336 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+using namespace swift;
+
+ProgramBuilder::ProgramBuilder() : Prog(std::make_unique<Program>()) {
+  Prog->RetVar = Prog->Syms.intern("$ret");
+}
+
+Symbol ProgramBuilder::sym(std::string_view S) {
+  return Prog->Syms.intern(S);
+}
+
+Procedure &ProgramBuilder::cur() {
+  assert(CurProc != InvalidProc && "no open procedure");
+  return Prog->Procs[CurProc];
+}
+
+void ProgramBuilder::addTypestate(std::string_view Name,
+                                  const std::vector<std::string> &States,
+                                  std::string_view Init,
+                                  std::string_view Error,
+                                  const std::vector<Transition> &Transitions) {
+  Symbol NameSym = sym(Name);
+  if (Prog->SpecIndex.count(NameSym))
+    throw std::runtime_error("duplicate typestate class: " +
+                             std::string(Name));
+
+  std::vector<Symbol> StateSyms;
+  StateSyms.reserve(States.size());
+  for (const std::string &S : States)
+    StateSyms.push_back(sym(S));
+
+  auto FindState = [&](std::string_view S) -> TState {
+    Symbol Want = sym(S);
+    for (size_t I = 0; I != StateSyms.size(); ++I)
+      if (StateSyms[I] == Want)
+        return static_cast<TState>(I);
+    throw std::runtime_error("unknown typestate '" + std::string(S) +
+                             "' in class " + std::string(Name));
+  };
+
+  TState InitT = FindState(Init);
+  TState ErrorT = FindState(Error);
+  std::vector<std::tuple<Symbol, TState, TState>> Resolved;
+  Resolved.reserve(Transitions.size());
+  for (const Transition &T : Transitions)
+    Resolved.emplace_back(sym(T.Method), FindState(T.From), FindState(T.To));
+
+  TypestateSpec Spec(NameSym, std::move(StateSyms), InitT, ErrorT);
+  for (const auto &[M, From, To] : Resolved)
+    Spec.addTransition(M, From, To);
+
+  Prog->SpecIndex.emplace(NameSym, Prog->Specs.size());
+  Prog->Specs.push_back(std::move(Spec));
+}
+
+void ProgramBuilder::beginProc(std::string_view Name,
+                               const std::vector<std::string> &Params) {
+  assert(CurProc == InvalidProc && "beginProc inside an open procedure");
+  Symbol NameSym = sym(Name);
+  if (Prog->ProcIndex.count(NameSym))
+    throw std::runtime_error("duplicate procedure: " + std::string(Name));
+
+  std::vector<Symbol> ParamSyms;
+  ParamSyms.reserve(Params.size());
+  for (const std::string &P : Params)
+    ParamSyms.push_back(sym(P));
+
+  ProcId Id = static_cast<ProcId>(Prog->Procs.size());
+  Prog->ProcIndex.emplace(NameSym, Id);
+  Prog->Procs.emplace_back(NameSym, Id, std::move(ParamSyms));
+  CurProc = Id;
+
+  Procedure &P = cur();
+  P.Nodes.push_back(CfgNode{Command::makeNop(), {}});
+  P.Entry = 0;
+  P.Nodes.push_back(CfgNode{Command::makeNop(), {}});
+  P.Exit = 1;
+  CurNode = P.Entry;
+  for (Symbol S : P.params())
+    noteVar(S);
+}
+
+NodeId ProgramBuilder::emit(Command Cmd) {
+  Procedure &P = cur();
+  NodeId N = static_cast<NodeId>(P.Nodes.size());
+  Cmd.Self = N;
+  P.Nodes.push_back(CfgNode{std::move(Cmd), {}});
+  P.Nodes[CurNode].Succs.push_back(N);
+  CurNode = N;
+  return N;
+}
+
+void ProgramBuilder::noteVar(Symbol V) {
+  Procedure &P = cur();
+  if (std::find(P.Vars.begin(), P.Vars.end(), V) == P.Vars.end())
+    P.Vars.push_back(V);
+}
+
+void ProgramBuilder::noteDef(Symbol V) {
+  noteVar(V);
+  cur().Reassigned[V] = true;
+}
+
+void ProgramBuilder::alloc(std::string_view Dst, std::string_view Class) {
+  Symbol ClassSym = sym(Class);
+  if (!Prog->SpecIndex.count(ClassSym))
+    throw std::runtime_error("allocation of undeclared class: " +
+                             std::string(Class));
+  SiteId Site = static_cast<SiteId>(Prog->Sites.size());
+  Symbol DstSym = sym(Dst);
+  NodeId N = emit(Command::makeAlloc(DstSym, ClassSym, Site));
+  Prog->Sites.push_back(AllocSite{ClassSym, CurProc, N});
+  noteDef(DstSym);
+}
+
+void ProgramBuilder::copy(std::string_view Dst, std::string_view Src) {
+  Symbol DstSym = sym(Dst), SrcSym = sym(Src);
+  emit(Command::makeCopy(DstSym, SrcSym));
+  noteDef(DstSym);
+  noteVar(SrcSym);
+}
+
+void ProgramBuilder::assignNull(std::string_view Dst) {
+  Symbol DstSym = sym(Dst);
+  emit(Command::makeAssignNull(DstSym));
+  noteDef(DstSym);
+}
+
+void ProgramBuilder::load(std::string_view Dst, std::string_view Base,
+                          std::string_view Field) {
+  Symbol DstSym = sym(Dst), BaseSym = sym(Base);
+  emit(Command::makeLoad(DstSym, BaseSym, sym(Field)));
+  noteDef(DstSym);
+  noteVar(BaseSym);
+}
+
+void ProgramBuilder::store(std::string_view Base, std::string_view Field,
+                           std::string_view Src) {
+  Symbol BaseSym = sym(Base), SrcSym = sym(Src);
+  emit(Command::makeStore(BaseSym, sym(Field), SrcSym));
+  noteVar(BaseSym);
+  noteVar(SrcSym);
+}
+
+void ProgramBuilder::tsCall(std::string_view Receiver,
+                            std::string_view Method) {
+  Symbol RecvSym = sym(Receiver);
+  emit(Command::makeTsCall(RecvSym, sym(Method)));
+  noteVar(RecvSym);
+}
+
+void ProgramBuilder::call(std::string_view Callee,
+                          const std::vector<std::string> &Args) {
+  std::vector<Symbol> ArgSyms;
+  ArgSyms.reserve(Args.size());
+  for (const std::string &A : Args) {
+    ArgSyms.push_back(sym(A));
+    noteVar(ArgSyms.back());
+  }
+  NodeId N = emit(Command::makeCall(Symbol(), InvalidProc,
+                                    std::move(ArgSyms)));
+  Pending.push_back(PendingCall{CurProc, N, sym(Callee)});
+}
+
+void ProgramBuilder::callAssign(std::string_view Dst,
+                                std::string_view Callee,
+                                const std::vector<std::string> &Args) {
+  std::vector<Symbol> ArgSyms;
+  ArgSyms.reserve(Args.size());
+  for (const std::string &A : Args) {
+    ArgSyms.push_back(sym(A));
+    noteVar(ArgSyms.back());
+  }
+  Symbol DstSym = sym(Dst);
+  NodeId N = emit(Command::makeCall(DstSym, InvalidProc,
+                                    std::move(ArgSyms)));
+  Pending.push_back(PendingCall{CurProc, N, sym(Callee)});
+  noteDef(DstSym);
+}
+
+void ProgramBuilder::beginIf() {
+  // The branch point is the current node; the then-branch grows from it.
+  ControlFrame F;
+  F.IsLoop = false;
+  F.If.Branch = CurNode;
+  Control.push_back(F);
+}
+
+void ProgramBuilder::orElse() {
+  assert(!Control.empty() && !Control.back().IsLoop && "orElse outside if");
+  IfFrame &F = Control.back().If;
+  assert(!F.InElse && "double orElse");
+  F.ThenEnd = CurNode;
+  F.InElse = true;
+  CurNode = F.Branch;
+}
+
+void ProgramBuilder::endIf() {
+  assert(!Control.empty() && !Control.back().IsLoop && "endIf outside if");
+  IfFrame F = Control.back().If;
+  Control.pop_back();
+
+  Procedure &P = cur();
+  NodeId Join = static_cast<NodeId>(P.Nodes.size());
+  P.Nodes.push_back(CfgNode{Command::makeNop(), {}});
+  // Either branch flows to the join; without an else the branch point
+  // itself also flows there (the "skip" arm of C1 + C2).
+  P.Nodes[CurNode].Succs.push_back(Join);
+  NodeId Other = F.InElse ? F.ThenEnd : F.Branch;
+  if (Other != CurNode)
+    P.Nodes[Other].Succs.push_back(Join);
+  CurNode = Join;
+}
+
+void ProgramBuilder::beginLoop() {
+  NodeId Head = emit(Command::makeNop());
+  ControlFrame F;
+  F.IsLoop = true;
+  F.Loop.Head = Head;
+  Control.push_back(F);
+}
+
+void ProgramBuilder::endLoop() {
+  assert(!Control.empty() && Control.back().IsLoop && "endLoop outside loop");
+  LoopFrame F = Control.back().Loop;
+  Control.pop_back();
+
+  Procedure &P = cur();
+  // Back edge: body end -> head.
+  P.Nodes[CurNode].Succs.push_back(F.Head);
+  // Loop exit: head -> fresh after-node (zero-or-more iterations).
+  NodeId After = static_cast<NodeId>(P.Nodes.size());
+  P.Nodes.push_back(CfgNode{Command::makeNop(), {}});
+  P.Nodes[F.Head].Succs.push_back(After);
+  CurNode = After;
+}
+
+void ProgramBuilder::ret(std::string_view Value) {
+  Symbol V = sym(Value);
+  noteVar(V);
+  emit(Command::makeCopy(Prog->RetVar, V));
+  Procedure &P = cur();
+  P.Nodes[CurNode].Succs.push_back(P.Exit);
+  // Code after a return is unreachable; grow it from a fresh dangling node.
+  NodeId Dead = static_cast<NodeId>(P.Nodes.size());
+  P.Nodes.push_back(CfgNode{Command::makeNop(), {}});
+  CurNode = Dead;
+}
+
+void ProgramBuilder::ret() {
+  emit(Command::makeAssignNull(Prog->RetVar));
+  Procedure &P = cur();
+  P.Nodes[CurNode].Succs.push_back(P.Exit);
+  NodeId Dead = static_cast<NodeId>(P.Nodes.size());
+  P.Nodes.push_back(CfgNode{Command::makeNop(), {}});
+  CurNode = Dead;
+}
+
+void ProgramBuilder::endProc() {
+  assert(Control.empty() && "unclosed if/loop at endProc");
+  Procedure &P = cur();
+  // Implicit fall-through return (returns null).
+  if (CurNode != P.Exit) {
+    emit(Command::makeAssignNull(Prog->RetVar));
+    P.Nodes[CurNode].Succs.push_back(P.Exit);
+  }
+  CurProc = InvalidProc;
+  CurNode = InvalidNode;
+}
+
+std::unique_ptr<Program>
+ProgramBuilder::finish(std::string_view MainName) {
+  assert(CurProc == InvalidProc && "finish with an open procedure");
+
+  // Resolve call targets by name.
+  for (const PendingCall &PC : Pending) {
+    auto It = Prog->ProcIndex.find(PC.Callee);
+    if (It == Prog->ProcIndex.end())
+      throw std::runtime_error("call to undeclared procedure: " +
+                               Prog->Syms.text(PC.Callee));
+    Command &Cmd = Prog->Procs[PC.Proc].Nodes[PC.Node].Cmd;
+    Cmd.Callee = It->second;
+    if (Prog->Procs[It->second].params().size() != Cmd.Args.size())
+      throw std::runtime_error("arity mismatch calling " +
+                               Prog->Syms.text(PC.Callee));
+  }
+  Pending.clear();
+
+  // Compute reachable reverse postorder per procedure.
+  for (Procedure &P : Prog->Procs) {
+    std::vector<uint8_t> State(P.Nodes.size(), 0); // 0 new, 1 open, 2 done
+    std::vector<NodeId> Post;
+    // Iterative DFS with explicit stack of (node, next-successor-index).
+    std::vector<std::pair<NodeId, size_t>> Stack;
+    Stack.emplace_back(P.Entry, 0);
+    State[P.Entry] = 1;
+    while (!Stack.empty()) {
+      auto &[N, I] = Stack.back();
+      const std::vector<NodeId> &Succs = P.Nodes[N].Succs;
+      if (I < Succs.size()) {
+        NodeId S = Succs[I++];
+        if (State[S] == 0) {
+          State[S] = 1;
+          Stack.emplace_back(S, 0);
+        }
+      } else {
+        State[N] = 2;
+        Post.push_back(N);
+        Stack.pop_back();
+      }
+    }
+    P.Rpo.assign(Post.rbegin(), Post.rend());
+  }
+
+  Symbol MainSym = Prog->Syms.intern(MainName);
+  auto It = Prog->ProcIndex.find(MainSym);
+  if (It == Prog->ProcIndex.end())
+    throw std::runtime_error("no procedure named '" +
+                             std::string(MainName) + "'");
+  Prog->Main = It->second;
+  if (!Prog->Procs[Prog->Main].params().empty())
+    throw std::runtime_error("main procedure must take no parameters");
+
+  return std::move(Prog);
+}

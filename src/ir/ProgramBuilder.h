@@ -1,0 +1,134 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured construction of Programs. The builder exposes the paper's
+/// command language — primitive commands, non-deterministic choice
+/// (beginIf/orElse/endIf), iteration (beginLoop/endLoop) and procedure
+/// calls — and lowers it to per-procedure CFGs with unique entry/exit
+/// nodes. Used by the TSL frontend, the workload generator, and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_IR_PROGRAMBUILDER_H
+#define SWIFT_IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swift {
+
+/// Builds one Program. Typestates must be declared before the procedures
+/// that allocate them; procedures may call procedures declared later
+/// (call targets are resolved by name in finish()).
+class ProgramBuilder {
+public:
+  ProgramBuilder();
+
+  //===--------------------------------------------------------------------===
+  // Typestate declarations
+  //===--------------------------------------------------------------------===
+
+  /// One declared transition of a typestate automaton.
+  struct Transition {
+    std::string From;
+    std::string Method;
+    std::string To;
+  };
+
+  /// Declares class \p Name with the given states. \p Init and \p Error
+  /// must appear in \p States. Declared methods move to error on undeclared
+  /// (state, method) pairs.
+  void addTypestate(std::string_view Name,
+                    const std::vector<std::string> &States,
+                    std::string_view Init, std::string_view Error,
+                    const std::vector<Transition> &Transitions);
+
+  //===--------------------------------------------------------------------===
+  // Procedure construction
+  //===--------------------------------------------------------------------===
+
+  /// Starts a procedure. Only one procedure may be open at a time.
+  void beginProc(std::string_view Name,
+                 const std::vector<std::string> &Params);
+  void endProc();
+
+  void alloc(std::string_view Dst, std::string_view Class);
+  void copy(std::string_view Dst, std::string_view Src);
+  void assignNull(std::string_view Dst);
+  void load(std::string_view Dst, std::string_view Base,
+            std::string_view Field);
+  void store(std::string_view Base, std::string_view Field,
+             std::string_view Src);
+  void tsCall(std::string_view Receiver, std::string_view Method);
+  void call(std::string_view Callee,
+            const std::vector<std::string> &Args);
+  void callAssign(std::string_view Dst, std::string_view Callee,
+                  const std::vector<std::string> &Args);
+
+  /// Non-deterministic choice: if (*) { ... } [else { ... }].
+  void beginIf();
+  void orElse();
+  void endIf();
+
+  /// Non-deterministic iteration: while (*) { ... } — zero or more times.
+  void beginLoop();
+  void endLoop();
+
+  /// `return v;` / `return;` — normalized to $ret assignment + exit edge.
+  void ret(std::string_view Value);
+  void ret();
+
+  //===--------------------------------------------------------------------===
+  // Finalization
+  //===--------------------------------------------------------------------===
+
+  /// Resolves call targets, computes reachable RPO and reassigned-parameter
+  /// info, and returns the finished program. \p MainName must name a
+  /// declared zero-parameter procedure. The builder is consumed.
+  std::unique_ptr<Program> finish(std::string_view MainName = "main");
+
+private:
+  Symbol sym(std::string_view S);
+  NodeId emit(Command Cmd);
+  void noteVar(Symbol V);
+  void noteDef(Symbol V);
+  Procedure &cur();
+
+  struct IfFrame {
+    NodeId Branch;
+    NodeId ThenEnd = InvalidNode;
+    bool InElse = false;
+  };
+  struct LoopFrame {
+    NodeId Head;
+  };
+  struct ControlFrame {
+    bool IsLoop;
+    IfFrame If;
+    LoopFrame Loop;
+  };
+
+  struct PendingCall {
+    ProcId Proc;
+    NodeId Node;
+    Symbol Callee;
+  };
+
+  std::unique_ptr<Program> Prog;
+  ProcId CurProc = InvalidProc;
+  NodeId CurNode = InvalidNode;
+  std::vector<ControlFrame> Control;
+  std::vector<PendingCall> Pending;
+};
+
+} // namespace swift
+
+#endif // SWIFT_IR_PROGRAMBUILDER_H

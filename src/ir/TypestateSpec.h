@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typestate property specifications: a finite automaton over an object's
+/// states with one total transformer [m] : T -> T per method (Figure 2 of
+/// the paper). Calling an undeclared (state, method) pair drives the object
+/// to the error state; calling a method the class does not declare at all
+/// leaves the state unchanged (a "foreign" method).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_IR_TYPESTATESPEC_H
+#define SWIFT_IR_TYPESTATESPEC_H
+
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace swift {
+
+/// Index of a typestate within one TypestateSpec.
+using TState = uint16_t;
+
+/// A typestate automaton for one class.
+class TypestateSpec {
+public:
+  TypestateSpec(Symbol Name, std::vector<Symbol> StateNames, TState Init,
+                TState Error)
+      : Name(Name), StateNames(std::move(StateNames)), Init(Init),
+        Error(Error) {
+    assert(Init < this->StateNames.size() && Error < this->StateNames.size());
+  }
+
+  Symbol name() const { return Name; }
+  TState initState() const { return Init; }
+  TState errorState() const { return Error; }
+  size_t numStates() const { return StateNames.size(); }
+  Symbol stateName(TState T) const { return StateNames[T]; }
+
+  /// Declares that method \p M in state \p From moves the object to \p To.
+  /// Undeclared (state, method) pairs of a declared method go to error.
+  void addTransition(Symbol M, TState From, TState To) {
+    assert(From < numStates() && To < numStates());
+    auto [It, Inserted] = Methods.try_emplace(
+        M, std::vector<TState>(numStates(), Error));
+    (void)Inserted;
+    It->second[From] = To;
+  }
+
+  bool hasMethod(Symbol M) const { return Methods.count(M) != 0; }
+
+  /// The transformer [m]: the full T -> T map for method \p M. Must be a
+  /// declared method.
+  const std::vector<TState> &transformer(Symbol M) const {
+    auto It = Methods.find(M);
+    assert(It != Methods.end() && "transformer of undeclared method");
+    return It->second;
+  }
+
+  /// Applies method \p M in state \p T; foreign methods are the identity.
+  TState apply(Symbol M, TState T) const {
+    auto It = Methods.find(M);
+    if (It == Methods.end())
+      return T;
+    return It->second[T];
+  }
+
+  const std::unordered_map<Symbol, std::vector<TState>> &methods() const {
+    return Methods;
+  }
+
+private:
+  Symbol Name;
+  std::vector<Symbol> StateNames;
+  TState Init;
+  TState Error;
+  std::unordered_map<Symbol, std::vector<TState>> Methods;
+};
+
+} // namespace swift
+
+#endif // SWIFT_IR_TYPESTATESPEC_H

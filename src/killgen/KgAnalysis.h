@@ -1,0 +1,342 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Framework traits for the kill/gen (taint) analysis. The bottom-up side
+/// is synthesized from the fact-level transfer exactly as the paper's
+/// Section 5.2 describes for kill/gen analyses: relations are either
+/// single summary edges (d1, d2) over atomic facts, or the identity on all
+/// facts minus an explicit exclusion set — and rtrans extends them by
+/// composing with the command's kill/gen footprint (kgAffected /
+/// kgTransfer). There is no case splitting, so the bottom-up analysis for
+/// this family is cheap, which is the paper's point about the class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_KILLGEN_KGANALYSIS_H
+#define SWIFT_KILLGEN_KGANALYSIS_H
+
+#include "killgen/KgDomain.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace swift {
+
+/// A bottom-up relation of the kill/gen family.
+struct KgRel {
+  enum class Kind : uint8_t {
+    IdentityExcept, ///< {(d, d) | d not in Excl, d != Lambda}
+    Edge,           ///< {(From, To)}; From may be Lambda.
+  };
+
+  Kind K = Kind::IdentityExcept;
+  std::vector<KgFact> Excl; ///< Sorted, unique (IdentityExcept).
+  KgFact From, To;          ///< Edge.
+
+  static KgRel identity() { return KgRel(); }
+  static KgRel identityExcept(std::vector<KgFact> X) {
+    KgRel R;
+    std::sort(X.begin(), X.end());
+    X.erase(std::unique(X.begin(), X.end()), X.end());
+    R.Excl = std::move(X);
+    return R;
+  }
+  static KgRel edge(KgFact From, KgFact To) {
+    KgRel R;
+    R.K = Kind::Edge;
+    R.From = From;
+    R.To = To;
+    return R;
+  }
+
+  bool excludes(const KgFact &F) const {
+    return std::binary_search(Excl.begin(), Excl.end(), F);
+  }
+
+  friend bool operator==(const KgRel &A, const KgRel &B) {
+    return A.K == B.K && A.Excl == B.Excl && A.From == B.From &&
+           A.To == B.To;
+  }
+  friend bool operator<(const KgRel &A, const KgRel &B) {
+    if (A.K != B.K)
+      return A.K < B.K;
+    if (A.K == Kind::IdentityExcept)
+      return A.Excl < B.Excl;
+    if (A.From != B.From)
+      return A.From < B.From;
+    return A.To < B.To;
+  }
+};
+
+/// Ignored inputs: an explicit fact set (domains are singletons).
+class KgIgnore {
+public:
+  bool containsLambda() const { return Lambda || All; }
+  bool containsFact(const KgFact &F) const {
+    if (All)
+      return true;
+    if (F.isLambda())
+      return Lambda;
+    return Facts.count(F) != 0;
+  }
+  void makeAll() {
+    All = true;
+    Lambda = true;
+    Facts.clear();
+  }
+  bool contains(const KgContext &Ctx, const KgFact &F) const {
+    (void)Ctx;
+    return containsFact(F);
+  }
+  bool addLambda() {
+    bool Grew = !Lambda;
+    Lambda = true;
+    return Grew;
+  }
+  bool add(const KgFact &F) {
+    if (F.isLambda())
+      return addLambda();
+    return Facts.insert(F).second;
+  }
+  bool unionWith(const KgIgnore &Other) {
+    if (All)
+      return false;
+    if (Other.All) {
+      makeAll();
+      return true;
+    }
+    bool Grew = false;
+    if (Other.Lambda)
+      Grew |= addLambda();
+    for (const KgFact &F : Other.Facts)
+      Grew |= Facts.insert(F).second;
+    return Grew;
+  }
+  friend bool operator==(const KgIgnore &A, const KgIgnore &B) {
+    return A.All == B.All && A.Lambda == B.Lambda && A.Facts == B.Facts;
+  }
+  friend bool operator!=(const KgIgnore &A, const KgIgnore &B) {
+    return !(A == B);
+  }
+  const std::set<KgFact> &facts() const { return Facts; }
+  size_t size() const { return Facts.size() + (Lambda ? 1 : 0); }
+
+private:
+  bool All = false;
+  bool Lambda = false;
+  std::set<KgFact> Facts;
+};
+
+struct KgAnalysis {
+  using Context = KgContext;
+  using State = KgFact;
+  using Rel = KgRel;
+  using Ignore = KgIgnore;
+  using Binding = KgBinding;
+
+  // -- Top-down analysis --
+  static State lambda() { return KgFact::lambda(); }
+  static bool isLambda(const State &S) { return S.isLambda(); }
+  static std::vector<State> transfer(const Context &Ctx, ProcId P,
+                                     const Command &Cmd, const State &S) {
+    return kgTransfer(Ctx, P, Cmd, S);
+  }
+  static Binding makeBinding(const Context &Ctx, ProcId P,
+                             const Command &Cmd) {
+    return KgBinding(Ctx, P, Cmd);
+  }
+  static std::vector<State> enter(const Binding &B, const State &S) {
+    return kgEnter(B, S);
+  }
+  static std::vector<State> callLocal(const Binding &B, const State &S) {
+    return kgCallLocal(B, S);
+  }
+  static std::vector<State> combine(const Binding &B, const State &Frame,
+                                    const State &Exit) {
+    (void)Frame; // Atomic may-facts need no frame merge.
+    return kgCombine(B, Exit);
+  }
+  static std::vector<State> combineFresh(const Binding &B,
+                                         const State &Exit) {
+    return kgCombine(B, Exit);
+  }
+
+  // -- Bottom-up analysis (synthesized from the fact-level transfer) --
+  struct SummaryView {
+    const std::vector<Rel> *Rels = nullptr;
+    const Ignore *Sigma = nullptr;
+  };
+
+  static Rel identityRel(const Context &Ctx) {
+    (void)Ctx;
+    return KgRel::identity();
+  }
+
+  static std::vector<Rel> rtrans(const Context &Ctx, ProcId P,
+                                 const Command &Cmd, const Rel &R) {
+    std::vector<Rel> Out;
+    if (R.K == KgRel::Kind::Edge) {
+      if (R.To.isLambda()) {
+        // Lambda-to-Lambda edges are implicit; edges never target Lambda.
+        Out.push_back(R);
+        return Out;
+      }
+      for (const KgFact &Next : kgTransfer(Ctx, P, Cmd, R.To))
+        Out.push_back(KgRel::edge(R.From, Next));
+      return Out;
+    }
+    // Identity-except: facts in the command's footprint peel off into
+    // explicit edges; the rest stay in the identity.
+    std::vector<KgFact> Affected = kgAffected(Ctx, Cmd);
+    std::vector<KgFact> NewExcl = R.Excl;
+    for (const KgFact &D : Affected) {
+      if (R.excludes(D))
+        continue;
+      NewExcl.push_back(D);
+      for (const KgFact &Next : kgTransfer(Ctx, P, Cmd, D))
+        Out.push_back(KgRel::edge(D, Next));
+    }
+    Out.push_back(KgRel::identityExcept(std::move(NewExcl)));
+    return Out;
+  }
+
+  static std::vector<Rel> lambdaEmits(const Context &Ctx,
+                                      const Command &Cmd) {
+    std::vector<Rel> Out;
+    if (Cmd.Kind == CmdKind::Alloc && Ctx.isSource(Cmd.Class))
+      Out.push_back(KgRel::edge(KgFact::lambda(), KgFact::var(Cmd.Dst)));
+    return Out;
+  }
+
+  /// Composes one output fact of a caller relation through the call.
+  static void composeFactThroughCall(const Context &Ctx, const Binding &B,
+                                     const KgFact &From, const KgFact &Mid,
+                                     const SummaryView &Callee,
+                                     std::vector<Rel> &Out,
+                                     Ignore &SigmaOut) {
+    (void)Ctx;
+    for (const KgFact &Local : kgCallLocal(B, Mid))
+      Out.push_back(KgRel::edge(From, Local));
+    for (const KgFact &E : kgEnter(B, Mid)) {
+      if (Callee.Sigma->contains(Ctx, E)) {
+        SigmaOut.add(From);
+        continue;
+      }
+      for (const Rel &CR : *Callee.Rels) {
+        if (CR.K == KgRel::Kind::Edge) {
+          if (CR.From != E)
+            continue;
+          for (const KgFact &C : kgCombine(B, CR.To))
+            Out.push_back(KgRel::edge(From, C));
+        } else if (!E.isLambda() && !CR.excludes(E)) {
+          for (const KgFact &C : kgCombine(B, E))
+            Out.push_back(KgRel::edge(From, C));
+        }
+      }
+    }
+  }
+
+  static void composeCall(const Context &Ctx, const Binding &B, const Rel &R,
+                          const SummaryView &Callee, std::vector<Rel> &Out,
+                          Ignore &SigmaOut) {
+    if (R.K == KgRel::Kind::Edge) {
+      composeFactThroughCall(Ctx, B, R.From, R.To, Callee, Out, SigmaOut);
+      return;
+    }
+    // Identity-except through a call: facts with a non-trivial call
+    // transfer peel off; the rest stay identical. The footprint is the
+    // result variable, the actuals, and every field fact.
+    std::vector<KgFact> Footprint;
+    if (B.resultVar().isValid())
+      Footprint.push_back(KgFact::var(B.resultVar()));
+    for (const auto &[Actual, Formals] : B.bindings()) {
+      (void)Formals;
+      Footprint.push_back(KgFact::var(Actual));
+    }
+    for (Symbol F : Ctx.allFields())
+      Footprint.push_back(KgFact::field(F));
+    std::sort(Footprint.begin(), Footprint.end());
+    Footprint.erase(std::unique(Footprint.begin(), Footprint.end()),
+                    Footprint.end());
+
+    std::vector<KgFact> NewExcl = R.Excl;
+    for (const KgFact &D : Footprint) {
+      if (R.excludes(D))
+        continue;
+      NewExcl.push_back(D);
+      composeFactThroughCall(Ctx, B, D, D, Callee, Out, SigmaOut);
+    }
+    Out.push_back(KgRel::identityExcept(std::move(NewExcl)));
+  }
+
+  static void composeCallLambda(const Context &Ctx, const Binding &B,
+                                const SummaryView &Callee,
+                                std::vector<Rel> &Out, Ignore &SigmaOut) {
+    if (Callee.Sigma->containsLambda()) {
+      SigmaOut.addLambda();
+      return;
+    }
+    for (const Rel &CR : *Callee.Rels) {
+      if (CR.K != KgRel::Kind::Edge || !CR.From.isLambda())
+        continue;
+      for (const KgFact &C : kgCombine(B, CR.To))
+        Out.push_back(KgRel::edge(KgFact::lambda(), C));
+    }
+    (void)Ctx;
+  }
+
+  static std::optional<State> applyRel(const Context &Ctx, const Rel &R,
+                                       const State &S) {
+    (void)Ctx;
+    if (R.K == KgRel::Kind::Edge)
+      return R.From == S ? std::optional<State>(R.To) : std::nullopt;
+    if (S.isLambda() || R.excludes(S))
+      return std::nullopt;
+    return S;
+  }
+
+  // -- Observation support --
+  static bool relMayObserve(const Context &Ctx, const Rel &R) {
+    (void)Ctx;
+    return R.K == KgRel::Kind::Edge && R.To.K == KgFact::Kind::Leak;
+  }
+  static bool stateObservable(const Context &Ctx, const State &S) {
+    (void)Ctx;
+    return S.K == KgFact::Kind::Leak;
+  }
+
+  // -- Pruning support --
+  static bool relIsPrunable(const Rel &R) {
+    // Only edges from real facts are pruned; the identity is the
+    // dominating general case and Lambda edges are bounded by sources.
+    return R.K == KgRel::Kind::Edge && !R.From.isLambda();
+  }
+  static size_t relGenerality(const Rel &R) {
+    return R.K == KgRel::Kind::IdentityExcept ? 0 : 1;
+  }
+  static bool domContains(const Context &Ctx, const Rel &R,
+                          const State &S) {
+    (void)Ctx;
+    if (R.K == KgRel::Kind::Edge)
+      return R.From == S;
+    return !S.isLambda() && !R.excludes(S);
+  }
+  static void addDomToIgnore(const Rel &R, Ignore &Sigma) {
+    assert(R.K == KgRel::Kind::Edge && "only edges are pruned");
+    Sigma.add(R.From);
+  }
+  static bool ignoreCoversDom(const Ignore &Sigma, const Rel &R) {
+    if (R.K == KgRel::Kind::Edge)
+      return Sigma.containsFact(R.From);
+    return false;
+  }
+  static void ignoreAll(Ignore &Sigma) { Sigma.makeAll(); }
+};
+
+} // namespace swift
+
+#endif // SWIFT_KILLGEN_KGANALYSIS_H

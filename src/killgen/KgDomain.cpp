@@ -1,0 +1,223 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "killgen/KgDomain.h"
+
+#include <algorithm>
+
+using namespace swift;
+
+std::string KgFact::str(const Program &Prog) const {
+  const SymbolTable &Syms = Prog.symbols();
+  switch (K) {
+  case Kind::Lambda:
+    return "(lambda)";
+  case Kind::Var:
+    return "taint(" + Syms.text(Sym) + ")";
+  case Kind::Field:
+    return "taint(*." + Syms.text(Sym) + ")";
+  case Kind::Leak:
+    return "leak@" + Syms.text(Prog.proc(Proc).name()) + ":" +
+           std::to_string(Node);
+  }
+  return "<?>";
+}
+
+KgContext::KgContext(const Program &Prog, std::set<Symbol> SourceClasses,
+                     std::set<Symbol> SinkMethods)
+    : Prog(Prog), CG(std::make_unique<CallGraph>(Prog)),
+      Sources(std::move(SourceClasses)), Sinks(std::move(SinkMethods)) {
+  std::set<Symbol> FieldSet;
+  for (ProcId P = 0; P != Prog.numProcs(); ++P)
+    for (const CfgNode &Node : Prog.proc(P).nodes())
+      if (Node.Cmd.Kind == CmdKind::Load || Node.Cmd.Kind == CmdKind::Store)
+        FieldSet.insert(Node.Cmd.Field);
+  Fields.assign(FieldSet.begin(), FieldSet.end());
+}
+
+KgBinding::KgBinding(const KgContext &Ctx, ProcId CallerProc,
+                     const Command &Call)
+    : Callee(Call.Callee), CalleeProc(&Ctx.program().proc(Call.Callee)),
+      Result(Call.Dst), Ret(Ctx.program().retVar()) {
+  (void)CallerProc;
+  assert(Call.Kind == CmdKind::Call);
+  for (size_t I = 0; I != Call.Args.size(); ++I) {
+    Symbol Actual = Call.Args[I];
+    Symbol Formal = CalleeProc->params()[I];
+    bool Found = false;
+    for (auto &[A, Fs] : ActualToFormals)
+      if (A == Actual) {
+        Fs.push_back(Formal);
+        Found = true;
+        break;
+      }
+    if (!Found)
+      ActualToFormals.push_back({Actual, {Formal}});
+  }
+}
+
+const std::vector<Symbol> &KgBinding::formalsOf(Symbol V) const {
+  static const std::vector<Symbol> Empty;
+  for (const auto &[A, Fs] : ActualToFormals)
+    if (A == V)
+      return Fs;
+  return Empty;
+}
+
+Symbol KgBinding::actualOf(Symbol F) const {
+  for (const auto &[A, Fs] : ActualToFormals)
+    for (Symbol G : Fs)
+      if (G == F)
+        return A;
+  return Symbol();
+}
+
+std::vector<KgFact> swift::kgTransfer(const KgContext &Ctx, ProcId Proc,
+                                      const Command &Cmd, const KgFact &F) {
+  assert(Cmd.Kind != CmdKind::Call && "calls are handled by the solver");
+
+  if (F.isLambda()) {
+    if (Cmd.Kind == CmdKind::Alloc && Ctx.isSource(Cmd.Class))
+      return {KgFact::lambda(), KgFact::var(Cmd.Dst)};
+    return {KgFact::lambda()};
+  }
+
+  switch (F.K) {
+  case KgFact::Kind::Lambda:
+    break;
+
+  case KgFact::Kind::Var: {
+    Symbol V = F.Sym;
+    switch (Cmd.Kind) {
+    case CmdKind::Nop:
+      return {F};
+    case CmdKind::Alloc:
+    case CmdKind::AssignNull:
+      return Cmd.Dst == V ? std::vector<KgFact>{} : std::vector<KgFact>{F};
+    case CmdKind::Copy:
+      if (Cmd.Src == V) {
+        if (Cmd.Dst == V)
+          return {F};
+        return {F, KgFact::var(Cmd.Dst)};
+      }
+      return Cmd.Dst == V ? std::vector<KgFact>{} : std::vector<KgFact>{F};
+    case CmdKind::Load:
+      // The loaded value's taint comes from the Field fact; v's old taint
+      // is overwritten.
+      return Cmd.Dst == V ? std::vector<KgFact>{} : std::vector<KgFact>{F};
+    case CmdKind::Store:
+      if (Cmd.Src == V)
+        return {F, KgFact::field(Cmd.Field)};
+      return {F};
+    case CmdKind::TsCall:
+      if (Cmd.Src == V && Ctx.isSink(Cmd.Method))
+        return {F, KgFact::leak(Proc, Cmd.Self)};
+      return {F};
+    case CmdKind::Call:
+      break;
+    }
+    break;
+  }
+
+  case KgFact::Kind::Field:
+    if (Cmd.Kind == CmdKind::Load && Cmd.Field == F.Sym)
+      return {F, KgFact::var(Cmd.Dst)};
+    return {F};
+
+  case KgFact::Kind::Leak:
+    return {F}; // Absorbing observation.
+  }
+  assert(false && "unhandled fact kind");
+  return {F};
+}
+
+std::vector<KgFact> swift::kgAffected(const KgContext &Ctx,
+                                      const Command &Cmd) {
+  switch (Cmd.Kind) {
+  case CmdKind::Nop:
+    return {};
+  case CmdKind::Alloc:
+  case CmdKind::AssignNull:
+    return {KgFact::var(Cmd.Dst)};
+  case CmdKind::Copy:
+    if (Cmd.Dst == Cmd.Src)
+      return {};
+    return {KgFact::var(Cmd.Dst), KgFact::var(Cmd.Src)};
+  case CmdKind::Load:
+    return {KgFact::var(Cmd.Dst), KgFact::field(Cmd.Field)};
+  case CmdKind::Store:
+    return {KgFact::var(Cmd.Src)};
+  case CmdKind::TsCall:
+    if (Ctx.isSink(Cmd.Method))
+      return {KgFact::var(Cmd.Src)};
+    return {};
+  case CmdKind::Call:
+    break;
+  }
+  assert(false && "calls have no kill/gen footprint");
+  return {};
+}
+
+std::vector<KgFact> swift::kgEnter(const KgBinding &B, const KgFact &F) {
+  switch (F.K) {
+  case KgFact::Kind::Lambda:
+    return {F};
+  case KgFact::Kind::Var: {
+    std::vector<KgFact> Out;
+    for (Symbol Formal : B.formalsOf(F.Sym))
+      Out.push_back(KgFact::var(Formal));
+    return Out;
+  }
+  case KgFact::Kind::Field:
+    return {F}; // Heap facts are global.
+  case KgFact::Kind::Leak:
+    return {}; // Observations stay in the frame (callLocal).
+  }
+  return {};
+}
+
+std::vector<KgFact> swift::kgCallLocal(const KgBinding &B, const KgFact &F) {
+  switch (F.K) {
+  case KgFact::Kind::Lambda:
+    return {}; // Lambda travels through the callee.
+  case KgFact::Kind::Var:
+    if (F.Sym == B.resultVar() && B.resultVar().isValid())
+      return {}; // The result variable is rebound by the call.
+    return {F};
+  case KgFact::Kind::Field:
+    return {}; // Heap facts travel through the callee.
+  case KgFact::Kind::Leak:
+    return {F};
+  }
+  return {};
+}
+
+std::vector<KgFact> swift::kgCombine(const KgBinding &B,
+                                     const KgFact &Exit) {
+  switch (Exit.K) {
+  case KgFact::Kind::Lambda:
+    return {Exit};
+  case KgFact::Kind::Var: {
+    if (Exit.Sym == B.retVar()) {
+      if (B.resultVar().isValid())
+        return {KgFact::var(B.resultVar())};
+      return {};
+    }
+    Symbol Actual = B.actualOf(Exit.Sym);
+    // A tainted formal means the caller's actual holds a tainted value
+    // only if the callee did not rebind the formal.
+    if (Actual.isValid() && Actual != B.resultVar() &&
+        B.isStableFormal(Exit.Sym))
+      return {KgFact::var(Actual)};
+    return {};
+  }
+  case KgFact::Kind::Field:
+    return {Exit};
+  case KgFact::Kind::Leak:
+    return {Exit}; // Leak observations propagate to callers.
+  }
+  return {};
+}

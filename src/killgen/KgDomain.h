@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kill/gen analysis family of the paper's Section 5.2, instantiated
+/// as a taint-reachability analysis: objects allocated at designated
+/// "source" classes are tainted; taint propagates through copies, loads,
+/// stores (field-insensitively through a global per-field fact), and
+/// calls; invoking a designated "sink" method on a tainted receiver is a
+/// leak, reported as an observation.
+///
+/// Facts are atomic (IFDS-style): Lambda (the zero fact), Var(v) "v may
+/// hold a tainted value", Field(f) "some object's field f may be tainted",
+/// and Leak(p, n) "a sink was reached at node n of procedure p" (absorbing,
+/// like the typestate error state). Transfer functions are kill/gen per
+/// fact, which is exactly the class for which the paper says a bottom-up
+/// analysis can be synthesized automatically from the top-down one — the
+/// relation domain here (identity-except sets and single summary edges) is
+/// derived generically from the fact-level transfer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_KILLGEN_KGDOMAIN_H
+#define SWIFT_KILLGEN_KGDOMAIN_H
+
+#include "ir/CallGraph.h"
+#include "ir/Program.h"
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace swift {
+
+/// One atomic dataflow fact.
+struct KgFact {
+  enum class Kind : uint8_t { Lambda, Var, Field, Leak };
+
+  Kind K = Kind::Lambda;
+  Symbol Sym;            ///< Var / Field.
+  ProcId Proc = InvalidProc; ///< Leak.
+  NodeId Node = InvalidNode; ///< Leak.
+
+  static KgFact lambda() { return KgFact(); }
+  static KgFact var(Symbol V) {
+    KgFact F;
+    F.K = Kind::Var;
+    F.Sym = V;
+    return F;
+  }
+  static KgFact field(Symbol Fld) {
+    KgFact F;
+    F.K = Kind::Field;
+    F.Sym = Fld;
+    return F;
+  }
+  static KgFact leak(ProcId P, NodeId N) {
+    KgFact F;
+    F.K = Kind::Leak;
+    F.Proc = P;
+    F.Node = N;
+    return F;
+  }
+
+  bool isLambda() const { return K == Kind::Lambda; }
+
+  friend bool operator==(const KgFact &A, const KgFact &B) {
+    return A.K == B.K && A.Sym == B.Sym && A.Proc == B.Proc &&
+           A.Node == B.Node;
+  }
+  friend bool operator!=(const KgFact &A, const KgFact &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const KgFact &A, const KgFact &B) {
+    if (A.K != B.K)
+      return A.K < B.K;
+    if (A.Sym != B.Sym)
+      return A.Sym < B.Sym;
+    if (A.Proc != B.Proc)
+      return A.Proc < B.Proc;
+    return A.Node < B.Node;
+  }
+
+  std::string str(const Program &Prog) const;
+};
+
+/// Environment of one taint-analysis run.
+class KgContext {
+public:
+  KgContext(const Program &Prog, std::set<Symbol> SourceClasses,
+            std::set<Symbol> SinkMethods);
+
+  const Program &program() const { return Prog; }
+  const CallGraph &callGraph() const { return *CG; }
+  bool isSource(Symbol Class) const { return Sources.count(Class) != 0; }
+  bool isSink(Symbol Method) const { return Sinks.count(Method) != 0; }
+  /// Every field symbol occurring in the program (for symbolic call
+  /// composition over the identity relation).
+  const std::vector<Symbol> &allFields() const { return Fields; }
+
+private:
+  const Program &Prog;
+  std::unique_ptr<CallGraph> CG;
+  std::set<Symbol> Sources;
+  std::set<Symbol> Sinks;
+  std::vector<Symbol> Fields;
+};
+
+/// Per-call-site binding info (lightweight analogue of CallBinding).
+class KgBinding {
+public:
+  KgBinding(const KgContext &Ctx, ProcId CallerProc, const Command &Call);
+
+  ProcId callee() const { return Callee; }
+  Symbol resultVar() const { return Result; }
+  Symbol retVar() const { return Ret; }
+  const std::vector<std::pair<Symbol, std::vector<Symbol>>> &
+  bindings() const {
+    return ActualToFormals;
+  }
+  const std::vector<Symbol> &formalsOf(Symbol V) const;
+  Symbol actualOf(Symbol F) const;
+  bool isStableFormal(Symbol F) const {
+    return CalleeProc->isStableParam(F);
+  }
+
+private:
+  ProcId Callee;
+  const Procedure *CalleeProc;
+  Symbol Result;
+  Symbol Ret;
+  std::vector<std::pair<Symbol, std::vector<Symbol>>> ActualToFormals;
+};
+
+//===----------------------------------------------------------------------===//
+// Fact-level (top-down) transfer and call mappings
+//===----------------------------------------------------------------------===//
+
+/// trans(c)(fact). May return zero outputs (the fact is killed). Leak
+/// facts are stamped with the command's own CFG node (Cmd.Self).
+std::vector<KgFact> kgTransfer(const KgContext &Ctx, ProcId Proc,
+                               const Command &Cmd, const KgFact &F);
+
+/// The facts whose transfer under \p Cmd is not {self}: the kill/gen
+/// footprint. Facts outside this set pass through unchanged.
+std::vector<KgFact> kgAffected(const KgContext &Ctx, const Command &Cmd);
+
+std::vector<KgFact> kgEnter(const KgBinding &B, const KgFact &F);
+std::vector<KgFact> kgCallLocal(const KgBinding &B, const KgFact &F);
+/// Return mapping of a callee exit fact (the caller frame is irrelevant
+/// for atomic may-facts).
+std::vector<KgFact> kgCombine(const KgBinding &B, const KgFact &Exit);
+
+} // namespace swift
+
+namespace std {
+template <> struct hash<swift::KgFact> {
+  size_t operator()(const swift::KgFact &F) const noexcept {
+    uint64_t X = (static_cast<uint64_t>(F.K) << 56) ^
+                 (static_cast<uint64_t>(F.Sym.id()) << 32) ^
+                 (static_cast<uint64_t>(F.Proc) << 16) ^ F.Node;
+    X ^= X >> 33;
+    X *= 0xff51afd7ed558ccdULL;
+    X ^= X >> 33;
+    return static_cast<size_t>(X);
+  }
+};
+} // namespace std
+
+#endif // SWIFT_KILLGEN_KGDOMAIN_H

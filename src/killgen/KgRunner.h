@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entry points for the taint (kill/gen family) analysis: TD, BU, and
+/// SWIFT, mirroring typestate/Runner.h. A "leak" is a sink method invoked
+/// on a possibly-tainted receiver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_KILLGEN_KGRUNNER_H
+#define SWIFT_KILLGEN_KGRUNNER_H
+
+#include "killgen/KgAnalysis.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <set>
+#include <utility>
+
+namespace swift {
+
+struct KgRunLimits {
+  uint64_t MaxSteps = UINT64_MAX;
+  double MaxSeconds = 1e18;
+};
+
+struct KgRunResult {
+  bool Timeout = false;
+  double Seconds = 0;
+  uint64_t Steps = 0;
+  uint64_t TdSummaries = 0;
+  uint64_t BuRelations = 0;
+  /// Sink call sites reachable by tainted receivers: (proc, node).
+  std::set<std::pair<ProcId, NodeId>> Leaks;
+  Stats Stat;
+};
+
+KgRunResult runTaintTd(const KgContext &Ctx, KgRunLimits Limits = {});
+KgRunResult runTaintSwift(const KgContext &Ctx, uint64_t K, uint64_t Theta,
+                          KgRunLimits Limits = {});
+KgRunResult runTaintBu(const KgContext &Ctx, KgRunLimits Limits = {});
+
+} // namespace swift
+
+#endif // SWIFT_KILLGEN_KGRUNNER_H

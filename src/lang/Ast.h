@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree for TSL. The parser builds a Module; lowering
+/// walks it into a ProgramBuilder. Statements are stored by value with
+/// nested vectors for block structure, which keeps the tree cheap to build
+/// and trivially copyable for tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_LANG_AST_H
+#define SWIFT_LANG_AST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swift {
+namespace ast {
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    Alloc,      ///< A = new B;
+    Copy,       ///< A = B;
+    AssignNull, ///< A = null;
+    Load,       ///< A = B.C;
+    Store,      ///< A.C = B;
+    TsCall,     ///< A.C();
+    Call,       ///< [A =] B(Args...);
+    If,         ///< if (*) { Then } [else { Else }]
+    While,      ///< while (*) { Then }
+    Return,     ///< return [A];
+  };
+
+  Kind K = Kind::Copy;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  std::string A; ///< See per-kind comments above.
+  std::string B;
+  std::string C;
+  std::vector<std::string> Args; ///< Call actuals.
+  std::vector<Stmt> Then;        ///< If then-block / While body.
+  std::vector<Stmt> Else;        ///< If else-block.
+  bool HasValue = false;         ///< Return: 'return A;' vs 'return;'.
+};
+
+struct TransitionDecl {
+  std::string From;
+  std::string Method;
+  std::string To;
+};
+
+struct TypestateDecl {
+  std::string Name;
+  std::vector<std::string> States; ///< Declaration order.
+  std::string Start;
+  std::string Error;
+  std::vector<TransitionDecl> Transitions;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+struct ProcDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<Stmt> Body;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+struct Module {
+  std::vector<TypestateDecl> Typestates;
+  std::vector<ProcDecl> Procs;
+};
+
+} // namespace ast
+} // namespace swift
+
+#endif // SWIFT_LANG_AST_H

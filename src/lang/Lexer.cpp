@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace swift;
+
+SyntaxError::SyntaxError(std::string Message, uint32_t Line, uint32_t Col)
+    : Line(Line), Col(Col) {
+  Formatted = std::to_string(Line) + ":" + std::to_string(Col) + ": " +
+              std::move(Message);
+}
+
+std::string_view swift::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::KwTypestate:
+    return "'typestate'";
+  case TokKind::KwState:
+    return "'state'";
+  case TokKind::KwStart:
+    return "'start'";
+  case TokKind::KwError:
+    return "'error'";
+  case TokKind::KwProc:
+    return "'proc'";
+  case TokKind::KwNew:
+    return "'new'";
+  case TokKind::KwNull:
+    return "'null'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Equal:
+    return "'='";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Dash:
+    return "'-'";
+  case TokKind::Arrow:
+    return "'->'";
+  }
+  return "<token>";
+}
+
+void Lexer::advance() {
+  if (Pos >= Source.size())
+    return;
+  if (Source[Pos] == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  ++Pos;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  for (;;) {
+    Out.push_back(next());
+    if (Out.back().Kind == TokKind::Eof)
+      return Out;
+  }
+}
+
+Token Lexer::next() {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"typestate", TokKind::KwTypestate}, {"state", TokKind::KwState},
+      {"start", TokKind::KwStart},         {"error", TokKind::KwError},
+      {"proc", TokKind::KwProc},           {"new", TokKind::KwNew},
+      {"null", TokKind::KwNull},           {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},           {"while", TokKind::KwWhile},
+      {"return", TokKind::KwReturn},
+  };
+
+  // Skip whitespace and '//' comments.
+  for (;;) {
+    while (std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    break;
+  }
+
+  Token T;
+  T.Line = Line;
+  T.Col = Col;
+
+  char C = peek();
+  if (C == '\0') {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$') {
+    std::string Text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_' || peek() == '$') {
+      Text += peek();
+      advance();
+    }
+    auto It = Keywords.find(Text);
+    if (It != Keywords.end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = TokKind::Ident;
+      T.Text = std::move(Text);
+    }
+    return T;
+  }
+
+  advance();
+  switch (C) {
+  case '{':
+    T.Kind = TokKind::LBrace;
+    return T;
+  case '}':
+    T.Kind = TokKind::RBrace;
+    return T;
+  case '(':
+    T.Kind = TokKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokKind::RParen;
+    return T;
+  case ';':
+    T.Kind = TokKind::Semi;
+    return T;
+  case ',':
+    T.Kind = TokKind::Comma;
+    return T;
+  case '.':
+    T.Kind = TokKind::Dot;
+    return T;
+  case '=':
+    T.Kind = TokKind::Equal;
+    return T;
+  case '*':
+    T.Kind = TokKind::Star;
+    return T;
+  case '-':
+    if (peek() == '>') {
+      advance();
+      T.Kind = TokKind::Arrow;
+    } else {
+      T.Kind = TokKind::Dash;
+    }
+    return T;
+  default:
+    throw SyntaxError(std::string("unexpected character '") + C + "'",
+                      T.Line, T.Col);
+  }
+}

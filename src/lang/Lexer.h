@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for TSL. Supports '//' line comments and tracks
+/// line/column positions for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_LANG_LEXER_H
+#define SWIFT_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swift {
+
+/// A parse or lexical error with source position.
+class SyntaxError : public std::exception {
+public:
+  SyntaxError(std::string Message, uint32_t Line, uint32_t Col);
+
+  const char *what() const noexcept override { return Formatted.c_str(); }
+  uint32_t line() const { return Line; }
+  uint32_t col() const { return Col; }
+
+private:
+  std::string Formatted;
+  uint32_t Line;
+  uint32_t Col;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Lexes the whole input; the last token is always Eof.
+  /// Throws SyntaxError on an unexpected character.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  void advance();
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace swift
+
+#endif // SWIFT_LANG_LEXER_H

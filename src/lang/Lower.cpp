@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lower.h"
+
+#include "ir/ProgramBuilder.h"
+#include "lang/Parser.h"
+
+using namespace swift;
+using ast::Stmt;
+
+static void lowerStmts(ProgramBuilder &B, const std::vector<Stmt> &Stmts) {
+  for (const Stmt &S : Stmts) {
+    switch (S.K) {
+    case Stmt::Kind::Alloc:
+      B.alloc(S.A, S.B);
+      break;
+    case Stmt::Kind::Copy:
+      B.copy(S.A, S.B);
+      break;
+    case Stmt::Kind::AssignNull:
+      B.assignNull(S.A);
+      break;
+    case Stmt::Kind::Load:
+      B.load(S.A, S.B, S.C);
+      break;
+    case Stmt::Kind::Store:
+      B.store(S.A, S.C, S.B);
+      break;
+    case Stmt::Kind::TsCall:
+      B.tsCall(S.A, S.C);
+      break;
+    case Stmt::Kind::Call:
+      if (S.A.empty())
+        B.call(S.B, S.Args);
+      else
+        B.callAssign(S.A, S.B, S.Args);
+      break;
+    case Stmt::Kind::If:
+      B.beginIf();
+      lowerStmts(B, S.Then);
+      if (!S.Else.empty()) {
+        B.orElse();
+        lowerStmts(B, S.Else);
+      }
+      B.endIf();
+      break;
+    case Stmt::Kind::While:
+      B.beginLoop();
+      lowerStmts(B, S.Then);
+      B.endLoop();
+      break;
+    case Stmt::Kind::Return:
+      if (S.HasValue)
+        B.ret(S.A);
+      else
+        B.ret();
+      break;
+    }
+  }
+}
+
+std::unique_ptr<Program> swift::lowerModule(const ast::Module &M,
+                                            std::string_view MainName) {
+  ProgramBuilder B;
+  for (const ast::TypestateDecl &D : M.Typestates) {
+    std::vector<ProgramBuilder::Transition> Trans;
+    Trans.reserve(D.Transitions.size());
+    for (const ast::TransitionDecl &T : D.Transitions)
+      Trans.push_back(ProgramBuilder::Transition{T.From, T.Method, T.To});
+    B.addTypestate(D.Name, D.States, D.Start, D.Error, Trans);
+  }
+  for (const ast::ProcDecl &P : M.Procs) {
+    B.beginProc(P.Name, P.Params);
+    lowerStmts(B, P.Body);
+    B.endProc();
+  }
+  return B.finish(MainName);
+}
+
+std::unique_ptr<Program> swift::parseProgram(std::string_view Source,
+                                             std::string_view MainName) {
+  return lowerModule(Parser::parse(Source), MainName);
+}

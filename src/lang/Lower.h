@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowering of TSL modules to the analysis IR: typestate declarations
+/// become TypestateSpecs, statement blocks become CFGs via ProgramBuilder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_LANG_LOWER_H
+#define SWIFT_LANG_LOWER_H
+
+#include "ir/Program.h"
+#include "lang/Ast.h"
+
+#include <memory>
+#include <string_view>
+
+namespace swift {
+
+/// Lowers \p M to a Program with \p MainName as the root procedure.
+/// Throws std::runtime_error on semantic errors (duplicate declarations,
+/// undeclared callees, arity mismatches).
+std::unique_ptr<Program> lowerModule(const ast::Module &M,
+                                     std::string_view MainName = "main");
+
+/// Convenience: parse + lower in one step.
+std::unique_ptr<Program> parseProgram(std::string_view Source,
+                                      std::string_view MainName = "main");
+
+} // namespace swift
+
+#endif // SWIFT_LANG_LOWER_H

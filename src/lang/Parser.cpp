@@ -1,0 +1,282 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+using namespace swift;
+using ast::Stmt;
+
+Token Parser::eat(TokKind Expected) {
+  if (peek().Kind != Expected)
+    fail("expected " + std::string(tokKindName(Expected)) + ", found " +
+         std::string(tokKindName(peek().Kind)));
+  return Toks[Pos++];
+}
+
+bool Parser::tryEat(TokKind K) {
+  if (peek().Kind != K)
+    return false;
+  ++Pos;
+  return true;
+}
+
+void Parser::fail(const std::string &Message) const {
+  throw SyntaxError(Message, peek().Line, peek().Col);
+}
+
+ast::Module Parser::parse(std::string_view Source) {
+  Lexer L(Source);
+  Parser P(L.lexAll());
+  return P.parseModule();
+}
+
+ast::Module Parser::parseModule() {
+  ast::Module M;
+  for (;;) {
+    switch (peek().Kind) {
+    case TokKind::Eof:
+      return M;
+    case TokKind::KwTypestate:
+      M.Typestates.push_back(parseTypestate());
+      break;
+    case TokKind::KwProc:
+      M.Procs.push_back(parseProc());
+      break;
+    default:
+      fail("expected 'typestate' or 'proc' at top level");
+    }
+  }
+}
+
+ast::TypestateDecl Parser::parseTypestate() {
+  ast::TypestateDecl D;
+  Token Kw = eat(TokKind::KwTypestate);
+  D.Line = Kw.Line;
+  D.Col = Kw.Col;
+  D.Name = eat(TokKind::Ident).Text;
+  eat(TokKind::LBrace);
+
+  auto AddState = [&D](const std::string &Name) {
+    for (const std::string &S : D.States)
+      if (S == Name)
+        return;
+    D.States.push_back(Name);
+  };
+
+  while (!tryEat(TokKind::RBrace)) {
+    switch (peek().Kind) {
+    case TokKind::KwStart: {
+      eat(TokKind::KwStart);
+      std::string Name = eat(TokKind::Ident).Text;
+      if (!D.Start.empty())
+        fail("duplicate 'start' state in typestate " + D.Name);
+      D.Start = Name;
+      AddState(Name);
+      eat(TokKind::Semi);
+      break;
+    }
+    case TokKind::KwError: {
+      eat(TokKind::KwError);
+      std::string Name = eat(TokKind::Ident).Text;
+      if (!D.Error.empty())
+        fail("duplicate 'error' state in typestate " + D.Name);
+      D.Error = Name;
+      AddState(Name);
+      eat(TokKind::Semi);
+      break;
+    }
+    case TokKind::KwState: {
+      eat(TokKind::KwState);
+      AddState(eat(TokKind::Ident).Text);
+      eat(TokKind::Semi);
+      break;
+    }
+    case TokKind::Ident: {
+      // from -method-> to ;
+      ast::TransitionDecl T;
+      T.From = eat(TokKind::Ident).Text;
+      eat(TokKind::Dash);
+      T.Method = eat(TokKind::Ident).Text;
+      eat(TokKind::Arrow);
+      T.To = eat(TokKind::Ident).Text;
+      eat(TokKind::Semi);
+      AddState(T.From);
+      AddState(T.To);
+      D.Transitions.push_back(std::move(T));
+      break;
+    }
+    default:
+      fail("expected state declaration or transition in typestate body");
+    }
+  }
+
+  if (D.Start.empty())
+    fail("typestate " + D.Name + " has no 'start' state");
+  if (D.Error.empty())
+    fail("typestate " + D.Name + " has no 'error' state");
+  return D;
+}
+
+ast::ProcDecl Parser::parseProc() {
+  ast::ProcDecl D;
+  Token Kw = eat(TokKind::KwProc);
+  D.Line = Kw.Line;
+  D.Col = Kw.Col;
+  D.Name = eat(TokKind::Ident).Text;
+  eat(TokKind::LParen);
+  if (peek().Kind != TokKind::RParen) {
+    D.Params.push_back(eat(TokKind::Ident).Text);
+    while (tryEat(TokKind::Comma))
+      D.Params.push_back(eat(TokKind::Ident).Text);
+  }
+  eat(TokKind::RParen);
+  D.Body = parseBlock();
+  return D;
+}
+
+std::vector<Stmt> Parser::parseBlock() {
+  eat(TokKind::LBrace);
+  std::vector<Stmt> Stmts;
+  while (!tryEat(TokKind::RBrace))
+    Stmts.push_back(parseStmt());
+  return Stmts;
+}
+
+std::vector<std::string> Parser::parseArgList() {
+  eat(TokKind::LParen);
+  std::vector<std::string> Args;
+  if (peek().Kind != TokKind::RParen) {
+    Args.push_back(eat(TokKind::Ident).Text);
+    while (tryEat(TokKind::Comma))
+      Args.push_back(eat(TokKind::Ident).Text);
+  }
+  eat(TokKind::RParen);
+  return Args;
+}
+
+Stmt Parser::parseStmt() {
+  Stmt S;
+  S.Line = peek().Line;
+  S.Col = peek().Col;
+
+  switch (peek().Kind) {
+  case TokKind::KwIf: {
+    eat(TokKind::KwIf);
+    eat(TokKind::LParen);
+    eat(TokKind::Star);
+    eat(TokKind::RParen);
+    S.K = Stmt::Kind::If;
+    S.Then = parseBlock();
+    if (tryEat(TokKind::KwElse))
+      S.Else = parseBlock();
+    return S;
+  }
+  case TokKind::KwWhile: {
+    eat(TokKind::KwWhile);
+    eat(TokKind::LParen);
+    eat(TokKind::Star);
+    eat(TokKind::RParen);
+    S.K = Stmt::Kind::While;
+    S.Then = parseBlock();
+    return S;
+  }
+  case TokKind::KwReturn: {
+    eat(TokKind::KwReturn);
+    S.K = Stmt::Kind::Return;
+    if (peek().Kind == TokKind::Ident) {
+      S.A = eat(TokKind::Ident).Text;
+      S.HasValue = true;
+    }
+    eat(TokKind::Semi);
+    return S;
+  }
+  case TokKind::Ident:
+    break;
+  default:
+    fail("expected statement");
+  }
+
+  std::string First = eat(TokKind::Ident).Text;
+
+  if (tryEat(TokKind::Dot)) {
+    std::string Member = eat(TokKind::Ident).Text;
+    if (peek().Kind == TokKind::LParen) {
+      // First.Member();
+      eat(TokKind::LParen);
+      eat(TokKind::RParen);
+      eat(TokKind::Semi);
+      S.K = Stmt::Kind::TsCall;
+      S.A = std::move(First);
+      S.C = std::move(Member);
+      return S;
+    }
+    // First.Member = Src;
+    eat(TokKind::Equal);
+    S.K = Stmt::Kind::Store;
+    S.A = std::move(First);
+    S.C = std::move(Member);
+    S.B = eat(TokKind::Ident).Text;
+    eat(TokKind::Semi);
+    return S;
+  }
+
+  if (peek().Kind == TokKind::LParen) {
+    // First(args);
+    S.K = Stmt::Kind::Call;
+    S.B = std::move(First);
+    S.Args = parseArgList();
+    eat(TokKind::Semi);
+    return S;
+  }
+
+  eat(TokKind::Equal);
+  switch (peek().Kind) {
+  case TokKind::KwNew: {
+    eat(TokKind::KwNew);
+    S.K = Stmt::Kind::Alloc;
+    S.A = std::move(First);
+    S.B = eat(TokKind::Ident).Text;
+    eat(TokKind::Semi);
+    return S;
+  }
+  case TokKind::KwNull: {
+    eat(TokKind::KwNull);
+    S.K = Stmt::Kind::AssignNull;
+    S.A = std::move(First);
+    eat(TokKind::Semi);
+    return S;
+  }
+  case TokKind::Ident: {
+    std::string Second = eat(TokKind::Ident).Text;
+    if (tryEat(TokKind::Dot)) {
+      // First = Second.Field;
+      S.K = Stmt::Kind::Load;
+      S.A = std::move(First);
+      S.B = std::move(Second);
+      S.C = eat(TokKind::Ident).Text;
+      eat(TokKind::Semi);
+      return S;
+    }
+    if (peek().Kind == TokKind::LParen) {
+      // First = Second(args);
+      S.K = Stmt::Kind::Call;
+      S.A = std::move(First);
+      S.B = std::move(Second);
+      S.Args = parseArgList();
+      eat(TokKind::Semi);
+      return S;
+    }
+    // First = Second;
+    S.K = Stmt::Kind::Copy;
+    S.A = std::move(First);
+    S.B = std::move(Second);
+    eat(TokKind::Semi);
+    return S;
+  }
+  default:
+    fail("expected 'new', 'null', or identifier after '='");
+  }
+}

@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for TSL. See Token.h for the grammar sketch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_LANG_PARSER_H
+#define SWIFT_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+
+#include <string_view>
+
+namespace swift {
+
+class Parser {
+public:
+  /// Parses a whole TSL module. Throws SyntaxError on malformed input.
+  static ast::Module parse(std::string_view Source);
+
+private:
+  explicit Parser(std::vector<Token> Toks) : Toks(std::move(Toks)) {}
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  Token eat(TokKind Expected);
+  bool tryEat(TokKind K);
+  [[noreturn]] void fail(const std::string &Message) const;
+
+  ast::Module parseModule();
+  ast::TypestateDecl parseTypestate();
+  ast::ProcDecl parseProc();
+  std::vector<ast::Stmt> parseBlock();
+  ast::Stmt parseStmt();
+  std::vector<std::string> parseArgList();
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+};
+
+} // namespace swift
+
+#endif // SWIFT_LANG_PARSER_H

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of TSL, the small typestate-program language this reproduction
+/// uses in place of Java source (see DESIGN.md). Example:
+///
+/// \code
+///   typestate File {
+///     start closed; error err;
+///     closed -open-> opened;
+///     opened -close-> closed;
+///   }
+///   proc main() {
+///     v1 = new File;
+///     foo(v1);
+///   }
+///   proc foo(f) { f.open(); f.close(); }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_LANG_TOKEN_H
+#define SWIFT_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace swift {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  // Keywords.
+  KwTypestate,
+  KwState,
+  KwStart,
+  KwError,
+  KwProc,
+  KwNew,
+  KwNull,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Semi,
+  Comma,
+  Dot,
+  Equal,
+  Star,
+  Dash,   ///< '-' introducing a transition label.
+  Arrow,  ///< '->' ending a transition label.
+};
+
+/// Returns a human-readable spelling for diagnostics.
+std::string_view tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;  ///< Identifier spelling (Ident only).
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace swift
+
+#endif // SWIFT_LANG_TOKEN_H

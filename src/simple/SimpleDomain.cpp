@@ -1,0 +1,469 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simple/SimpleDomain.h"
+
+#include <algorithm>
+
+using namespace swift;
+using namespace swift::simple;
+
+std::string simple::State::str() const {
+  std::string S = "(h" + std::to_string(H) + ",t" + std::to_string(T) +
+                  ",{";
+  bool First = true;
+  for (unsigned V = 0; V != 32; ++V)
+    if (A & (1u << V)) {
+      if (!First)
+        S += ",";
+      S += "v" + std::to_string(V);
+      First = false;
+    }
+  return S + "})";
+}
+
+std::vector<State> simple::allStates(const Vocabulary &V) {
+  std::vector<State> Out;
+  for (uint8_t H = 0; H != V.NumSites; ++H)
+    for (uint8_t T = 0; T != V.NumStates; ++T)
+      for (uint32_t A = 0; A != (1u << V.NumVars); ++A)
+        Out.push_back(State{H, T, A});
+  return Out;
+}
+
+std::string Prim::str() const {
+  switch (K) {
+  case Kind::New:
+    return "v" + std::to_string(V) + " = new h" + std::to_string(Site);
+  case Kind::Copy:
+    return "v" + std::to_string(V) + " = v" + std::to_string(W);
+  case Kind::Invoke:
+    return "v" + std::to_string(V) + ".m" + std::to_string(Method) + "()";
+  }
+  return "?";
+}
+
+std::string Cmd::str() const {
+  switch (K) {
+  case Kind::Primitive:
+    return P.str();
+  case Kind::Choice:
+    return "(" + L->str() + " + " + R->str() + ")";
+  case Kind::Seq:
+    return "(" + L->str() + "; " + R->str() + ")";
+  case Kind::Star:
+    return "(" + L->str() + ")*";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 2
+//===----------------------------------------------------------------------===//
+
+std::vector<State> simple::trans(const Vocabulary &V, const Prim &C,
+                                 const State &S) {
+  uint32_t VBit = 1u << C.V;
+  switch (C.K) {
+  case Prim::Kind::New:
+    // {(h, t, a \ {v}), (h', init, {v})}
+    return {State{S.H, S.T, S.A & ~VBit}, State{C.Site, 0, VBit}};
+  case Prim::Kind::Copy:
+    // if (w in a) then {(h, t, a u {v})} else {(h, t, a \ {v})}
+    if (S.A & (1u << C.W))
+      return {State{S.H, S.T, S.A | VBit}};
+    return {State{S.H, S.T, S.A & ~VBit}};
+  case Prim::Kind::Invoke:
+    // if (v in a) then {(h, [m](t), a)} else {(h, error, a)}
+    if (S.A & VBit)
+      return {State{S.H, V.Methods[C.Method][S.T], S.A}};
+    return {State{S.H, V.errorState(), S.A}};
+  }
+  return {};
+}
+
+namespace {
+
+std::set<State> transAll(const Vocabulary &V, const Prim &C,
+                         const std::set<State> &Sigma) {
+  std::set<State> Out;
+  for (const State &S : Sigma)
+    for (const State &N : trans(V, C, S))
+      Out.insert(N);
+  return Out;
+}
+
+} // namespace
+
+std::set<State> simple::evalTopDown(const Vocabulary &V, const Cmd &C,
+                                    const std::set<State> &Sigma) {
+  switch (C.K) {
+  case Cmd::Kind::Primitive:
+    return transAll(V, C.P, Sigma);
+  case Cmd::Kind::Choice: {
+    std::set<State> Out = evalTopDown(V, *C.L, Sigma);
+    std::set<State> R = evalTopDown(V, *C.R, Sigma);
+    Out.insert(R.begin(), R.end());
+    return Out;
+  }
+  case Cmd::Kind::Seq:
+    return evalTopDown(V, *C.R, evalTopDown(V, *C.L, Sigma));
+  case Cmd::Kind::Star: {
+    // lfix (lambda Sigma'. Sigma u [[C]](Sigma'))
+    std::set<State> Cur = Sigma;
+    for (;;) {
+      std::set<State> Next = Sigma;
+      std::set<State> Step = evalTopDown(V, *C.L, Cur);
+      Next.insert(Step.begin(), Step.end());
+      if (Next == Cur)
+        return Cur;
+      Cur = std::move(Next);
+    }
+  }
+  }
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 3
+//===----------------------------------------------------------------------===//
+
+std::string Pred::str() const {
+  if (!Have && !NotHave)
+    return "true";
+  std::string S;
+  for (unsigned V = 0; V != 32; ++V) {
+    if (Have & (1u << V))
+      S += (S.empty() ? "" : " & ") + std::string("have(v") +
+           std::to_string(V) + ")";
+    if (NotHave & (1u << V))
+      S += (S.empty() ? "" : " & ") + std::string("notHave(v") +
+           std::to_string(V) + ")";
+  }
+  return S;
+}
+
+Rel Rel::identity(const Vocabulary &V) {
+  // id# = (lambda t. t, V, {}, true)
+  Rel R;
+  R.K = Kind::Trans;
+  R.Iota.resize(V.NumStates);
+  for (unsigned I = 0; I != V.NumStates; ++I)
+    R.Iota[I] = static_cast<uint8_t>(I);
+  R.A0 = (1u << V.NumVars) - 1;
+  R.A1 = 0;
+  return R;
+}
+
+bool Rel::apply(const State &In, State &Out_) const {
+  if (!Phi.holds(In))
+    return false;
+  if (K == Kind::Const) {
+    Out_ = Out;
+    return true;
+  }
+  Out_ = State{In.H, Iota[In.T],
+               static_cast<uint32_t>((In.A & A0) | A1)};
+  return true;
+}
+
+bool swift::simple::operator<(const Rel &X, const Rel &Y) {
+  if (X.K != Y.K)
+    return X.K < Y.K;
+  if (X.K == Rel::Kind::Const) {
+    if (!(X.Out == Y.Out))
+      return X.Out < Y.Out;
+    return X.Phi < Y.Phi;
+  }
+  if (X.Iota != Y.Iota)
+    return X.Iota < Y.Iota;
+  if (X.A0 != Y.A0)
+    return X.A0 < Y.A0;
+  if (X.A1 != Y.A1)
+    return X.A1 < Y.A1;
+  return X.Phi < Y.Phi;
+}
+
+std::string Rel::str() const {
+  if (K == Kind::Const)
+    return "(" + Out.str() + ", " + Phi.str() + ")";
+  std::string S = "(iota=[";
+  for (size_t I = 0; I != Iota.size(); ++I) {
+    if (I)
+      S += ",";
+    S += std::to_string(Iota[I]);
+  }
+  return S + "], a0=" + std::to_string(A0) + ", a1=" + std::to_string(A1) +
+         ", " + Phi.str() + ")";
+}
+
+std::vector<Rel> simple::rtrans(const Vocabulary &V, const Prim &C,
+                                const Rel &R) {
+  uint32_t VBit = 1u << C.V;
+
+  // rtrans(c)(sigma, phi) = {(sigma', phi) | sigma' in trans(c)(sigma)}
+  if (R.K == Rel::Kind::Const) {
+    std::vector<Rel> Out;
+    for (const State &N : trans(V, C, R.Out))
+      Out.push_back(Rel::constant(N, R.Phi));
+    return Out;
+  }
+
+  switch (C.K) {
+  case Prim::Kind::New: {
+    // {(iota, a0 \ {v}, a1 \ {v}, phi), ((h, init, {v}), phi)}
+    Rel Old = R;
+    Old.A0 &= ~VBit;
+    Old.A1 &= ~VBit;
+    return {Old, Rel::constant(State{C.Site, 0, VBit}, R.Phi)};
+  }
+  case Prim::Kind::Copy: {
+    uint32_t WBit = 1u << C.W;
+    if (R.A1 & WBit) {
+      // Always in the output must set.
+      Rel N = R;
+      N.A1 |= VBit;
+      return {N};
+    }
+    if (!(R.A0 & WBit)) {
+      // Never in the output must set.
+      Rel N = R;
+      N.A0 &= ~VBit;
+      N.A1 &= ~VBit;
+      return {N};
+    }
+    // Sometimes: split on have(w) / notHave(w).
+    Rel Yes = R;
+    Yes.A1 |= VBit;
+    Yes.Phi = R.Phi.conj(Pred{WBit, 0});
+    Rel No = R;
+    No.A0 &= ~VBit;
+    No.A1 &= ~VBit;
+    No.Phi = R.Phi.conj(Pred{0, WBit});
+    std::vector<Rel> Out;
+    if (Yes.Phi.sat())
+      Out.push_back(Yes);
+    if (No.Phi.sat())
+      Out.push_back(No);
+    return Out;
+  }
+  case Prim::Kind::Invoke: {
+    auto Compose = [&](bool Strong) {
+      Rel N = R;
+      for (size_t T = 0; T != N.Iota.size(); ++T)
+        N.Iota[T] = Strong ? V.Methods[C.Method][R.Iota[T]]
+                           : V.errorState();
+      return N;
+    };
+    if (R.A1 & VBit)
+      return {Compose(true)};
+    if (!(R.A0 & VBit))
+      return {Compose(false)};
+    Rel Yes = Compose(true);
+    Yes.Phi = R.Phi.conj(Pred{VBit, 0});
+    Rel No = Compose(false);
+    No.Phi = R.Phi.conj(Pred{0, VBit});
+    std::vector<Rel> Out;
+    if (Yes.Phi.sat())
+      Out.push_back(Yes);
+    if (No.Phi.sat())
+      Out.push_back(No);
+    return Out;
+  }
+  }
+  return {};
+}
+
+bool simple::wp(const Rel &R, const Pred &Post, Pred &PreOut) {
+  PreOut = Pred{};
+  if (R.K == Rel::Kind::Const) {
+    // wp((sigma, phi), lit) = sigma |= lit ? true : false
+    if ((R.Out.A & Post.Have) != Post.Have)
+      return false;
+    if (R.Out.A & Post.NotHave)
+      return false;
+    return true;
+  }
+  // Figure 3's wp on transformer relations. Note: the published text
+  // reads "if (v not-in a0) then have(v) else false" for the have case,
+  // which transposes the last two arms; the output must set is
+  // (a n a0) u a1, so outside a1, `v` can only be present when v in a0.
+  for (unsigned Vi = 0; Vi != 32; ++Vi) {
+    uint32_t Bit = 1u << Vi;
+    if (Post.Have & Bit) {
+      if (R.A1 & Bit)
+        continue; // Always present.
+      if (!(R.A0 & Bit))
+        return false; // Never present.
+      PreOut.Have |= Bit;
+    }
+    if (Post.NotHave & Bit) {
+      if (R.A1 & Bit)
+        return false; // Always present.
+      if (!(R.A0 & Bit))
+        continue; // Never present.
+      PreOut.NotHave |= Bit;
+    }
+  }
+  return PreOut.sat();
+}
+
+std::vector<Rel> simple::rcomp(const Rel &R1, const Rel &R2) {
+  // if (wp(r, phi') <=> false) then {} else {(r; r', phi ^ wp(r, phi'))}
+  Pred Pre;
+  if (!wp(R1, R2.Phi, Pre))
+    return {};
+  Pred Phi = R1.Phi.conj(Pre);
+  if (!Phi.sat())
+    return {};
+
+  if (R2.K == Rel::Kind::Const) {
+    // r; (sigma', _) = sigma'
+    return {Rel::constant(R2.Out, Phi)};
+  }
+  if (R1.K == Rel::Kind::Const) {
+    // ((h,t,a), _); (iota', a0', a1', _) = (h, iota'(t), a n a0' u a1')
+    State Out{R1.Out.H, R2.Iota[R1.Out.T],
+              (R1.Out.A & R2.A0) | R2.A1};
+    return {Rel::constant(Out, Phi)};
+  }
+  // (iota, a0, a1, _); (iota', a0', a1', _)
+  //   = (iota' o iota, a0 n a0', (a1 n a0') u a1')
+  Rel Out;
+  Out.K = Rel::Kind::Trans;
+  Out.Iota.resize(R1.Iota.size());
+  for (size_t T = 0; T != R1.Iota.size(); ++T)
+    Out.Iota[T] = R2.Iota[R1.Iota[T]];
+  Out.A0 = R1.A0 & R2.A0;
+  Out.A1 = (R1.A1 & R2.A0) | R2.A1;
+  Out.Phi = Phi;
+  return {Out};
+}
+
+//===----------------------------------------------------------------------===//
+// Section 3.4
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// dom(r) enumerated.
+std::vector<State> domOf(const Vocabulary &V, const Rel &R) {
+  std::vector<State> Out;
+  for (const State &S : allStates(V))
+    if (R.domContains(S))
+      Out.push_back(S);
+  return Out;
+}
+
+bool domSubsetOf(const Vocabulary &V, const Rel &R,
+                 const std::set<State> &Sigma) {
+  for (const State &S : allStates(V))
+    if (R.domContains(S) && !Sigma.count(S))
+      return false;
+  return true;
+}
+
+/// clean(R, Sigma) = (excl(R, Sigma), Sigma).
+RelVal clean(const Vocabulary &V, RelVal In) {
+  RelVal Out;
+  Out.Sigma = std::move(In.Sigma);
+  for (const Rel &R : In.Rels)
+    if (!domSubsetOf(V, R, Out.Sigma))
+      Out.Rels.insert(R);
+  return Out;
+}
+
+RelVal join(const Vocabulary &V, RelVal A, const RelVal &B) {
+  A.Rels.insert(B.Rels.begin(), B.Rels.end());
+  A.Sigma.insert(B.Sigma.begin(), B.Sigma.end());
+  return clean(V, std::move(A));
+}
+
+} // namespace
+
+RelVal simple::prune(const Vocabulary &V, RelVal In, unsigned Theta,
+                     const std::map<State, unsigned> &M) {
+  In = clean(V, std::move(In));
+  if (Theta == 0 || In.Rels.size() <= Theta)
+    return In;
+
+  // rank(r) = sum over sigma in dom(r) of #copies of sigma in M.
+  std::vector<std::pair<unsigned, Rel>> Ranked;
+  for (const Rel &R : In.Rels) {
+    unsigned Rank = 0;
+    for (const State &S : domOf(V, R)) {
+      auto It = M.find(S);
+      if (It != M.end())
+        Rank += It->second;
+    }
+    Ranked.push_back({Rank, R});
+  }
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first != B.first)
+                return A.first > B.first;
+              return A.second < B.second;
+            });
+
+  // R' = best_theta(R); Sigma' = Sigma u U{dom(r) | r in R \ R'}.
+  RelVal Out;
+  Out.Sigma = std::move(In.Sigma);
+  for (size_t I = Theta; I < Ranked.size(); ++I)
+    for (const State &S : domOf(V, Ranked[I].second))
+      Out.Sigma.insert(S);
+  for (size_t I = 0; I < Theta && I < Ranked.size(); ++I)
+    Out.Rels.insert(Ranked[I].second);
+  // excl(R', Sigma').
+  return clean(V, std::move(Out));
+}
+
+RelVal simple::evalBottomUp(const Vocabulary &V, const Cmd &C, RelVal In,
+                            unsigned Theta,
+                            const std::map<State, unsigned> &M) {
+  switch (C.K) {
+  case Cmd::Kind::Primitive: {
+    RelVal Out;
+    Out.Sigma = In.Sigma;
+    for (const Rel &R : In.Rels)
+      for (const Rel &N : rtrans(V, C.P, R))
+        Out.Rels.insert(N);
+    return prune(V, std::move(Out), Theta, M);
+  }
+  case Cmd::Kind::Choice: {
+    RelVal A = evalBottomUp(V, *C.L, In, Theta, M);
+    RelVal B = evalBottomUp(V, *C.R, std::move(In), Theta, M);
+    return prune(V, join(V, std::move(A), B), Theta, M);
+  }
+  case Cmd::Kind::Seq:
+    return evalBottomUp(V, *C.R,
+                        evalBottomUp(V, *C.L, std::move(In), Theta, M),
+                        Theta, M);
+  case Cmd::Kind::Star: {
+    // fix_(R, Sigma) F with F(X) = prune(X join [[C]]^r(X)).
+    RelVal Cur = std::move(In);
+    for (;;) {
+      RelVal Step = evalBottomUp(V, *C.L, Cur, Theta, M);
+      RelVal Next = prune(V, join(V, Cur, Step), Theta, M);
+      if (Next.Rels == Cur.Rels && Next.Sigma == Cur.Sigma)
+        return Cur;
+      Cur = std::move(Next);
+    }
+  }
+  }
+  return {};
+}
+
+std::set<State> simple::applyRels(const std::set<Rel> &Rels,
+                                  const std::set<State> &Sigma) {
+  std::set<State> Out;
+  for (const State &S : Sigma)
+    for (const Rel &R : Rels) {
+      State N;
+      if (R.apply(S, N))
+        Out.insert(N);
+    }
+  return Out;
+}

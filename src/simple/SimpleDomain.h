@@ -1,0 +1,267 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A verbatim transliteration of the paper's formalism section (Sections
+/// 3.1-3.4, Figures 2-4): the simplified intraprocedural typestate
+/// analysis used to *present* SWIFT, kept separate from the scaled
+/// implementation in src/typestate so that readers can line code up with
+/// the paper figure by figure.
+///
+///   Figure 2:  abstract states sigma = (h, t, a) with a a set of
+///              variables (the must set); primitive commands v = new h,
+///              v = w, v.m(); the trans transfer functions.
+///   Figure 3:  abstract relations r in R = (S x Q) u (I x 2^V x 2^V x Q)
+///              — constant relations (sigma, phi) and transformer
+///              relations (iota, a0, a1, phi); rtrans; wp; rcomp.
+///   Section 3.1: structured commands C ::= c | C+C | C;C | C* and the
+///              top-down semantics [[C]] : 2^S -> 2^S.
+///   Section 3.4: the pruned bottom-up semantics [[C]]^r over
+///              D^r = {(R, Sigma)} with the prune operator built from
+///              rank / best_theta / excl / clean.
+///
+/// Everything here is enumerable (small finite V, H, T), which the tests
+/// exploit to check the coincidence theorem (Theorem 3.1) literally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SIMPLE_SIMPLEDOMAIN_H
+#define SWIFT_SIMPLE_SIMPLEDOMAIN_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace swift {
+namespace simple {
+
+/// The small finite vocabularies of the formalism. Variables, sites, and
+/// typestates are dense indices; the typestate functions [m] are given
+/// per method.
+struct Vocabulary {
+  unsigned NumVars = 2;
+  unsigned NumSites = 2;
+  unsigned NumStates = 3; ///< State 0 is init; the last state is error.
+  /// [m] : T -> T for each method m.
+  std::vector<std::vector<uint8_t>> Methods;
+
+  uint8_t errorState() const {
+    return static_cast<uint8_t>(NumStates - 1);
+  }
+};
+
+/// Figure 2's abstract state (h, t, a); `a` is a bitset over variables.
+struct State {
+  uint8_t H = 0;
+  uint8_t T = 0;
+  uint32_t A = 0; ///< Bit v set: variable v is in the must set.
+
+  friend bool operator==(const State &X, const State &Y) {
+    return X.H == Y.H && X.T == Y.T && X.A == Y.A;
+  }
+  friend bool operator<(const State &X, const State &Y) {
+    if (X.H != Y.H)
+      return X.H < Y.H;
+    if (X.T != Y.T)
+      return X.T < Y.T;
+    return X.A < Y.A;
+  }
+  std::string str() const;
+};
+
+/// Enumerates all of S.
+std::vector<State> allStates(const Vocabulary &V);
+
+//===----------------------------------------------------------------------===//
+// Primitive and structured commands (Section 3.1)
+//===----------------------------------------------------------------------===//
+
+struct Prim {
+  enum class Kind : uint8_t { New, Copy, Invoke } K = Kind::Copy;
+  uint8_t V = 0;      ///< Defined variable / receiver.
+  uint8_t W = 0;      ///< Copy source.
+  uint8_t Site = 0;   ///< New.
+  uint8_t Method = 0; ///< Invoke.
+
+  static Prim makeNew(uint8_t V, uint8_t Site) {
+    return Prim{Kind::New, V, 0, Site, 0};
+  }
+  static Prim makeCopy(uint8_t V, uint8_t W) {
+    return Prim{Kind::Copy, V, W, 0, 0};
+  }
+  static Prim makeInvoke(uint8_t V, uint8_t Method) {
+    return Prim{Kind::Invoke, V, 0, 0, Method};
+  }
+  std::string str() const;
+};
+
+/// C ::= c | C + C | C ; C | C*
+class Cmd {
+public:
+  enum class Kind : uint8_t { Primitive, Choice, Seq, Star };
+
+  static std::unique_ptr<Cmd> prim(Prim P) {
+    auto C = std::make_unique<Cmd>();
+    C->K = Kind::Primitive;
+    C->P = P;
+    return C;
+  }
+  static std::unique_ptr<Cmd> choice(std::unique_ptr<Cmd> L,
+                                     std::unique_ptr<Cmd> R) {
+    auto C = std::make_unique<Cmd>();
+    C->K = Kind::Choice;
+    C->L = std::move(L);
+    C->R = std::move(R);
+    return C;
+  }
+  static std::unique_ptr<Cmd> seq(std::unique_ptr<Cmd> L,
+                                  std::unique_ptr<Cmd> R) {
+    auto C = std::make_unique<Cmd>();
+    C->K = Kind::Seq;
+    C->L = std::move(L);
+    C->R = std::move(R);
+    return C;
+  }
+  static std::unique_ptr<Cmd> star(std::unique_ptr<Cmd> Body) {
+    auto C = std::make_unique<Cmd>();
+    C->K = Kind::Star;
+    C->L = std::move(Body);
+    return C;
+  }
+
+  Kind K = Kind::Primitive;
+  Prim P;
+  std::unique_ptr<Cmd> L, R;
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Figure 2: the top-down analysis
+//===----------------------------------------------------------------------===//
+
+/// trans(c) : S -> 2^S, exactly Figure 2.
+std::vector<State> trans(const Vocabulary &V, const Prim &C,
+                         const State &S);
+
+/// [[C]](Sigma), Section 3.1 (lfix for Star).
+std::set<State> evalTopDown(const Vocabulary &V, const Cmd &C,
+                            const std::set<State> &Sigma);
+
+//===----------------------------------------------------------------------===//
+// Figure 3: the bottom-up analysis
+//===----------------------------------------------------------------------===//
+
+/// phi ::= true | phi ^ phi | have(v) | notHave(v), canonicalized to a
+/// (have-set, notHave-set) pair of variable bitsets; overlapping sets are
+/// unsatisfiable.
+struct Pred {
+  uint32_t Have = 0;
+  uint32_t NotHave = 0;
+
+  bool sat() const { return (Have & NotHave) == 0; }
+  bool holds(const State &S) const {
+    return (S.A & Have) == Have && (S.A & NotHave) == 0;
+  }
+  Pred conj(const Pred &O) const {
+    return Pred{Have | O.Have, NotHave | O.NotHave};
+  }
+  friend bool operator==(const Pred &X, const Pred &Y) {
+    return X.Have == Y.Have && X.NotHave == Y.NotHave;
+  }
+  friend bool operator<(const Pred &X, const Pred &Y) {
+    if (X.Have != Y.Have)
+      return X.Have < Y.Have;
+    return X.NotHave < Y.NotHave;
+  }
+  std::string str() const;
+};
+
+/// An abstract relation r in R = (S x Q) u (I x 2^V x 2^V x Q):
+/// either the constant relation (Out, Phi) relating every state
+/// satisfying Phi to Out, or the transformer (Iota, A0, A1, Phi) mapping
+/// (h, t, a) |-> (h, Iota(t), (a n A0) u A1) on states satisfying Phi.
+struct Rel {
+  enum class Kind : uint8_t { Const, Trans } K = Kind::Trans;
+  // Const:
+  State Out;
+  // Trans:
+  std::vector<uint8_t> Iota; ///< T -> T.
+  uint32_t A0 = ~0u;         ///< Intersection mask.
+  uint32_t A1 = 0;           ///< Union set.
+  Pred Phi;
+
+  static Rel identity(const Vocabulary &V);
+  static Rel constant(State Out, Pred Phi) {
+    Rel R;
+    R.K = Kind::Const;
+    R.Out = Out;
+    R.Phi = Phi;
+    return R;
+  }
+
+  bool domContains(const State &S) const { return Phi.holds(S); }
+  /// gamma(r) applied to one input; nullptr-like via bool.
+  bool apply(const State &In, State &Out_) const;
+
+  friend bool operator==(const Rel &X, const Rel &Y) {
+    if (X.K != Y.K)
+      return false;
+    if (X.K == Kind::Const)
+      return X.Out == Y.Out && X.Phi == Y.Phi;
+    return X.Iota == Y.Iota && X.A0 == Y.A0 && X.A1 == Y.A1 &&
+           X.Phi == Y.Phi;
+  }
+  friend bool operator<(const Rel &X, const Rel &Y);
+  std::string str() const;
+};
+
+bool operator<(const Rel &X, const Rel &Y);
+
+/// rtrans(c)(r), exactly Figure 3.
+std::vector<Rel> rtrans(const Vocabulary &V, const Prim &C, const Rel &R);
+
+/// wp(r, phi): the weakest precondition of Figure 3's wp routine.
+/// Returns false when the precondition is `false` (unsatisfiable).
+bool wp(const Rel &R, const Pred &Post, Pred &PreOut);
+
+/// rcomp(r, r'), exactly Figure 3 (empty result <-> the composition is
+/// void).
+std::vector<Rel> rcomp(const Rel &R1, const Rel &R2);
+
+//===----------------------------------------------------------------------===//
+// Section 3.4: pruning and the bottom-up semantics
+//===----------------------------------------------------------------------===//
+
+/// An element (R, Sigma) of D^r.
+struct RelVal {
+  std::set<Rel> Rels;
+  std::set<State> Sigma;
+};
+
+/// The prune operator built from rank / best_theta / excl / clean, with
+/// the frequency multiset M of observed incoming states. Theta = 0 means
+/// no pruning.
+RelVal prune(const Vocabulary &V, RelVal In, unsigned Theta,
+             const std::map<State, unsigned> &M);
+
+/// [[C]]^r (R, Sigma), Section 3.4 (fix for Star), pruning with Theta
+/// against M at every step.
+RelVal evalBottomUp(const Vocabulary &V, const Cmd &C, RelVal In,
+                    unsigned Theta, const std::map<State, unsigned> &M);
+
+/// gamma^dagger(R) applied to Sigma (the right-hand side of Theorem 3.1).
+std::set<State> applyRels(const std::set<Rel> &Rels,
+                          const std::set<State> &Sigma);
+
+} // namespace simple
+} // namespace swift
+
+#endif // SWIFT_SIMPLE_SIMPLEDOMAIN_H

@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro256**) used by the workload generator
+/// and the property tests. std::mt19937 is avoided so that generated
+/// workloads are bit-identical across standard library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_RNG_H
+#define SWIFT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace swift {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation), seeded with splitmix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      // splitmix64 step.
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Bernoulli trial with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den > 0 && Num <= Den && "probability out of range");
+    return below(Den) < Num;
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace swift
+
+#endif // SWIFT_SUPPORT_RNG_H

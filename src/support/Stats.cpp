@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cstdio>
+
+using namespace swift;
+
+void Stats::print(std::ostream &OS) const {
+  for (const auto &[Name, Value] : Counters)
+    OS << "  " << Name << " = " << Value << "\n";
+}
+
+std::string Stats::formatThousands(uint64_t N) {
+  char Buf[64];
+  if (N < 1000) {
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(N));
+    return Buf;
+  }
+  double K = static_cast<double>(N) / 1000.0;
+  if (K < 100.0) {
+    std::snprintf(Buf, sizeof(Buf), "%.1fk", K);
+    return Buf;
+  }
+  // Insert a thousands separator into the integral k count, e.g. "1,357k".
+  unsigned long long Kk = static_cast<unsigned long long>(K + 0.5);
+  if (Kk < 1000) {
+    std::snprintf(Buf, sizeof(Buf), "%lluk", Kk);
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%llu,%03lluk", Kk / 1000, Kk % 1000);
+  return Buf;
+}

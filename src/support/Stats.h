@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named statistic counters collected by the solvers: numbers of top-down
+/// and bottom-up summaries, worklist pops, relation-domain operation counts,
+/// and so on. These back the "# summaries" columns of the reproduced tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_STATS_H
+#define SWIFT_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace swift {
+
+/// A bag of named 64-bit counters.
+class Stats {
+public:
+  uint64_t &counter(const std::string &Name) { return Counters[Name]; }
+
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  void clear() { Counters.clear(); }
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+  void print(std::ostream &OS) const;
+
+  /// Formats a count the way the paper's Table 2 does: "6.5k", "1,357k".
+  static std::string formatThousands(uint64_t N);
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace swift
+
+#endif // SWIFT_SUPPORT_STATS_H

@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned identifiers. A Symbol is a cheap, comparable handle to a string
+/// owned by a SymbolTable. All IR names (variables, fields, procedures,
+/// typestates, methods) are Symbols so that hot-path comparisons are integer
+/// comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_SYMBOL_H
+#define SWIFT_SUPPORT_SYMBOL_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace swift {
+
+/// An interned string handle. Value 0 is reserved for the invalid symbol.
+class Symbol {
+public:
+  Symbol() : Id(0) {}
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != 0; }
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  uint32_t Id;
+};
+
+/// Owns interned strings and hands out Symbols. Not thread-safe; each
+/// Program owns exactly one table.
+class SymbolTable {
+public:
+  SymbolTable() {
+    // Reserve id 0 as the invalid symbol.
+    Strings.push_back("");
+  }
+
+  /// Interns \p Text, returning the existing Symbol if already present.
+  Symbol intern(std::string_view Text) {
+    auto It = Index.find(std::string(Text));
+    if (It != Index.end())
+      return It->second;
+    Symbol S(static_cast<uint32_t>(Strings.size()));
+    Strings.emplace_back(Text);
+    Index.emplace(Strings.back(), S);
+    return S;
+  }
+
+  /// Returns the string for \p S. The reference stays valid for the table's
+  /// lifetime.
+  const std::string &text(Symbol S) const {
+    assert(S.id() < Strings.size() && "symbol from a different table");
+    return Strings[S.id()];
+  }
+
+  size_t size() const { return Strings.size() - 1; }
+
+private:
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, Symbol> Index;
+};
+
+} // namespace swift
+
+namespace std {
+template <> struct hash<swift::Symbol> {
+  size_t operator()(swift::Symbol S) const noexcept {
+    return std::hash<uint32_t>()(S.id());
+  }
+};
+} // namespace std
+
+#endif // SWIFT_SUPPORT_SYMBOL_H

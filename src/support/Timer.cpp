@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace swift;
+
+std::string swift::formatSeconds(double Seconds) {
+  char Buf[64];
+  if (Seconds >= 60.0) {
+    int Minutes = static_cast<int>(Seconds / 60.0);
+    int Rem = static_cast<int>(std::lround(Seconds - Minutes * 60.0));
+    if (Rem == 60) {
+      ++Minutes;
+      Rem = 0;
+    }
+    std::snprintf(Buf, sizeof(Buf), "%dm%ds", Minutes, Rem);
+  } else if (Seconds >= 10.0) {
+    std::snprintf(Buf, sizeof(Buf), "%.1fs", Seconds);
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "%.2fs", Seconds);
+  }
+  return Buf;
+}

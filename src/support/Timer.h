@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing and analysis budgets. The paper's evaluation uses a
+/// 24-hour timeout and 16 GB memory cap; our benches substitute a
+/// configurable wall-clock plus work-step budget so that "timeout" rows in
+/// the reproduced tables are cheap and deterministic to produce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_TIMER_H
+#define SWIFT_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace swift {
+
+/// A simple wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  uint64_t millis() const {
+    return static_cast<uint64_t>(seconds() * 1000.0);
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Formats \p Seconds like the paper's tables ("4m44s", "20.4s", "0.91s").
+std::string formatSeconds(double Seconds);
+
+/// A combined step and wall-clock budget. Solvers call step() on every unit
+/// of work; once the budget is exhausted every subsequent call returns
+/// false and the solver aborts, reporting a timeout.
+class Budget {
+public:
+  /// An effectively unlimited budget.
+  Budget() = default;
+
+  Budget(uint64_t MaxSteps, double MaxSeconds)
+      : MaxSteps(MaxSteps), MaxSeconds(MaxSeconds) {}
+
+  /// Consumes one unit of work; returns false once the budget is exhausted.
+  /// The wall clock is polled only every 4096 steps to keep this cheap.
+  bool step() {
+    if (Exhausted)
+      return false;
+    ++Steps;
+    if (Steps > MaxSteps) {
+      Exhausted = true;
+      return false;
+    }
+    if ((Steps & 4095) == 0 && Clock.seconds() > MaxSeconds) {
+      Exhausted = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool exhausted() const { return Exhausted; }
+  uint64_t steps() const { return Steps; }
+  double seconds() const { return Clock.seconds(); }
+  uint64_t maxSteps() const { return MaxSteps; }
+  double maxSeconds() const { return MaxSeconds; }
+
+private:
+  uint64_t MaxSteps = UINT64_MAX;
+  double MaxSeconds = 1e18;
+  uint64_t Steps = 0;
+  bool Exhausted = false;
+  Timer Clock;
+};
+
+} // namespace swift
+
+#endif // SWIFT_SUPPORT_TIMER_H

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typestate/AbstractState.h"
+
+#include "ir/Program.h"
+
+using namespace swift;
+
+std::string ApSet::str(const SymbolTable &Syms) const {
+  std::string Out = "{";
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += Paths[I].str(Syms);
+  }
+  Out += "}";
+  return Out;
+}
+
+std::string TsAbstractState::str(const Program &Prog) const {
+  if (isLambda())
+    return "(lambda)";
+  const SymbolTable &Syms = Prog.symbols();
+  const TypestateSpec *Spec = Prog.specFor(Prog.site(H).Class);
+  std::string TName =
+      Spec ? Syms.text(Spec->stateName(T)) : std::to_string(T);
+  return "(h" + std::to_string(H) + ", " + TName + ", " + Must.str(Syms) +
+         ", " + MustNot.str(Syms) + ")";
+}

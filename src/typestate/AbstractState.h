@@ -1,0 +1,196 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract states of the "full" typestate analysis (paper Sections 2 and
+/// 6.1): tuples (h, t, A, N) where h is an allocation site of the tracked
+/// class, t a typestate, A the must-alias and N the must-not-alias set of
+/// access paths (up to two fields). A and N are kept sorted, deduplicated,
+/// and disjoint.
+///
+/// A distinguished Lambda state (h = LambdaSite) represents "no tracked
+/// object yet". Fresh-object tuples are generated from Lambda at
+/// allocation commands, which keeps procedure summaries for pre-existing
+/// objects separate from summaries for objects the procedure itself
+/// allocates — the key to sound call-return composition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_ABSTRACTSTATE_H
+#define SWIFT_TYPESTATE_ABSTRACTSTATE_H
+
+#include "ir/AccessPath.h"
+#include "ir/Command.h"
+#include "ir/TypestateSpec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace swift {
+
+class Program;
+
+inline constexpr SiteId LambdaSite = static_cast<SiteId>(-1);
+
+/// A sorted, deduplicated set of access paths with set-algebra helpers.
+class ApSet {
+public:
+  ApSet() = default;
+  explicit ApSet(std::vector<AccessPath> Paths) : Paths(std::move(Paths)) {
+    normalize();
+  }
+
+  bool contains(const AccessPath &P) const {
+    return std::binary_search(Paths.begin(), Paths.end(), P);
+  }
+
+  void insert(const AccessPath &P) {
+    auto It = std::lower_bound(Paths.begin(), Paths.end(), P);
+    if (It == Paths.end() || *It != P)
+      Paths.insert(It, P);
+  }
+
+  void erase(const AccessPath &P) {
+    auto It = std::lower_bound(Paths.begin(), Paths.end(), P);
+    if (It != Paths.end() && *It == P)
+      Paths.erase(It);
+  }
+
+  /// Removes every path whose base variable is \p V.
+  void eraseBase(Symbol V) {
+    Paths.erase(std::remove_if(Paths.begin(), Paths.end(),
+                               [V](const AccessPath &P) {
+                                 return P.base() == V;
+                               }),
+                Paths.end());
+  }
+
+  /// Removes every path that dereferences field \p F.
+  void eraseField(Symbol F) {
+    Paths.erase(std::remove_if(Paths.begin(), Paths.end(),
+                               [F](const AccessPath &P) {
+                                 return P.usesField(F);
+                               }),
+                Paths.end());
+  }
+
+  template <typename Pred> void eraseIf(Pred P) {
+    Paths.erase(std::remove_if(Paths.begin(), Paths.end(), P), Paths.end());
+  }
+
+  bool empty() const { return Paths.empty(); }
+  size_t size() const { return Paths.size(); }
+  const std::vector<AccessPath> &paths() const { return Paths; }
+  auto begin() const { return Paths.begin(); }
+  auto end() const { return Paths.end(); }
+
+  friend bool operator==(const ApSet &A, const ApSet &B) {
+    return A.Paths == B.Paths;
+  }
+  friend bool operator!=(const ApSet &A, const ApSet &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const ApSet &A, const ApSet &B) {
+    return A.Paths < B.Paths;
+  }
+
+  std::string str(const SymbolTable &Syms) const;
+
+private:
+  void normalize() {
+    std::sort(Paths.begin(), Paths.end());
+    Paths.erase(std::unique(Paths.begin(), Paths.end()), Paths.end());
+  }
+
+  std::vector<AccessPath> Paths;
+};
+
+/// One abstract state (h, t, A, N), or Lambda.
+class TsAbstractState {
+public:
+  /// The Lambda ("no tracked object") state.
+  TsAbstractState() : H(LambdaSite), T(0) {}
+
+  TsAbstractState(SiteId H, TState T, ApSet Must, ApSet MustNot)
+      : H(H), T(T), Must(std::move(Must)), MustNot(std::move(MustNot)) {
+    assert(H != LambdaSite && "use the default constructor for Lambda");
+#ifndef NDEBUG
+    // Keep A and N disjoint: a path cannot both must- and must-not-alias.
+    for (const AccessPath &P : this->Must)
+      assert(!this->MustNot.contains(P) && "must/must-not sets overlap");
+#endif
+  }
+
+  static TsAbstractState lambda() { return TsAbstractState(); }
+
+  bool isLambda() const { return H == LambdaSite; }
+  SiteId site() const {
+    assert(!isLambda());
+    return H;
+  }
+  TState tstate() const {
+    assert(!isLambda());
+    return T;
+  }
+  const ApSet &must() const { return Must; }
+  const ApSet &mustNot() const { return MustNot; }
+
+  friend bool operator==(const TsAbstractState &A, const TsAbstractState &B) {
+    return A.H == B.H && A.T == B.T && A.Must == B.Must &&
+           A.MustNot == B.MustNot;
+  }
+  friend bool operator!=(const TsAbstractState &A, const TsAbstractState &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const TsAbstractState &A, const TsAbstractState &B) {
+    if (A.H != B.H)
+      return A.H < B.H;
+    if (A.T != B.T)
+      return A.T < B.T;
+    if (A.Must != B.Must)
+      return A.Must < B.Must;
+    return A.MustNot < B.MustNot;
+  }
+
+  std::string str(const Program &Prog) const;
+
+private:
+  SiteId H;
+  TState T;
+  ApSet Must;
+  ApSet MustNot;
+};
+
+} // namespace swift
+
+namespace std {
+template <> struct hash<swift::ApSet> {
+  size_t operator()(const swift::ApSet &S) const noexcept {
+    size_t H = 0x9e3779b97f4a7c15ULL;
+    std::hash<swift::AccessPath> PH;
+    for (const swift::AccessPath &P : S)
+      H = H * 0x100000001b3ULL + PH(P);
+    return H;
+  }
+};
+
+template <> struct hash<swift::TsAbstractState> {
+  size_t operator()(const swift::TsAbstractState &S) const noexcept {
+    if (S.isLambda())
+      return 0x5bd1e995;
+    size_t H = std::hash<uint64_t>()(
+        (static_cast<uint64_t>(S.site()) << 16) | S.tstate());
+    std::hash<swift::ApSet> SH;
+    H = H * 31 + SH(S.must());
+    H = H * 31 + SH(S.mustNot());
+    return H;
+  }
+};
+} // namespace std
+
+#endif // SWIFT_TYPESTATE_ABSTRACTSTATE_H

@@ -1,0 +1,121 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typestate/CallMapping.h"
+
+#include <cassert>
+
+using namespace swift;
+
+CallBinding::CallBinding(const TsContext &Ctx, ProcId CallerProc,
+                         const Command &Call)
+    : Ctxt(Ctx), Callee(Call.Callee), Result(Call.Dst),
+      Ret(Ctx.program().retVar()) {
+  (void)CallerProc;
+  assert(Call.Kind == CmdKind::Call);
+  const Procedure &CalleeProc = Ctx.program().proc(Callee);
+  assert(Call.Args.size() == CalleeProc.params().size());
+  for (size_t I = 0; I != Call.Args.size(); ++I) {
+    Symbol Actual = Call.Args[I];
+    Symbol Formal = CalleeProc.params()[I];
+    bool Found = false;
+    for (auto &[A, Fs] : ActualToFormals)
+      if (A == Actual) {
+        Fs.push_back(Formal);
+        Found = true;
+        break;
+      }
+    if (!Found)
+      ActualToFormals.push_back({Actual, {Formal}});
+  }
+}
+
+const std::vector<Symbol> &CallBinding::formalsOf(Symbol V) const {
+  static const std::vector<Symbol> Empty;
+  for (const auto &[A, Fs] : ActualToFormals)
+    if (A == V)
+      return Fs;
+  return Empty;
+}
+
+Symbol CallBinding::actualOf(Symbol F) const {
+  for (const auto &[A, Fs] : ActualToFormals)
+    for (Symbol G : Fs)
+      if (G == F)
+        return A;
+  return Symbol();
+}
+
+Symbol CallBinding::canonicalFormal(Symbol V) const {
+  const Procedure &CalleeProc = Ctxt.program().proc(Callee);
+  for (Symbol F : formalsOf(V))
+    if (CalleeProc.isStableParam(F))
+      return F;
+  return Symbol();
+}
+
+bool CallBinding::calleeMods(Symbol F) const {
+  return Ctxt.modRef().mayModField(Callee, F);
+}
+
+TsAbstractState swift::tsEnter(const CallBinding &B,
+                               const TsAbstractState &S) {
+  if (S.isLambda())
+    return S;
+
+  ApSet MustE, NotE;
+  for (const AccessPath &P : S.must())
+    for (Symbol F : B.formalsOf(P.base()))
+      MustE.insert(P.withBase(F));
+  for (const AccessPath &P : S.mustNot())
+    for (Symbol F : B.formalsOf(P.base()))
+      NotE.insert(P.withBase(F));
+  return TsAbstractState(S.site(), S.tstate(), std::move(MustE),
+                         std::move(NotE));
+}
+
+static void renameBackInto(const CallBinding &B, const ApSet &ExitSet,
+                           ApSet &Out) {
+  for (const AccessPath &Q : ExitSet) {
+    AccessPath P = B.renameBack(Q);
+    if (P.isValid())
+      Out.insert(P);
+  }
+}
+
+TsAbstractState swift::tsCombine(const CallBinding &B,
+                                 const TsAbstractState &Frame,
+                                 const TsAbstractState &Exit) {
+  assert(!Frame.isLambda() && !Exit.isLambda());
+  assert(Frame.site() == Exit.site() &&
+         "frame/exit tuples describe different objects");
+
+  ApSet A, N;
+  for (const AccessPath &P : Frame.must())
+    if (B.frameKeeps(P))
+      A.insert(P);
+  for (const AccessPath &P : Frame.mustNot())
+    if (B.frameKeeps(P))
+      N.insert(P);
+  // The frame covers non-actual, non-result bases; renameBack only yields
+  // actual- or result-based paths, so the two routes never clash and A / N
+  // stay disjoint.
+  renameBackInto(B, Exit.must(), A);
+  renameBackInto(B, Exit.mustNot(), N);
+
+  return TsAbstractState(Frame.site(), Exit.tstate(), std::move(A),
+                         std::move(N));
+}
+
+TsAbstractState swift::tsCombineFresh(const CallBinding &B,
+                                      const TsAbstractState &Exit) {
+  assert(!Exit.isLambda());
+  ApSet A, N;
+  renameBackInto(B, Exit.must(), A);
+  renameBackInto(B, Exit.mustNot(), N);
+  return TsAbstractState(Exit.site(), Exit.tstate(), std::move(A),
+                         std::move(N));
+}

@@ -1,0 +1,127 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call-boundary mappings of abstract states. Both the top-down tabulation
+/// and the bottom-up relation composition go through these definitions, so
+/// the two analyses agree at call sites *by construction* (condition C1 at
+/// call commands).
+///
+/// The vocabulary split is strict, which is what keeps the bottom-up
+/// composite representable in kill/gen form:
+///
+/// * enter: every actual-based caller path is renamed to every formal it is
+///   bound to; all other paths are dropped (the callee cannot name them).
+/// * combine: paths based at a variable that is neither an actual nor the
+///   call result survive from the caller frame iff they use no field the
+///   callee may modify. Paths based at an actual or at the result variable
+///   are owned by the callee route: a path based at actual `a` is renamed
+///   back from `canonicalFormal(a)` (the first never-reassigned formal
+///   bound to `a`), and $ret-based paths are renamed to the result
+///   variable. The two routes cover disjoint bases, so the must / must-not
+///   sets stay disjoint structurally.
+/// * combineFresh: callee-allocated objects only get the renamed-back
+///   paths; every caller path would be stale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_CALLMAPPING_H
+#define SWIFT_TYPESTATE_CALLMAPPING_H
+
+#include "typestate/AbstractState.h"
+#include "typestate/Context.h"
+
+namespace swift {
+
+/// Precomputed per-call-site binding information shared by the state-level
+/// and relation-level call handling.
+class CallBinding {
+public:
+  CallBinding(const TsContext &Ctx, ProcId CallerProc, const Command &Call);
+
+  ProcId callee() const { return Callee; }
+  Symbol resultVar() const { return Result; }
+  /// The callee's return-value variable ($ret).
+  Symbol retVar() const { return Ret; }
+
+  /// Formals bound to actual \p V (several when the variable is passed
+  /// more than once); empty if \p V is not an actual.
+  const std::vector<Symbol> &formalsOf(Symbol V) const;
+
+  /// The actual bound to formal \p F, or the invalid symbol.
+  Symbol actualOf(Symbol F) const;
+
+  bool isActual(Symbol V) const { return !formalsOf(V).empty(); }
+
+  /// The representative formal through which paths based at actual \p V
+  /// survive the call: the first formal bound to \p V that the callee never
+  /// reassigns. Invalid if there is none (paths based at \p V then die).
+  Symbol canonicalFormal(Symbol V) const;
+
+  /// True if the callee may (transitively) store to field \p F.
+  bool calleeMods(Symbol F) const;
+
+  /// All (actual, bound formals) pairs in argument order of first
+  /// occurrence.
+  const std::vector<std::pair<Symbol, std::vector<Symbol>>> &
+  bindings() const {
+    return ActualToFormals;
+  }
+
+  /// Caller-frame survival: only paths whose base is neither an actual nor
+  /// the result variable, and which use no callee-modified field.
+  bool frameKeeps(const AccessPath &P) const {
+    if (P.base() == Result && Result.isValid())
+      return false;
+    if (isActual(P.base()))
+      return false;
+    if (P.field1().isValid() && calleeMods(P.field1()))
+      return false;
+    if (P.field2().isValid() && calleeMods(P.field2()))
+      return false;
+    return true;
+  }
+
+  /// The caller-side path that callee-exit path \p Q renames back to, or an
+  /// invalid path if \p Q does not survive into the caller. $ret-based
+  /// paths map to the result variable; canonical-formal-based paths map to
+  /// their actual (unless that actual is the result variable, which the
+  /// call rebinds).
+  AccessPath renameBack(const AccessPath &Q) const {
+    if (Q.base() == Ret)
+      return Result.isValid() ? Q.withBase(Result) : AccessPath();
+    Symbol Actual = actualOf(Q.base());
+    if (!Actual.isValid() || Actual == Result)
+      return AccessPath();
+    if (canonicalFormal(Actual) != Q.base())
+      return AccessPath();
+    return Q.withBase(Actual);
+  }
+
+private:
+  const TsContext &Ctxt;
+  ProcId Callee;
+  Symbol Result;
+  Symbol Ret;
+  std::vector<std::pair<Symbol, std::vector<Symbol>>> ActualToFormals;
+};
+
+/// Maps caller state \p S to the callee entry state. Lambda maps to
+/// Lambda.
+TsAbstractState tsEnter(const CallBinding &B, const TsAbstractState &S);
+
+/// Merges caller frame \p Frame (the caller's state at the call) with
+/// callee exit state \p Exit for the same tracked object.
+TsAbstractState tsCombine(const CallBinding &B, const TsAbstractState &Frame,
+                          const TsAbstractState &Exit);
+
+/// Lifts a callee-allocated object's exit state into the caller.
+TsAbstractState tsCombineFresh(const CallBinding &B,
+                               const TsAbstractState &Exit);
+
+} // namespace swift
+
+#endif // SWIFT_TYPESTATE_CALLMAPPING_H

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The immutable environment of one typestate-analysis run: the program,
+/// the typestate class under verification (one property per run, as in the
+/// paper's evaluation), and the oracles it consumes — may-alias for weak
+/// updates, mod-ref for call-return framing, and the call graph for
+/// bottom-up ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_CONTEXT_H
+#define SWIFT_TYPESTATE_CONTEXT_H
+
+#include "alias/AliasAnalysis.h"
+#include "ir/CallGraph.h"
+#include "ir/ModRef.h"
+#include "ir/Program.h"
+#include "ir/TypestateSpec.h"
+
+#include <cassert>
+#include <memory>
+
+namespace swift {
+
+class TsContext {
+public:
+  /// Builds a context for verifying class \p TrackedClass of \p Prog,
+  /// computing the alias/mod-ref/call-graph oracles.
+  TsContext(const Program &Prog, Symbol TrackedClass)
+      : Prog(Prog), Spec(Prog.specFor(TrackedClass)),
+        CG(std::make_unique<CallGraph>(Prog)),
+        Aliases(std::make_unique<AliasAnalysis>(Prog)),
+        Mods(std::make_unique<ModRef>(Prog, *CG)) {
+    assert(Spec && "tracked class has no typestate spec");
+  }
+
+  const Program &program() const { return Prog; }
+  const TypestateSpec &spec() const { return *Spec; }
+  const CallGraph &callGraph() const { return *CG; }
+  const ModRef &modRef() const { return *Mods; }
+  const AliasAnalysis &aliases() const { return *Aliases; }
+
+  /// Does \p Site allocate objects of the tracked class?
+  bool isTrackedSite(SiteId Site) const {
+    return Prog.site(Site).Class == Spec->name();
+  }
+
+  /// The may-alias oracle: may \p V in \p P point to site \p H?
+  bool mayAlias(ProcId P, Symbol V, SiteId H) const {
+    return Aliases->mayPointTo(P, V, H);
+  }
+
+private:
+  const Program &Prog;
+  const TypestateSpec *Spec;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<AliasAnalysis> Aliases;
+  std::unique_ptr<ModRef> Mods;
+};
+
+} // namespace swift
+
+#endif // SWIFT_TYPESTATE_CONTEXT_H

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ignored-input set Sigma of the pruned bottom-up analysis (paper
+/// Section 3.4). Pruning a relation adds its domain predicate; a bottom-up
+/// summary may only be applied to incoming states outside Sigma, everything
+/// else falls back to the top-down analysis, which is what makes pruning
+/// sound (Theorem 3.1).
+///
+/// Sigma is a disjunction of conjunctive predicates plus an optional
+/// Lambda member (the "no tracked object" input, whose summary relations
+/// are the Alloc relations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_IGNORESET_H
+#define SWIFT_TYPESTATE_IGNORESET_H
+
+#include "typestate/AbstractState.h"
+#include "typestate/Context.h"
+#include "typestate/Predicate.h"
+
+#include <vector>
+
+namespace swift {
+
+class TsIgnoreSet {
+public:
+  bool containsLambda() const { return Lambda; }
+
+  bool contains(const TsContext &Ctx, const TsAbstractState &S) const {
+    if (S.isLambda())
+      return Lambda;
+    for (const TsPred &P : Disjuncts)
+      if (P.satisfiedBy(Ctx, S))
+        return true;
+    return false;
+  }
+
+  /// Conservative syntactic test: is {s | s |= Phi} a subset of this set?
+  /// Used by excl(); a false negative only retains a redundant relation.
+  bool coversPred(const TsPred &Phi) const {
+    for (const TsPred &P : Disjuncts)
+      if (Phi.implies(P))
+        return true;
+    return false;
+  }
+
+  /// Returns true if the set grew.
+  bool addLambda() {
+    bool Grew = !Lambda;
+    Lambda = true;
+    return Grew;
+  }
+
+  /// Returns true if the set grew (subsumed predicates are not added).
+  bool addPred(const TsPred &P) {
+    if (coversPred(P))
+      return false;
+    Disjuncts.push_back(P);
+    return true;
+  }
+
+  /// Returns true if the set grew.
+  bool unionWith(const TsIgnoreSet &Other) {
+    bool Grew = false;
+    if (Other.Lambda)
+      Grew |= addLambda();
+    for (const TsPred &P : Other.Disjuncts)
+      Grew |= addPred(P);
+    return Grew;
+  }
+
+  /// Makes this set cover every input (the degraded "always fall back"
+  /// summary guard).
+  void makeAll() {
+    Lambda = true;
+    Disjuncts.clear();
+    Disjuncts.push_back(TsPred()); // `true` covers every non-Lambda state.
+  }
+
+  bool empty() const { return !Lambda && Disjuncts.empty(); }
+  size_t size() const { return Disjuncts.size() + (Lambda ? 1 : 0); }
+  const std::vector<TsPred> &disjuncts() const { return Disjuncts; }
+
+  /// Representation equality (used for fixpoint stabilization; the
+  /// representation only changes when the set grows, so this is a sound
+  /// change detector).
+  friend bool operator==(const TsIgnoreSet &A, const TsIgnoreSet &B) {
+    return A.Lambda == B.Lambda && A.Disjuncts == B.Disjuncts;
+  }
+  friend bool operator!=(const TsIgnoreSet &A, const TsIgnoreSet &B) {
+    return !(A == B);
+  }
+
+private:
+  bool Lambda = false;
+  std::vector<TsPred> Disjuncts;
+};
+
+} // namespace swift
+
+#endif // SWIFT_TYPESTATE_IGNORESET_H

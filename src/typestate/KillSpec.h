@@ -1,0 +1,203 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic kill sets of the bottom-up relation domain. A relation's
+/// must / must-not update is A' = (A \ Kill) U Gen ("our kill/gen recipe",
+/// paper Section 5.2); Gen is a small explicit path set while Kill is a
+/// *pattern* over the unbounded path universe:
+///
+///   kills(p)  iff  base(p) in Bases
+///              or  p uses a field in fieldsFor(base(p)),
+///
+/// where fieldsFor(b) is a per-base override (ByBase) falling back to
+/// Default. The per-base override is what makes the domain closed under
+/// call composition: paths based at an actual are killed according to the
+/// *callee relation's* kill set (translated through the canonical formal),
+/// while all other paths are killed according to the callee's mod-ref set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_KILLSPEC_H
+#define SWIFT_TYPESTATE_KILLSPEC_H
+
+#include "ir/AccessPath.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace swift {
+
+class KillSpec {
+public:
+  KillSpec() = default;
+
+  bool kills(const AccessPath &P) const {
+    if (std::binary_search(Bases.begin(), Bases.end(), P.base()))
+      return true;
+    const std::vector<Symbol> &Fields = fieldsFor(P.base());
+    if (P.field1().isValid() &&
+        std::binary_search(Fields.begin(), Fields.end(), P.field1()))
+      return true;
+    if (P.field2().isValid() &&
+        std::binary_search(Fields.begin(), Fields.end(), P.field2()))
+      return true;
+    return false;
+  }
+
+  bool isEmpty() const {
+    return Bases.empty() && Default.empty() && ByBase.empty();
+  }
+
+  /// Kills every path based at \p V.
+  void addBase(Symbol V) {
+    insertSorted(Bases, V);
+    // A base kill subsumes any per-base field set.
+    ByBase.erase(std::remove_if(ByBase.begin(), ByBase.end(),
+                                [V](const auto &E) { return E.first == V; }),
+                 ByBase.end());
+  }
+
+  /// Kills every path using field \p F, whatever its base.
+  void addFieldEverywhere(Symbol F) {
+    insertSorted(Default, F);
+    for (auto &[B, Fields] : ByBase) {
+      (void)B;
+      insertSorted(Fields, F);
+    }
+    canonicalize();
+  }
+
+  /// Sets the field-kill set for base \p V (overriding Default).
+  void setBaseFields(Symbol V, std::vector<Symbol> Fields) {
+    if (std::binary_search(Bases.begin(), Bases.end(), V))
+      return; // Already killed wholesale.
+    std::sort(Fields.begin(), Fields.end());
+    Fields.erase(std::unique(Fields.begin(), Fields.end()), Fields.end());
+    auto It = std::lower_bound(
+        ByBase.begin(), ByBase.end(), V,
+        [](const auto &E, Symbol K) { return E.first < K; });
+    if (It != ByBase.end() && It->first == V)
+      It->second = std::move(Fields);
+    else
+      ByBase.insert(It, {V, std::move(Fields)});
+    canonicalize();
+  }
+
+  /// Sequential composition: the result kills what either spec kills.
+  void unionWith(const KillSpec &Other) {
+    for (Symbol B : Other.Bases)
+      addBase(B);
+
+    // fieldsFor must become the pointwise union, so existing per-base
+    // entries absorb Other's lookup and vice versa.
+    std::vector<std::pair<Symbol, std::vector<Symbol>>> Merged;
+    auto Keys = [](const KillSpec &S, std::vector<Symbol> &Out) {
+      for (const auto &[B, Fs] : S.ByBase) {
+        (void)Fs;
+        Out.push_back(B);
+      }
+    };
+    std::vector<Symbol> AllKeys;
+    Keys(*this, AllKeys);
+    Keys(Other, AllKeys);
+    std::sort(AllKeys.begin(), AllKeys.end());
+    AllKeys.erase(std::unique(AllKeys.begin(), AllKeys.end()),
+                  AllKeys.end());
+    for (Symbol B : AllKeys) {
+      if (std::binary_search(Bases.begin(), Bases.end(), B))
+        continue;
+      std::vector<Symbol> U = fieldsFor(B);
+      for (Symbol F : Other.fieldsFor(B))
+        insertSorted(U, F);
+      Merged.push_back({B, std::move(U)});
+    }
+    std::vector<Symbol> NewDefault = Default;
+    for (Symbol F : Other.Default)
+      insertSorted(NewDefault, F);
+    Default = std::move(NewDefault);
+    ByBase = std::move(Merged);
+    canonicalize();
+  }
+
+  const std::vector<Symbol> &bases() const { return Bases; }
+  const std::vector<Symbol> &defaultFields() const { return Default; }
+  const std::vector<std::pair<Symbol, std::vector<Symbol>>> &
+  byBase() const {
+    return ByBase;
+  }
+  const std::vector<Symbol> &fieldsFor(Symbol Base) const {
+    auto It = std::lower_bound(
+        ByBase.begin(), ByBase.end(), Base,
+        [](const auto &E, Symbol K) { return E.first < K; });
+    if (It != ByBase.end() && It->first == Base)
+      return It->second;
+    return Default;
+  }
+
+  friend bool operator==(const KillSpec &A, const KillSpec &B) {
+    return A.Bases == B.Bases && A.Default == B.Default &&
+           A.ByBase == B.ByBase;
+  }
+  friend bool operator!=(const KillSpec &A, const KillSpec &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const KillSpec &A, const KillSpec &B) {
+    if (A.Bases != B.Bases)
+      return A.Bases < B.Bases;
+    if (A.Default != B.Default)
+      return A.Default < B.Default;
+    return A.ByBase < B.ByBase;
+  }
+
+  std::string str(const SymbolTable &Syms) const;
+
+private:
+  static void insertSorted(std::vector<Symbol> &V, Symbol S) {
+    auto It = std::lower_bound(V.begin(), V.end(), S);
+    if (It == V.end() || *It != S)
+      V.insert(It, S);
+  }
+
+  /// Drops ByBase entries that equal Default (so equal kill functions have
+  /// equal representations).
+  void canonicalize() {
+    ByBase.erase(std::remove_if(ByBase.begin(), ByBase.end(),
+                                [this](const auto &E) {
+                                  return E.second == Default;
+                                }),
+                 ByBase.end());
+  }
+
+  std::vector<Symbol> Bases;   ///< Sorted.
+  std::vector<Symbol> Default; ///< Sorted.
+  std::vector<std::pair<Symbol, std::vector<Symbol>>> ByBase; ///< By key.
+};
+
+} // namespace swift
+
+namespace std {
+template <> struct hash<swift::KillSpec> {
+  size_t operator()(const swift::KillSpec &K) const noexcept {
+    size_t H = 0x9ddfea08eb382d69ULL;
+    for (swift::Symbol B : K.bases())
+      H = H * 31 + B.id();
+    H = H * 131 + 7;
+    for (swift::Symbol F : K.defaultFields())
+      H = H * 31 + F.id();
+    for (const auto &[B, Fs] : K.byBase()) {
+      H = H * 131 + B.id();
+      for (swift::Symbol F : Fs)
+        H = H * 31 + F.id();
+    }
+    return H;
+  }
+};
+} // namespace std
+
+#endif // SWIFT_TYPESTATE_KILLSPEC_H

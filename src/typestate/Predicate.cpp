@@ -1,0 +1,166 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typestate/Predicate.h"
+
+#include "ir/Program.h"
+
+#include <algorithm>
+
+using namespace swift;
+
+TsPred::ApConstraint &TsPred::apEntry(const AccessPath &P) {
+  auto It = std::lower_bound(Aps.begin(), Aps.end(), P,
+                             [](const ApConstraint &C, const AccessPath &Q) {
+                               return C.Path < Q;
+                             });
+  if (It == Aps.end() || It->Path != P)
+    It = Aps.insert(It, ApConstraint{P, ThreeVal::Unk, ThreeVal::Unk});
+  return *It;
+}
+
+bool TsPred::requireMust(const AccessPath &P, bool Yes) {
+  ApConstraint &C = apEntry(P);
+  ThreeVal Want = Yes ? ThreeVal::Yes : ThreeVal::No;
+  if (C.InMust != ThreeVal::Unk && C.InMust != Want)
+    return false;
+  // Must and must-not sets are disjoint in well-formed states.
+  if (Yes && C.InNot == ThreeVal::Yes)
+    return false;
+  C.InMust = Want;
+  if (Yes && C.InNot == ThreeVal::Unk)
+    C.InNot = ThreeVal::No;
+  return true;
+}
+
+bool TsPred::requireNot(const AccessPath &P, bool Yes) {
+  ApConstraint &C = apEntry(P);
+  ThreeVal Want = Yes ? ThreeVal::Yes : ThreeVal::No;
+  if (C.InNot != ThreeVal::Unk && C.InNot != Want)
+    return false;
+  if (Yes && C.InMust == ThreeVal::Yes)
+    return false;
+  C.InNot = Want;
+  if (Yes && C.InMust == ThreeVal::Unk)
+    C.InMust = ThreeVal::No;
+  return true;
+}
+
+bool TsPred::requireMay(ProcId P, Symbol V, bool Want) {
+  auto It = std::lower_bound(
+      Mays.begin(), Mays.end(), std::make_pair(P, V),
+      [](const MayConstraint &C, const std::pair<ProcId, Symbol> &K) {
+        if (C.Proc != K.first)
+          return C.Proc < K.first;
+        return C.Var < K.second;
+      });
+  if (It != Mays.end() && It->Proc == P && It->Var == V)
+    return It->Want == Want;
+  Mays.insert(It, MayConstraint{P, V, Want});
+  return true;
+}
+
+bool TsPred::conjoin(const TsPred &Other) {
+  for (const ApConstraint &C : Other.Aps) {
+    if (C.InMust != ThreeVal::Unk &&
+        !requireMust(C.Path, C.InMust == ThreeVal::Yes))
+      return false;
+    if (C.InNot != ThreeVal::Unk &&
+        !requireNot(C.Path, C.InNot == ThreeVal::Yes))
+      return false;
+  }
+  for (const MayConstraint &C : Other.Mays)
+    if (!requireMay(C.Proc, C.Var, C.Want))
+      return false;
+  return true;
+}
+
+ThreeVal TsPred::mustStatus(const AccessPath &P) const {
+  auto It = std::lower_bound(Aps.begin(), Aps.end(), P,
+                             [](const ApConstraint &C, const AccessPath &Q) {
+                               return C.Path < Q;
+                             });
+  if (It == Aps.end() || It->Path != P)
+    return ThreeVal::Unk;
+  return It->InMust;
+}
+
+ThreeVal TsPred::notStatus(const AccessPath &P) const {
+  auto It = std::lower_bound(Aps.begin(), Aps.end(), P,
+                             [](const ApConstraint &C, const AccessPath &Q) {
+                               return C.Path < Q;
+                             });
+  if (It == Aps.end() || It->Path != P)
+    return ThreeVal::Unk;
+  return It->InNot;
+}
+
+bool TsPred::satisfiedBy(const TsContext &Ctx,
+                         const TsAbstractState &S) const {
+  if (S.isLambda())
+    return false;
+  for (const ApConstraint &C : Aps) {
+    if (C.InMust == ThreeVal::Yes && !S.must().contains(C.Path))
+      return false;
+    if (C.InMust == ThreeVal::No && S.must().contains(C.Path))
+      return false;
+    if (C.InNot == ThreeVal::Yes && !S.mustNot().contains(C.Path))
+      return false;
+    if (C.InNot == ThreeVal::No && S.mustNot().contains(C.Path))
+      return false;
+  }
+  for (const MayConstraint &C : Mays)
+    if (Ctx.mayAlias(C.Proc, C.Var, S.site()) != C.Want)
+      return false;
+  return true;
+}
+
+bool TsPred::implies(const TsPred &Weaker) const {
+  for (const ApConstraint &C : Weaker.Aps) {
+    if (C.InMust != ThreeVal::Unk && mustStatus(C.Path) != C.InMust)
+      return false;
+    if (C.InNot != ThreeVal::Unk && notStatus(C.Path) != C.InNot)
+      return false;
+  }
+  for (const MayConstraint &C : Weaker.Mays) {
+    bool Found = false;
+    for (const MayConstraint &Mine : Mays)
+      if (Mine.Proc == C.Proc && Mine.Var == C.Var) {
+        Found = Mine.Want == C.Want;
+        break;
+      }
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+std::string TsPred::str(const Program &Prog) const {
+  const SymbolTable &Syms = Prog.symbols();
+  if (isTrue())
+    return "true";
+  std::string Out;
+  auto Add = [&Out](const std::string &Lit) {
+    if (!Out.empty())
+      Out += " & ";
+    Out += Lit;
+  };
+  for (const ApConstraint &C : Aps) {
+    std::string P = C.Path.str(Syms);
+    if (C.InMust == ThreeVal::Yes)
+      Add("have(" + P + ")");
+    if (C.InMust == ThreeVal::No)
+      Add("!have(" + P + ")");
+    if (C.InNot == ThreeVal::Yes)
+      Add("notHave(" + P + ")");
+    if (C.InNot == ThreeVal::No)
+      Add("!notHave(" + P + ")");
+  }
+  for (const MayConstraint &C : Mays)
+    Add(std::string(C.Want ? "may(" : "!may(") + Syms.text(C.Var) + "@" +
+        Syms.text(Prog.proc(C.Proc).name()) + ")");
+  return Out;
+}

@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Preconditions of bottom-up abstract relations (the phi component of the
+/// paper's Figure 3, generalized to the 4-tuple analysis). A predicate is a
+/// conjunction of literals over the relation's *input* abstract state:
+///
+///  * per access path: a 3-valued constraint on membership in the must set
+///    and in the must-not set (have / notHave of the paper, refined so the
+///    weakest-precondition operator stays closed), and
+///  * per (procedure, variable): a may-alias constraint, satisfied when the
+///    static may-alias oracle does / does not relate the variable to the
+///    input state's allocation site. These arise from the B3/B4 weak-update
+///    cases and are evaluated lazily because relations leave h symbolic.
+///
+/// Must- and must-not sets of well-formed states are disjoint, so
+/// requiring membership in both is a contradiction and the predicate
+/// becomes unsatisfiable (the relation is dropped).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_PREDICATE_H
+#define SWIFT_TYPESTATE_PREDICATE_H
+
+#include "typestate/AbstractState.h"
+#include "typestate/Context.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace swift {
+
+enum class ThreeVal : uint8_t { Unk, Yes, No };
+
+/// A conjunctive predicate over abstract states (never Lambda). The empty
+/// predicate is `true`. All mutators return false when the conjunction
+/// becomes unsatisfiable; the predicate must then be discarded.
+class TsPred {
+public:
+  struct ApConstraint {
+    AccessPath Path;
+    ThreeVal InMust = ThreeVal::Unk;
+    ThreeVal InNot = ThreeVal::Unk;
+
+    friend bool operator==(const ApConstraint &A, const ApConstraint &B) {
+      return A.Path == B.Path && A.InMust == B.InMust && A.InNot == B.InNot;
+    }
+    friend bool operator<(const ApConstraint &A, const ApConstraint &B) {
+      if (A.Path != B.Path)
+        return A.Path < B.Path;
+      if (A.InMust != B.InMust)
+        return A.InMust < B.InMust;
+      return A.InNot < B.InNot;
+    }
+  };
+
+  struct MayConstraint {
+    ProcId Proc = InvalidProc;
+    Symbol Var;
+    bool Want = true; ///< true: mayalias(Var, h); false: not mayalias.
+
+    friend bool operator==(const MayConstraint &A, const MayConstraint &B) {
+      return A.Proc == B.Proc && A.Var == B.Var && A.Want == B.Want;
+    }
+    friend bool operator<(const MayConstraint &A, const MayConstraint &B) {
+      if (A.Proc != B.Proc)
+        return A.Proc < B.Proc;
+      if (A.Var != B.Var)
+        return A.Var < B.Var;
+      return A.Want < B.Want;
+    }
+  };
+
+  TsPred() = default;
+
+  bool isTrue() const { return Aps.empty() && Mays.empty(); }
+
+  /// Conjoins "Path in must set" (Yes) or "Path not in must set" (No).
+  [[nodiscard]] bool requireMust(const AccessPath &P, bool Yes);
+  /// Conjoins "Path in must-not set" (Yes) or "not in must-not set" (No).
+  [[nodiscard]] bool requireNot(const AccessPath &P, bool Yes);
+  /// Conjoins a may-alias constraint for variable \p V of procedure \p P.
+  [[nodiscard]] bool requireMay(ProcId P, Symbol V, bool Want);
+  /// Conjoins every literal of \p Other.
+  [[nodiscard]] bool conjoin(const TsPred &Other);
+
+  ThreeVal mustStatus(const AccessPath &P) const;
+  ThreeVal notStatus(const AccessPath &P) const;
+
+  /// Does the (non-Lambda) state \p S satisfy this predicate? May-alias
+  /// literals are decided by the context's oracle against S's site.
+  bool satisfiedBy(const TsContext &Ctx, const TsAbstractState &S) const;
+
+  /// Syntactic entailment: every literal of \p Weaker is implied by this
+  /// predicate. (this => Weaker)
+  bool implies(const TsPred &Weaker) const;
+
+  const std::vector<ApConstraint> &apConstraints() const { return Aps; }
+  const std::vector<MayConstraint> &mayConstraints() const { return Mays; }
+
+  friend bool operator==(const TsPred &A, const TsPred &B) {
+    return A.Aps == B.Aps && A.Mays == B.Mays;
+  }
+  friend bool operator!=(const TsPred &A, const TsPred &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const TsPred &A, const TsPred &B) {
+    if (A.Aps != B.Aps)
+      return A.Aps < B.Aps;
+    return A.Mays < B.Mays;
+  }
+
+  std::string str(const Program &Prog) const;
+
+private:
+  ApConstraint &apEntry(const AccessPath &P);
+
+  std::vector<ApConstraint> Aps;   ///< Sorted by path; no all-Unk entries.
+  std::vector<MayConstraint> Mays; ///< Sorted by (Proc, Var); unique keys.
+};
+
+} // namespace swift
+
+namespace std {
+template <> struct hash<swift::TsPred> {
+  size_t operator()(const swift::TsPred &P) const noexcept {
+    size_t H = 0x2545f4914f6cdd1dULL;
+    std::hash<swift::AccessPath> PH;
+    for (const auto &C : P.apConstraints()) {
+      H = H * 31 + PH(C.Path);
+      H = H * 31 + (static_cast<size_t>(C.InMust) * 3 +
+                    static_cast<size_t>(C.InNot));
+    }
+    for (const auto &C : P.mayConstraints()) {
+      H = H * 31 + C.Proc;
+      H = H * 31 + C.Var.id() * 2 + (C.Want ? 1 : 0);
+    }
+    return H;
+  }
+};
+} // namespace std
+
+#endif // SWIFT_TYPESTATE_PREDICATE_H

@@ -1,0 +1,161 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typestate/RelCall.h"
+
+#include <cassert>
+
+using namespace swift;
+
+std::optional<TsPred> swift::tsEnterPullback(const TsContext &Ctx,
+                                             const CallBinding &B,
+                                             const TsPred &Phi) {
+  (void)Ctx;
+  TsPred Out;
+  for (const TsPred::ApConstraint &C : Phi.apConstraints()) {
+    Symbol Actual = B.actualOf(C.Path.base());
+    if (!Actual.isValid()) {
+      // Callee locals and $ret are never in the entry must / must-not
+      // sets: membership literals are statically false.
+      if (C.InMust == ThreeVal::Yes || C.InNot == ThreeVal::Yes)
+        return std::nullopt;
+      continue;
+    }
+    AccessPath P = C.Path.withBase(Actual);
+    if (C.InMust == ThreeVal::Yes && !Out.requireMust(P, true))
+      return std::nullopt;
+    if (C.InMust == ThreeVal::No && !Out.requireMust(P, false))
+      return std::nullopt;
+    if (C.InNot == ThreeVal::Yes && !Out.requireNot(P, true))
+      return std::nullopt;
+    if (C.InNot == ThreeVal::No && !Out.requireNot(P, false))
+      return std::nullopt;
+  }
+  for (const TsPred::MayConstraint &C : Phi.mayConstraints())
+    if (!Out.requireMay(C.Proc, C.Var, C.Want))
+      return std::nullopt;
+  return Out;
+}
+
+namespace {
+
+/// Translates a callee relation's kill set into the caller vocabulary:
+/// the call result is always clobbered, paths based at an actual follow
+/// the callee's kills through the canonical formal, and everything else
+/// follows the callee's mod-ref set.
+KillSpec callKillSpec(const TsContext &Ctx, const CallBinding &B,
+                      const KillSpec &CalleeKill) {
+  KillSpec K;
+  for (Symbol F : Ctx.modRef().modFields(B.callee()))
+    K.addFieldEverywhere(F);
+  if (B.resultVar().isValid())
+    K.addBase(B.resultVar());
+  for (const auto &[Actual, Formals] : B.bindings()) {
+    (void)Formals;
+    if (Actual == B.resultVar() && B.resultVar().isValid())
+      continue; // Already killed wholesale.
+    Symbol Canon = B.canonicalFormal(Actual);
+    if (!Canon.isValid() ||
+        std::binary_search(CalleeKill.bases().begin(),
+                           CalleeKill.bases().end(), Canon)) {
+      K.addBase(Actual);
+      continue;
+    }
+    K.setBaseFields(Actual, CalleeKill.fieldsFor(Canon));
+  }
+  return K;
+}
+
+ApSet renameBackSet(const CallBinding &B, const ApSet &Gens) {
+  ApSet Out;
+  for (const AccessPath &Q : Gens) {
+    AccessPath P = B.renameBack(Q);
+    if (P.isValid())
+      Out.insert(P);
+  }
+  return Out;
+}
+
+/// Builds the caller-vocabulary effect of callee Trans relation \p CalleeR.
+/// nullopt when the callee precondition cannot be met by any entry state.
+std::optional<TsRelation> callEffect(const TsContext &Ctx,
+                                     const CallBinding &B,
+                                     const TsRelation &CalleeR) {
+  assert(!CalleeR.isAlloc());
+  std::optional<TsPred> Phi = tsEnterPullback(Ctx, B, CalleeR.phi());
+  if (!Phi)
+    return std::nullopt;
+  return TsRelation::makeTrans(
+      CalleeR.iota(), callKillSpec(Ctx, B, CalleeR.killA()),
+      renameBackSet(B, CalleeR.genA()),
+      callKillSpec(Ctx, B, CalleeR.killN()),
+      renameBackSet(B, CalleeR.genN()), std::move(*Phi));
+}
+
+} // namespace
+
+void swift::tsComposeCall(const TsContext &Ctx, const CallBinding &B,
+                          const TsRelation &R, const TsSummaryView &Callee,
+                          std::vector<TsRelation> &Out,
+                          TsIgnoreSet &SigmaOut) {
+  if (R.isAlloc()) {
+    TsAbstractState Entry = tsEnter(B, R.out());
+    if (Callee.Sigma->contains(Ctx, Entry)) {
+      // The callee summary ignores this entry state; the whole Lambda
+      // route becomes unusable in the caller.
+      SigmaOut.addLambda();
+      return;
+    }
+    for (const TsRelation &CalleeR : *Callee.Rels) {
+      if (CalleeR.isAlloc())
+        continue;
+      if (!CalleeR.phi().satisfiedBy(Ctx, Entry))
+        continue;
+      Out.push_back(TsRelation::makeAlloc(
+          tsCombine(B, R.out(), CalleeR.transform(Entry))));
+    }
+    return;
+  }
+
+  // Backward-propagate the callee's pruning decisions: inputs of R whose
+  // intermediate entry state the callee ignores become ignored here.
+  for (const TsPred &Psi : Callee.Sigma->disjuncts()) {
+    std::optional<TsPred> Pulled = tsEnterPullback(Ctx, B, Psi);
+    if (!Pulled)
+      continue;
+    std::optional<TsPred> Wp = tsWpPred(R, *Pulled);
+    if (!Wp)
+      continue;
+    TsPred Pre = R.phi();
+    if (Pre.conjoin(*Wp))
+      SigmaOut.addPred(Pre);
+  }
+
+  for (const TsRelation &CalleeR : *Callee.Rels) {
+    if (CalleeR.isAlloc())
+      continue; // Fresh callee objects travel the Lambda route.
+    std::optional<TsRelation> Effect = callEffect(Ctx, B, CalleeR);
+    if (!Effect)
+      continue;
+    if (std::optional<TsRelation> C = tsRcomp(Ctx, R, *Effect))
+      Out.push_back(std::move(*C));
+  }
+}
+
+void swift::tsComposeCallLambda(const TsContext &Ctx, const CallBinding &B,
+                                const TsSummaryView &Callee,
+                                std::vector<TsRelation> &Out,
+                                TsIgnoreSet &SigmaOut) {
+  if (Callee.Sigma->containsLambda()) {
+    SigmaOut.addLambda();
+    return;
+  }
+  for (const TsRelation &CalleeR : *Callee.Rels)
+    if (CalleeR.isAlloc())
+      Out.push_back(
+          TsRelation::makeAlloc(tsCombineFresh(B, CalleeR.out())));
+  (void)Ctx;
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Procedure-call composition in the bottom-up relation domain: the
+/// [[g()]]^r case of the paper's Section 3.5, specialized to the typestate
+/// relation domain. A caller relation composed with a callee summary
+/// (R', Sigma') yields caller relations, plus additions to the caller's
+/// ignore set for inputs whose intermediate callee-entry state falls in
+/// Sigma' (the backward wp-propagation of pruning decisions).
+///
+/// The composition mirrors the state-level call mapping (CallMapping.h)
+/// exactly: the callee relation's kill/gen sets are translated through the
+/// canonical formals, non-actual caller paths are killed according to the
+/// callee's mod set, and the callee precondition is pulled back through
+/// `enter` and then through the caller relation via wp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_RELCALL_H
+#define SWIFT_TYPESTATE_RELCALL_H
+
+#include "typestate/CallMapping.h"
+#include "typestate/IgnoreSet.h"
+#include "typestate/Relation.h"
+
+#include <vector>
+
+namespace swift {
+
+/// A view of a callee's bottom-up summary.
+struct TsSummaryView {
+  const std::vector<TsRelation> *Rels = nullptr;
+  const TsIgnoreSet *Sigma = nullptr;
+};
+
+/// Pulls callee-entry predicate \p Phi back through `enter` at binding
+/// \p B: formal-based paths become actual-based, paths the callee entry
+/// can never contain (locals, $ret) evaluate statically. nullopt encodes
+/// `false`.
+std::optional<TsPred> tsEnterPullback(const TsContext &Ctx,
+                                      const CallBinding &B,
+                                      const TsPred &Phi);
+
+/// Composes caller relation \p R with the callee summary at binding \p B.
+/// Composite relations are appended to \p Out; predicates covering inputs
+/// whose callee-entry state is ignored by the callee are added to
+/// \p SigmaOut (Lambda if \p R is an Alloc relation).
+void tsComposeCall(const TsContext &Ctx, const CallBinding &B,
+                   const TsRelation &R, const TsSummaryView &Callee,
+                   std::vector<TsRelation> &Out, TsIgnoreSet &SigmaOut);
+
+/// The Lambda route through a call: lifts the callee's Alloc relations
+/// (objects the callee allocates) into the caller, and marks Lambda
+/// ignored if the callee's summary ignores Lambda.
+void tsComposeCallLambda(const TsContext &Ctx, const CallBinding &B,
+                         const TsSummaryView &Callee,
+                         std::vector<TsRelation> &Out,
+                         TsIgnoreSet &SigmaOut);
+
+} // namespace swift
+
+#endif // SWIFT_TYPESTATE_RELCALL_H

@@ -1,0 +1,494 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typestate/Relation.h"
+
+#include "ir/Program.h"
+#include "typestate/Transfer.h"
+
+#include <cassert>
+
+using namespace swift;
+
+TsRelation TsRelation::makeAlloc(TsAbstractState Out) {
+  assert(!Out.isLambda());
+  TsRelation R;
+  R.K = Kind::Alloc;
+  R.Out = std::move(Out);
+  return R;
+}
+
+TsRelation TsRelation::makeIdentity(size_t NumStates) {
+  TsRelation R;
+  R.K = Kind::Trans;
+  R.Iota.resize(NumStates);
+  for (size_t I = 0; I != NumStates; ++I)
+    R.Iota[I] = static_cast<TState>(I);
+  return R;
+}
+
+TsRelation TsRelation::makeTrans(std::vector<TState> Iota, KillSpec KillA,
+                                 ApSet GenA, KillSpec KillN, ApSet GenN,
+                                 TsPred Phi) {
+#ifndef NDEBUG
+  for (const AccessPath &P : GenA)
+    assert(KillN.kills(P) && "GenA path not protected by KillN");
+  for (const AccessPath &P : GenN)
+    assert(KillA.kills(P) && "GenN path not protected by KillA");
+#endif
+  TsRelation R;
+  R.K = Kind::Trans;
+  R.Iota = std::move(Iota);
+  R.KillA = std::move(KillA);
+  R.GenA = std::move(GenA);
+  R.KillN = std::move(KillN);
+  R.GenN = std::move(GenN);
+  R.Phi = std::move(Phi);
+  return R;
+}
+
+TsAbstractState TsRelation::transform(const TsAbstractState &S) const {
+  assert(K == Kind::Trans && !S.isLambda());
+  ApSet A = S.must();
+  A.eraseIf([this](const AccessPath &P) { return KillA.kills(P); });
+  for (const AccessPath &P : GenA)
+    A.insert(P);
+  ApSet N = S.mustNot();
+  N.eraseIf([this](const AccessPath &P) { return KillN.kills(P); });
+  for (const AccessPath &P : GenN)
+    N.insert(P);
+  return TsAbstractState(S.site(), Iota[S.tstate()], std::move(A),
+                         std::move(N));
+}
+
+std::optional<TsAbstractState>
+TsRelation::apply(const TsContext &Ctx, const TsAbstractState &S) const {
+  if (isAlloc())
+    return S.isLambda() ? std::optional<TsAbstractState>(Out) : std::nullopt;
+  if (S.isLambda() || !Phi.satisfiedBy(Ctx, S))
+    return std::nullopt;
+  return transform(S);
+}
+
+bool swift::operator<(const TsRelation &A, const TsRelation &B) {
+  if (A.K != B.K)
+    return A.K < B.K;
+  if (A.K == TsRelation::Kind::Alloc)
+    return A.Out < B.Out;
+  if (A.Iota != B.Iota)
+    return A.Iota < B.Iota;
+  if (A.KillA != B.KillA)
+    return A.KillA < B.KillA;
+  if (A.GenA != B.GenA)
+    return A.GenA < B.GenA;
+  if (A.KillN != B.KillN)
+    return A.KillN < B.KillN;
+  if (A.GenN != B.GenN)
+    return A.GenN < B.GenN;
+  return A.Phi < B.Phi;
+}
+
+std::string TsRelation::str(const Program &Prog) const {
+  const SymbolTable &Syms = Prog.symbols();
+  if (isAlloc())
+    return "alloc -> " + Out.str(Prog);
+  std::string S = "[phi: " + Phi.str(Prog) + "] t->";
+  bool Identity = true;
+  for (size_t I = 0; I != Iota.size(); ++I)
+    if (Iota[I] != I)
+      Identity = false;
+  if (Identity) {
+    S += "t";
+  } else {
+    S += "(";
+    for (size_t I = 0; I != Iota.size(); ++I) {
+      if (I)
+        S += ",";
+      S += std::to_string(Iota[I]);
+    }
+    S += ")";
+  }
+  S += " A:-" + KillA.str(Syms) + "+" + GenA.str(Syms);
+  S += " N:-" + KillN.str(Syms) + "+" + GenN.str(Syms);
+  return S;
+}
+
+std::string KillSpec::str(const SymbolTable &Syms) const {
+  std::string S = "{";
+  bool First = true;
+  auto Sep = [&]() {
+    if (!First)
+      S += ",";
+    First = false;
+  };
+  for (Symbol B : Bases) {
+    Sep();
+    S += Syms.text(B) + ".*";
+  }
+  for (Symbol F : Default) {
+    Sep();
+    S += "*." + Syms.text(F);
+  }
+  for (const auto &[B, Fs] : ByBase) {
+    Sep();
+    S += Syms.text(B) + ":(";
+    for (size_t I = 0; I != Fs.size(); ++I) {
+      if (I)
+        S += ",";
+      S += Syms.text(Fs[I]);
+    }
+    S += ")";
+  }
+  S += "}";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// wp
+//===----------------------------------------------------------------------===//
+
+std::optional<TsPred> swift::tsWpPred(const TsRelation &R,
+                                      const TsPred &Post) {
+  assert(!R.isAlloc() && "wp through Alloc relations is concrete evaluation");
+  TsPred Pre;
+  for (const TsPred::ApConstraint &C : Post.apConstraints()) {
+    if (C.InMust == ThreeVal::Yes) {
+      if (R.genA().contains(C.Path)) {
+        // Always in the output must set.
+      } else if (R.killA().kills(C.Path)) {
+        return std::nullopt; // Never.
+      } else if (!Pre.requireMust(C.Path, true)) {
+        return std::nullopt;
+      }
+    } else if (C.InMust == ThreeVal::No) {
+      if (R.genA().contains(C.Path))
+        return std::nullopt;
+      if (!R.killA().kills(C.Path) && !Pre.requireMust(C.Path, false))
+        return std::nullopt;
+    }
+    if (C.InNot == ThreeVal::Yes) {
+      if (R.genN().contains(C.Path)) {
+      } else if (R.killN().kills(C.Path)) {
+        return std::nullopt;
+      } else if (!Pre.requireNot(C.Path, true)) {
+        return std::nullopt;
+      }
+    } else if (C.InNot == ThreeVal::No) {
+      if (R.genN().contains(C.Path))
+        return std::nullopt;
+      if (!R.killN().kills(C.Path) && !Pre.requireNot(C.Path, false))
+        return std::nullopt;
+    }
+  }
+  for (const TsPred::MayConstraint &C : Post.mayConstraints())
+    if (!Pre.requireMay(C.Proc, C.Var, C.Want))
+      return std::nullopt;
+  return Pre;
+}
+
+//===----------------------------------------------------------------------===//
+// rcomp
+//===----------------------------------------------------------------------===//
+
+std::optional<TsRelation> swift::tsRcomp(const TsContext &Ctx,
+                                         const TsRelation &R1,
+                                         const TsRelation &R2) {
+  // Nothing outputs Lambda, so composing into an Alloc relation's domain
+  // ({Lambda}) is empty.
+  if (R2.isAlloc())
+    return std::nullopt;
+
+  if (R1.isAlloc()) {
+    if (!R2.phi().satisfiedBy(Ctx, R1.out()))
+      return std::nullopt;
+    return TsRelation::makeAlloc(R2.transform(R1.out()));
+  }
+
+  TsPred Phi = R1.phi();
+  std::optional<TsPred> Wp = tsWpPred(R1, R2.phi());
+  if (!Wp || !Phi.conjoin(*Wp))
+    return std::nullopt;
+
+  std::vector<TState> Iota(R1.iota().size());
+  for (size_t I = 0; I != Iota.size(); ++I)
+    Iota[I] = R2.iota()[R1.iota()[I]];
+
+  KillSpec KillA = R1.killA();
+  KillA.unionWith(R2.killA());
+  KillSpec KillN = R1.killN();
+  KillN.unionWith(R2.killN());
+
+  ApSet GenA;
+  for (const AccessPath &P : R1.genA())
+    if (!R2.killA().kills(P))
+      GenA.insert(P);
+  for (const AccessPath &P : R2.genA())
+    GenA.insert(P);
+  ApSet GenN;
+  for (const AccessPath &P : R1.genN())
+    if (!R2.killN().kills(P))
+      GenN.insert(P);
+  for (const AccessPath &P : R2.genN())
+    GenN.insert(P);
+
+  return TsRelation::makeTrans(std::move(Iota), std::move(KillA),
+                               std::move(GenA), std::move(KillN),
+                               std::move(GenN), std::move(Phi));
+}
+
+//===----------------------------------------------------------------------===//
+// rtrans
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the iota vector of method \p M (error-absorbing).
+std::vector<TState> methodIota(const TypestateSpec &Spec, Symbol M) {
+  std::vector<TState> V(Spec.numStates());
+  for (size_t T = 0; T != V.size(); ++T)
+    V[T] = tsApplyMethod(Spec, M, static_cast<TState>(T));
+  return V;
+}
+
+std::vector<TState> constIota(size_t NumStates, TState To) {
+  return std::vector<TState>(NumStates, To);
+}
+
+std::vector<TState> identityIota(size_t NumStates) {
+  std::vector<TState> V(NumStates);
+  for (size_t I = 0; I != NumStates; ++I)
+    V[I] = static_cast<TState>(I);
+  return V;
+}
+
+/// The three relations of an assignment Dst = <source> where the source's
+/// must / must-not membership is tested on the input: source in must,
+/// source in must-not, source in neither. \p Kill is applied to both sets.
+void assignCases(size_t NumStates, const AccessPath &Source, Symbol Dst,
+                 KillSpec Kill, std::vector<TsRelation> &Out) {
+  AccessPath DstPath((Dst));
+  // Case 1: source in must set -> Dst joins the must set.
+  {
+    TsPred Phi;
+    bool Ok = Phi.requireMust(Source, true);
+    assert(Ok && "fresh literal cannot contradict");
+    (void)Ok;
+    ApSet GenA;
+    GenA.insert(DstPath);
+    Out.push_back(TsRelation::makeTrans(identityIota(NumStates), Kill,
+                                        std::move(GenA), Kill, ApSet(),
+                                        std::move(Phi)));
+  }
+  // Case 2: source in must-not set -> Dst joins the must-not set.
+  {
+    TsPred Phi;
+    bool Ok = Phi.requireMust(Source, false) && Phi.requireNot(Source, true);
+    assert(Ok);
+    (void)Ok;
+    ApSet GenN;
+    GenN.insert(DstPath);
+    Out.push_back(TsRelation::makeTrans(identityIota(NumStates), Kill,
+                                        ApSet(), Kill, std::move(GenN),
+                                        std::move(Phi)));
+  }
+  // Case 3: neither -> Dst joins neither.
+  {
+    TsPred Phi;
+    bool Ok =
+        Phi.requireMust(Source, false) && Phi.requireNot(Source, false);
+    assert(Ok);
+    (void)Ok;
+    Out.push_back(TsRelation::makeTrans(identityIota(NumStates), Kill,
+                                        ApSet(), Kill, ApSet(),
+                                        std::move(Phi)));
+  }
+}
+
+/// Like assignCases but the generated path is \p Target instead of the
+/// destination variable (for stores).
+void storeCases(size_t NumStates, const AccessPath &Source,
+                const AccessPath &Target, KillSpec Kill,
+                std::vector<TsRelation> &Out) {
+  {
+    TsPred Phi;
+    bool Ok = Phi.requireMust(Source, true);
+    assert(Ok);
+    (void)Ok;
+    ApSet GenA;
+    GenA.insert(Target);
+    Out.push_back(TsRelation::makeTrans(identityIota(NumStates), Kill,
+                                        std::move(GenA), Kill, ApSet(),
+                                        std::move(Phi)));
+  }
+  {
+    TsPred Phi;
+    bool Ok = Phi.requireMust(Source, false) && Phi.requireNot(Source, true);
+    assert(Ok);
+    (void)Ok;
+    ApSet GenN;
+    GenN.insert(Target);
+    Out.push_back(TsRelation::makeTrans(identityIota(NumStates), Kill,
+                                        ApSet(), Kill, std::move(GenN),
+                                        std::move(Phi)));
+  }
+  {
+    TsPred Phi;
+    bool Ok =
+        Phi.requireMust(Source, false) && Phi.requireNot(Source, false);
+    assert(Ok);
+    (void)Ok;
+    Out.push_back(TsRelation::makeTrans(identityIota(NumStates), Kill,
+                                        ApSet(), Kill, ApSet(),
+                                        std::move(Phi)));
+  }
+}
+
+} // namespace
+
+std::vector<TsRelation> swift::tsPrimRels(const TsContext &Ctx, ProcId Proc,
+                                          const Command &Cmd) {
+  const TypestateSpec &Spec = Ctx.spec();
+  size_t NS = Spec.numStates();
+  std::vector<TsRelation> Out;
+
+  switch (Cmd.Kind) {
+  case CmdKind::Nop:
+    Out.push_back(TsRelation::makeIdentity(NS));
+    return Out;
+
+  case CmdKind::Alloc:
+  case CmdKind::AssignNull: {
+    // The (old-object) effect of both commands: Dst now definitely points
+    // elsewhere (a fresh object / null).
+    KillSpec Kill;
+    Kill.addBase(Cmd.Dst);
+    ApSet GenN;
+    GenN.insert(AccessPath(Cmd.Dst));
+    Out.push_back(TsRelation::makeTrans(identityIota(NS), Kill, ApSet(),
+                                        Kill, std::move(GenN), TsPred()));
+    return Out;
+  }
+
+  case CmdKind::Copy: {
+    if (Cmd.Dst == Cmd.Src) {
+      Out.push_back(TsRelation::makeIdentity(NS));
+      return Out;
+    }
+    KillSpec Kill;
+    Kill.addBase(Cmd.Dst);
+    assignCases(NS, AccessPath(Cmd.Src), Cmd.Dst, std::move(Kill), Out);
+    return Out;
+  }
+
+  case CmdKind::Load: {
+    KillSpec Kill;
+    Kill.addBase(Cmd.Dst);
+    assignCases(NS, AccessPath(Cmd.Src, Cmd.Field), Cmd.Dst, std::move(Kill),
+                Out);
+    return Out;
+  }
+
+  case CmdKind::Store: {
+    KillSpec Kill;
+    Kill.addFieldEverywhere(Cmd.Field);
+    storeCases(NS, AccessPath(Cmd.Src), AccessPath(Cmd.Dst, Cmd.Field),
+               std::move(Kill), Out);
+    return Out;
+  }
+
+  case CmdKind::TsCall: {
+    AccessPath Recv(Cmd.Src);
+    // B2': receiver definitely this object -> strong update.
+    {
+      TsPred Phi;
+      bool Ok = Phi.requireMust(Recv, true);
+      assert(Ok);
+      (void)Ok;
+      Out.push_back(TsRelation::makeTrans(methodIota(Spec, Cmd.Method),
+                                          KillSpec(), ApSet(), KillSpec(),
+                                          ApSet(), std::move(Phi)));
+    }
+    // B1: receiver definitely another object -> identity.
+    {
+      TsPred Phi;
+      bool Ok = Phi.requireMust(Recv, false) && Phi.requireNot(Recv, true);
+      assert(Ok);
+      (void)Ok;
+      Out.push_back(TsRelation::makeIdentity(NS));
+      // Attach the precondition (makeIdentity has true; rebuild).
+      Out.back() = TsRelation::makeTrans(identityIota(NS), KillSpec(),
+                                         ApSet(), KillSpec(), ApSet(),
+                                         std::move(Phi));
+    }
+    // B3: unknown receiver that may alias -> weak update to error.
+    {
+      TsPred Phi;
+      bool Ok = Phi.requireMust(Recv, false) && Phi.requireNot(Recv, false) &&
+                Phi.requireMay(Proc, Cmd.Src, true);
+      assert(Ok);
+      (void)Ok;
+      Out.push_back(TsRelation::makeTrans(constIota(NS, Spec.errorState()),
+                                          KillSpec(), ApSet(), KillSpec(),
+                                          ApSet(), std::move(Phi)));
+    }
+    // B4: unknown receiver that cannot alias -> identity.
+    {
+      TsPred Phi;
+      bool Ok = Phi.requireMust(Recv, false) && Phi.requireNot(Recv, false) &&
+                Phi.requireMay(Proc, Cmd.Src, false);
+      assert(Ok);
+      (void)Ok;
+      Out.push_back(TsRelation::makeTrans(identityIota(NS), KillSpec(),
+                                          ApSet(), KillSpec(), ApSet(),
+                                          std::move(Phi)));
+    }
+    return Out;
+  }
+
+  case CmdKind::Call:
+    break;
+  }
+  assert(false && "calls have no primitive relations");
+  return Out;
+}
+
+std::vector<TsRelation> swift::tsRtrans(const TsContext &Ctx, ProcId Proc,
+                                        const Command &Cmd,
+                                        const TsRelation &R) {
+  assert(Cmd.Kind != CmdKind::Call && "calls are composed via summaries");
+  std::vector<TsRelation> Out;
+
+  if (R.isAlloc()) {
+    // Concrete route: exactly the top-down transfer on the carried state.
+    std::vector<TsAbstractState> Next = tsTransfer(Ctx, Proc, Cmd, R.out());
+    for (TsAbstractState &S : Next) {
+      assert(!S.isLambda() && "non-Lambda inputs never produce Lambda");
+      Out.push_back(TsRelation::makeAlloc(std::move(S)));
+    }
+    return Out;
+  }
+
+  if (Cmd.Kind == CmdKind::Nop) {
+    Out.push_back(R);
+    return Out;
+  }
+  for (const TsRelation &Prim : tsPrimRels(Ctx, Proc, Cmd))
+    if (std::optional<TsRelation> C = tsRcomp(Ctx, R, Prim))
+      Out.push_back(std::move(*C));
+  return Out;
+}
+
+std::vector<TsRelation> swift::tsLambdaEmits(const TsContext &Ctx,
+                                             const Command &Cmd) {
+  std::vector<TsRelation> Out;
+  if (Cmd.Kind == CmdKind::Alloc && Ctx.isTrackedSite(Cmd.Site)) {
+    ApSet Must;
+    Must.insert(AccessPath(Cmd.Dst));
+    Out.push_back(TsRelation::makeAlloc(TsAbstractState(
+        Cmd.Site, Ctx.spec().initState(), std::move(Must), ApSet())));
+  }
+  return Out;
+}

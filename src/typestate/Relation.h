@@ -1,0 +1,164 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract relations of the bottom-up typestate analysis (the paper's
+/// Figure 3, generalized to the evaluated 4-tuple analysis). Two kinds:
+///
+///  * Alloc relations { (Lambda, Out) }: the procedure allocates a tracked
+///    object whose state at the current point is the concrete tuple Out.
+///    They are generated from the implicit Lambda identity at tracked
+///    allocation commands and stay concrete, so they never case-split.
+///
+///  * Trans relations { (s, T(s)) | s satisfies Phi } where
+///    T(h, t, A, N) = (h, Iota(t), (A \ KillA) U GenA, (N \ KillN) U GenN).
+///    These generalize the paper's (iota, a0, a1, phi) form: the must and
+///    must-not updates are kill/gen, the typestate update is a total
+///    function on the tracked automaton's states.
+///
+/// Well-formedness invariant: every GenA path is killed by KillN and vice
+/// versa, so applying a relation to a well-formed state yields a
+/// well-formed (disjoint) state.
+///
+/// The implicit identity on Lambda { (Lambda, Lambda) } is part of every
+/// relation set but never materialized; the solvers thread it explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_RELATION_H
+#define SWIFT_TYPESTATE_RELATION_H
+
+#include "typestate/AbstractState.h"
+#include "typestate/Context.h"
+#include "typestate/KillSpec.h"
+#include "typestate/Predicate.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace swift {
+
+class TsRelation {
+public:
+  enum class Kind : uint8_t { Alloc, Trans };
+
+  /// The relation {(Lambda, Out)}.
+  static TsRelation makeAlloc(TsAbstractState Out);
+
+  /// The identity Trans relation over a \p NumStates automaton.
+  static TsRelation makeIdentity(size_t NumStates);
+
+  static TsRelation makeTrans(std::vector<TState> Iota, KillSpec KillA,
+                              ApSet GenA, KillSpec KillN, ApSet GenN,
+                              TsPred Phi);
+
+  Kind kind() const { return K; }
+  bool isAlloc() const { return K == Kind::Alloc; }
+
+  const TsAbstractState &out() const {
+    assert(isAlloc());
+    return Out;
+  }
+  const std::vector<TState> &iota() const { return Iota; }
+  const KillSpec &killA() const { return KillA; }
+  const ApSet &genA() const { return GenA; }
+  const KillSpec &killN() const { return KillN; }
+  const ApSet &genN() const { return GenN; }
+  const TsPred &phi() const { return Phi; }
+
+  /// Is \p S in the relation's domain?
+  bool domContains(const TsContext &Ctx, const TsAbstractState &S) const {
+    if (isAlloc())
+      return S.isLambda();
+    return !S.isLambda() && Phi.satisfiedBy(Ctx, S);
+  }
+
+  /// Applies the relation; nullopt when \p S is outside the domain.
+  std::optional<TsAbstractState> apply(const TsContext &Ctx,
+                                       const TsAbstractState &S) const;
+
+  /// Applies the Trans transform part to \p S unconditionally (Phi is not
+  /// checked). \p S must not be Lambda.
+  TsAbstractState transform(const TsAbstractState &S) const;
+
+  friend bool operator==(const TsRelation &A, const TsRelation &B) {
+    if (A.K != B.K)
+      return false;
+    if (A.K == Kind::Alloc)
+      return A.Out == B.Out;
+    return A.Iota == B.Iota && A.KillA == B.KillA && A.GenA == B.GenA &&
+           A.KillN == B.KillN && A.GenN == B.GenN && A.Phi == B.Phi;
+  }
+  friend bool operator!=(const TsRelation &A, const TsRelation &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const TsRelation &A, const TsRelation &B);
+
+  std::string str(const Program &Prog) const;
+
+private:
+  TsRelation() = default;
+
+  Kind K = Kind::Trans;
+  TsAbstractState Out; ///< Alloc only.
+  std::vector<TState> Iota;
+  KillSpec KillA, KillN;
+  ApSet GenA, GenN;
+  TsPred Phi;
+};
+
+bool operator<(const TsRelation &A, const TsRelation &B);
+
+//===----------------------------------------------------------------------===//
+// Relation-domain operators (rtrans / rcomp / wp of the paper's Figure 3)
+//===----------------------------------------------------------------------===//
+
+/// Weakest precondition of \p Post through Trans relation \p R: the
+/// predicate holding of an input state iff \p Post holds of R's output.
+/// nullopt encodes `false`.
+std::optional<TsPred> tsWpPred(const TsRelation &R, const TsPred &Post);
+
+/// Relation composition (rcomp). nullopt when the composition is empty.
+std::optional<TsRelation> tsRcomp(const TsContext &Ctx, const TsRelation &R1,
+                                  const TsRelation &R2);
+
+/// rtrans(c)(id): the primitive command's own relations, one per input
+/// case. Their domains partition the non-Lambda states.
+std::vector<TsRelation> tsPrimRels(const TsContext &Ctx, ProcId Proc,
+                                   const Command &Cmd);
+
+/// rtrans(c)(R): extends \p R with the state change of \p Cmd (must not be
+/// a call).
+std::vector<TsRelation> tsRtrans(const TsContext &Ctx, ProcId Proc,
+                                 const Command &Cmd, const TsRelation &R);
+
+/// The relations \p Cmd spawns from the implicit Lambda identity (a fresh
+/// Alloc relation at tracked allocation sites).
+std::vector<TsRelation> tsLambdaEmits(const TsContext &Ctx,
+                                      const Command &Cmd);
+
+} // namespace swift
+
+namespace std {
+template <> struct hash<swift::TsRelation> {
+  size_t operator()(const swift::TsRelation &R) const noexcept {
+    if (R.isAlloc())
+      return std::hash<swift::TsAbstractState>()(R.out()) * 2 + 1;
+    size_t H = 0;
+    for (swift::TState T : R.iota())
+      H = H * 31 + T;
+    H = H * 33 + std::hash<swift::KillSpec>()(R.killA());
+    H = H * 33 + std::hash<swift::ApSet>()(R.genA());
+    H = H * 33 + std::hash<swift::KillSpec>()(R.killN());
+    H = H * 33 + std::hash<swift::ApSet>()(R.genN());
+    H = H * 33 + std::hash<swift::TsPred>()(R.phi());
+    return H * 2;
+  }
+};
+} // namespace std
+
+#endif // SWIFT_TYPESTATE_RELATION_H

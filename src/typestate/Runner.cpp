@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typestate/Runner.h"
+
+#include "framework/RelationalSolver.h"
+#include "framework/Tabulation.h"
+
+using namespace swift;
+
+namespace {
+
+/// Collects errors and summary counts out of a finished tabulation.
+TsRunResult harvest(const TsContext &Ctx,
+                    TabulationSolver<TsAnalysis> &Solver, Budget &Bud,
+                    bool Finished, Stats Stat) {
+  const Program &Prog = Ctx.program();
+  TsRunResult R;
+  R.Timeout = !Finished;
+  R.Seconds = Bud.seconds();
+  R.Steps = Bud.steps();
+  R.Stat = std::move(Stat);
+
+  R.TdSummariesPerProc.resize(Prog.numProcs());
+  for (ProcId P = 0; P != Prog.numProcs(); ++P)
+    R.TdSummariesPerProc[P] = Solver.numTdSummaries(P);
+  R.TdSummaries = Solver.totalTdSummaries();
+  R.BuRelations = Solver.totalBuRelations();
+
+  TState Error = Ctx.spec().errorState();
+  Solver.forEachFact([&](ProcId P, NodeId N, const TsAbstractState &Entry,
+                         const TsAbstractState &Cur) {
+    (void)Entry;
+    if (!Cur.isLambda() && Cur.tstate() == Error) {
+      R.ErrorSites.insert(Cur.site());
+      R.ErrorPoints.insert(TsError{Cur.site(), P, N});
+    }
+  });
+  Solver.forEachObserved([&](ProcId P, NodeId N,
+                             const TsAbstractState &S) {
+    assert(!S.isLambda() && S.tstate() == Error);
+    R.ErrorSites.insert(S.site());
+    // The report point is the serving call site; the true point is inside
+    // the (not re-analyzed) callee.
+    R.ErrorPoints.insert(TsError{S.site(), P, N});
+  });
+  Solver.forEachSummary(Prog.mainProc(),
+                        [&](const TsAbstractState &Entry,
+                            const TsAbstractState &Exit) {
+                          if (Entry.isLambda())
+                            R.MainExit.insert(Exit);
+                        });
+  return R;
+}
+
+TsRunResult runTabulating(const TsContext &Ctx, uint64_t K, uint64_t Theta,
+                          RunLimits Limits, bool AsyncBu = false) {
+  Budget Bud(Limits.MaxSteps, Limits.MaxSeconds);
+  Stats Stat;
+  TabulationSolver<TsAnalysis>::Config Cfg;
+  Cfg.K = K;
+  Cfg.Theta = Theta;
+  Cfg.AsyncBu = AsyncBu;
+  TabulationSolver<TsAnalysis> Solver(Ctx, Ctx.program(), Ctx.callGraph(),
+                                      Cfg, Bud, Stat);
+  bool Finished = Solver.run();
+  return harvest(Ctx, Solver, Bud, Finished, std::move(Stat));
+}
+
+} // namespace
+
+TsRunResult swift::runTypestateTd(const TsContext &Ctx, RunLimits Limits) {
+  return runTabulating(Ctx, NoBuTrigger, 1, Limits);
+}
+
+TsRunResult swift::runTypestateSwift(const TsContext &Ctx, uint64_t K,
+                                     uint64_t Theta, RunLimits Limits,
+                                     bool AsyncBu) {
+  return runTabulating(Ctx, K, Theta, Limits, AsyncBu);
+}
+
+TsRunResult swift::runTypestateBu(const TsContext &Ctx, RunLimits Limits) {
+  const Program &Prog = Ctx.program();
+  Budget Bud(Limits.MaxSteps, Limits.MaxSeconds);
+  Stats Stat;
+  RelationalSolver<TsAnalysis> Solver(
+      Ctx, Prog, Ctx.callGraph(), NoPruning,
+      [](ProcId) -> const std::unordered_map<TsAbstractState, uint64_t> * {
+        return nullptr;
+      },
+      Bud, Stat);
+
+  std::vector<ProcId> All = Ctx.callGraph().reachableFrom(Prog.mainProc());
+  bool Finished = Solver.run(All);
+
+  TsRunResult R;
+  R.Timeout = !Finished;
+  R.Seconds = Bud.seconds();
+  R.Steps = Bud.steps();
+  R.Stat = std::move(Stat);
+  R.TdSummariesPerProc.resize(Prog.numProcs());
+  R.BuRelations = Solver.totalRelations();
+  if (!Finished)
+    return R;
+
+  // Instantiate main's summary on the initial (Lambda) state: the only
+  // top-down work the bottom-up approach performs.
+  const auto &Main = Solver.summary(Prog.mainProc());
+  TState Error = Ctx.spec().errorState();
+  if (Main.LambdaExit)
+    R.MainExit.insert(TsAbstractState::lambda());
+  for (const TsRelation &Rel : Main.Rels)
+    if (std::optional<TsAbstractState> Out =
+            Rel.apply(Ctx, TsAbstractState::lambda()))
+      R.MainExit.insert(*Out);
+  for (const TsAbstractState &S : R.MainExit)
+    if (!S.isLambda() && S.tstate() == Error) {
+      R.ErrorSites.insert(S.site());
+      R.ErrorPoints.insert(
+          TsError{S.site(), Prog.mainProc(), Prog.proc(Prog.mainProc()).exit()});
+    }
+  // Errors at internal points of any procedure, via the observation
+  // manifest instantiated on the initial state.
+  for (const TsRelation &Rel : Main.ObsRels)
+    if (std::optional<TsAbstractState> Out =
+            Rel.apply(Ctx, TsAbstractState::lambda()))
+      if (!Out->isLambda() && Out->tstate() == Error) {
+        R.ErrorSites.insert(Out->site());
+        R.ErrorPoints.insert(TsError{Out->site(), Prog.mainProc(),
+                                     Prog.proc(Prog.mainProc()).exit()});
+      }
+  return R;
+}

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// High-level entry points for the three interprocedural typestate
+/// analyses compared in the paper's evaluation: TD (conventional
+/// top-down), BU (conventional bottom-up, no pruning), and SWIFT (the
+/// hybrid with thresholds k and theta). These are what the examples,
+/// tests, and benchmark harness call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_RUNNER_H
+#define SWIFT_TYPESTATE_RUNNER_H
+
+#include "support/Stats.h"
+#include "support/Timer.h"
+#include "typestate/Context.h"
+#include "typestate/TsAnalysis.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace swift {
+
+/// Resource limits for one analysis run; default effectively unlimited.
+struct RunLimits {
+  uint64_t MaxSteps = UINT64_MAX;
+  double MaxSeconds = 1e18;
+};
+
+/// A reported typestate error: an object of the tracked class allocated at
+/// Site may be in the error state at node Node of procedure Proc.
+struct TsError {
+  SiteId Site;
+  ProcId Proc;
+  NodeId Node;
+  friend bool operator<(const TsError &A, const TsError &B) {
+    if (A.Site != B.Site)
+      return A.Site < B.Site;
+    if (A.Proc != B.Proc)
+      return A.Proc < B.Proc;
+    return A.Node < B.Node;
+  }
+};
+
+struct TsRunResult {
+  bool Timeout = false;
+  double Seconds = 0;
+  uint64_t Steps = 0;
+  uint64_t TdSummaries = 0; ///< Total (entry, exit) pairs.
+  uint64_t BuRelations = 0; ///< Total (r, phi) relations.
+  std::vector<uint64_t> TdSummariesPerProc;
+  std::set<SiteId> ErrorSites;          ///< Sites that may reach error.
+  std::set<TsError> ErrorPoints;        ///< Where error tuples were seen.
+  std::set<TsAbstractState> MainExit;   ///< States at main's exit.
+  Stats Stat;
+};
+
+/// Conventional top-down analysis (SWIFT with the trigger disabled).
+TsRunResult runTypestateTd(const TsContext &Ctx, RunLimits Limits = {});
+
+/// The SWIFT hybrid with thresholds \p K and \p Theta. \p AsyncBu runs
+/// triggered bottom-up analyses on a worker thread while the top-down
+/// analysis continues (the paper's Section 7 parallelization sketch);
+/// results are identical either way.
+TsRunResult runTypestateSwift(const TsContext &Ctx, uint64_t K,
+                              uint64_t Theta, RunLimits Limits = {},
+                              bool AsyncBu = false);
+
+/// Conventional bottom-up analysis: whole-program relational analysis
+/// without pruning, then one application of main's summary to the initial
+/// state.
+TsRunResult runTypestateBu(const TsContext &Ctx, RunLimits Limits = {});
+
+} // namespace swift
+
+#endif // SWIFT_TYPESTATE_RUNNER_H

@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typestate/Transfer.h"
+
+#include <cassert>
+
+using namespace swift;
+
+std::vector<TsAbstractState> swift::tsTransfer(const TsContext &Ctx,
+                                               ProcId Proc,
+                                               const Command &Cmd,
+                                               const TsAbstractState &S) {
+  assert(Cmd.Kind != CmdKind::Call && "calls are handled by the solver");
+
+  if (S.isLambda()) {
+    // Lambda tracks "no object"; only a tracked-class allocation spawns a
+    // tuple, and Lambda itself always survives.
+    if (Cmd.Kind == CmdKind::Alloc && Ctx.isTrackedSite(Cmd.Site)) {
+      ApSet Must;
+      Must.insert(AccessPath(Cmd.Dst));
+      return {TsAbstractState::lambda(),
+              TsAbstractState(Cmd.Site, Ctx.spec().initState(),
+                              std::move(Must), ApSet())};
+    }
+    return {TsAbstractState::lambda()};
+  }
+
+  SiteId H = S.site();
+  TState T = S.tstate();
+  ApSet A = S.must();
+  ApSet N = S.mustNot();
+
+  switch (Cmd.Kind) {
+  case CmdKind::Nop:
+    return {S};
+
+  case CmdKind::Alloc:
+    // The existing object is not the freshly allocated one: v definitely
+    // does not point to it (even if the sites coincide in a loop).
+    A.eraseBase(Cmd.Dst);
+    N.eraseBase(Cmd.Dst);
+    N.insert(AccessPath(Cmd.Dst));
+    return {TsAbstractState(H, T, std::move(A), std::move(N))};
+
+  case CmdKind::Copy: {
+    if (Cmd.Dst == Cmd.Src)
+      return {S};
+    bool SrcMust = A.contains(AccessPath(Cmd.Src));
+    bool SrcNot = N.contains(AccessPath(Cmd.Src));
+    A.eraseBase(Cmd.Dst);
+    N.eraseBase(Cmd.Dst);
+    if (SrcMust)
+      A.insert(AccessPath(Cmd.Dst));
+    else if (SrcNot)
+      N.insert(AccessPath(Cmd.Dst));
+    return {TsAbstractState(H, T, std::move(A), std::move(N))};
+  }
+
+  case CmdKind::AssignNull:
+    A.eraseBase(Cmd.Dst);
+    N.eraseBase(Cmd.Dst);
+    N.insert(AccessPath(Cmd.Dst));
+    return {TsAbstractState(H, T, std::move(A), std::move(N))};
+
+  case CmdKind::Load: {
+    AccessPath SrcPath(Cmd.Src, Cmd.Field);
+    bool SrcMust = A.contains(SrcPath);
+    bool SrcNot = N.contains(SrcPath);
+    // A self-load v = v.f first consults the old v.f fact, then rebinds v.
+    A.eraseBase(Cmd.Dst);
+    N.eraseBase(Cmd.Dst);
+    if (SrcMust)
+      A.insert(AccessPath(Cmd.Dst));
+    else if (SrcNot)
+      N.insert(AccessPath(Cmd.Dst));
+    return {TsAbstractState(H, T, std::move(A), std::move(N))};
+  }
+
+  case CmdKind::Store: {
+    bool SrcMust = A.contains(AccessPath(Cmd.Src));
+    bool SrcNot = N.contains(AccessPath(Cmd.Src));
+    // Any path using field f may have been redirected by this store.
+    A.eraseField(Cmd.Field);
+    N.eraseField(Cmd.Field);
+    AccessPath Target(Cmd.Dst, Cmd.Field);
+    if (SrcMust)
+      A.insert(Target);
+    else if (SrcNot)
+      N.insert(Target);
+    return {TsAbstractState(H, T, std::move(A), std::move(N))};
+  }
+
+  case CmdKind::TsCall: {
+    AccessPath Recv(Cmd.Src);
+    if (A.contains(Recv)) {
+      // Strong update: the receiver definitely is this object.
+      TState T2 = tsApplyMethod(Ctx.spec(), Cmd.Method, T);
+      return {TsAbstractState(H, T2, std::move(A), std::move(N))};
+    }
+    if (N.contains(Recv))
+      return {S}; // Definitely a different object.
+    if (Ctx.mayAlias(Proc, Cmd.Src, H)) {
+      // Weak update: the receiver may be this object; conservatively go to
+      // error (the paper's B3 case).
+      return {TsAbstractState(H, Ctx.spec().errorState(), std::move(A),
+                              std::move(N))};
+    }
+    return {S}; // May-alias analysis proves it is a different object (B4).
+  }
+
+  case CmdKind::Call:
+    break;
+  }
+  assert(false && "unhandled command kind");
+  return {S};
+}

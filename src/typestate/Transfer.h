@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Top-down transfer functions trans(c) : S -> 2^S of the full typestate
+/// analysis (the 4-tuple extension of the paper's Figure 2):
+///
+///   v = new C@h  old tuple: drop v-based paths from A, add v to N (v now
+///                points to a different, fresh object); Lambda additionally
+///                spawns (h, init, {v}, {}) when C is the tracked class.
+///   v = w        drop v-based paths, then v joins A if w in A, N if w in N.
+///   v = null     drop v-based paths, add v to N.
+///   v = w.f      drop v-based paths, then v joins A/N as w.f is in A/N.
+///   v.f = w      drop every path using field f from both sets (any alias
+///                of v may have been redirected), then v.f joins A if w in
+///                A, N if w in N.
+///   v.m()        strong update [m](t) if v in A; no-op if v in N;
+///                otherwise error if mayalias(v, h) else no-op (paper's
+///                B1-B4 case analysis). The error state is absorbing.
+///
+/// All transfer functions preserve disjointness of A and N and never
+/// change a tuple's allocation site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_TRANSFER_H
+#define SWIFT_TYPESTATE_TRANSFER_H
+
+#include "typestate/AbstractState.h"
+#include "typestate/Context.h"
+
+#include <vector>
+
+namespace swift {
+
+/// Applies method \p M of the tracked class in state \p T; error is
+/// absorbing, foreign (undeclared) methods are the identity.
+inline TState tsApplyMethod(const TypestateSpec &Spec, Symbol M, TState T) {
+  if (T == Spec.errorState())
+    return T;
+  return Spec.apply(M, T);
+}
+
+/// trans(c)(S). \p Cmd must not be a procedure call — the solvers handle
+/// calls via the call mapping. The result is never empty.
+std::vector<TsAbstractState> tsTransfer(const TsContext &Ctx, ProcId Proc,
+                                        const Command &Cmd,
+                                        const TsAbstractState &S);
+
+} // namespace swift
+
+#endif // SWIFT_TYPESTATE_TRANSFER_H

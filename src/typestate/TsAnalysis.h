@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The traits class plugging the typestate analysis pair (Figures 2-3 of
+/// the paper, generalized to the evaluated 4-tuple form) into the generic
+/// SWIFT framework. See framework/AnalysisTraits.h for the interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_TYPESTATE_TSANALYSIS_H
+#define SWIFT_TYPESTATE_TSANALYSIS_H
+
+#include "typestate/CallMapping.h"
+#include "typestate/Context.h"
+#include "typestate/IgnoreSet.h"
+#include "typestate/RelCall.h"
+#include "typestate/Relation.h"
+#include "typestate/Transfer.h"
+
+#include <optional>
+#include <vector>
+
+namespace swift {
+
+struct TsAnalysis {
+  using Context = TsContext;
+  using State = TsAbstractState;
+  using Rel = TsRelation;
+  using Pred = TsPred;
+  using Ignore = TsIgnoreSet;
+  using Binding = CallBinding;
+
+  // -- Top-down analysis --
+  static State lambda() { return TsAbstractState::lambda(); }
+  static bool isLambda(const State &S) { return S.isLambda(); }
+  static std::vector<State> transfer(const Context &Ctx, ProcId P,
+                                     const Command &Cmd, const State &S) {
+    return tsTransfer(Ctx, P, Cmd, S);
+  }
+  static Binding makeBinding(const Context &Ctx, ProcId P,
+                             const Command &Cmd) {
+    return CallBinding(Ctx, P, Cmd);
+  }
+  static std::vector<State> enter(const Binding &B, const State &S) {
+    return {tsEnter(B, S)};
+  }
+  /// Every typestate fact travels through the callee (the tracked object
+  /// exists across the call), so there is no call-to-return bypass.
+  static std::vector<State> callLocal(const Binding &B, const State &S) {
+    (void)B;
+    (void)S;
+    return {};
+  }
+  static std::vector<State> combine(const Binding &B, const State &Frame,
+                                    const State &Exit) {
+    return {tsCombine(B, Frame, Exit)};
+  }
+  static std::vector<State> combineFresh(const Binding &B,
+                                         const State &Exit) {
+    return {tsCombineFresh(B, Exit)};
+  }
+
+  // -- Bottom-up analysis --
+  struct SummaryView {
+    const std::vector<Rel> *Rels = nullptr;
+    const Ignore *Sigma = nullptr;
+  };
+
+  static Rel identityRel(const Context &Ctx) {
+    return TsRelation::makeIdentity(Ctx.spec().numStates());
+  }
+  static std::vector<Rel> rtrans(const Context &Ctx, ProcId P,
+                                 const Command &Cmd, const Rel &R) {
+    return tsRtrans(Ctx, P, Cmd, R);
+  }
+  static std::vector<Rel> lambdaEmits(const Context &Ctx,
+                                      const Command &Cmd) {
+    return tsLambdaEmits(Ctx, Cmd);
+  }
+  static void composeCall(const Context &Ctx, const Binding &B, const Rel &R,
+                          const SummaryView &Callee, std::vector<Rel> &Out,
+                          Ignore &SigmaOut) {
+    TsSummaryView V{Callee.Rels, Callee.Sigma};
+    tsComposeCall(Ctx, B, R, V, Out, SigmaOut);
+  }
+  static void composeCallLambda(const Context &Ctx, const Binding &B,
+                                const SummaryView &Callee,
+                                std::vector<Rel> &Out, Ignore &SigmaOut) {
+    TsSummaryView V{Callee.Rels, Callee.Sigma};
+    tsComposeCallLambda(Ctx, B, V, Out, SigmaOut);
+  }
+  static std::optional<State> applyRel(const Context &Ctx, const Rel &R,
+                                       const State &S) {
+    return R.apply(Ctx, S);
+  }
+
+  // -- Observation support (error reporting through summaries) --
+  /// Can \p R move a non-error input to the error state (or create a
+  /// fresh object already in error)? Transitions *from* error don't count:
+  /// error is absorbing, so an already-error input was reported where it
+  /// first erred.
+  static bool relMayObserve(const Context &Ctx, const Rel &R) {
+    TState Err = Ctx.spec().errorState();
+    if (R.isAlloc())
+      return R.out().tstate() == Err;
+    for (size_t T = 0; T != R.iota().size(); ++T)
+      if (T != Err && R.iota()[T] == Err)
+        return true;
+    return false;
+  }
+  static bool stateObservable(const Context &Ctx, const State &S) {
+    return !S.isLambda() && S.tstate() == Ctx.spec().errorState();
+  }
+
+  // -- Pruning support --
+  static bool relIsPrunable(const Rel &R) { return !R.isAlloc(); }
+  /// Tie-break key for equally ranked relations: fewer domain constraints
+  /// means a more general relation, which is the better keep.
+  static size_t relGenerality(const Rel &R) {
+    if (R.isAlloc())
+      return 0;
+    return R.phi().apConstraints().size() + R.phi().mayConstraints().size();
+  }
+  static bool domContains(const Context &Ctx, const Rel &R,
+                          const State &S) {
+    return R.domContains(Ctx, S);
+  }
+  static void addDomToIgnore(const Rel &R, Ignore &Sigma) {
+    if (R.isAlloc())
+      Sigma.addLambda();
+    else
+      Sigma.addPred(R.phi());
+  }
+  static bool ignoreCoversDom(const Ignore &Sigma, const Rel &R) {
+    if (R.isAlloc())
+      return Sigma.containsLambda();
+    return Sigma.coversPred(R.phi());
+  }
+  static void ignoreAll(Ignore &Sigma) { Sigma.makeAll(); }
+};
+
+} // namespace swift
+
+#endif // SWIFT_TYPESTATE_TSANALYSIS_H

@@ -1,0 +1,280 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the call-boundary mappings and — crucially — the exact
+/// agreement between the state-level call handling (enter / callee
+/// transform / combine, what the top-down analysis does) and the
+/// relation-level call composition (tsComposeCall, what the bottom-up
+/// analysis does). This agreement is condition C1 at call commands and is
+/// what Theorem 3.1 rests on; it is checked here over exhaustive small
+/// state universes for several call shapes, including duplicate actuals,
+/// unstable formals, and result-variable reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+#include "lang/Lower.h"
+#include "typestate/CallMapping.h"
+#include "typestate/RelCall.h"
+#include "typestate/Transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace swift;
+
+namespace {
+
+/// One test scenario: a callee body (as primitive commands over formals)
+/// and a call site shape.
+struct Scenario {
+  const char *Name;
+  const char *Source; ///< Whole TSL program; callee must be named "g".
+};
+
+const Scenario Scenarios[] = {
+    {"simple",
+     R"(typestate File { start c; error e; c -open-> o; o -close-> c; }
+        proc g(p) { p.open(); p.close(); }
+        proc main() { a = new File; g(a); b = new File; g(b); })"},
+    {"duplicate-actuals",
+     R"(typestate File { start c; error e; c -open-> o; o -close-> c; }
+        proc g(p, q) { p.open(); q.close(); }
+        proc main() { a = new File; g(a, a); b = new File; g(a, b); })"},
+    {"unstable-formal",
+     R"(typestate File { start c; error e; c -open-> o; o -close-> c; }
+        proc g(p) { p.open(); p = new File; }
+        proc main() { a = new File; g(a); })"},
+    {"result-is-actual",
+     R"(typestate File { start c; error e; c -open-> o; o -close-> c; }
+        proc g(p) { p.open(); return p; }
+        proc main() { a = new File; a = g(a); b = g(a); })"},
+    {"fields-and-mods",
+     R"(typestate File { start c; error e; c -open-> o; o -close-> c; }
+        proc g(p) { x = new File; p.fld = x; y = p.fld; y.open(); }
+        proc main() { a = new File; a.fld = a; g(a); z = a.fld; })"},
+};
+
+/// Enumerates all well-formed states over the caller's variables (paths
+/// of length <= 1 over one field).
+std::vector<TsAbstractState> enumerateStates(const Program &P,
+                                             ProcId Caller, SiteId MaxSite,
+                                             Symbol Field) {
+  std::vector<AccessPath> Paths;
+  for (Symbol V : P.proc(Caller).vars()) {
+    if (V == P.retVar())
+      continue;
+    Paths.push_back(AccessPath(V));
+    Paths.push_back(AccessPath(V, Field));
+  }
+  std::vector<TsAbstractState> Out;
+  size_t Assignments = 1;
+  for (size_t I = 0; I != Paths.size(); ++I)
+    Assignments *= 3;
+  for (SiteId H = 0; H != MaxSite; ++H)
+    for (TState T = 0; T != 3; ++T)
+      for (size_t Mask = 0; Mask != Assignments; ++Mask) {
+        ApSet A, N;
+        size_t M = Mask;
+        for (size_t I = 0; I != Paths.size(); ++I) {
+          switch (M % 3) {
+          case 1:
+            A.insert(Paths[I]);
+            break;
+          case 2:
+            N.insert(Paths[I]);
+            break;
+          default:
+            break;
+          }
+          M /= 3;
+        }
+        Out.emplace_back(H, T, std::move(A), std::move(N));
+      }
+  return Out;
+}
+
+/// Computes the callee's full bottom-up summary (all relations at exit,
+/// unpruned) by brute-force fixpoint over its CFG.
+struct CalleeSummary {
+  std::vector<TsRelation> Rels;
+  bool LambdaExit = true;
+};
+
+CalleeSummary analyzeCalleeBrute(const TsContext &Ctx, ProcId G) {
+  const Procedure &Proc = Ctx.program().proc(G);
+  std::vector<std::set<TsRelation>> Vals(Proc.numNodes());
+  std::vector<bool> HasLambda(Proc.numNodes(), false);
+  Vals[Proc.entry()].insert(
+      TsRelation::makeIdentity(Ctx.spec().numStates()));
+  HasLambda[Proc.entry()] = true;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId N : Proc.reachableRpo()) {
+      const CfgNode &Node = Proc.node(N);
+      if (Node.Cmd.Kind == CmdKind::Call)
+        continue; // Scenarios keep callees call-free.
+      std::vector<TsRelation> Out;
+      for (const TsRelation &R : Vals[N])
+        for (TsRelation &R2 : tsRtrans(Ctx, G, Node.Cmd, R))
+          Out.push_back(std::move(R2));
+      if (HasLambda[N])
+        for (TsRelation &R2 : tsLambdaEmits(Ctx, Node.Cmd))
+          Out.push_back(std::move(R2));
+      for (NodeId S : Node.Succs) {
+        for (const TsRelation &R : Out)
+          Changed |= Vals[S].insert(R).second;
+        if (HasLambda[N] && !HasLambda[S]) {
+          HasLambda[S] = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  CalleeSummary Sum;
+  Sum.Rels.assign(Vals[Proc.exit()].begin(), Vals[Proc.exit()].end());
+  Sum.LambdaExit = HasLambda[Proc.exit()];
+  return Sum;
+}
+
+/// The state route: enter, run the callee's transfer functions over its
+/// CFG from the entry state, combine every exit state with the frame.
+std::set<TsAbstractState> stateRoute(const TsContext &Ctx,
+                                     const CallBinding &B, ProcId G,
+                                     const TsAbstractState &S) {
+  const Procedure &Proc = Ctx.program().proc(G);
+  TsAbstractState Entry = tsEnter(B, S);
+  std::vector<std::set<TsAbstractState>> Vals(Proc.numNodes());
+  Vals[Proc.entry()].insert(Entry);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId N : Proc.reachableRpo()) {
+      const CfgNode &Node = Proc.node(N);
+      if (Node.Cmd.Kind == CmdKind::Call)
+        continue;
+      for (const TsAbstractState &Cur : Vals[N])
+        for (const TsAbstractState &Next :
+             tsTransfer(Ctx, G, Node.Cmd, Cur))
+          for (NodeId Succ : Node.Succs)
+            Changed |= Vals[Succ].insert(Next).second;
+    }
+  }
+  std::set<TsAbstractState> Out;
+  for (const TsAbstractState &Exit : Vals[Proc.exit()]) {
+    if (S.isLambda()) {
+      if (Exit.isLambda())
+        Out.insert(Exit);
+      else
+        Out.insert(tsCombineFresh(B, Exit));
+    } else if (!Exit.isLambda()) {
+      Out.insert(tsCombine(B, S, Exit));
+    }
+  }
+  return Out;
+}
+
+/// The relation route: compose the caller identity (or Lambda) with the
+/// callee's brute-force summary and apply the composites to S.
+std::set<TsAbstractState> relationRoute(const TsContext &Ctx,
+                                        const CallBinding &B,
+                                        const CalleeSummary &Sum,
+                                        const TsAbstractState &S) {
+  TsIgnoreSet EmptySigma;
+  TsSummaryView View{&Sum.Rels, &EmptySigma};
+  std::vector<TsRelation> Out;
+  TsIgnoreSet SigmaOut;
+  if (S.isLambda()) {
+    tsComposeCallLambda(Ctx, B, View, Out, SigmaOut);
+  } else {
+    // Compose from the caller-side identity relation.
+    TsRelation Id = TsRelation::makeIdentity(Ctx.spec().numStates());
+    tsComposeCall(Ctx, B, Id, View, Out, SigmaOut);
+  }
+  EXPECT_TRUE(SigmaOut.empty());
+
+  std::set<TsAbstractState> Res;
+  if (S.isLambda() && Sum.LambdaExit)
+    Res.insert(TsAbstractState::lambda());
+  for (const TsRelation &R : Out)
+    if (std::optional<TsAbstractState> O = R.apply(Ctx, S))
+      Res.insert(*O);
+  return Res;
+}
+
+TEST(CallMappingTest, StateAndRelationRoutesAgree) {
+  for (const Scenario &Sc : Scenarios) {
+    std::unique_ptr<Program> Prog = parseProgram(Sc.Source);
+    TsContext Ctx(*Prog, Prog->symbols().intern("File"));
+    ProcId G = Prog->procId(Prog->symbols().intern("g"));
+    ASSERT_NE(G, InvalidProc) << Sc.Name;
+
+    CalleeSummary Sum = analyzeCalleeBrute(Ctx, G);
+
+    // Check every call site to g in main against every enumerable state.
+    const Procedure &Main = Prog->proc(Prog->mainProc());
+    Symbol Field = Prog->symbols().intern("fld");
+    std::vector<TsAbstractState> States = enumerateStates(
+        *Prog, Prog->mainProc(),
+        static_cast<SiteId>(Prog->numSites()), Field);
+    States.push_back(TsAbstractState::lambda());
+
+    for (NodeId N : Main.reachableRpo()) {
+      const Command &Cmd = Main.node(N).Cmd;
+      if (Cmd.Kind != CmdKind::Call || Cmd.Callee != G)
+        continue;
+      CallBinding B(Ctx, Prog->mainProc(), Cmd);
+      size_t Checked = 0;
+      for (const TsAbstractState &S : States) {
+        std::set<TsAbstractState> Lhs = stateRoute(Ctx, B, G, S);
+        std::set<TsAbstractState> Rhs = relationRoute(Ctx, B, Sum, S);
+        ASSERT_EQ(Lhs, Rhs)
+            << Sc.Name << " call at node " << N << " state "
+            << S.str(*Prog);
+        ++Checked;
+      }
+      EXPECT_GT(Checked, 10u) << Sc.Name;
+    }
+  }
+}
+
+TEST(CallMappingTest, BindingAccessors) {
+  std::unique_ptr<Program> Prog = parseProgram(R"(
+    typestate File { start c; error e; }
+    proc g(p, q) { q = new File; }
+    proc main() { a = new File; a = g(a, a); }
+  )");
+  TsContext Ctx(*Prog, Prog->symbols().intern("File"));
+  const Procedure &Main = Prog->proc(Prog->mainProc());
+  const Command *Call = nullptr;
+  for (NodeId N : Main.reachableRpo())
+    if (Main.node(N).Cmd.Kind == CmdKind::Call)
+      Call = &Main.node(N).Cmd;
+  ASSERT_NE(Call, nullptr);
+
+  CallBinding B(Ctx, Prog->mainProc(), *Call);
+  Symbol A = Prog->symbols().intern("a");
+  Symbol P = Prog->symbols().intern("p");
+  Symbol Q = Prog->symbols().intern("q");
+
+  EXPECT_EQ(B.formalsOf(A).size(), 2u);
+  EXPECT_EQ(B.actualOf(P), A);
+  EXPECT_EQ(B.actualOf(Q), A);
+  // q is reassigned inside g, so p is the canonical formal.
+  EXPECT_EQ(B.canonicalFormal(A), P);
+  EXPECT_EQ(B.resultVar(), A);
+  // a is both result and actual: its paths do not survive via renameBack.
+  EXPECT_FALSE(B.renameBack(AccessPath(P)).isValid());
+  // $ret maps to the result variable.
+  EXPECT_EQ(B.renameBack(AccessPath(B.retVar())), AccessPath(A));
+}
+
+} // namespace

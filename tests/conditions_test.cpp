@@ -1,0 +1,285 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive checks of the SWIFT framework conditions (the paper's
+/// Figure 4) for the typestate analysis pair, over a small abstract
+/// universe:
+///
+///  C1: trans and rtrans are equally precise — for every primitive
+///      command c, relation r, and state sigma, the outputs of the
+///      relations rtrans(c)(r) on sigma equal trans(c) applied to r's
+///      output on sigma.
+///  C2: rcomp models relation composition exactly.
+///  C3: wp is the weakest precondition: within r's domain, the input
+///      satisfies wp(r, phi) iff r's output satisfies phi.
+///
+/// The universe: two variables, one field, two allocation sites of the
+/// tracked class, a three-state automaton — 486 well-formed non-Lambda
+/// states plus Lambda, enumerated in full.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+#include "typestate/Relation.h"
+#include "typestate/Transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace swift;
+
+namespace {
+
+class ConditionsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ProgramBuilder B;
+    B.addTypestate("File", {"closed", "opened", "err"}, "closed", "err",
+                   {{"closed", "open", "opened"},
+                    {"opened", "close", "closed"}});
+    // The program gives the vocabulary (vars a, b; field f; sites h0, h1)
+    // and a may-alias oracle in which `a` may point to both sites while
+    // `b` may point only to h1.
+    B.beginProc("main", {});
+    B.alloc("a", "File");  // h0
+    B.alloc("b", "File");  // h1
+    B.copy("a", "b");      // pts(a) includes h1 too
+    B.store("a", "f", "b");
+    B.load("b", "a", "f");
+    B.tsCall("a", "open");
+    B.tsCall("b", "close");
+    B.endProc();
+    Prog = B.finish();
+    Ctx = std::make_unique<TsContext>(*Prog, Prog->symbols().intern("File"));
+
+    Main = Prog->mainProc();
+    VarA = Prog->symbols().intern("a");
+    VarB = Prog->symbols().intern("b");
+    FieldF = Prog->symbols().intern("f");
+
+    // All access paths over the vocabulary (length <= 1 keeps the
+    // universe enumerable; longer paths exercise the same code paths).
+    Paths = {AccessPath(VarA), AccessPath(VarB), AccessPath(VarA, FieldF),
+             AccessPath(VarB, FieldF)};
+
+    buildStates();
+    buildCommands();
+    buildRelations();
+  }
+
+  /// Every well-formed (disjoint A/N) state over the vocabulary, plus
+  /// Lambda.
+  void buildStates() {
+    States.push_back(TsAbstractState::lambda());
+    size_t NumPaths = Paths.size();
+    // Each path is in A, in N, or in neither: 3^4 assignments.
+    size_t Assignments = 1;
+    for (size_t I = 0; I != NumPaths; ++I)
+      Assignments *= 3;
+    for (SiteId H = 0; H != 2; ++H) {
+      for (TState T = 0; T != 3; ++T) {
+        for (size_t Mask = 0; Mask != Assignments; ++Mask) {
+          ApSet A, N;
+          size_t M = Mask;
+          for (size_t I = 0; I != NumPaths; ++I) {
+            switch (M % 3) {
+            case 1:
+              A.insert(Paths[I]);
+              break;
+            case 2:
+              N.insert(Paths[I]);
+              break;
+            default:
+              break;
+            }
+            M /= 3;
+          }
+          States.emplace_back(H, T, std::move(A), std::move(N));
+        }
+      }
+    }
+  }
+
+  void buildCommands() {
+    Commands.push_back(Command::makeNop());
+    Commands.push_back(Command::makeAlloc(VarA, Prog->site(0).Class, 0));
+    Commands.push_back(Command::makeCopy(VarA, VarB));
+    Commands.push_back(Command::makeCopy(VarA, VarA));
+    Commands.push_back(Command::makeAssignNull(VarB));
+    Commands.push_back(Command::makeLoad(VarA, VarB, FieldF));
+    Commands.push_back(Command::makeLoad(VarA, VarA, FieldF));
+    Commands.push_back(Command::makeStore(VarA, FieldF, VarB));
+    Commands.push_back(Command::makeStore(VarB, FieldF, VarB));
+    Commands.push_back(
+        Command::makeTsCall(VarA, Prog->symbols().intern("open")));
+    Commands.push_back(
+        Command::makeTsCall(VarB, Prog->symbols().intern("close")));
+    Commands.push_back(
+        Command::makeTsCall(VarA, Prog->symbols().intern("foreign")));
+  }
+
+  /// Seed relations: the identity, every primitive relation, a few Alloc
+  /// relations, and pairwise compositions (which have richer kill/gen
+  /// sets and predicates).
+  void buildRelations() {
+    Rels.push_back(TsRelation::makeIdentity(3));
+    std::vector<TsRelation> Prims;
+    for (const Command &C : Commands) {
+      if (C.Kind == CmdKind::Nop)
+        continue;
+      for (TsRelation &R : tsPrimRels(*Ctx, Main, C))
+        Prims.push_back(std::move(R));
+    }
+    for (const TsRelation &R : Prims)
+      Rels.push_back(R);
+    // A sample of compositions.
+    for (size_t I = 0; I < Prims.size(); I += 3)
+      for (size_t J = 1; J < Prims.size(); J += 4)
+        if (std::optional<TsRelation> C =
+                tsRcomp(*Ctx, Prims[I], Prims[J]))
+          Rels.push_back(std::move(*C));
+    // Alloc relations from a few concrete states.
+    for (size_t I = 1; I < States.size(); I += 97)
+      Rels.push_back(TsRelation::makeAlloc(States[I]));
+  }
+
+  /// gamma of a relation set applied to one input.
+  std::set<TsAbstractState> applyAll(const std::vector<TsRelation> &Rs,
+                                     const TsAbstractState &S) {
+    std::set<TsAbstractState> Out;
+    for (const TsRelation &R : Rs)
+      if (std::optional<TsAbstractState> O = R.apply(*Ctx, S))
+        Out.insert(*O);
+    return Out;
+  }
+
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<TsContext> Ctx;
+  ProcId Main;
+  Symbol VarA, VarB, FieldF;
+  std::vector<AccessPath> Paths;
+  std::vector<TsAbstractState> States;
+  std::vector<Command> Commands;
+  std::vector<TsRelation> Rels;
+};
+
+TEST_F(ConditionsTest, UniverseSanity) {
+  EXPECT_EQ(States.size(), 1u + 2u * 3u * 81u);
+  EXPECT_GT(Rels.size(), 30u);
+}
+
+/// The primitive relations of every command partition the non-Lambda
+/// state space: exactly one applies to every state.
+TEST_F(ConditionsTest, PrimitiveRelationsPartitionStates) {
+  for (const Command &C : Commands) {
+    if (C.Kind == CmdKind::Nop)
+      continue;
+    std::vector<TsRelation> Prims = tsPrimRels(*Ctx, Main, C);
+    for (const TsAbstractState &S : States) {
+      if (S.isLambda())
+        continue;
+      unsigned Applicable = 0;
+      for (const TsRelation &R : Prims)
+        if (R.domContains(*Ctx, S))
+          ++Applicable;
+      EXPECT_EQ(Applicable, 1u)
+          << "state " << S.str(*Prog) << " command " << C.str(*Prog);
+    }
+  }
+}
+
+/// C1: rtrans(c)(r) composed equals trans(c) after r, for every state.
+TEST_F(ConditionsTest, C1TransferEquivalence) {
+  uint64_t Checked = 0;
+  for (const Command &C : Commands) {
+    for (const TsRelation &R : Rels) {
+      std::vector<TsRelation> Extended = tsRtrans(*Ctx, Main, C, R);
+      for (const TsAbstractState &S : States) {
+        std::set<TsAbstractState> Lhs = applyAll(Extended, S);
+        std::set<TsAbstractState> Rhs;
+        if (std::optional<TsAbstractState> Mid = R.apply(*Ctx, S))
+          for (const TsAbstractState &O : tsTransfer(*Ctx, Main, C, *Mid))
+            if (!O.isLambda())
+              Rhs.insert(O);
+        ASSERT_EQ(Lhs, Rhs) << "command " << C.str(*Prog) << "\nrelation "
+                            << R.str(*Prog) << "\nstate " << S.str(*Prog);
+        ++Checked;
+      }
+    }
+  }
+  EXPECT_GT(Checked, 100000u);
+}
+
+/// C2: rcomp(r1, r2) is exactly the composition of the two relations.
+TEST_F(ConditionsTest, C2CompositionEquivalence) {
+  for (size_t I = 0; I < Rels.size(); I += 2) {
+    for (size_t J = 0; J < Rels.size(); J += 3) {
+      const TsRelation &R1 = Rels[I];
+      const TsRelation &R2 = Rels[J];
+      std::optional<TsRelation> Comp = tsRcomp(*Ctx, R1, R2);
+      for (size_t K = 0; K < States.size(); K += 5) {
+        const TsAbstractState &S = States[K];
+        std::optional<TsAbstractState> Lhs;
+        if (Comp)
+          Lhs = Comp->apply(*Ctx, S);
+        std::optional<TsAbstractState> Rhs;
+        if (std::optional<TsAbstractState> Mid = R1.apply(*Ctx, S))
+          Rhs = R2.apply(*Ctx, *Mid);
+        ASSERT_EQ(Lhs.has_value(), Rhs.has_value())
+            << "r1 " << R1.str(*Prog) << "\nr2 " << R2.str(*Prog)
+            << "\nstate " << S.str(*Prog);
+        if (Lhs) {
+          ASSERT_EQ(*Lhs, *Rhs)
+              << "r1 " << R1.str(*Prog) << "\nr2 " << R2.str(*Prog)
+              << "\nstate " << S.str(*Prog);
+        }
+      }
+    }
+  }
+}
+
+/// C3 (as used by rcomp and the Sigma propagation): within r's domain,
+/// the input satisfies wp(r, phi) iff r's output satisfies phi.
+TEST_F(ConditionsTest, C3WeakestPrecondition) {
+  std::vector<TsPred> Posts;
+  for (const TsRelation &R : Rels)
+    if (!R.isAlloc() && !R.phi().isTrue())
+      Posts.push_back(R.phi());
+
+  for (const TsRelation &R : Rels) {
+    if (R.isAlloc())
+      continue;
+    for (const TsPred &Post : Posts) {
+      std::optional<TsPred> Pre = tsWpPred(R, Post);
+      for (size_t K = 0; K < States.size(); K += 3) {
+        const TsAbstractState &S = States[K];
+        if (S.isLambda() || !R.domContains(*Ctx, S))
+          continue;
+        bool OutSat = Post.satisfiedBy(*Ctx, R.transform(S));
+        bool InSat = Pre && Pre->satisfiedBy(*Ctx, S);
+        ASSERT_EQ(InSat, OutSat)
+            << "relation " << R.str(*Prog) << "\npost " << Post.str(*Prog)
+            << "\nstate " << S.str(*Prog);
+      }
+    }
+  }
+}
+
+/// Applying a relation to a well-formed state yields a well-formed state
+/// (disjoint must / must-not sets) — the gen-protection invariant.
+TEST_F(ConditionsTest, ApplicationPreservesWellFormedness) {
+  for (const TsRelation &R : Rels)
+    for (size_t K = 0; K < States.size(); K += 2)
+      if (std::optional<TsAbstractState> O = R.apply(*Ctx, States[K])) {
+        for (const AccessPath &P : O->must())
+          ASSERT_FALSE(O->mustNot().contains(P))
+              << R.str(*Prog) << " on " << States[K].str(*Prog);
+      }
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the typestate abstract-domain building blocks: access
+/// paths, path sets, abstract states, predicates (contradictions,
+/// entailment, evaluation), kill specs (including the property that
+/// unionWith computes exactly the pointwise-or of the kill functions),
+/// and ignore sets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "typestate/IgnoreSet.h"
+#include "typestate/KillSpec.h"
+#include "typestate/Predicate.h"
+
+#include <gtest/gtest.h>
+
+using namespace swift;
+
+namespace {
+
+class DomainTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    A = Syms.intern("a");
+    B = Syms.intern("b");
+    C = Syms.intern("c");
+    F = Syms.intern("f");
+    G = Syms.intern("g");
+  }
+
+  SymbolTable Syms;
+  Symbol A, B, C, F, G;
+};
+
+TEST_F(DomainTest, AccessPathBasics) {
+  AccessPath P0(A);
+  AccessPath P1(A, F);
+  AccessPath P2(A, F, G);
+  EXPECT_EQ(P0.length(), 0u);
+  EXPECT_EQ(P1.length(), 1u);
+  EXPECT_EQ(P2.length(), 2u);
+  EXPECT_TRUE(P0.isVar());
+  EXPECT_FALSE(P1.isVar());
+  EXPECT_TRUE(P2.usesField(F));
+  EXPECT_TRUE(P2.usesField(G));
+  EXPECT_FALSE(P1.usesField(G));
+  EXPECT_EQ(P1.withBase(B), AccessPath(B, F));
+  EXPECT_EQ(P0.extend(F), P1);
+  EXPECT_EQ(P1.extend(G), P2);
+  EXPECT_EQ(P2.str(Syms), "a.f.g");
+  EXPECT_LT(P0, P1);
+}
+
+TEST_F(DomainTest, ApSetAlgebra) {
+  ApSet S;
+  S.insert(AccessPath(A));
+  S.insert(AccessPath(B, F));
+  S.insert(AccessPath(A, F, G));
+  S.insert(AccessPath(A)); // dup
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.contains(AccessPath(B, F)));
+
+  ApSet T = S;
+  T.eraseBase(A);
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(AccessPath(B, F)));
+
+  ApSet U = S;
+  U.eraseField(F);
+  EXPECT_EQ(U.size(), 1u);
+  EXPECT_TRUE(U.contains(AccessPath(A)));
+
+  // Construction from an unsorted vector normalizes.
+  ApSet V(std::vector<AccessPath>{AccessPath(B), AccessPath(A),
+                                  AccessPath(B)});
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(*V.begin(), AccessPath(A));
+}
+
+TEST_F(DomainTest, PredContradictions) {
+  TsPred P;
+  EXPECT_TRUE(P.isTrue());
+  EXPECT_TRUE(P.requireMust(AccessPath(A), true));
+  // Must and must-not are disjoint: requiring both is a contradiction.
+  EXPECT_FALSE(P.requireNot(AccessPath(A), true));
+
+  TsPred Q;
+  EXPECT_TRUE(Q.requireMust(AccessPath(A), false));
+  EXPECT_TRUE(Q.requireNot(AccessPath(A), true));
+  EXPECT_FALSE(Q.requireMust(AccessPath(A), true));
+
+  TsPred R;
+  EXPECT_TRUE(R.requireMay(0, A, true));
+  EXPECT_TRUE(R.requireMay(0, A, true));  // idempotent
+  EXPECT_FALSE(R.requireMay(0, A, false));
+  EXPECT_TRUE(R.requireMay(1, A, false)); // different procedure: distinct
+}
+
+TEST_F(DomainTest, PredEntailment) {
+  TsPred Strong, Weak;
+  ASSERT_TRUE(Strong.requireMust(AccessPath(A), true));
+  ASSERT_TRUE(Strong.requireNot(AccessPath(B), true));
+  ASSERT_TRUE(Weak.requireMust(AccessPath(A), true));
+  EXPECT_TRUE(Strong.implies(Weak));
+  EXPECT_FALSE(Weak.implies(Strong));
+  EXPECT_TRUE(Strong.implies(TsPred())); // everything implies true
+  EXPECT_TRUE(Weak.implies(Weak));
+}
+
+TEST_F(DomainTest, PredConjoin) {
+  TsPred P, Q;
+  ASSERT_TRUE(P.requireMust(AccessPath(A), true));
+  ASSERT_TRUE(Q.requireNot(AccessPath(B), true));
+  ASSERT_TRUE(P.conjoin(Q));
+  EXPECT_EQ(P.mustStatus(AccessPath(A)), ThreeVal::Yes);
+  EXPECT_EQ(P.notStatus(AccessPath(B)), ThreeVal::Yes);
+
+  TsPred Contra;
+  ASSERT_TRUE(Contra.requireMust(AccessPath(A), false));
+  EXPECT_FALSE(P.conjoin(Contra));
+}
+
+TEST_F(DomainTest, KillSpecBasics) {
+  KillSpec K;
+  EXPECT_TRUE(K.isEmpty());
+  K.addBase(A);
+  EXPECT_TRUE(K.kills(AccessPath(A)));
+  EXPECT_TRUE(K.kills(AccessPath(A, F)));
+  EXPECT_FALSE(K.kills(AccessPath(B, F)));
+
+  K.addFieldEverywhere(F);
+  EXPECT_TRUE(K.kills(AccessPath(B, F)));
+  EXPECT_TRUE(K.kills(AccessPath(C, G, F)));
+  EXPECT_FALSE(K.kills(AccessPath(B, G)));
+
+  // Per-base override: base B is killed only on field G.
+  K.setBaseFields(B, {G});
+  EXPECT_TRUE(K.kills(AccessPath(B, G)));
+  EXPECT_FALSE(K.kills(AccessPath(B, F)));
+  // Other bases still follow the default.
+  EXPECT_TRUE(K.kills(AccessPath(C, F)));
+}
+
+/// unionWith must be exactly the pointwise-or of the kill functions; this
+/// is what makes sequential relation composition exact. Checked on
+/// randomly built specs over a full path enumeration.
+TEST_F(DomainTest, KillSpecUnionIsPointwiseOr) {
+  std::vector<Symbol> Vars{A, B, C};
+  std::vector<Symbol> Fields{F, G};
+  std::vector<AccessPath> AllPaths;
+  for (Symbol V : Vars) {
+    AllPaths.push_back(AccessPath(V));
+    for (Symbol F1 : Fields) {
+      AllPaths.push_back(AccessPath(V, F1));
+      for (Symbol F2 : Fields)
+        AllPaths.push_back(AccessPath(V, F1, F2));
+    }
+  }
+
+  Rng R(42);
+  auto RandomSpec = [&]() {
+    KillSpec K;
+    for (Symbol V : Vars)
+      if (R.chance(1, 4))
+        K.addBase(V);
+    for (Symbol F1 : Fields)
+      if (R.chance(1, 4))
+        K.addFieldEverywhere(F1);
+    for (Symbol V : Vars)
+      if (R.chance(1, 3)) {
+        std::vector<Symbol> Fs;
+        for (Symbol F1 : Fields)
+          if (R.chance(1, 2))
+            Fs.push_back(F1);
+        K.setBaseFields(V, Fs);
+      }
+    return K;
+  };
+
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    KillSpec K1 = RandomSpec();
+    KillSpec K2 = RandomSpec();
+    KillSpec U = K1;
+    U.unionWith(K2);
+    for (const AccessPath &P : AllPaths)
+      ASSERT_EQ(U.kills(P), K1.kills(P) || K2.kills(P))
+          << "trial " << Trial << " path " << P.str(Syms) << "\nK1 "
+          << K1.str(Syms) << "\nK2 " << K2.str(Syms) << "\nU "
+          << U.str(Syms);
+  }
+}
+
+TEST_F(DomainTest, KillSpecCanonicalEquality) {
+  // Equal kill functions built differently compare equal.
+  KillSpec K1, K2;
+  K1.addFieldEverywhere(F);
+  K1.setBaseFields(A, {F}); // same as the default: canonicalized away
+  K2.addFieldEverywhere(F);
+  EXPECT_EQ(K1, K2);
+
+  KillSpec K3;
+  K3.addBase(A);
+  K3.setBaseFields(A, {F}); // subsumed by the base kill: ignored
+  KillSpec K4;
+  K4.addBase(A);
+  EXPECT_EQ(K3, K4);
+}
+
+TEST_F(DomainTest, IgnoreSetSubsumption) {
+  TsIgnoreSet S;
+  EXPECT_TRUE(S.empty());
+
+  TsPred Weak;
+  ASSERT_TRUE(Weak.requireMust(AccessPath(A), true));
+  TsPred Strong = Weak;
+  ASSERT_TRUE(Strong.requireNot(AccessPath(B), true));
+
+  EXPECT_TRUE(S.addPred(Weak));
+  // Strong's states are already covered by Weak: not added.
+  EXPECT_FALSE(S.addPred(Strong));
+  EXPECT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S.coversPred(Strong));
+  EXPECT_TRUE(S.coversPred(Weak));
+  EXPECT_FALSE(S.coversPred(TsPred()));
+
+  EXPECT_TRUE(S.addLambda());
+  EXPECT_FALSE(S.addLambda());
+
+  TsIgnoreSet All;
+  All.makeAll();
+  EXPECT_TRUE(All.coversPred(TsPred()));
+  EXPECT_TRUE(All.containsLambda());
+
+  TsIgnoreSet T;
+  EXPECT_TRUE(T.unionWith(S));
+  EXPECT_FALSE(T.unionWith(S)); // idempotent
+}
+
+} // namespace

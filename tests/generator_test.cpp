@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the workload generator and fuzzer: bit-level determinism per
+/// seed, knob monotonicity, the named benchmark table, and well-formed
+/// clean workloads (no protocol violations when the bug knobs are off,
+/// checked concretely).
+///
+//===----------------------------------------------------------------------===//
+
+#include "concrete/Interpreter.h"
+#include "genprog/Fuzzer.h"
+#include "genprog/Generator.h"
+#include "genprog/Workloads.h"
+#include "ir/Dumper.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace swift;
+
+namespace {
+
+std::string dump(const Program &P) {
+  std::ostringstream OS;
+  dumpCfg(P, OS);
+  return OS.str();
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  GenConfig Cfg;
+  Cfg.Seed = 42;
+  std::unique_ptr<Program> A = generateWorkload(Cfg);
+  std::unique_ptr<Program> B = generateWorkload(Cfg);
+  EXPECT_EQ(dump(*A), dump(*B));
+  EXPECT_EQ(generateWorkloadTsl(Cfg), generateWorkloadTsl(Cfg));
+
+  Cfg.Seed = 43;
+  std::unique_ptr<Program> C = generateWorkload(Cfg);
+  EXPECT_NE(dump(*A), dump(*C));
+}
+
+TEST(GeneratorTest, ScaleKnobsGrowThePrograms) {
+  GenConfig Small;
+  Small.Layers = 2;
+  Small.ProcsPerLayer = 3;
+  Small.NumDrivers = 2;
+  Small.ObjectsPerDriver = 2;
+  GenConfig Big = Small;
+  Big.Layers = 4;
+  Big.ProcsPerLayer = 10;
+  Big.NumDrivers = 8;
+  Big.ObjectsPerDriver = 8;
+
+  GenStats S1, S2;
+  generateWorkload(Small, &S1);
+  generateWorkload(Big, &S2);
+  EXPECT_GT(S2.Procs, S1.Procs);
+  EXPECT_GT(S2.Commands, S1.Commands);
+  EXPECT_GT(S2.Sites, S1.Sites);
+}
+
+TEST(GeneratorTest, BugKnobInjectsConcreteViolations) {
+  GenConfig Cfg;
+  Cfg.Seed = 5;
+  Cfg.Layers = 2;
+  Cfg.ProcsPerLayer = 3;
+  Cfg.NumDrivers = 4;
+  Cfg.ObjectsPerDriver = 3;
+  Cfg.BugPerMille = 1000; // every driver double-opens
+  Cfg.MixedCallPerMille = 0;
+  std::unique_ptr<Program> P = generateWorkload(Cfg);
+
+  bool AnyError = false;
+  for (uint64_t Seed = 1; Seed <= 20 && !AnyError; ++Seed) {
+    InterpConfig IC;
+    IC.Seed = Seed;
+    InterpResult R = interpret(*P, IC);
+    AnyError = R.Completed && !R.ErrorSites.empty();
+  }
+  EXPECT_TRUE(AnyError);
+}
+
+TEST(GeneratorTest, CleanConfigsExecuteCleanly) {
+  GenConfig Cfg;
+  Cfg.Seed = 17;
+  Cfg.Layers = 3;
+  Cfg.ProcsPerLayer = 4;
+  Cfg.NumDrivers = 3;
+  Cfg.ObjectsPerDriver = 4;
+  Cfg.BugPerMille = 0;
+  Cfg.MixedCallPerMille = 0;
+  std::unique_ptr<Program> P = generateWorkload(Cfg);
+
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    InterpConfig IC;
+    IC.Seed = Seed;
+    InterpResult R = interpret(*P, IC);
+    if (R.Completed) {
+      EXPECT_TRUE(R.ErrorSites.empty()) << "schedule " << Seed;
+    }
+  }
+}
+
+TEST(GeneratorTest, NamedWorkloadTable) {
+  const std::vector<NamedWorkload> &W = benchmarkWorkloads();
+  ASSERT_EQ(W.size(), 12u);
+  EXPECT_EQ(W.front().Name, "jpat-p");
+  EXPECT_EQ(W.back().Name, "sablecc-j");
+  EXPECT_NE(findWorkload("avrora"), nullptr);
+  EXPECT_EQ(findWorkload("nope"), nullptr);
+
+  // Sizes grow from the first to the last configuration.
+  GenStats First, Last;
+  generateWorkload(W.front().Config, &First);
+  generateWorkload(W.back().Config, &Last);
+  EXPECT_LT(First.Commands * 10, Last.Commands);
+}
+
+TEST(FuzzerTest, DeterministicAndWellFormed) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    FuzzConfig FC;
+    FC.Seed = Seed;
+    std::unique_ptr<Program> A = generateFuzzProgram(FC);
+    std::unique_ptr<Program> B = generateFuzzProgram(FC);
+    EXPECT_EQ(dump(*A), dump(*B));
+
+    // Structural sanity: resolved calls, single exits, reachable RPO.
+    for (ProcId P = 0; P != A->numProcs(); ++P) {
+      const Procedure &Proc = A->proc(P);
+      EXPECT_FALSE(Proc.reachableRpo().empty());
+      EXPECT_EQ(Proc.reachableRpo().front(), Proc.entry());
+      for (const CfgNode &Node : Proc.nodes())
+        if (Node.Cmd.Kind == CmdKind::Call) {
+          EXPECT_NE(Node.Cmd.Callee, InvalidProc);
+          EXPECT_EQ(Node.Cmd.Args.size(),
+                    A->proc(Node.Cmd.Callee).params().size());
+        }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,287 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the IR substrate: the structured builder's CFG lowering
+/// (branches, loops, return normalization), call resolution, reachability,
+/// stable-parameter tracking, the call graph (SCCs, recursion,
+/// reachability order), and mod-ref summaries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/CallGraph.h"
+#include "ir/Dumper.h"
+#include "ir/ModRef.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace swift;
+
+namespace {
+
+std::unique_ptr<Program> buildDiamond() {
+  ProgramBuilder B;
+  B.addTypestate("File", {"c", "o", "e"}, "c", "e",
+                 {{"c", "open", "o"}, {"o", "close", "c"}});
+  B.beginProc("main", {});
+  B.alloc("v", "File");
+  B.beginIf();
+  B.tsCall("v", "open");
+  B.orElse();
+  B.copy("w", "v");
+  B.endIf();
+  B.tsCall("v", "close");
+  B.endProc();
+  return B.finish();
+}
+
+TEST(IrTest, IfElseLowersToDiamond) {
+  std::unique_ptr<Program> P = buildDiamond();
+  const Procedure &Main = P->proc(P->mainProc());
+  // Entry and exit are distinct Nops; every node is reachable exactly once
+  // in the RPO.
+  EXPECT_EQ(Main.node(Main.entry()).Cmd.Kind, CmdKind::Nop);
+  EXPECT_EQ(Main.node(Main.exit()).Cmd.Kind, CmdKind::Nop);
+  EXPECT_TRUE(Main.node(Main.exit()).Succs.empty());
+
+  // The alloc node is the branch point: two successors.
+  bool FoundBranch = false;
+  for (NodeId N : Main.reachableRpo())
+    if (Main.node(N).Cmd.Kind == CmdKind::Alloc) {
+      EXPECT_EQ(Main.node(N).Succs.size(), 2u);
+      FoundBranch = true;
+    }
+  EXPECT_TRUE(FoundBranch);
+
+  // Each command records its own node id.
+  for (NodeId N : Main.reachableRpo())
+    if (Main.node(N).Cmd.Kind != CmdKind::Nop) {
+      EXPECT_EQ(Main.node(N).Cmd.Self, N);
+    }
+}
+
+TEST(IrTest, LoopHasBackEdgeAndExit) {
+  ProgramBuilder B;
+  B.addTypestate("T", {"a", "e"}, "a", "e", {});
+  B.beginProc("main", {});
+  B.beginLoop();
+  B.alloc("v", "T");
+  B.endLoop();
+  B.assignNull("v");
+  B.endProc();
+  std::unique_ptr<Program> P = B.finish();
+  const Procedure &Main = P->proc(P->mainProc());
+
+  // The loop head has two successors (body and after), and the body's last
+  // node loops back to the head.
+  NodeId Head = InvalidNode;
+  for (NodeId N : Main.reachableRpo())
+    if (Main.node(N).Cmd.Kind == CmdKind::Nop &&
+        Main.node(N).Succs.size() == 2)
+      Head = N;
+  ASSERT_NE(Head, InvalidNode);
+  NodeId Body = Main.node(Head).Succs[0];
+  EXPECT_EQ(Main.node(Body).Cmd.Kind, CmdKind::Alloc);
+  EXPECT_EQ(Main.node(Body).Succs.size(), 1u);
+  EXPECT_EQ(Main.node(Body).Succs[0], Head);
+}
+
+TEST(IrTest, ReturnNormalization) {
+  ProgramBuilder B;
+  B.addTypestate("T", {"a", "e"}, "a", "e", {});
+  B.beginProc("id", {"x"});
+  B.ret("x");
+  B.endProc();
+  B.beginProc("none", {});
+  B.ret();
+  B.endProc();
+  B.beginProc("fallthrough", {});
+  B.assignNull("y");
+  B.endProc();
+  B.beginProc("main", {});
+  B.callAssign("a", "id", {"a"});
+  B.call("none", {});
+  B.call("fallthrough", {});
+  B.endProc();
+  std::unique_ptr<Program> P = B.finish();
+
+  // `return x` becomes `$ret = x`; `return;` and fall-through become
+  // `$ret = null`.
+  auto HasRetAssign = [&](const char *Name, CmdKind Kind) {
+    const Procedure &Proc = P->proc(P->procId(P->symbols().intern(Name)));
+    for (NodeId N : Proc.reachableRpo()) {
+      const Command &C = Proc.node(N).Cmd;
+      if (C.Dst == P->retVar())
+        return C.Kind == Kind;
+    }
+    return false;
+  };
+  EXPECT_TRUE(HasRetAssign("id", CmdKind::Copy));
+  EXPECT_TRUE(HasRetAssign("none", CmdKind::AssignNull));
+  EXPECT_TRUE(HasRetAssign("fallthrough", CmdKind::AssignNull));
+}
+
+TEST(IrTest, DeadCodeAfterReturnIsUnreachable) {
+  ProgramBuilder B;
+  B.addTypestate("T", {"a", "e"}, "a", "e", {});
+  B.beginProc("main", {});
+  B.ret();
+  B.alloc("dead", "T");
+  B.endProc();
+  std::unique_ptr<Program> P = B.finish();
+  const Procedure &Main = P->proc(P->mainProc());
+  for (NodeId N : Main.reachableRpo())
+    EXPECT_NE(Main.node(N).Cmd.Kind, CmdKind::Alloc);
+}
+
+TEST(IrTest, StableParams) {
+  ProgramBuilder B;
+  B.addTypestate("T", {"a", "e"}, "a", "e", {});
+  B.beginProc("f", {"p", "q"});
+  B.copy("q", "p"); // q reassigned, p only read
+  B.endProc();
+  B.beginProc("main", {});
+  B.call("f", {"x", "x"});
+  B.endProc();
+  std::unique_ptr<Program> P = B.finish();
+  const Procedure &F = P->proc(P->procId(P->symbols().intern("f")));
+  EXPECT_TRUE(F.isStableParam(P->symbols().intern("p")));
+  EXPECT_FALSE(F.isStableParam(P->symbols().intern("q")));
+  EXPECT_FALSE(F.isStableParam(P->symbols().intern("x"))); // not a param
+}
+
+TEST(IrTest, BuilderRejectsErrors) {
+  {
+    ProgramBuilder B;
+    B.beginProc("main", {});
+    EXPECT_THROW(B.alloc("v", "Undeclared"), std::runtime_error);
+  }
+  {
+    ProgramBuilder B;
+    B.addTypestate("T", {"a", "e"}, "a", "e", {});
+    B.beginProc("main", {});
+    B.call("nosuch", {});
+    B.endProc();
+    EXPECT_THROW(B.finish(), std::runtime_error);
+  }
+  {
+    ProgramBuilder B;
+    B.addTypestate("T", {"a", "e"}, "a", "e", {});
+    B.beginProc("f", {"x"});
+    B.endProc();
+    B.beginProc("main", {});
+    B.call("f", {}); // arity mismatch
+    B.endProc();
+    EXPECT_THROW(B.finish(), std::runtime_error);
+  }
+  {
+    ProgramBuilder B;
+    B.addTypestate("T", {"a", "e"}, "a", "e", {});
+    B.beginProc("f", {});
+    B.endProc();
+    EXPECT_THROW(B.finish("main"), std::runtime_error); // no main
+  }
+}
+
+std::unique_ptr<Program> buildCallGraphProgram() {
+  // main -> a -> b <-> c (mutual recursion), b -> d, e is unreachable.
+  ProgramBuilder B;
+  B.addTypestate("T", {"s", "e"}, "s", "e", {});
+  B.beginProc("d", {});
+  B.endProc();
+  B.beginProc("c", {});
+  B.call("b", {});
+  B.endProc();
+  B.beginProc("b", {});
+  B.beginIf();
+  B.call("c", {});
+  B.orElse();
+  B.call("d", {});
+  B.endIf();
+  B.endProc();
+  B.beginProc("a", {});
+  B.call("b", {});
+  B.endProc();
+  B.beginProc("e", {});
+  B.call("e", {});
+  B.endProc();
+  B.beginProc("main", {});
+  B.call("a", {});
+  B.endProc();
+  return B.finish();
+}
+
+TEST(IrTest, CallGraphSccsAndRecursion) {
+  std::unique_ptr<Program> P = buildCallGraphProgram();
+  CallGraph CG(*P);
+  auto Id = [&](const char *N) {
+    return P->procId(P->symbols().intern(N));
+  };
+
+  EXPECT_EQ(CG.scc(Id("b")), CG.scc(Id("c")));
+  EXPECT_NE(CG.scc(Id("b")), CG.scc(Id("d")));
+  EXPECT_TRUE(CG.isRecursive(Id("b")));
+  EXPECT_TRUE(CG.isRecursive(Id("c")));
+  EXPECT_TRUE(CG.isRecursive(Id("e"))); // self loop
+  EXPECT_FALSE(CG.isRecursive(Id("a")));
+
+  // Callee-before-caller order from main.
+  std::vector<ProcId> R = CG.reachableFrom(P->mainProc());
+  EXPECT_EQ(R.size(), 5u); // main, a, b, c, d — not e
+  auto Pos = [&](ProcId X) {
+    for (size_t I = 0; I != R.size(); ++I)
+      if (R[I] == X)
+        return I;
+    return R.size();
+  };
+  EXPECT_LT(Pos(Id("d")), Pos(Id("b")));
+  EXPECT_LT(Pos(Id("b")), Pos(Id("a")));
+  EXPECT_LT(Pos(Id("a")), Pos(P->mainProc()));
+  EXPECT_EQ(Pos(Id("e")), R.size());
+}
+
+TEST(IrTest, ModRefTransitiveClosure) {
+  ProgramBuilder B;
+  B.addTypestate("T", {"s", "e"}, "s", "e", {});
+  B.beginProc("leaf", {"x", "y"});
+  B.store("x", "fld", "y");
+  B.endProc();
+  B.beginProc("mid", {"x"});
+  B.call("leaf", {"x", "x"});
+  B.endProc();
+  B.beginProc("clean", {"x"});
+  B.load("z", "x", "fld");
+  B.endProc();
+  B.beginProc("main", {});
+  B.call("mid", {"v"});
+  B.call("clean", {"v"});
+  B.endProc();
+  std::unique_ptr<Program> P = B.finish();
+  CallGraph CG(*P);
+  ModRef MR(*P, CG);
+  Symbol Fld = P->symbols().intern("fld");
+  auto Id = [&](const char *N) {
+    return P->procId(P->symbols().intern(N));
+  };
+  EXPECT_TRUE(MR.mayModField(Id("leaf"), Fld));
+  EXPECT_TRUE(MR.mayModField(Id("mid"), Fld));
+  EXPECT_TRUE(MR.mayModField(P->mainProc(), Fld));
+  EXPECT_FALSE(MR.mayModField(Id("clean"), Fld));
+}
+
+TEST(IrTest, DumperProducesListing) {
+  std::unique_ptr<Program> P = buildDiamond();
+  std::ostringstream OS;
+  dumpCfg(*P, OS);
+  EXPECT_NE(OS.str().find("proc main()"), std::string::npos);
+  EXPECT_NE(OS.str().find("v = new File@h0"), std::string::npos);
+  EXPECT_GT(sourceLineEstimate(*P), 5u);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the TSL frontend: lexer tokens and positions, parser AST
+/// shapes and diagnostics, lowering, and the generator-TSL round trip
+/// (generated TSL source parses back to a structurally identical
+/// program).
+///
+//===----------------------------------------------------------------------===//
+
+#include "genprog/Generator.h"
+#include "lang/Lower.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace swift;
+
+namespace {
+
+TEST(LexerTest, TokensAndPositions) {
+  Lexer L("proc f(x) { x = new File; } // comment\n-> - * ;");
+  std::vector<Token> Toks = L.lexAll();
+  ASSERT_GE(Toks.size(), 14u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwProc);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "f");
+  EXPECT_EQ(Toks[0].Line, 1u);
+  EXPECT_EQ(Toks[0].Col, 1u);
+  // The tokens on line 2.
+  Token Arrow = Toks[Toks.size() - 5];
+  EXPECT_EQ(Arrow.Kind, TokKind::Arrow);
+  EXPECT_EQ(Arrow.Line, 2u);
+  EXPECT_EQ(Toks.back().Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  Lexer L("proc f() { x = 42; }");
+  EXPECT_THROW(L.lexAll(), SyntaxError);
+}
+
+TEST(ParserTest, StatementShapes) {
+  ast::Module M = Parser::parse(R"(
+    typestate T { start s; error e; s -m-> e; }
+    proc main() {
+      a = new T;
+      b = a;
+      c = null;
+      d = a.fld;
+      a.fld = b;
+      a.m();
+      go(a, b);
+      r = go(b, a);
+      if (*) { a = b; } else { b = a; }
+      while (*) { a.m(); }
+      return a;
+    }
+    proc go(x, y) { return x; }
+  )");
+  ASSERT_EQ(M.Typestates.size(), 1u);
+  EXPECT_EQ(M.Typestates[0].Name, "T");
+  EXPECT_EQ(M.Typestates[0].Start, "s");
+  EXPECT_EQ(M.Typestates[0].Error, "e");
+  ASSERT_EQ(M.Typestates[0].Transitions.size(), 1u);
+  EXPECT_EQ(M.Typestates[0].Transitions[0].Method, "m");
+
+  ASSERT_EQ(M.Procs.size(), 2u);
+  const std::vector<ast::Stmt> &Body = M.Procs[0].Body;
+  ASSERT_EQ(Body.size(), 11u);
+  using K = ast::Stmt::Kind;
+  EXPECT_EQ(Body[0].K, K::Alloc);
+  EXPECT_EQ(Body[1].K, K::Copy);
+  EXPECT_EQ(Body[2].K, K::AssignNull);
+  EXPECT_EQ(Body[3].K, K::Load);
+  EXPECT_EQ(Body[4].K, K::Store);
+  EXPECT_EQ(Body[5].K, K::TsCall);
+  EXPECT_EQ(Body[6].K, K::Call);
+  EXPECT_TRUE(Body[6].A.empty());
+  EXPECT_EQ(Body[7].K, K::Call);
+  EXPECT_EQ(Body[7].A, "r");
+  ASSERT_EQ(Body[7].Args.size(), 2u);
+  EXPECT_EQ(Body[8].K, K::If);
+  EXPECT_EQ(Body[8].Then.size(), 1u);
+  EXPECT_EQ(Body[8].Else.size(), 1u);
+  EXPECT_EQ(Body[9].K, K::While);
+  EXPECT_EQ(Body[10].K, K::Return);
+  EXPECT_TRUE(Body[10].HasValue);
+}
+
+TEST(ParserTest, DiagnosticsCarryPositions) {
+  try {
+    Parser::parse("proc main() { x = ; }");
+    FAIL() << "expected SyntaxError";
+  } catch (const SyntaxError &E) {
+    EXPECT_EQ(E.line(), 1u);
+    EXPECT_NE(std::string(E.what()).find("expected"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, RejectsMalformedTypestate) {
+  EXPECT_THROW(Parser::parse("typestate T { error e; }"), SyntaxError);
+  EXPECT_THROW(Parser::parse("typestate T { start s; }"), SyntaxError);
+  EXPECT_THROW(Parser::parse("typestate T { start s; error e; s -m> t; }"),
+               SyntaxError);
+}
+
+TEST(LowerTest, SemanticErrors) {
+  EXPECT_THROW(parseProgram("proc main() { f(); }"), std::runtime_error);
+  EXPECT_THROW(parseProgram(R"(
+    proc f(x) {}
+    proc main() { f(); }
+  )"),
+               std::runtime_error);
+  EXPECT_THROW(parseProgram(R"(
+    proc f() {}
+    proc f() {}
+    proc main() {}
+  )"),
+               std::runtime_error);
+  // Main must exist and take no parameters.
+  EXPECT_THROW(parseProgram("proc notmain() {}"), std::runtime_error);
+  EXPECT_THROW(parseProgram("proc main(x) {}"), std::runtime_error);
+}
+
+TEST(LowerTest, AlternateRootName) {
+  std::unique_ptr<Program> P = parseProgram(R"(
+    proc entry() {}
+  )",
+                                            "entry");
+  EXPECT_EQ(P->mainProc(), P->procId(P->symbols().intern("entry")));
+}
+
+/// Generated TSL source parses back to a structurally identical program.
+TEST(RoundTripTest, GeneratedWorkloadsReparse) {
+  for (uint64_t Seed : {7u, 101u, 999u}) {
+    GenConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.Layers = 2;
+    Cfg.ProcsPerLayer = 4;
+    Cfg.NumDrivers = 3;
+    Cfg.ObjectsPerDriver = 3;
+    GenStats Direct;
+    std::unique_ptr<Program> P1 = generateWorkload(Cfg, &Direct);
+
+    std::string Tsl = generateWorkloadTsl(Cfg);
+    std::unique_ptr<Program> P2 = parseProgram(Tsl);
+
+    EXPECT_EQ(P1->numProcs(), P2->numProcs());
+    EXPECT_EQ(P1->numCommands(), P2->numCommands());
+    EXPECT_EQ(P1->numCallCommands(), P2->numCallCommands());
+    EXPECT_EQ(P1->numSites(), P2->numSites());
+    EXPECT_EQ(P1->numSpecs(), P2->numSpecs());
+  }
+}
+
+} // namespace

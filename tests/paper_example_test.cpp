@@ -1,0 +1,151 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (Section 2, Figure 1): three File objects
+/// opened and closed through a shared procedure foo. Checks that all three
+/// analyses prove the program error-free, that they agree on main's exit
+/// states (Theorem 3.1), and that SWIFT's bottom-up summaries for foo
+/// collapse to the two cases B1 / B2 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "framework/Tabulation.h"
+#include "lang/Lower.h"
+#include "typestate/Runner.h"
+#include "typestate/TsAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace swift;
+
+namespace {
+
+const char *PaperExample = R"(
+  typestate File {
+    start closed; error err;
+    closed -open-> opened;
+    opened -close-> closed;
+  }
+  proc main() {
+    v1 = new File; foo(v1);
+    v2 = new File; foo(v2);
+    v3 = new File; foo(v3);
+  }
+  proc foo(f) { f.open(); f.close(); }
+)";
+
+class PaperExampleTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Prog = parseProgram(PaperExample);
+    Ctx = std::make_unique<TsContext>(*Prog, Prog->symbols().intern("File"));
+  }
+
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<TsContext> Ctx;
+};
+
+TEST_F(PaperExampleTest, TopDownProvesErrorFree) {
+  TsRunResult R = runTypestateTd(*Ctx);
+  EXPECT_FALSE(R.Timeout);
+  EXPECT_TRUE(R.ErrorSites.empty());
+
+  // Three tracked objects reach main's exit, all closed.
+  TState Closed = Ctx->spec().initState();
+  size_t Tuples = 0;
+  for (const TsAbstractState &S : R.MainExit)
+    if (!S.isLambda()) {
+      ++Tuples;
+      EXPECT_EQ(S.tstate(), Closed) << S.str(*Prog);
+    }
+  EXPECT_EQ(Tuples, 3u);
+}
+
+TEST_F(PaperExampleTest, SwiftCoincidesWithTopDown) {
+  TsRunResult Td = runTypestateTd(*Ctx);
+  for (uint64_t K : {1u, 2u, 5u}) {
+    for (uint64_t Theta : {1u, 2u, 4u}) {
+      TsRunResult Sw = runTypestateSwift(*Ctx, K, Theta);
+      EXPECT_FALSE(Sw.Timeout);
+      EXPECT_EQ(Sw.MainExit, Td.MainExit) << "k=" << K << " theta=" << Theta;
+      EXPECT_EQ(Sw.ErrorSites, Td.ErrorSites);
+    }
+  }
+}
+
+TEST_F(PaperExampleTest, BottomUpCoincides) {
+  TsRunResult Td = runTypestateTd(*Ctx);
+  TsRunResult Bu = runTypestateBu(*Ctx);
+  EXPECT_FALSE(Bu.Timeout);
+  EXPECT_EQ(Bu.MainExit, Td.MainExit);
+  EXPECT_EQ(Bu.ErrorSites, Td.ErrorSites);
+  // The unpruned bottom-up analysis computes summaries for both procedures.
+  EXPECT_GT(Bu.BuRelations, 0u);
+}
+
+TEST_F(PaperExampleTest, SwiftTriggersAndPrunes) {
+  // k=2, theta=2 as in the paper's Section 2.3 walkthrough.
+  TsRunResult Sw = runTypestateSwift(*Ctx, 2, 2);
+  EXPECT_FALSE(Sw.Timeout);
+  EXPECT_TRUE(Sw.ErrorSites.empty());
+  EXPECT_GE(Sw.Stat.get("swift.bu_triggers"), 1u);
+  EXPECT_GE(Sw.Stat.get("td.bu_served_calls"), 1u);
+  // SWIFT computes fewer top-down summaries for foo than TD (which computes
+  // five: T1-T5).
+  TsRunResult Td = runTypestateTd(*Ctx);
+  ProcId Foo = Prog->procId(Prog->symbols().intern("foo"));
+  ASSERT_NE(Foo, InvalidProc);
+  EXPECT_EQ(Td.TdSummariesPerProc[Foo], 5u);
+  EXPECT_LT(Sw.TdSummariesPerProc[Foo], Td.TdSummariesPerProc[Foo]);
+}
+
+/// Section 2.3's punchline: with k=2, theta=2 the pruned bottom-up
+/// summary of foo is exactly the two cases B1 and B2 — the identity on
+/// must-not-aliased inputs and (close o open) on must-aliased inputs —
+/// while B3/B4 (the may-alias cases) are pruned into Sigma.
+TEST_F(PaperExampleTest, FooSummaryIsB1AndB2) {
+  Budget Bud;
+  Stats Stat;
+  TabulationSolver<TsAnalysis>::Config Cfg;
+  Cfg.K = 2;
+  Cfg.Theta = 2;
+  TabulationSolver<TsAnalysis> Solver(*Ctx, *Prog, Ctx->callGraph(), Cfg,
+                                      Bud, Stat);
+  ASSERT_TRUE(Solver.run());
+
+  ProcId Foo = Prog->procId(Prog->symbols().intern("foo"));
+  ASSERT_TRUE(Solver.buDefined(Foo));
+  const auto &Summary = Solver.buSummary(Foo);
+  ASSERT_EQ(Summary.Rels.size(), 2u);
+
+  AccessPath F(Prog->symbols().intern("f"));
+  TState Closed = Ctx->spec().initState();
+  TState Error = Ctx->spec().errorState();
+  bool SawB1 = false, SawB2 = false;
+  for (const TsRelation &R : Summary.Rels) {
+    ASSERT_FALSE(R.isAlloc());
+    if (R.phi().notStatus(F) == ThreeVal::Yes) {
+      // B1: identity on the typestate.
+      for (size_t T = 0; T != R.iota().size(); ++T)
+        EXPECT_EQ(R.iota()[T], T);
+      SawB1 = true;
+    } else if (R.phi().mustStatus(F) == ThreeVal::Yes) {
+      // B2: iota = close o open (closed -> closed, opened -> error).
+      EXPECT_EQ(R.iota()[Closed], Closed);
+      EXPECT_EQ(R.iota()[Error], Error);
+      SawB2 = true;
+    }
+  }
+  EXPECT_TRUE(SawB1);
+  EXPECT_TRUE(SawB2);
+  // The pruned cases' domains (B3/B4: f in neither set) are ignored.
+  ApSet Empty;
+  TsAbstractState Neither(0, Closed, Empty, Empty);
+  EXPECT_TRUE(Summary.SigmaAll.contains(*Ctx, Neither));
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Soundness property tests against the concrete interpreter: every
+/// protocol violation observed in any concrete execution schedule must be
+/// reported by the top-down, SWIFT, and (when it finishes) bottom-up
+/// analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "concrete/Interpreter.h"
+#include "genprog/Fuzzer.h"
+#include "genprog/Generator.h"
+#include "typestate/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace swift;
+
+namespace {
+
+std::set<SiteId> concreteErrors(const Program &Prog, unsigned Schedules) {
+  std::set<SiteId> Errors;
+  for (unsigned S = 0; S != Schedules; ++S) {
+    InterpConfig IC;
+    IC.Seed = S + 1;
+    IC.MaxSteps = 20000;
+    IC.MaxDepth = 40;
+    InterpResult R = interpret(Prog, IC);
+    if (R.Completed)
+      Errors.insert(R.ErrorSites.begin(), R.ErrorSites.end());
+  }
+  return Errors;
+}
+
+void expectSubset(const std::set<SiteId> &Concrete,
+                  const std::set<SiteId> &Reported, const char *What,
+                  uint64_t Seed) {
+  for (SiteId H : Concrete)
+    EXPECT_TRUE(Reported.count(H))
+        << What << " missed concrete error at site h" << H << " (seed "
+        << Seed << ")";
+}
+
+class SoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoundnessTest, AnalysesCoverConcreteErrorsOnFuzzedPrograms) {
+  FuzzConfig FC;
+  FC.Seed = GetParam() * 104729 + 7;
+  FC.NumProcs = 3 + GetParam() % 3;
+  FC.StmtsPerProc = 5 + GetParam() % 5;
+  FC.NumVars = 3;
+  std::unique_ptr<Program> Prog = generateFuzzProgram(FC);
+  TsContext Ctx(*Prog, Prog->symbols().intern("File"));
+
+  std::set<SiteId> Concrete = concreteErrors(*Prog, 40);
+
+  TsRunResult Td = runTypestateTd(Ctx);
+  ASSERT_FALSE(Td.Timeout);
+  expectSubset(Concrete, Td.ErrorSites, "TD", FC.Seed);
+
+  TsRunResult Sw = runTypestateSwift(Ctx, 2, 1);
+  ASSERT_FALSE(Sw.Timeout);
+  expectSubset(Concrete, Sw.ErrorSites, "SWIFT", FC.Seed);
+
+  RunLimits BuLimits;
+  BuLimits.MaxSteps = 5'000'000;
+  BuLimits.MaxSeconds = 20.0;
+  TsRunResult Bu = runTypestateBu(Ctx, BuLimits);
+  if (!Bu.Timeout)
+    expectSubset(Concrete, Bu.ErrorSites, "BU", FC.Seed);
+}
+
+TEST_P(SoundnessTest, AnalysesCoverConcreteErrorsOnWorkloads) {
+  GenConfig GC;
+  GC.Seed = GetParam();
+  GC.Layers = 2;
+  GC.ProcsPerLayer = 3;
+  GC.NumDrivers = 2;
+  GC.ObjectsPerDriver = 3;
+  GC.BugPerMille = 600;
+  GC.MixedCallPerMille = 300;
+  std::unique_ptr<Program> Prog = generateWorkload(GC);
+  TsContext Ctx(*Prog, Prog->symbols().intern("File"));
+
+  std::set<SiteId> Concrete = concreteErrors(*Prog, 30);
+
+  TsRunResult Sw = runTypestateSwift(Ctx, 3, 1);
+  ASSERT_FALSE(Sw.Timeout);
+  expectSubset(Concrete, Sw.ErrorSites, "SWIFT", GC.Seed);
+}
+
+/// Clean workloads (no injected bugs, no unknown-alias merges) must verify:
+/// the analysis reports no errors at all, and neither does any execution.
+TEST_P(SoundnessTest, CleanWorkloadsVerify) {
+  GenConfig GC;
+  GC.Seed = GetParam();
+  GC.Layers = 2;
+  GC.ProcsPerLayer = 3;
+  GC.NumDrivers = 2;
+  GC.ObjectsPerDriver = 3;
+  GC.BugPerMille = 0;
+  GC.MixedCallPerMille = 0;
+  std::unique_ptr<Program> Prog = generateWorkload(GC);
+  TsContext Ctx(*Prog, Prog->symbols().intern("File"));
+
+  EXPECT_TRUE(concreteErrors(*Prog, 10).empty());
+  TsRunResult Sw = runTypestateSwift(Ctx, 3, 1);
+  ASSERT_FALSE(Sw.Timeout);
+  EXPECT_TRUE(Sw.ErrorSites.empty()) << "seed " << GC.Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+} // namespace

@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the support layer: symbol interning, the deterministic
+/// PRNG, budgets, and the paper-style formatting helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/Symbol.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace swift;
+
+namespace {
+
+TEST(SymbolTest, InterningIsStable) {
+  SymbolTable T;
+  Symbol A = T.intern("alpha");
+  Symbol B = T.intern("beta");
+  Symbol A2 = T.intern("alpha");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(A.isValid());
+  EXPECT_FALSE(Symbol().isValid());
+  EXPECT_EQ(T.text(A), "alpha");
+  EXPECT_EQ(T.size(), 2u);
+  // Embedded content is preserved byte-for-byte.
+  Symbol W = T.intern("we ird\tname");
+  EXPECT_EQ(T.text(W), "we ird\tname");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng A(12345), B(12345);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Rng C(12346);
+  bool Differs = false;
+  for (int I = 0; I != 10; ++I)
+    Differs |= A.next() != C.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng R(7);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 3000; ++I) {
+    uint64_t V = R.below(7);
+    EXPECT_LT(V, 7u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u); // all residues hit
+
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+  EXPECT_TRUE(R.chance(1, 1));
+  EXPECT_FALSE(R.chance(0, 5));
+}
+
+TEST(BudgetTest, StepBudgetExhausts) {
+  Budget B(10, 1e9);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_TRUE(B.step());
+  EXPECT_FALSE(B.step());
+  EXPECT_FALSE(B.step()); // stays exhausted
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.steps(), 11u);
+}
+
+TEST(BudgetTest, DefaultIsUnlimitedEnough) {
+  Budget B;
+  for (int I = 0; I != 100000; ++I)
+    ASSERT_TRUE(B.step());
+  EXPECT_FALSE(B.exhausted());
+}
+
+TEST(FormatTest, Seconds) {
+  EXPECT_EQ(formatSeconds(0.91), "0.91s");
+  EXPECT_EQ(formatSeconds(20.4), "20.4s");
+  EXPECT_EQ(formatSeconds(284.0), "4m44s");
+  EXPECT_EQ(formatSeconds(60.0), "1m0s");
+  EXPECT_EQ(formatSeconds(119.6), "2m0s"); // carries into the minute
+}
+
+TEST(FormatTest, Thousands) {
+  EXPECT_EQ(Stats::formatThousands(0), "0");
+  EXPECT_EQ(Stats::formatThousands(999), "999");
+  EXPECT_EQ(Stats::formatThousands(6500), "6.5k");
+  EXPECT_EQ(Stats::formatThousands(68500), "68.5k");
+  EXPECT_EQ(Stats::formatThousands(319000), "319k");
+  EXPECT_EQ(Stats::formatThousands(1357000), "1,357k");
+}
+
+TEST(StatsTest, CountersAccumulate) {
+  Stats S;
+  EXPECT_EQ(S.get("x"), 0u);
+  ++S.counter("x");
+  S.counter("x") += 4;
+  EXPECT_EQ(S.get("x"), 5u);
+  S.clear();
+  EXPECT_EQ(S.get("x"), 0u);
+}
+
+} // namespace
