@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_killgen.dir/bench_killgen.cpp.o"
+  "CMakeFiles/bench_killgen.dir/bench_killgen.cpp.o.d"
+  "bench_killgen"
+  "bench_killgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_killgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_checker.dir/file_checker.cpp.o"
+  "CMakeFiles/file_checker.dir/file_checker.cpp.o.d"
+  "file_checker"
+  "file_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterator_invalidation.dir/iterator_invalidation.cpp.o"
+  "CMakeFiles/iterator_invalidation.dir/iterator_invalidation.cpp.o.d"
+  "iterator_invalidation"
+  "iterator_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterator_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

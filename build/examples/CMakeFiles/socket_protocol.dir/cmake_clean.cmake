@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_protocol.dir/socket_protocol.cpp.o"
+  "CMakeFiles/socket_protocol.dir/socket_protocol.cpp.o.d"
+  "socket_protocol"
+  "socket_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_audit.dir/taint_audit.cpp.o"
+  "CMakeFiles/taint_audit.dir/taint_audit.cpp.o.d"
+  "taint_audit"
+  "taint_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

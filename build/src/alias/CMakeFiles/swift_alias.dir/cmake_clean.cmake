@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_alias.dir/AliasAnalysis.cpp.o"
+  "CMakeFiles/swift_alias.dir/AliasAnalysis.cpp.o.d"
+  "libswift_alias.a"
+  "libswift_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

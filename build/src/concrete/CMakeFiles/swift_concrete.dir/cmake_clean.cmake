@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_concrete.dir/Interpreter.cpp.o"
+  "CMakeFiles/swift_concrete.dir/Interpreter.cpp.o.d"
+  "libswift_concrete.a"
+  "libswift_concrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_concrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genprog/Fuzzer.cpp" "src/genprog/CMakeFiles/swift_genprog.dir/Fuzzer.cpp.o" "gcc" "src/genprog/CMakeFiles/swift_genprog.dir/Fuzzer.cpp.o.d"
+  "/root/repo/src/genprog/GenSink.cpp" "src/genprog/CMakeFiles/swift_genprog.dir/GenSink.cpp.o" "gcc" "src/genprog/CMakeFiles/swift_genprog.dir/GenSink.cpp.o.d"
+  "/root/repo/src/genprog/Generator.cpp" "src/genprog/CMakeFiles/swift_genprog.dir/Generator.cpp.o" "gcc" "src/genprog/CMakeFiles/swift_genprog.dir/Generator.cpp.o.d"
+  "/root/repo/src/genprog/Workloads.cpp" "src/genprog/CMakeFiles/swift_genprog.dir/Workloads.cpp.o" "gcc" "src/genprog/CMakeFiles/swift_genprog.dir/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/swift_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/swift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

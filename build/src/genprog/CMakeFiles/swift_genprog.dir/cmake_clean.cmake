@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_genprog.dir/Fuzzer.cpp.o"
+  "CMakeFiles/swift_genprog.dir/Fuzzer.cpp.o.d"
+  "CMakeFiles/swift_genprog.dir/GenSink.cpp.o"
+  "CMakeFiles/swift_genprog.dir/GenSink.cpp.o.d"
+  "CMakeFiles/swift_genprog.dir/Generator.cpp.o"
+  "CMakeFiles/swift_genprog.dir/Generator.cpp.o.d"
+  "CMakeFiles/swift_genprog.dir/Workloads.cpp.o"
+  "CMakeFiles/swift_genprog.dir/Workloads.cpp.o.d"
+  "libswift_genprog.a"
+  "libswift_genprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_genprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

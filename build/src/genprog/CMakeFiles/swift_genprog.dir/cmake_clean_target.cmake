@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswift_genprog.a"
+)

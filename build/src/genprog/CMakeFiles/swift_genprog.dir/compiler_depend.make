@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for swift_genprog.
+# This may be replaced when dependencies are built.

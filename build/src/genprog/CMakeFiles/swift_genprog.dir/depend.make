@@ -1,0 +1,2 @@
+# Empty dependencies file for swift_genprog.
+# This may be replaced when dependencies are built.

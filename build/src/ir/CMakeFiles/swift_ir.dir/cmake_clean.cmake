@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_ir.dir/CallGraph.cpp.o"
+  "CMakeFiles/swift_ir.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/swift_ir.dir/Dumper.cpp.o"
+  "CMakeFiles/swift_ir.dir/Dumper.cpp.o.d"
+  "CMakeFiles/swift_ir.dir/ModRef.cpp.o"
+  "CMakeFiles/swift_ir.dir/ModRef.cpp.o.d"
+  "CMakeFiles/swift_ir.dir/Program.cpp.o"
+  "CMakeFiles/swift_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/swift_ir.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/swift_ir.dir/ProgramBuilder.cpp.o.d"
+  "libswift_ir.a"
+  "libswift_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

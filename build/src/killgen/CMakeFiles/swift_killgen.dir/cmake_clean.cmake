@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_killgen.dir/KgDomain.cpp.o"
+  "CMakeFiles/swift_killgen.dir/KgDomain.cpp.o.d"
+  "CMakeFiles/swift_killgen.dir/KgRunner.cpp.o"
+  "CMakeFiles/swift_killgen.dir/KgRunner.cpp.o.d"
+  "libswift_killgen.a"
+  "libswift_killgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_killgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

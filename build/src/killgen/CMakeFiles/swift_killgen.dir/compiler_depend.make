@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for swift_killgen.
+# This may be replaced when dependencies are built.

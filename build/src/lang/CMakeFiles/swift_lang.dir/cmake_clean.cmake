@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/swift_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/swift_lang.dir/Lower.cpp.o"
+  "CMakeFiles/swift_lang.dir/Lower.cpp.o.d"
+  "CMakeFiles/swift_lang.dir/Parser.cpp.o"
+  "CMakeFiles/swift_lang.dir/Parser.cpp.o.d"
+  "libswift_lang.a"
+  "libswift_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

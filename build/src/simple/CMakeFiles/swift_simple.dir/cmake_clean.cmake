@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_simple.dir/SimpleDomain.cpp.o"
+  "CMakeFiles/swift_simple.dir/SimpleDomain.cpp.o.d"
+  "libswift_simple.a"
+  "libswift_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_support.dir/Stats.cpp.o"
+  "CMakeFiles/swift_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/swift_support.dir/Timer.cpp.o"
+  "CMakeFiles/swift_support.dir/Timer.cpp.o.d"
+  "libswift_support.a"
+  "libswift_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

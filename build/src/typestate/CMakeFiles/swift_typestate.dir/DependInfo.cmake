@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typestate/AbstractState.cpp" "src/typestate/CMakeFiles/swift_typestate.dir/AbstractState.cpp.o" "gcc" "src/typestate/CMakeFiles/swift_typestate.dir/AbstractState.cpp.o.d"
+  "/root/repo/src/typestate/CallMapping.cpp" "src/typestate/CMakeFiles/swift_typestate.dir/CallMapping.cpp.o" "gcc" "src/typestate/CMakeFiles/swift_typestate.dir/CallMapping.cpp.o.d"
+  "/root/repo/src/typestate/Predicate.cpp" "src/typestate/CMakeFiles/swift_typestate.dir/Predicate.cpp.o" "gcc" "src/typestate/CMakeFiles/swift_typestate.dir/Predicate.cpp.o.d"
+  "/root/repo/src/typestate/RelCall.cpp" "src/typestate/CMakeFiles/swift_typestate.dir/RelCall.cpp.o" "gcc" "src/typestate/CMakeFiles/swift_typestate.dir/RelCall.cpp.o.d"
+  "/root/repo/src/typestate/Relation.cpp" "src/typestate/CMakeFiles/swift_typestate.dir/Relation.cpp.o" "gcc" "src/typestate/CMakeFiles/swift_typestate.dir/Relation.cpp.o.d"
+  "/root/repo/src/typestate/Runner.cpp" "src/typestate/CMakeFiles/swift_typestate.dir/Runner.cpp.o" "gcc" "src/typestate/CMakeFiles/swift_typestate.dir/Runner.cpp.o.d"
+  "/root/repo/src/typestate/Transfer.cpp" "src/typestate/CMakeFiles/swift_typestate.dir/Transfer.cpp.o" "gcc" "src/typestate/CMakeFiles/swift_typestate.dir/Transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alias/CMakeFiles/swift_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/swift_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/swift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_typestate.dir/AbstractState.cpp.o"
+  "CMakeFiles/swift_typestate.dir/AbstractState.cpp.o.d"
+  "CMakeFiles/swift_typestate.dir/CallMapping.cpp.o"
+  "CMakeFiles/swift_typestate.dir/CallMapping.cpp.o.d"
+  "CMakeFiles/swift_typestate.dir/Predicate.cpp.o"
+  "CMakeFiles/swift_typestate.dir/Predicate.cpp.o.d"
+  "CMakeFiles/swift_typestate.dir/RelCall.cpp.o"
+  "CMakeFiles/swift_typestate.dir/RelCall.cpp.o.d"
+  "CMakeFiles/swift_typestate.dir/Relation.cpp.o"
+  "CMakeFiles/swift_typestate.dir/Relation.cpp.o.d"
+  "CMakeFiles/swift_typestate.dir/Runner.cpp.o"
+  "CMakeFiles/swift_typestate.dir/Runner.cpp.o.d"
+  "CMakeFiles/swift_typestate.dir/Transfer.cpp.o"
+  "CMakeFiles/swift_typestate.dir/Transfer.cpp.o.d"
+  "libswift_typestate.a"
+  "libswift_typestate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_typestate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

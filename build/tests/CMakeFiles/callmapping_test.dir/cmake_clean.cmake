@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callmapping_test.dir/callmapping_test.cpp.o"
+  "CMakeFiles/callmapping_test.dir/callmapping_test.cpp.o.d"
+  "callmapping_test"
+  "callmapping_test.pdb"
+  "callmapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callmapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

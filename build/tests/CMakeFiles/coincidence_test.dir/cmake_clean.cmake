@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coincidence_test.dir/coincidence_test.cpp.o"
+  "CMakeFiles/coincidence_test.dir/coincidence_test.cpp.o.d"
+  "coincidence_test"
+  "coincidence_test.pdb"
+  "coincidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coincidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

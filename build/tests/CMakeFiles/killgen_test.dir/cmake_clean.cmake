@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/killgen_test.dir/killgen_test.cpp.o"
+  "CMakeFiles/killgen_test.dir/killgen_test.cpp.o.d"
+  "killgen_test"
+  "killgen_test.pdb"
+  "killgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/killgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for killgen_test.
+# This may be replaced when dependencies are built.

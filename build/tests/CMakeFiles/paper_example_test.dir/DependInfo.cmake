@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/paper_example_test.cpp" "tests/CMakeFiles/paper_example_test.dir/paper_example_test.cpp.o" "gcc" "tests/CMakeFiles/paper_example_test.dir/paper_example_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/typestate/CMakeFiles/swift_typestate.dir/DependInfo.cmake"
+  "/root/repo/build/src/genprog/CMakeFiles/swift_genprog.dir/DependInfo.cmake"
+  "/root/repo/build/src/concrete/CMakeFiles/swift_concrete.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/swift_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/alias/CMakeFiles/swift_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/swift_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/swift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_formalism_test.dir/simple_formalism_test.cpp.o"
+  "CMakeFiles/simple_formalism_test.dir/simple_formalism_test.cpp.o.d"
+  "simple_formalism_test"
+  "simple_formalism_test.pdb"
+  "simple_formalism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_formalism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
