@@ -12,6 +12,7 @@
 ///   --budget=SECONDS   per-run analysis budget (default 15; the stand-in
 ///                      for the paper's 24 h / 16 GB limit)
 ///   --bench=NAME       restrict to one workload
+///   --threads=N        worker threads per bottom-up solve (default 1)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,7 +35,8 @@ namespace bench {
 struct Options {
   double BudgetSeconds = 15.0;
   uint64_t BudgetSteps = 200'000'000;
-  std::string Only; ///< Restrict to one workload name.
+  std::string Only;     ///< Restrict to one workload name.
+  unsigned Threads = 1; ///< Worker threads per bottom-up solve.
 };
 
 inline Options parseOptions(int Argc, char **Argv) {
@@ -45,11 +47,17 @@ inline Options parseOptions(int Argc, char **Argv) {
       O.BudgetSeconds = std::atof(A + 9);
     else if (std::strncmp(A, "--bench=", 8) == 0)
       O.Only = A + 8;
+    else if (std::strncmp(A, "--threads=", 10) == 0)
+      O.Threads = static_cast<unsigned>(std::atoi(A + 10));
     else if (std::strcmp(A, "--help") == 0) {
-      std::printf("usage: %s [--budget=SECONDS] [--bench=NAME]\n", Argv[0]);
+      std::printf("usage: %s [--budget=SECONDS] [--bench=NAME] "
+                  "[--threads=N]\n",
+                  Argv[0]);
       std::exit(0);
     }
   }
+  if (O.Threads == 0)
+    O.Threads = 1;
   return O;
 }
 

@@ -130,7 +130,7 @@ int main(int Argc, char **Argv) {
   std::printf("%-10s %10s %12s %10s\n", "variant", "time",
               "td-summaries", "triggers");
   for (bool Async : {false, true}) {
-    TsRunResult R = runTypestateSwift(Ctx, 5, 2, limits(O), Async);
+    TsRunResult R = runTypestateSwift(Ctx, 5, 2, limits(O), Async, O.Threads);
     std::printf("%-10s %10s %12s %10llu\n", Async ? "async" : "sync",
                 R.Timeout ? "timeout" : formatSeconds(R.Seconds).c_str(),
                 Stats::formatThousands(R.TdSummaries).c_str(),

@@ -47,8 +47,9 @@ int main(int Argc, char **Argv) {
     TsContext Ctx(*Prog, Prog->symbols().intern("File"));
 
     TsRunResult Td = runTypestateTd(Ctx, L);
-    TsRunResult Bu = runTypestateBu(Ctx, L);
-    TsRunResult Sw = runTypestateSwift(Ctx, 5, 2, L);
+    TsRunResult Bu = runTypestateBu(Ctx, L, O.Threads);
+    TsRunResult Sw =
+        runTypestateSwift(Ctx, 5, 2, L, /*AsyncBu=*/false, O.Threads);
 
     auto Drop = [](const TsRunResult &Base, uint64_t BaseN,
                    const TsRunResult &Subj, uint64_t SubjN) -> std::string {

@@ -18,6 +18,16 @@
 /// value, so the number of case-split relations per point stays bounded by
 /// theta.
 ///
+/// With NumThreads > 1 the callee-first sweep becomes an SCC-DAG wavefront:
+/// a thread pool dispatches any SCC whose callee SCCs have completed, so
+/// independent subtrees of the call graph are summarized concurrently (the
+/// embarrassingly parallel structure compositional analyses exploit).
+/// Results are deterministic — identical summaries for every thread count —
+/// because iteration inside an SCC stays sequential, an SCC reads only the
+/// *final* summaries of its callee SCCs, and each summary is written to its
+/// own per-procedure slot. Each worker charges a local Stats merged on
+/// completion; the Budget is shared and thread-safe.
+///
 /// The prune operator follows Section 3.4: case-split relations are ranked
 /// by the frequency with which the top-down analysis has seen entry states
 /// in their domains (the multiset M), the top theta survive, and the
@@ -33,11 +43,16 @@
 #include "ir/CallGraph.h"
 #include "ir/Program.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -90,7 +105,9 @@ public:
 
   /// Per-procedure entry-state frequencies (the multiset M) observed by
   /// the top-down analysis; used to rank relations during pruning. May
-  /// return nullptr when no data exists for a procedure.
+  /// return nullptr when no data exists for a procedure. Must be safe to
+  /// call from worker threads (the providers used here read an immutable
+  /// snapshot).
   using FreqProvider = std::function<
       const std::unordered_map<State, uint64_t> *(ProcId)>;
 
@@ -98,65 +115,27 @@ public:
                    const CallGraph &CG, uint64_t Theta, FreqProvider Freq,
                    Budget &B, Stats &S,
                    uint64_t MaxRelsPerPoint = DefaultMaxRelsPerPoint,
-                   bool CollectObservations = true)
+                   bool CollectObservations = true, unsigned NumThreads = 1)
       : Ctx(Ctx), Prog(Prog), CG(CG), Theta(Theta), Freq(std::move(Freq)),
         Bud(B), Stat(S), MaxRels(MaxRelsPerPoint),
-        CollectObs(CollectObservations) {
+        CollectObs(CollectObservations), Threads(NumThreads) {
     Summaries.resize(Prog.numProcs());
-    HasSummary.resize(Prog.numProcs(), false);
+    HasSummary.assign(Prog.numProcs(), 0);
+    Bindings.resize(Prog.numProcs());
   }
 
   /// Computes summaries for \p Procs, which must be closed under calls
   /// (every callee of a member is a member). Returns false if the budget
   /// ran out; summaries are then incomplete and must not be used.
   bool run(const std::vector<ProcId> &Procs) {
-    // Bucket by SCC, in callee-first order (ascending SCC index).
-    std::vector<ProcId> Order = Procs;
-    std::sort(Order.begin(), Order.end(), [this](ProcId A, ProcId B) {
-      if (CG.scc(A) != CG.scc(B))
-        return CG.scc(A) < CG.scc(B);
-      return A < B;
-    });
-
-    size_t I = 0;
-    while (I != Order.size()) {
-      size_t J = I;
-      while (J != Order.size() && CG.scc(Order[J]) == CG.scc(Order[I]))
-        ++J;
-      // Iterate the SCC's members until their summaries stabilize.
-      bool Changed = true;
-      uint64_t Iters = 0;
-      while (Changed) {
-        Changed = false;
-        ++Stat.counter("bu.scc_iterations");
-        if (++Iters > MaxSccIterations) {
-          for (size_t K = I; K != J; ++K)
-            degrade(Order[K]);
-          ++Stat.counter("bu.scc_degraded");
-          break;
-        }
-        for (size_t K = I; K != J; ++K) {
-          ++Stat.counter("bu.proc_analyses");
-          Summary New;
-          if (!analyzeProc(Order[K], New))
-            return false;
-          if (New.SigmaAll.size() > MaxSigmaDisjuncts) {
-            if (degrade(Order[K])) {
-              ++Stat.counter("bu.sigma_degraded");
-              Changed = true;
-            }
-            continue;
-          }
-          if (!HasSummary[Order[K]] || !equal(New, Summaries[Order[K]])) {
-            Summaries[Order[K]] = std::move(New);
-            HasSummary[Order[K]] = true;
-            Changed = true;
-          }
-        }
-      }
-      I = J;
+    std::vector<std::vector<ProcId>> Groups = sccGroups(Procs);
+    if (Threads <= 1 || Groups.size() <= 1) {
+      for (const std::vector<ProcId> &G : Groups)
+        if (!solveScc(G, Stat))
+          return false;
+      return true;
     }
-    return true;
+    return runWavefront(Groups);
   }
 
   /// Soundly gives up on \p P: its summary ignores every input, so every
@@ -170,11 +149,11 @@ public:
     if (HasSummary[P] && equal(S, Summaries[P]))
       return false;
     Summaries[P] = std::move(S);
-    HasSummary[P] = true;
+    HasSummary[P] = 1;
     return true;
   }
 
-  bool hasSummary(ProcId P) const { return HasSummary[P]; }
+  bool hasSummary(ProcId P) const { return HasSummary[P] != 0; }
   const Summary &summary(ProcId P) const { return Summaries[P]; }
 
   /// Total number of bottom-up summaries: one per (relation, procedure)
@@ -200,9 +179,137 @@ private:
            A.SigmaAll == B.SigmaAll;
   }
 
+  /// Buckets \p Procs into SCC groups in callee-first order (ascending
+  /// SCC index); members within a group are sorted by ProcId so iteration
+  /// order — and therefore every summary — is independent of the caller's
+  /// ordering and of the thread count.
+  std::vector<std::vector<ProcId>>
+  sccGroups(const std::vector<ProcId> &Procs) const {
+    std::vector<ProcId> Order = Procs;
+    std::sort(Order.begin(), Order.end(), [this](ProcId A, ProcId B) {
+      if (CG.scc(A) != CG.scc(B))
+        return CG.scc(A) < CG.scc(B);
+      return A < B;
+    });
+    std::vector<std::vector<ProcId>> Groups;
+    size_t I = 0;
+    while (I != Order.size()) {
+      size_t J = I;
+      while (J != Order.size() && CG.scc(Order[J]) == CG.scc(Order[I]))
+        ++J;
+      Groups.emplace_back(Order.begin() + I, Order.begin() + J);
+      I = J;
+    }
+    return Groups;
+  }
+
+  /// Iterates one SCC's members until their summaries stabilize (charging
+  /// \p S). Precondition: every callee SCC's summaries are final.
+  bool solveScc(const std::vector<ProcId> &Members, Stats &S) {
+    bool Changed = true;
+    uint64_t Iters = 0;
+    while (Changed) {
+      Changed = false;
+      ++S.counter(CtrSccIterations);
+      if (++Iters > MaxSccIterations) {
+        for (ProcId P : Members)
+          degrade(P);
+        ++S.counter(CtrSccDegraded);
+        break;
+      }
+      for (ProcId P : Members) {
+        ++S.counter(CtrProcAnalyses);
+        Summary New;
+        if (!analyzeProc(P, New, S))
+          return false;
+        if (New.SigmaAll.size() > MaxSigmaDisjuncts) {
+          if (degrade(P)) {
+            ++S.counter(CtrSigmaDegraded);
+            Changed = true;
+          }
+          continue;
+        }
+        if (!HasSummary[P] || !equal(New, Summaries[P])) {
+          Summaries[P] = std::move(New);
+          HasSummary[P] = 1;
+          Changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Dispatches the SCC groups as a wavefront over the SCC DAG: a group
+  /// becomes ready when every callee group has completed. Workers charge
+  /// local Stats merged under the scheduler lock (the lock also provides
+  /// the happens-before edge from a callee group's summary writes to its
+  /// dependents' reads).
+  bool runWavefront(const std::vector<std::vector<ProcId>> &Groups) {
+    size_t N = Groups.size();
+    std::unordered_map<size_t, size_t> GroupOf; // SCC index -> position.
+    for (size_t I = 0; I != N; ++I)
+      GroupOf.emplace(CG.scc(Groups[I].front()), I);
+
+    std::vector<std::vector<size_t>> Dependents(N);
+    std::vector<size_t> PendingDeps(N, 0);
+    for (size_t I = 0; I != N; ++I) {
+      std::set<size_t> CalleeGroups;
+      for (ProcId P : Groups[I])
+        for (ProcId Q : CG.callees(P)) {
+          auto It = GroupOf.find(CG.scc(Q));
+          if (It != GroupOf.end() && It->second != I)
+            CalleeGroups.insert(It->second);
+        }
+      for (size_t C : CalleeGroups)
+        Dependents[C].push_back(I);
+      PendingDeps[I] = CalleeGroups.size();
+    }
+
+    ThreadPool Pool(Threads);
+    std::mutex M;
+    std::atomic<bool> Failed{false};
+
+    // On failure (budget / relation cap) the cascade still runs so every
+    // group is accounted for; the work itself is skipped.
+    std::function<void(size_t)> RunGroup = [&](size_t I) {
+      if (!Failed.load(std::memory_order_relaxed)) {
+        Stats Local;
+        if (!solveScc(Groups[I], Local))
+          Failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> L(M);
+        Stat.merge(Local);
+      }
+      std::vector<size_t> Ready;
+      {
+        std::lock_guard<std::mutex> L(M);
+        for (size_t D : Dependents[I])
+          if (--PendingDeps[D] == 0)
+            Ready.push_back(D);
+      }
+      for (size_t D : Ready)
+        Pool.submit([&RunGroup, D] { RunGroup(D); });
+    };
+
+    // Snapshot the roots before the first submit: once a worker runs, it
+    // decrements PendingDeps under M, which this loop must not read.
+    std::vector<size_t> Initial;
+    for (size_t I = 0; I != N; ++I)
+      if (PendingDeps[I] == 0)
+        Initial.push_back(I);
+    for (size_t I : Initial)
+      Pool.submit([&RunGroup, I] { RunGroup(I); });
+
+    // Pending counts queued plus running tasks, so wait() returns only
+    // after the last RunGroup invocation has fully returned; nothing
+    // touches RunGroup, the pool, or this frame afterwards.
+    Pool.wait();
+    return !Failed.load(std::memory_order_relaxed);
+  }
+
   /// Sorts, dedupes, drops relations covered by Sigma (excl), and applies
   /// bestTheta pruning ranked by the procedure's entry-state frequencies.
-  void pruneAndClean(ProcId P, std::vector<Rel> &Rels, Ignore &Sigma) {
+  void pruneAndClean(ProcId P, std::vector<Rel> &Rels, Ignore &Sigma,
+                     Stats &S) {
     std::sort(Rels.begin(), Rels.end());
     Rels.erase(std::unique(Rels.begin(), Rels.end()), Rels.end());
     Rels.erase(std::remove_if(Rels.begin(), Rels.end(),
@@ -235,8 +342,8 @@ private:
       if (!AN::relIsPrunable(Rels[I]))
         continue;
       uint64_t Rank = 0;
-      for (const auto &[S, Count] : *M)
-        if (AN::domContains(Ctx, Rels[I], S))
+      for (const auto &[St, Count] : *M)
+        if (AN::domContains(Ctx, Rels[I], St))
           Rank += Count;
       Ranked.push_back({Rank, I});
     }
@@ -256,7 +363,7 @@ private:
       size_t Idx = Ranked[I].second;
       Drop[Idx] = true;
       AN::addDomToIgnore(Rels[Idx], Sigma);
-      ++Stat.counter("bu.pruned_relations");
+      ++S.counter(CtrPrunedRelations);
     }
     std::vector<Rel> Kept;
     Kept.reserve(Rels.size());
@@ -274,7 +381,7 @@ private:
 
   /// One full intraprocedural pass over \p P's CFG with the current
   /// summary map. Returns false on budget exhaustion.
-  bool analyzeProc(ProcId P, Summary &Out) {
+  bool analyzeProc(ProcId P, Summary &Out, Stats &S) {
     const Procedure &Proc = Prog.proc(P);
     std::vector<NodeVal> Vals(Proc.numNodes());
     std::vector<bool> InList(Proc.numNodes(), false);
@@ -304,7 +411,7 @@ private:
       Work[Best] = Work.back();
       Work.pop_back();
       InList[N] = false;
-      ++Stat.counter("bu.node_visits");
+      ++S.counter(CtrNodeVisits);
 
       // Charge the budget per input relation so huge relation sets at one
       // point cannot stall the wall-clock poll.
@@ -336,7 +443,7 @@ private:
         for (const Rel &R : Vals[N].Rels) {
           AN::composeCall(Ctx, Bind, R, SV, OutVal.Rels, OutVal.Sigma);
           if (OutVal.Rels.size() > MaxRels) {
-            ++Stat.counter("bu.rel_cap_hits");
+            ++S.counter(CtrRelCapHits);
             return false; // Models running out of memory.
           }
         }
@@ -358,7 +465,7 @@ private:
         for (const Rel &R : Vals[N].Rels) {
           AN::composeCall(Ctx, Bind, R, ObsSV, LiftedObs, SigAll);
           if (LiftedObs.size() > MaxRels) {
-            ++Stat.counter("bu.rel_cap_hits");
+            ++S.counter(CtrRelCapHits);
             return false;
           }
         }
@@ -374,7 +481,7 @@ private:
           for (Rel &R2 : AN::rtrans(Ctx, P, Node.Cmd, R))
             OutVal.Rels.push_back(std::move(R2));
           if (OutVal.Rels.size() > MaxRels) {
-            ++Stat.counter("bu.rel_cap_hits");
+            ++S.counter(CtrRelCapHits);
             return false;
           }
         }
@@ -384,10 +491,10 @@ private:
       }
 
       if (OutVal.Rels.size() > MaxRels) {
-        ++Stat.counter("bu.rel_cap_hits");
+        ++S.counter(CtrRelCapHits);
         return false; // Models running out of memory.
       }
-      pruneAndClean(P, OutVal.Rels, OutVal.Sigma);
+      pruneAndClean(P, OutVal.Rels, OutVal.Sigma, S);
 
       // Record observable relations at this point and fold this point's
       // ignore set into the whole-procedure guard.
@@ -400,38 +507,38 @@ private:
         std::sort(Obs.begin(), Obs.end());
         Obs.erase(std::unique(Obs.begin(), Obs.end()), Obs.end());
         if (Obs.size() > MaxRels) {
-          ++Stat.counter("bu.rel_cap_hits");
+          ++S.counter(CtrRelCapHits);
           return false;
         }
         ObsCompactAt = std::max<size_t>(1024, Obs.size() * 2);
       }
 
-      for (NodeId S : Node.Succs) {
-        bool Grew = Vals[S].Sigma.unionWith(OutVal.Sigma);
-        if (OutVal.HasLambda && !Vals[S].HasLambda) {
-          Vals[S].HasLambda = true;
+      for (NodeId Succ : Node.Succs) {
+        bool Grew = Vals[Succ].Sigma.unionWith(OutVal.Sigma);
+        if (OutVal.HasLambda && !Vals[Succ].HasLambda) {
+          Vals[Succ].HasLambda = true;
           Grew = true;
         }
         for (const Rel &R : OutVal.Rels) {
           // A relation whose domain the successor already ignores was
           // pruned there before; re-inserting it would oscillate with
           // pruning and the loop fixpoint would never converge.
-          if (AN::ignoreCoversDom(Vals[S].Sigma, R))
+          if (AN::ignoreCoversDom(Vals[Succ].Sigma, R))
             continue;
-          auto It = std::lower_bound(Vals[S].Rels.begin(),
-                                     Vals[S].Rels.end(), R);
-          if (It == Vals[S].Rels.end() || !(*It == R)) {
-            Vals[S].Rels.insert(It, R);
+          auto It = std::lower_bound(Vals[Succ].Rels.begin(),
+                                     Vals[Succ].Rels.end(), R);
+          if (It == Vals[Succ].Rels.end() || !(*It == R)) {
+            Vals[Succ].Rels.insert(It, R);
             Grew = true;
           }
         }
         if (Grew) {
           // Joins and loop heads re-prune the accumulated value (the
           // prune-on-join and prune-on-iterate of Section 3.4).
-          pruneAndClean(P, Vals[S].Rels, Vals[S].Sigma);
-          if (!InList[S]) {
-            InList[S] = true;
-            Work.push_back(S);
+          pruneAndClean(P, Vals[Succ].Rels, Vals[Succ].Sigma, S);
+          if (!InList[Succ]) {
+            InList[Succ] = true;
+            Work.push_back(Succ);
           }
         }
       }
@@ -448,11 +555,13 @@ private:
     return true;
   }
 
+  /// Per-procedure binding cache. Partitioned by procedure so concurrent
+  /// SCC groups (which never share a procedure) never share a map.
   const Binding &binding(ProcId P, NodeId N, const Command &Cmd) {
-    uint64_t Key = (static_cast<uint64_t>(P) << 32) | N;
-    auto It = Bindings.find(Key);
-    if (It == Bindings.end())
-      It = Bindings.emplace(Key, AN::makeBinding(Ctx, P, Cmd)).first;
+    auto &Map = Bindings[P];
+    auto It = Map.find(N);
+    if (It == Map.end())
+      It = Map.emplace(N, AN::makeBinding(Ctx, P, Cmd)).first;
     return It->second;
   }
 
@@ -465,9 +574,22 @@ private:
   Stats &Stat;
   uint64_t MaxRels;
   bool CollectObs;
+  unsigned Threads;
   std::vector<Summary> Summaries;
-  std::vector<bool> HasSummary;
-  std::unordered_map<uint64_t, Binding> Bindings;
+  /// Byte-sized (not vector<bool>) so concurrent SCC groups writing
+  /// distinct procedures never touch the same object.
+  std::vector<uint8_t> HasSummary;
+  std::vector<std::unordered_map<NodeId, Binding>> Bindings;
+
+  // Interned counter handles: resolved once here, bumped per event at
+  // vector-index cost (also what makes per-worker stats mergeable).
+  Stats::Counter CtrSccIterations = Stats::id("bu.scc_iterations");
+  Stats::Counter CtrSccDegraded = Stats::id("bu.scc_degraded");
+  Stats::Counter CtrSigmaDegraded = Stats::id("bu.sigma_degraded");
+  Stats::Counter CtrProcAnalyses = Stats::id("bu.proc_analyses");
+  Stats::Counter CtrNodeVisits = Stats::id("bu.node_visits");
+  Stats::Counter CtrRelCapHits = Stats::id("bu.rel_cap_hits");
+  Stats::Counter CtrPrunedRelations = Stats::id("bu.pruned_relations");
 };
 
 } // namespace swift

@@ -19,6 +19,15 @@
 /// paper's td map. A "top-down summary" is an (entry, exit) pair of a
 /// procedure, matching the paper's counting.
 ///
+/// Concurrency (the paper's Section 7 sketch, generalized): with
+/// Config::AsyncBu, triggered bottom-up runs execute on worker threads
+/// while the top-down analysis continues. Up to Config::MaxAsyncJobs runs
+/// with pairwise-disjoint trigger frontiers may be in flight at once;
+/// every run draws steps from the *shared* budget, so the total cost of a
+/// hybrid run stays bounded by the same cap as the synchronous baselines.
+/// Each bottom-up solve itself parallelizes over the call-graph SCC DAG
+/// with Config::BuThreads workers (see RelationalSolver).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWIFT_FRAMEWORK_TABULATION_H
@@ -27,6 +36,7 @@
 #include "framework/RelationalSolver.h"
 #include "ir/CallGraph.h"
 #include "ir/Program.h"
+#include "support/Hashing.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 
@@ -64,12 +74,21 @@ public:
     /// an ablation knob: value results stay coincident, but errors on
     /// paths that diverge inside served callees can be missed.
     bool ObservationManifest = true;
-    /// Run triggered bottom-up analyses on a worker thread while the
+    /// Run triggered bottom-up analyses on worker threads while the
     /// top-down analysis continues (the parallelization sketched in the
-    /// paper's Section 7). Summaries are installed when the worker
+    /// paper's Section 7). Summaries are installed when a worker
     /// finishes; calls arriving in between are simply analyzed top-down,
     /// which preserves coincidence — the install point is immaterial.
     bool AsyncBu = false;
+    /// Worker threads inside each bottom-up solve (SCC-DAG wavefront);
+    /// 1 = the sequential callee-first sweep. Summaries are identical for
+    /// every value.
+    unsigned BuThreads = 1;
+    /// With AsyncBu: bound on concurrently in-flight bottom-up runs.
+    /// Triggers whose frontier overlaps an in-flight run's frontier are
+    /// skipped (they would duplicate its work); disjoint frontiers
+    /// proceed in parallel up to this bound.
+    unsigned MaxAsyncJobs = 2;
   };
 
   TabulationSolver(const Context &Ctx, const Program &Prog,
@@ -93,8 +112,8 @@ public:
               intern(AN::lambda()));
 
     while (!Work.empty()) {
-      if (Async && Async->Done.load(std::memory_order_acquire))
-        installAsync();
+      if (!AsyncJobs.empty())
+        pollAsync();
       if (!Bud.step()) {
         joinAsync();
         return false;
@@ -103,10 +122,10 @@ public:
       Work.pop_back();
       process(P, E);
 
-      // The worklist may drain while a background bottom-up run is still
-      // in flight; its summaries can unlock nothing new (the top-down
+      // The worklist may drain while background bottom-up runs are still
+      // in flight; their summaries can unlock nothing new (the top-down
       // fixpoint is already complete), but join for cleanliness.
-      if (Work.empty() && Async)
+      if (Work.empty() && !AsyncJobs.empty())
         joinAsync();
     }
     joinAsync();
@@ -185,14 +204,13 @@ private:
       return A.Node == B.Node && A.Entry == B.Entry && A.Cur == B.Cur;
     }
   };
+  /// Full-width mixing of all three fields. Shift-xor packing (the
+  /// previous scheme) aliased once state ids passed 2^20, collapsing the
+  /// path-edge set to near-linear probing on large configs.
   struct EdgeHash {
     size_t operator()(const Edge &E) const noexcept {
-      uint64_t X = (static_cast<uint64_t>(E.Node) << 40) ^
-                   (static_cast<uint64_t>(E.Entry) << 20) ^ E.Cur;
-      X ^= X >> 33;
-      X *= 0xff51afd7ed558ccdULL;
-      X ^= X >> 33;
-      return static_cast<size_t>(X);
+      uint64_t H = hashCombine(hashCombine(mix64(E.Node), E.Entry), E.Cur);
+      return static_cast<size_t>(H);
     }
   };
   struct EdgeSet {
@@ -219,7 +237,7 @@ private:
     Edge E{N, Entry, Cur};
     if (!Edges[P].Set.insert(E).second)
       return;
-    ++Stat.counter("td.path_edges");
+    ++Stat.counter(CtrPathEdges);
     Work.push_back({P, E});
   }
 
@@ -293,7 +311,7 @@ private:
       if (Bu[G] &&
           !(Cfg.ObservationManifest ? Bu[G]->SigmaAll : Bu[G]->Sigma)
                .contains(Ctx, EntryState)) {
-        ++Stat.counter("td.bu_served_calls");
+        ++Stat.counter(CtrBuServedCalls);
         if (AN::isLambda(EntryState) && Bu[G]->LambdaExit)
           applyAfter(P, E, Node, B, States[E.Cur], EntryState);
         for (const Rel &R : Bu[G]->Rels)
@@ -308,7 +326,7 @@ private:
       }
 
       if (Bu[G])
-        ++Stat.counter("td.bu_fallback_calls");
+        ++Stat.counter(CtrBuFallbackCalls);
 
       // Top-down route: register for resumption and seed the callee.
       Dependents[G][EntryId].push_back(Caller{P, E.Node, E.Entry, E.Cur});
@@ -340,7 +358,7 @@ private:
       if (X == Exit)
         return;
     Exits.push_back(Exit);
-    ++Stat.counter("td.summaries");
+    ++Stat.counter(CtrTdSummaries);
 
     // Resume callers waiting on this (callee, entry) pair.
     auto DepIt = Dependents[P].find(Entry);
@@ -361,24 +379,36 @@ private:
   /// \p G (Algorithm 1's run_bu), unless some reachable procedure has not
   /// been seen by the top-down analysis yet (the paper's postponement for
   /// its first problematic scenario in Section 4). With Config::AsyncBu
-  /// the run happens on a worker thread (one at a time) and the top-down
-  /// analysis keeps going.
+  /// the run happens on a worker thread and the top-down analysis keeps
+  /// going; runs with disjoint frontiers may overlap, all drawing from
+  /// the one shared budget.
   void tryRunBu(ProcId G) {
-    if (Async) {
-      if (Async->Done.load(std::memory_order_acquire))
-        installAsync();
-      if (Async) {
-        ++Stat.counter("swift.bu_busy_skips");
-        return; // A bottom-up run is already in flight.
-      }
-    }
+    if (Cfg.AsyncBu)
+      pollAsync(); // Reap finished jobs first — frees slots.
 
     std::vector<ProcId> F = CG.reachableFrom(G);
     for (ProcId Q : F)
       if (!EverCalled[Q]) {
-        ++Stat.counter("swift.bu_postponed");
+        ++Stat.counter(CtrBuPostponed);
         return;
       }
+
+    if (Cfg.AsyncBu) {
+      if (AsyncJobs.size() >= Cfg.MaxAsyncJobs) {
+        ++Stat.counter(CtrBuBusySkips);
+        return;
+      }
+      // A frontier overlapping an in-flight run would recompute (some of)
+      // the same summaries; only disjoint frontiers proceed, so a trigger
+      // on an unrelated subtree is no longer dropped just because another
+      // run is in flight.
+      for (const std::unique_ptr<AsyncJob> &Job : AsyncJobs)
+        for (ProcId Q : F)
+          if (Job->FSet.count(Q)) {
+            ++Stat.counter(CtrBuBusySkips);
+            return;
+          }
+    }
 
     // Materialize the frequency multisets M for the pruning ranking.
     auto Freq = std::make_shared<
@@ -393,76 +423,88 @@ private:
       RelationalSolver<AN> Solver(
           Ctx, Prog, CG, Cfg.Theta,
           [Freq](ProcId Q) { return &(*Freq)[Q]; }, Bud, Stat,
-          DefaultMaxRelsPerPoint, Cfg.ObservationManifest);
+          DefaultMaxRelsPerPoint, Cfg.ObservationManifest, Cfg.BuThreads);
       bool Ok = Solver.run(F);
-      Stat.counter("swift.bu_time_us") +=
+      Stat.counter(CtrBuTimeUs) +=
           static_cast<uint64_t>(BuTimer.seconds() * 1e6);
       if (!Ok)
         return; // Budget exhausted; leave summaries uninstalled.
       for (ProcId Q : F)
         install(Q, Solver.summary(Q));
-      ++Stat.counter("swift.bu_triggers");
+      ++Stat.counter(CtrBuTriggers);
       return;
     }
 
-    // Asynchronous run: the worker owns a snapshot of the frequency data
-    // and its own budget (same caps as the main one) and touches only
-    // immutable analysis state (context, program, call graph).
-    Async = std::make_unique<AsyncJob>();
-    Async->F = F;
-    AsyncJob *Job = Async.get();
+    // Asynchronous run: the worker owns a snapshot of the frequency data,
+    // touches only immutable analysis state (context, program, call
+    // graph), and charges the *shared* budget — an async hybrid run costs
+    // at most the same cap as the synchronous baselines it is compared
+    // against.
+    auto Job = std::make_unique<AsyncJob>();
+    Job->F = std::move(F);
+    Job->FSet.insert(Job->F.begin(), Job->F.end());
+    AsyncJob *J = Job.get();
     const Context *CtxPtr = &Ctx;
     const Program *ProgPtr = &Prog;
     const CallGraph *CGPtr = &CG;
+    Budget *BudPtr = &Bud;
     uint64_t Theta = Cfg.Theta;
     bool Manifest = Cfg.ObservationManifest;
-    uint64_t MaxSteps = Bud.maxSteps();
-    double MaxSeconds = Bud.maxSeconds();
-    Async->Worker = std::thread([Job, Freq, CtxPtr, ProgPtr, CGPtr, Theta,
-                                 Manifest, MaxSteps, MaxSeconds]() {
-      Budget OwnBudget(MaxSteps, MaxSeconds);
+    unsigned BuThreads = Cfg.BuThreads;
+    J->Worker = std::thread([J, Freq, CtxPtr, ProgPtr, CGPtr, BudPtr,
+                             Theta, Manifest, BuThreads]() {
+      Timer BuTimer;
       RelationalSolver<AN> Solver(
           *CtxPtr, *ProgPtr, *CGPtr, Theta,
-          [Freq](ProcId Q) { return &(*Freq)[Q]; }, OwnBudget,
-          Job->WorkerStats, DefaultMaxRelsPerPoint, Manifest);
-      Job->Ok = Solver.run(Job->F);
-      if (Job->Ok)
-        for (ProcId Q : Job->F)
-          Job->Results.push_back(Solver.summary(Q));
-      Job->WorkerStats.counter("swift.bu_time_us") +=
-          static_cast<uint64_t>(OwnBudget.seconds() * 1e6);
-      Job->Done.store(true, std::memory_order_release);
+          [Freq](ProcId Q) { return &(*Freq)[Q]; }, *BudPtr,
+          J->WorkerStats, DefaultMaxRelsPerPoint, Manifest, BuThreads);
+      J->Ok = Solver.run(J->F);
+      if (J->Ok)
+        for (ProcId Q : J->F)
+          J->Results.push_back(Solver.summary(Q));
+      J->WorkerStats.counter("swift.bu_time_us") +=
+          static_cast<uint64_t>(BuTimer.seconds() * 1e6);
+      J->Done.store(true, std::memory_order_release);
     });
+    AsyncJobs.push_back(std::move(Job));
   }
 
   void install(ProcId Q, BuSummary Summary) {
     Bu[Q] = std::move(Summary);
-    Stat.counter("swift.bu_summary_rels") += Bu[Q]->Rels.size();
-    Stat.counter("swift.bu_summary_sigma") += Bu[Q]->SigmaAll.size();
+    Stat.counter(CtrBuSummaryRels) += Bu[Q]->Rels.size();
+    Stat.counter(CtrBuSummarySigma) += Bu[Q]->SigmaAll.size();
   }
 
-  /// Installs a finished asynchronous run's summaries and merges its
-  /// stats.
-  void installAsync() {
-    assert(Async && Async->Done.load());
-    Async->Worker.join();
-    if (Async->Ok) {
-      for (size_t I = 0; I != Async->F.size(); ++I)
-        install(Async->F[I], std::move(Async->Results[I]));
-      ++Stat.counter("swift.bu_triggers");
+  /// Installs finished asynchronous runs' summaries and merges their
+  /// stats; leaves still-running jobs in flight.
+  void pollAsync() {
+    for (size_t I = 0; I != AsyncJobs.size();) {
+      if (AsyncJobs[I]->Done.load(std::memory_order_acquire))
+        finishJob(I);
+      else
+        ++I;
     }
-    for (const auto &[Key, Value] : Async->WorkerStats.all())
-      Stat.counter(Key) += Value;
-    Async.reset();
   }
 
-  /// Blocks on an in-flight asynchronous run, installing its results.
+  /// Joins job \p I (blocking if still running), installs its results,
+  /// and drops it.
+  void finishJob(size_t I) {
+    AsyncJob &Job = *AsyncJobs[I];
+    Job.Worker.join();
+    if (Job.Ok) {
+      for (size_t K = 0; K != Job.F.size(); ++K)
+        install(Job.F[K], std::move(Job.Results[K]));
+      ++Stat.counter(CtrBuTriggers);
+    }
+    Stat.merge(Job.WorkerStats);
+    AsyncJobs.erase(AsyncJobs.begin() + I);
+  }
+
+  /// Blocks on every in-flight asynchronous run, installing results.
+  /// join() already blocks until the worker completes — no spinning.
   void joinAsync() {
-    if (!Async)
-      return;
-    while (!Async->Done.load(std::memory_order_acquire))
-      std::this_thread::yield();
-    installAsync();
+    while (!AsyncJobs.empty())
+      finishJob(0);
   }
 
   const Context &Ctx;
@@ -489,10 +531,25 @@ private:
     std::atomic<bool> Done{false};
     bool Ok = false;
     std::vector<ProcId> F;
+    std::unordered_set<ProcId> FSet; ///< For frontier-disjointness tests.
     std::vector<BuSummary> Results;
     Stats WorkerStats;
   };
-  std::unique_ptr<AsyncJob> Async;
+  /// In-flight asynchronous bottom-up runs; pairwise-disjoint frontiers,
+  /// at most Config::MaxAsyncJobs.
+  std::vector<std::unique_ptr<AsyncJob>> AsyncJobs;
+
+  // Interned counter handles (resolved once; bumped per event).
+  Stats::Counter CtrPathEdges = Stats::id("td.path_edges");
+  Stats::Counter CtrTdSummaries = Stats::id("td.summaries");
+  Stats::Counter CtrBuServedCalls = Stats::id("td.bu_served_calls");
+  Stats::Counter CtrBuFallbackCalls = Stats::id("td.bu_fallback_calls");
+  Stats::Counter CtrBuTriggers = Stats::id("swift.bu_triggers");
+  Stats::Counter CtrBuPostponed = Stats::id("swift.bu_postponed");
+  Stats::Counter CtrBuBusySkips = Stats::id("swift.bu_busy_skips");
+  Stats::Counter CtrBuTimeUs = Stats::id("swift.bu_time_us");
+  Stats::Counter CtrBuSummaryRels = Stats::id("swift.bu_summary_rels");
+  Stats::Counter CtrBuSummarySigma = Stats::id("swift.bu_summary_sigma");
 };
 
 } // namespace swift

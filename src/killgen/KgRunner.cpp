@@ -14,12 +14,13 @@ using namespace swift;
 namespace {
 
 KgRunResult runTabulating(const KgContext &Ctx, uint64_t K, uint64_t Theta,
-                          KgRunLimits Limits) {
+                          KgRunLimits Limits, unsigned Threads = 1) {
   Budget Bud(Limits.MaxSteps, Limits.MaxSeconds);
   Stats Stat;
   TabulationSolver<KgAnalysis>::Config Cfg;
   Cfg.K = K;
   Cfg.Theta = Theta;
+  Cfg.BuThreads = Threads;
   TabulationSolver<KgAnalysis> Solver(Ctx, Ctx.program(), Ctx.callGraph(),
                                       Cfg, Bud, Stat);
   bool Finished = Solver.run();
@@ -55,11 +56,13 @@ KgRunResult swift::runTaintTd(const KgContext &Ctx, KgRunLimits Limits) {
 }
 
 KgRunResult swift::runTaintSwift(const KgContext &Ctx, uint64_t K,
-                                 uint64_t Theta, KgRunLimits Limits) {
-  return runTabulating(Ctx, K, Theta, Limits);
+                                 uint64_t Theta, KgRunLimits Limits,
+                                 unsigned Threads) {
+  return runTabulating(Ctx, K, Theta, Limits, Threads);
 }
 
-KgRunResult swift::runTaintBu(const KgContext &Ctx, KgRunLimits Limits) {
+KgRunResult swift::runTaintBu(const KgContext &Ctx, KgRunLimits Limits,
+                              unsigned Threads) {
   const Program &Prog = Ctx.program();
   Budget Bud(Limits.MaxSteps, Limits.MaxSeconds);
   Stats Stat;
@@ -68,7 +71,8 @@ KgRunResult swift::runTaintBu(const KgContext &Ctx, KgRunLimits Limits) {
       [](ProcId) -> const std::unordered_map<KgFact, uint64_t> * {
         return nullptr;
       },
-      Bud, Stat);
+      Bud, Stat, DefaultMaxRelsPerPoint, /*CollectObservations=*/true,
+      Threads);
 
   std::vector<ProcId> All = Ctx.callGraph().reachableFrom(Prog.mainProc());
   bool Finished = Solver.run(All);

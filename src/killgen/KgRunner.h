@@ -40,9 +40,12 @@ struct KgRunResult {
 };
 
 KgRunResult runTaintTd(const KgContext &Ctx, KgRunLimits Limits = {});
+/// \p Threads is the worker count of each triggered bottom-up solve
+/// (SCC-DAG wavefront); results are identical for every value.
 KgRunResult runTaintSwift(const KgContext &Ctx, uint64_t K, uint64_t Theta,
-                          KgRunLimits Limits = {});
-KgRunResult runTaintBu(const KgContext &Ctx, KgRunLimits Limits = {});
+                          KgRunLimits Limits = {}, unsigned Threads = 1);
+KgRunResult runTaintBu(const KgContext &Ctx, KgRunLimits Limits = {},
+                       unsigned Threads = 1);
 
 } // namespace swift
 

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 64-bit hash mixing and combining. The solvers key hash tables by small
+/// packed id tuples; naive shift-xor packing silently aliases once ids
+/// outgrow their assumed bit widths, which degrades the tables to
+/// near-linear probing on large runs. mix64 is the splitmix64 finalizer
+/// (full avalanche); hashCombine folds one value into a running seed so a
+/// tuple hash depends on every bit of every field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_HASHING_H
+#define SWIFT_SUPPORT_HASHING_H
+
+#include <cstdint>
+
+namespace swift {
+
+/// The splitmix64 finalizer: a bijective full-avalanche mix of all 64
+/// bits.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Folds \p Value into \p Seed. Unlike xor-of-shifted-fields, distinct
+/// tuples collide only at the ~2^-64 birthday rate regardless of the
+/// fields' magnitudes.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return mix64(Seed ^ (mix64(Value) + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                       (Seed >> 2)));
+}
+
+} // namespace swift
+
+#endif // SWIFT_SUPPORT_HASHING_H

@@ -7,11 +7,68 @@
 #include "support/Stats.h"
 
 #include <cstdio>
+#include <mutex>
+#include <unordered_map>
 
 using namespace swift;
 
+namespace {
+
+/// The process-wide counter-name registry backing Stats::Counter handles.
+struct Registry {
+  std::mutex M;
+  std::unordered_map<std::string, uint32_t> Ids;
+  std::vector<std::string> Names;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+Stats::Counter Stats::id(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto [It, Inserted] = R.Ids.emplace(Name, R.Names.size());
+  if (Inserted)
+    R.Names.push_back(Name);
+  return Counter(It->second);
+}
+
+uint64_t Stats::get(const std::string &Name) const {
+  Registry &R = registry();
+  uint32_t Id;
+  {
+    std::lock_guard<std::mutex> L(R.M);
+    auto It = R.Ids.find(Name);
+    if (It == R.Ids.end())
+      return 0;
+    Id = It->second;
+  }
+  return Id < Values.size() ? Values[Id] : 0;
+}
+
+void Stats::merge(const Stats &Other) {
+  if (Values.size() < Other.Values.size())
+    Values.resize(Other.Values.size(), 0);
+  for (size_t I = 0; I != Other.Values.size(); ++I)
+    Values[I] += Other.Values[I];
+}
+
+std::map<std::string, uint64_t> Stats::all() const {
+  Registry &R = registry();
+  std::map<std::string, uint64_t> Out;
+  std::lock_guard<std::mutex> L(R.M);
+  for (size_t I = 0; I != Values.size(); ++I)
+    if (Values[I] != 0)
+      Out.emplace(R.Names[I], Values[I]);
+  return Out;
+}
+
 void Stats::print(std::ostream &OS) const {
-  for (const auto &[Name, Value] : Counters)
+  for (const auto &[Name, Value] : all())
     OS << "  " << Name << " = " << Value << "\n";
 }
 

@@ -9,6 +9,13 @@
 /// and bottom-up summaries, worklist pops, relation-domain operation counts,
 /// and so on. These back the "# summaries" columns of the reproduced tables.
 ///
+/// Counter names are interned once in a process-wide registry; the solvers
+/// resolve a Stats::Counter handle per name at construction and bump
+/// counters through it with a plain vector index. That keeps the hot paths
+/// (one bump per propagated path edge / node visit) free of per-event
+/// string map lookups, and — because handles are process-wide — lets
+/// per-worker Stats instances be merged into a main one by index.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWIFT_SUPPORT_STATS_H
@@ -18,22 +25,53 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace swift {
 
 /// A bag of named 64-bit counters.
+///
+/// Individual instances are not thread-safe; concurrent workers each own a
+/// local Stats and the owner merge()s them when a worker finishes.
 class Stats {
 public:
-  uint64_t &counter(const std::string &Name) { return Counters[Name]; }
+  /// An interned counter handle: resolve once with Stats::id, bump through
+  /// counter(Counter) at vector-index cost per event.
+  class Counter {
+  public:
+    Counter() = default;
 
-  uint64_t get(const std::string &Name) const {
-    auto It = Counters.find(Name);
-    return It == Counters.end() ? 0 : It->second;
+    friend bool operator==(Counter A, Counter B) { return A.Id == B.Id; }
+    friend bool operator!=(Counter A, Counter B) { return A.Id != B.Id; }
+
+  private:
+    friend class Stats;
+    explicit Counter(uint32_t Id) : Id(Id) {}
+    uint32_t Id = 0;
+  };
+
+  /// Interns \p Name in the process-wide registry (thread-safe). Call once
+  /// per solver, not per event.
+  static Counter id(const std::string &Name);
+
+  uint64_t &counter(Counter C) {
+    if (C.Id >= Values.size())
+      Values.resize(C.Id + 1, 0);
+    return Values[C.Id];
   }
 
-  void clear() { Counters.clear(); }
+  /// String-keyed access, kept for reporting and cold paths.
+  uint64_t &counter(const std::string &Name) { return counter(id(Name)); }
 
-  const std::map<std::string, uint64_t> &all() const { return Counters; }
+  uint64_t get(const std::string &Name) const;
+
+  void clear() { Values.clear(); }
+
+  /// Adds every counter of \p Other into this one (per-worker stats merge).
+  void merge(const Stats &Other);
+
+  /// Snapshot of all non-zero counters by name.
+  std::map<std::string, uint64_t> all() const;
 
   void print(std::ostream &OS) const;
 
@@ -41,7 +79,7 @@ public:
   static std::string formatThousands(uint64_t N);
 
 private:
-  std::map<std::string, uint64_t> Counters;
+  std::vector<uint64_t> Values; ///< Indexed by process-wide counter id.
 };
 
 } // namespace swift

@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used by the bottom-up relational solver
+/// to dispatch call-graph SCCs as a wavefront over the SCC DAG. Tasks may
+/// submit further tasks (a finishing SCC enqueues the SCCs it unblocks);
+/// wait() blocks — no spinning — until every task, including ones enqueued
+/// by running tasks, has finished.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_THREADPOOL_H
+#define SWIFT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swift {
+
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumThreads) {
+    if (NumThreads == 0)
+      NumThreads = 1;
+    Workers.reserve(NumThreads);
+    for (unsigned I = 0; I != NumThreads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  /// Drains the queue (every submitted task runs), then joins.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stopping = true;
+    }
+    HasWork.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task. Safe to call from within a running task.
+  void submit(std::function<void()> Task) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Queue.push_back(std::move(Task));
+      ++Pending;
+    }
+    HasWork.notify_one();
+  }
+
+  /// Blocks until every submitted task — including tasks submitted by
+  /// other tasks after this call — has completed.
+  void wait() {
+    std::unique_lock<std::mutex> L(M);
+    Idle.wait(L, [this] { return Pending == 0; });
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+private:
+  void workerLoop() {
+    std::unique_lock<std::mutex> L(M);
+    for (;;) {
+      HasWork.wait(L, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      std::function<void()> Task = std::move(Queue.front());
+      Queue.pop_front();
+      L.unlock();
+      Task();
+      L.lock();
+      if (--Pending == 0)
+        Idle.notify_all();
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable HasWork;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  size_t Pending = 0; ///< Queued plus running tasks.
+  bool Stopping = false;
+};
+
+} // namespace swift
+
+#endif // SWIFT_SUPPORT_THREADPOOL_H

@@ -15,6 +15,7 @@
 #ifndef SWIFT_SUPPORT_TIMER_H
 #define SWIFT_SUPPORT_TIMER_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -47,6 +48,12 @@ std::string formatSeconds(double Seconds);
 /// A combined step and wall-clock budget. Solvers call step() on every unit
 /// of work; once the budget is exhausted every subsequent call returns
 /// false and the solver aborts, reporting a timeout.
+///
+/// Thread-safe: one Budget may be shared between the top-down solver and
+/// concurrent bottom-up workers, so the *total* work of a hybrid run is
+/// bounded by one cap (asynchronous summary computation must not get a
+/// second budget of its own). Under contention the step counter can
+/// overshoot the cap by at most one step per racing thread.
 class Budget {
 public:
   /// An effectively unlimited budget.
@@ -55,25 +62,28 @@ public:
   Budget(uint64_t MaxSteps, double MaxSeconds)
       : MaxSteps(MaxSteps), MaxSeconds(MaxSeconds) {}
 
+  Budget(const Budget &) = delete;
+  Budget &operator=(const Budget &) = delete;
+
   /// Consumes one unit of work; returns false once the budget is exhausted.
   /// The wall clock is polled only every 4096 steps to keep this cheap.
   bool step() {
-    if (Exhausted)
+    if (Exhausted.load(std::memory_order_relaxed))
       return false;
-    ++Steps;
-    if (Steps > MaxSteps) {
-      Exhausted = true;
+    uint64_t S = Steps.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (S > MaxSteps) {
+      Exhausted.store(true, std::memory_order_relaxed);
       return false;
     }
-    if ((Steps & 4095) == 0 && Clock.seconds() > MaxSeconds) {
-      Exhausted = true;
+    if ((S & 4095) == 0 && Clock.seconds() > MaxSeconds) {
+      Exhausted.store(true, std::memory_order_relaxed);
       return false;
     }
     return true;
   }
 
-  bool exhausted() const { return Exhausted; }
-  uint64_t steps() const { return Steps; }
+  bool exhausted() const { return Exhausted.load(std::memory_order_relaxed); }
+  uint64_t steps() const { return Steps.load(std::memory_order_relaxed); }
   double seconds() const { return Clock.seconds(); }
   uint64_t maxSteps() const { return MaxSteps; }
   double maxSeconds() const { return MaxSeconds; }
@@ -81,8 +91,8 @@ public:
 private:
   uint64_t MaxSteps = UINT64_MAX;
   double MaxSeconds = 1e18;
-  uint64_t Steps = 0;
-  bool Exhausted = false;
+  std::atomic<uint64_t> Steps{0};
+  std::atomic<bool> Exhausted{false};
   Timer Clock;
 };
 

@@ -57,13 +57,15 @@ TsRunResult harvest(const TsContext &Ctx,
 }
 
 TsRunResult runTabulating(const TsContext &Ctx, uint64_t K, uint64_t Theta,
-                          RunLimits Limits, bool AsyncBu = false) {
+                          RunLimits Limits, bool AsyncBu = false,
+                          unsigned Threads = 1) {
   Budget Bud(Limits.MaxSteps, Limits.MaxSeconds);
   Stats Stat;
   TabulationSolver<TsAnalysis>::Config Cfg;
   Cfg.K = K;
   Cfg.Theta = Theta;
   Cfg.AsyncBu = AsyncBu;
+  Cfg.BuThreads = Threads;
   TabulationSolver<TsAnalysis> Solver(Ctx, Ctx.program(), Ctx.callGraph(),
                                       Cfg, Bud, Stat);
   bool Finished = Solver.run();
@@ -78,11 +80,12 @@ TsRunResult swift::runTypestateTd(const TsContext &Ctx, RunLimits Limits) {
 
 TsRunResult swift::runTypestateSwift(const TsContext &Ctx, uint64_t K,
                                      uint64_t Theta, RunLimits Limits,
-                                     bool AsyncBu) {
-  return runTabulating(Ctx, K, Theta, Limits, AsyncBu);
+                                     bool AsyncBu, unsigned Threads) {
+  return runTabulating(Ctx, K, Theta, Limits, AsyncBu, Threads);
 }
 
-TsRunResult swift::runTypestateBu(const TsContext &Ctx, RunLimits Limits) {
+TsRunResult swift::runTypestateBu(const TsContext &Ctx, RunLimits Limits,
+                                  unsigned Threads) {
   const Program &Prog = Ctx.program();
   Budget Bud(Limits.MaxSteps, Limits.MaxSeconds);
   Stats Stat;
@@ -91,7 +94,8 @@ TsRunResult swift::runTypestateBu(const TsContext &Ctx, RunLimits Limits) {
       [](ProcId) -> const std::unordered_map<TsAbstractState, uint64_t> * {
         return nullptr;
       },
-      Bud, Stat);
+      Bud, Stat, DefaultMaxRelsPerPoint, /*CollectObservations=*/true,
+      Threads);
 
   std::vector<ProcId> All = Ctx.callGraph().reachableFrom(Prog.mainProc());
   bool Finished = Solver.run(All);

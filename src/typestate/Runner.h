@@ -65,17 +65,20 @@ struct TsRunResult {
 TsRunResult runTypestateTd(const TsContext &Ctx, RunLimits Limits = {});
 
 /// The SWIFT hybrid with thresholds \p K and \p Theta. \p AsyncBu runs
-/// triggered bottom-up analyses on a worker thread while the top-down
+/// triggered bottom-up analyses on worker threads while the top-down
 /// analysis continues (the paper's Section 7 parallelization sketch);
-/// results are identical either way.
+/// results are identical either way. \p Threads is the worker count of
+/// each bottom-up solve (SCC-DAG wavefront; summaries are bit-identical
+/// for every value).
 TsRunResult runTypestateSwift(const TsContext &Ctx, uint64_t K,
                               uint64_t Theta, RunLimits Limits = {},
-                              bool AsyncBu = false);
+                              bool AsyncBu = false, unsigned Threads = 1);
 
 /// Conventional bottom-up analysis: whole-program relational analysis
 /// without pruning, then one application of main's summary to the initial
-/// state.
-TsRunResult runTypestateBu(const TsContext &Ctx, RunLimits Limits = {});
+/// state. \p Threads parallelizes over the call-graph SCC DAG.
+TsRunResult runTypestateBu(const TsContext &Ctx, RunLimits Limits = {},
+                           unsigned Threads = 1);
 
 } // namespace swift
 

@@ -32,12 +32,13 @@ namespace {
 using Fact = std::tuple<ProcId, NodeId, TsAbstractState, TsAbstractState>;
 
 std::set<Fact> collectFacts(const TsContext &Ctx, uint64_t K,
-                            uint64_t Theta) {
+                            uint64_t Theta, unsigned Threads = 1) {
   Budget Bud(50'000'000, 60.0);
   Stats Stat;
   TabulationSolver<TsAnalysis>::Config Cfg;
   Cfg.K = K;
   Cfg.Theta = Theta;
+  Cfg.BuThreads = Threads;
   TabulationSolver<TsAnalysis> Solver(Ctx, Ctx.program(), Ctx.callGraph(),
                                       Cfg, Bud, Stat);
   EXPECT_TRUE(Solver.run()) << "budget exhausted";
@@ -64,32 +65,41 @@ TEST_P(CoincidenceTest, SwiftEqualsTopDownOnFuzzedPrograms) {
   ASSERT_FALSE(Td.Timeout);
   std::set<Fact> TdFacts = collectFacts(Ctx, NoBuTrigger, 1);
 
+  // Sample the parallel bottom-up solver's worker count {1, 2, 4} by
+  // seed: coincidence must hold at every thread count.
+  const unsigned Threads = 1u << (GetParam() % 3);
+
   for (auto [K, Theta] : {std::pair<uint64_t, uint64_t>{0, 1},
                           {1, 1},
                           {2, 1},
                           {1, 2},
                           {3, 2},
                           {2, 8}}) {
-    TsRunResult Sw = runTypestateSwift(Ctx, K, Theta);
+    TsRunResult Sw =
+        runTypestateSwift(Ctx, K, Theta, RunLimits{}, false, Threads);
     ASSERT_FALSE(Sw.Timeout);
     EXPECT_EQ(Sw.MainExit, Td.MainExit)
-        << "seed=" << FC.Seed << " k=" << K << " theta=" << Theta;
+        << "seed=" << FC.Seed << " k=" << K << " theta=" << Theta
+        << " threads=" << Threads;
     EXPECT_EQ(Sw.ErrorSites, Td.ErrorSites)
-        << "seed=" << FC.Seed << " k=" << K << " theta=" << Theta;
+        << "seed=" << FC.Seed << " k=" << K << " theta=" << Theta
+        << " threads=" << Threads;
 
     // The asynchronous variant (Section 7's parallelization) must agree
     // as well — the summary install point is immaterial to the result.
-    TsRunResult SwAsync =
-        runTypestateSwift(Ctx, K, Theta, RunLimits{}, /*AsyncBu=*/true);
+    TsRunResult SwAsync = runTypestateSwift(Ctx, K, Theta, RunLimits{},
+                                            /*AsyncBu=*/true, Threads);
     ASSERT_FALSE(SwAsync.Timeout);
     EXPECT_EQ(SwAsync.MainExit, Td.MainExit)
-        << "async seed=" << FC.Seed << " k=" << K << " theta=" << Theta;
+        << "async seed=" << FC.Seed << " k=" << K << " theta=" << Theta
+        << " threads=" << Threads;
     EXPECT_EQ(SwAsync.ErrorSites, Td.ErrorSites)
-        << "async seed=" << FC.Seed << " k=" << K << " theta=" << Theta;
+        << "async seed=" << FC.Seed << " k=" << K << " theta=" << Theta
+        << " threads=" << Threads;
 
     // Every fact SWIFT computes is a fact TD computes (SWIFT only *skips*
     // re-analyses; it never invents states).
-    std::set<Fact> SwFacts = collectFacts(Ctx, K, Theta);
+    std::set<Fact> SwFacts = collectFacts(Ctx, K, Theta, Threads);
     for (const Fact &F : SwFacts)
       EXPECT_TRUE(TdFacts.count(F))
           << "seed=" << FC.Seed << " k=" << K << " theta=" << Theta

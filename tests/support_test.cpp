@@ -10,14 +10,20 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/Hashing.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
 #include "support/Symbol.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
+#include <unordered_set>
+#include <vector>
 
 using namespace swift;
 
@@ -114,6 +120,84 @@ TEST(StatsTest, CountersAccumulate) {
   EXPECT_EQ(S.get("x"), 5u);
   S.clear();
   EXPECT_EQ(S.get("x"), 0u);
+}
+
+TEST(StatsTest, InternedHandlesWorkAcrossInstances) {
+  // A handle interned once addresses the same counter in every Stats
+  // instance — that is what lets per-worker Stats merge by index.
+  Stats::Counter C = Stats::id("handle.test");
+  EXPECT_EQ(Stats::id("handle.test"), C); // stable
+  Stats A, B;
+  A.counter(C) += 3;
+  B.counter(C) += 4;
+  B.counter("handle.other") += 2;
+  EXPECT_EQ(A.get("handle.test"), 3u);
+  A.merge(B);
+  EXPECT_EQ(A.get("handle.test"), 7u);
+  EXPECT_EQ(A.get("handle.other"), 2u);
+  EXPECT_EQ(B.get("handle.test"), 4u); // merge does not disturb the source
+
+  // all() reports only counters that fired.
+  auto All = A.all();
+  EXPECT_EQ(All.at("handle.test"), 7u);
+  EXPECT_EQ(All.count("never.fired"), 0u);
+}
+
+TEST(HashingTest, CombineHasNoMassCollisionsPastTwentyBits) {
+  // Regression for the old path-edge hash, which packed the three fields
+  // with <<40 / <<20 shifts and so collided systematically once any field
+  // passed 2^20. Distinct (node, entry, cur) triples drawn well past that
+  // boundary must hash distinctly (a 64-bit mixer makes accidental
+  // collisions in 50k samples essentially impossible).
+  std::unordered_set<uint64_t> Seen;
+  uint64_t N = 0;
+  for (uint64_t A = 0; A != 37; ++A)
+    for (uint64_t B = 0; B != 37; ++B)
+      for (uint64_t C = 0; C != 37; ++C) {
+        uint64_t Node = (A + 1) << 21, Entry = (B + 1) << 22,
+                 Cur = (C + 1) << 23;
+        Seen.insert(hashCombine(hashCombine(mix64(Node), Entry), Cur));
+        ++N;
+      }
+  EXPECT_EQ(Seen.size(), N);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasksAndWaitDrains) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([&Pool, &Count] {
+      ++Count;
+      Pool.submit([&Count] { ++Count; });
+    });
+  Pool.wait(); // must cover the tasks submitted by running tasks
+  EXPECT_EQ(Count.load(), 16);
+  // The pool stays usable after a wait.
+  Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 17);
+}
+
+TEST(BudgetTest, ConcurrentSteppingRespectsCap) {
+  constexpr uint64_t Cap = 10'000;
+  constexpr unsigned NumThreads = 4;
+  Budget B(Cap, 1e9);
+  std::atomic<uint64_t> Accepted{0};
+  std::vector<std::thread> Ts;
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Ts.emplace_back([&B, &Accepted] {
+      uint64_t Mine = 0;
+      while (B.step())
+        ++Mine;
+      Accepted += Mine;
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_TRUE(B.exhausted());
+  // Relaxed atomics may overshoot by at most one step per racing thread.
+  EXPECT_GE(Accepted.load(), Cap - NumThreads);
+  EXPECT_LE(Accepted.load(), Cap + NumThreads);
 }
 
 } // namespace
