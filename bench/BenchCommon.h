@@ -21,6 +21,7 @@
 
 #include "genprog/Generator.h"
 #include "genprog/Workloads.h"
+#include "support/CliParse.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 #include "typestate/Runner.h"
@@ -28,6 +29,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 namespace swift {
 namespace bench {
@@ -37,27 +39,59 @@ struct Options {
   uint64_t BudgetSteps = 200'000'000;
   std::string Only;     ///< Restrict to one workload name.
   unsigned Threads = 1; ///< Worker threads per bottom-up solve.
+  bool ShowHelp = false;
 };
 
-inline Options parseOptions(int Argc, char **Argv) {
-  Options O;
+inline const char *optionsUsage() {
+  return "[--budget=SECONDS] [--bench=NAME] [--threads=N]";
+}
+
+/// Strict flag parsing: numeric values are validated (no atoi — "-1" or
+/// "abc" is an error, not 4294967295 workers or a 0-second budget) and
+/// unknown flags are rejected. Returns false with a message in \p Err.
+inline bool parseOptionsInto(int Argc, char **Argv, Options &O,
+                             std::string &Err) {
   for (int I = 1; I < Argc; ++I) {
-    const char *A = Argv[I];
-    if (std::strncmp(A, "--budget=", 9) == 0)
-      O.BudgetSeconds = std::atof(A + 9);
-    else if (std::strncmp(A, "--bench=", 8) == 0)
-      O.Only = A + 8;
-    else if (std::strncmp(A, "--threads=", 10) == 0)
-      O.Threads = static_cast<unsigned>(std::atoi(A + 10));
-    else if (std::strcmp(A, "--help") == 0) {
-      std::printf("usage: %s [--budget=SECONDS] [--bench=NAME] "
-                  "[--threads=N]\n",
-                  Argv[0]);
-      std::exit(0);
+    std::string_view A = Argv[I];
+    std::string_view V;
+    if (cli::matchValueFlag(A, "--budget=", V)) {
+      if (!cli::parseNonNegDouble(V, O.BudgetSeconds)) {
+        Err = "invalid --budget value '" + std::string(V) +
+              "' (want a non-negative number of seconds)";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--bench=", V)) {
+      O.Only = V;
+    } else if (cli::matchValueFlag(A, "--threads=", V)) {
+      if (!cli::parseUnsigned(V, O.Threads, 1, 1024)) {
+        Err = "invalid --threads value '" + std::string(V) +
+              "' (want an integer in [1, 1024])";
+        return false;
+      }
+    } else if (A == "--help") {
+      O.ShowHelp = true;
+    } else {
+      Err = "unknown flag '" + std::string(A) + "'";
+      return false;
     }
   }
-  if (O.Threads == 0)
-    O.Threads = 1;
+  return true;
+}
+
+/// parseOptionsInto with the standard CLI behavior: prints usage and exits
+/// 0 on --help, prints the error and exits 2 on a bad flag.
+inline Options parseOptions(int Argc, char **Argv) {
+  Options O;
+  std::string Err;
+  if (!parseOptionsInto(Argc, Argv, O, Err)) {
+    std::fprintf(stderr, "%s: %s\nusage: %s %s\n", Argv[0], Err.c_str(),
+                 Argv[0], optionsUsage());
+    std::exit(2);
+  }
+  if (O.ShowHelp) {
+    std::printf("usage: %s %s\n", Argv[0], optionsUsage());
+    std::exit(0);
+  }
   return O;
 }
 

@@ -1,0 +1,287 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "difftest/Oracle.h"
+
+#include "concrete/Interpreter.h"
+#include "typestate/Context.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+using namespace swift;
+using namespace swift::difftest;
+
+const char *swift::difftest::checkKindName(CheckKind K) {
+  switch (K) {
+  case CheckKind::Soundness:
+    return "soundness";
+  case CheckKind::TdCoincidence:
+    return "td-coincidence";
+  case CheckKind::ErrorPointSubset:
+    return "error-point-subset";
+  case CheckKind::BuAgreement:
+    return "bu-agreement";
+  case CheckKind::ManifestOff:
+    return "manifest-off";
+  case CheckKind::ThreadDeterminism:
+    return "thread-determinism";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string siteSetStr(const std::set<SiteId> &S) {
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  for (SiteId Id : S) {
+    OS << (First ? "" : " ") << "@" << Id;
+    First = false;
+  }
+  OS << "}";
+  return OS.str();
+}
+
+std::string errorPointStr(const Program &Prog, const TsError &E) {
+  std::ostringstream OS;
+  OS << "@" << E.Site << " at "
+     << Prog.symbols().text(Prog.proc(E.Proc).name()) << ":" << E.Node;
+  return OS.str();
+}
+
+std::string mainExitStr(const Program &Prog,
+                        const std::set<TsAbstractState> &S) {
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  for (const TsAbstractState &St : S) {
+    OS << (First ? "" : "; ") << St.str(Prog);
+    First = false;
+  }
+  OS << "}";
+  return OS.str();
+}
+
+/// The first few elements of A \ B, for readable diffs.
+template <typename T>
+std::vector<T> setMinus(const std::set<T> &A, const std::set<T> &B,
+                        size_t Limit = 4) {
+  std::vector<T> Out;
+  for (const T &X : A) {
+    if (!B.count(X)) {
+      Out.push_back(X);
+      if (Out.size() == Limit)
+        break;
+    }
+  }
+  return Out;
+}
+
+bool isCallNode(const Program &Prog, ProcId P, NodeId N) {
+  return Prog.proc(P).node(N).Cmd.Kind == CmdKind::Call;
+}
+
+class OracleRun {
+public:
+  OracleRun(const Program &Prog, const OracleOptions &Opts)
+      : Prog(Prog), Opts(Opts) {}
+
+  OracleResult run();
+
+private:
+  void addViolation(CheckKind Kind, const std::string &Config,
+                    std::string Detail) {
+    Res.Violations.push_back(Violation{Kind, Config, std::move(Detail)});
+  }
+
+  void checkSoundness(const TsConfigRun &R);
+  void checkAgainstTd(const TsConfigRun &R, const TsRunResult &Td);
+  void checkThreadDeterminism(const std::vector<TsConfigRun> &Runs);
+
+  const Program &Prog;
+  const OracleOptions &Opts;
+  OracleResult Res;
+};
+
+void OracleRun::checkSoundness(const TsConfigRun &R) {
+  std::vector<SiteId> Missed =
+      setMinus(Res.ConcreteErrors, R.Result.ErrorSites);
+  if (Missed.empty())
+    return;
+  std::ostringstream OS;
+  OS << "concretely erroring sites not reported:";
+  for (SiteId S : Missed)
+    OS << " @" << S;
+  OS << "; reported " << siteSetStr(R.Result.ErrorSites);
+  addViolation(CheckKind::Soundness, R.Name, OS.str());
+}
+
+void OracleRun::checkAgainstTd(const TsConfigRun &R, const TsRunResult &Td) {
+  const TsRunResult &Rr = R.Result;
+
+  if (R.Kind == TsConfigRun::Mode::Bu) {
+    if (Rr.ErrorSites != Td.ErrorSites)
+      addViolation(CheckKind::BuAgreement, R.Name,
+                   "error sites " + siteSetStr(Rr.ErrorSites) +
+                       " != td " + siteSetStr(Td.ErrorSites));
+    if (Rr.MainExit != Td.MainExit)
+      addViolation(CheckKind::BuAgreement, R.Name,
+                   "main-exit states " + mainExitStr(Prog, Rr.MainExit) +
+                       " != td " + mainExitStr(Prog, Td.MainExit));
+    return;
+  }
+
+  if (!R.Swift.ObservationManifest) {
+    // Ablation: the manifest only affects error *reporting*; value results
+    // must still coincide, and reporting may only under-approximate.
+    if (Rr.MainExit != Td.MainExit)
+      addViolation(CheckKind::ManifestOff, R.Name,
+                   "main-exit states " + mainExitStr(Prog, Rr.MainExit) +
+                       " != td " + mainExitStr(Prog, Td.MainExit));
+    std::vector<SiteId> Extra = setMinus(Rr.ErrorSites, Td.ErrorSites);
+    if (!Extra.empty()) {
+      std::ostringstream OS;
+      OS << "error sites not reported by td:";
+      for (SiteId S : Extra)
+        OS << " @" << S;
+      addViolation(CheckKind::ManifestOff, R.Name, OS.str());
+    }
+    return;
+  }
+
+  // Theorem 3.1: exact coincidence of error sites and main-exit states.
+  if (Rr.ErrorSites != Td.ErrorSites)
+    addViolation(CheckKind::TdCoincidence, R.Name,
+                 "error sites " + siteSetStr(Rr.ErrorSites) + " != td " +
+                     siteSetStr(Td.ErrorSites));
+  if (Rr.MainExit != Td.MainExit)
+    addViolation(CheckKind::TdCoincidence, R.Name,
+                 "main-exit states " + mainExitStr(Prog, Rr.MainExit) +
+                     " != td " + mainExitStr(Prog, Td.MainExit));
+
+  // Error points: SWIFT may move a point to the serving call site, but a
+  // point at a non-call node must be one TD computed too.
+  for (const TsError &E : Rr.ErrorPoints) {
+    if (Td.ErrorPoints.count(E) || isCallNode(Prog, E.Proc, E.Node))
+      continue;
+    addViolation(CheckKind::ErrorPointSubset, R.Name,
+                 "error point " + errorPointStr(Prog, E) +
+                     " is at a non-call node and td never computed it");
+  }
+}
+
+void OracleRun::checkThreadDeterminism(const std::vector<TsConfigRun> &Runs) {
+  // Group synchronous runs by everything except the worker count; results
+  // must be bit-identical within a group. Async runs are excluded: the
+  // summary install point depends on scheduling, so summary counts and
+  // error-point placement may differ run to run (sites and exit states may
+  // not, which checkAgainstTd already enforces).
+  std::map<std::string, const TsConfigRun *> Rep;
+  for (const TsConfigRun &R : Runs) {
+    if (R.Result.Timeout)
+      continue;
+    std::string Key;
+    if (R.Kind == TsConfigRun::Mode::Bu)
+      Key = "bu";
+    else if (R.Kind == TsConfigRun::Mode::Swift && !R.Swift.AsyncBu)
+      Key = "swift/k" + std::to_string(R.Swift.K) + "/th" +
+            std::to_string(R.Swift.Theta) +
+            (R.Swift.ObservationManifest ? "" : "/nomanifest");
+    else
+      continue;
+
+    auto [It, Inserted] = Rep.emplace(Key, &R);
+    if (Inserted)
+      continue;
+    const TsConfigRun &First = *It->second;
+    const TsRunResult &A = First.Result, &B = R.Result;
+    auto Mismatch = [&](const char *What) {
+      addViolation(CheckKind::ThreadDeterminism, R.Name,
+                   std::string(What) + " differs from " + First.Name);
+    };
+    if (A.ErrorSites != B.ErrorSites)
+      Mismatch("error sites");
+    if (A.ErrorPoints != B.ErrorPoints)
+      Mismatch("error points");
+    if (A.MainExit != B.MainExit)
+      Mismatch("main-exit states");
+    if (A.TdSummaries != B.TdSummaries ||
+        A.TdSummariesPerProc != B.TdSummariesPerProc)
+      Mismatch("td-summary counts");
+    if (A.BuRelations != B.BuRelations)
+      Mismatch("bu-relation counts");
+  }
+}
+
+OracleResult OracleRun::run() {
+  if (Prog.numSpecs() == 0)
+    throw std::runtime_error("difftest oracle: program has no typestate spec");
+  const TypestateSpec *Spec = nullptr;
+  if (Opts.TrackedClass.empty()) {
+    Spec = &Prog.spec(0);
+  } else {
+    for (size_t I = 0; I != Prog.numSpecs() && !Spec; ++I)
+      if (Prog.symbols().text(Prog.spec(I).name()) == Opts.TrackedClass)
+        Spec = &Prog.spec(I);
+    if (!Spec)
+      throw std::runtime_error("difftest oracle: no typestate spec for '" +
+                               Opts.TrackedClass + "'");
+  }
+  Symbol Tracked = Spec->name();
+
+  // Ground truth: union of the error sites seen by several concrete
+  // schedules. Errors recorded before a budget exhaustion are still real
+  // executions, so incomplete runs contribute too.
+  for (unsigned I = 0; I != Opts.Schedules; ++I) {
+    InterpConfig IC;
+    IC.Seed = Opts.InterpSeed + I;
+    IC.MaxSteps = Opts.InterpMaxSteps;
+    // Alternate loop appetites so both quick exits and deep iteration get
+    // explored.
+    IC.LoopContinuePerMille = (I % 2) ? 700 : 300;
+    InterpResult IR = interpret(Prog, IC);
+    for (SiteId S : IR.ErrorSites)
+      Res.ConcreteErrors.insert(S);
+  }
+
+  TsContext Ctx(Prog, Tracked);
+  std::vector<TsConfigRun> Runs = runAllConfigs(Ctx, Opts.Limits,
+                                                Opts.Configs);
+  for (const TsConfigRun &R : Runs) {
+    ++Res.RunsDone;
+    if (R.Result.Timeout)
+      ++Res.RunsTimedOut;
+  }
+
+  const TsConfigRun &Td = Runs.front();
+  bool TdOk = !Td.Result.Timeout;
+
+  for (const TsConfigRun &R : Runs) {
+    if (R.Result.Timeout)
+      continue;
+    // The concrete semantics only enters error states the manifest-on
+    // analyses are required to report.
+    if (R.Kind != TsConfigRun::Mode::Swift || R.Swift.ObservationManifest)
+      checkSoundness(R);
+    if (TdOk && &R != &Td)
+      checkAgainstTd(R, Td.Result);
+  }
+  checkThreadDeterminism(Runs);
+
+  return std::move(Res);
+}
+
+} // namespace
+
+OracleResult swift::difftest::runOracle(const Program &Prog,
+                                        const OracleOptions &Opts) {
+  OracleRun R(Prog, Opts);
+  return R.run();
+}

@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential-testing oracle: runs the concrete interpreter as
+/// ground truth and the whole analysis-mode matrix (TD, pure BU, SWIFT
+/// sync/async at several (k, theta), thread counts, manifest on/off) on
+/// one program, then checks every relation the paper guarantees:
+///
+///  * Soundness — every allocation site that concretely reaches the error
+///    state is reported by every complete manifest-on run.
+///  * TD coincidence (Theorem 3.1) — SWIFT's error sites and main-exit
+///    states equal TD's at every (k, theta, threads, async).
+///  * Error-point containment — a SWIFT error point is a TD error point
+///    unless it sits at a call command (the observation manifest reports
+///    errors inside summary-served callees at the serving call site).
+///  * BU agreement — the unpruned bottom-up analysis, instantiated on the
+///    initial state, matches TD's error sites and main-exit states.
+///  * Manifest-off ablation — value results still coincide; error sites
+///    may only under-approximate TD's, never over-approximate.
+///  * Thread determinism — synchronous runs differing only in worker
+///    count are identical in every result field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_DIFFTEST_ORACLE_H
+#define SWIFT_DIFFTEST_ORACLE_H
+
+#include "ir/Program.h"
+#include "typestate/Runner.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace swift {
+namespace difftest {
+
+enum class CheckKind {
+  Soundness,
+  TdCoincidence,
+  ErrorPointSubset,
+  BuAgreement,
+  ManifestOff,
+  ThreadDeterminism,
+};
+
+const char *checkKindName(CheckKind K);
+
+/// One oracle failure: which guarantee broke, on which configuration.
+struct Violation {
+  CheckKind Kind;
+  std::string Config; ///< runAllConfigs name, e.g. "swift/k1/th2/async".
+  std::string Detail;
+};
+
+struct OracleOptions {
+  /// Budget per analysis run. A run that times out is skipped by every
+  /// check rather than reported (timeouts are resource facts, not bugs).
+  RunLimits Limits{2'000'000, 10.0};
+  /// Concrete interpreter schedules unioned into the ground truth.
+  unsigned Schedules = 8;
+  uint64_t InterpSeed = 1;
+  uint64_t InterpMaxSteps = 20'000;
+  AllConfigsOptions Configs;
+  /// Typestate class under verification; empty selects the program's
+  /// first spec (fuzz programs declare exactly one, "File").
+  std::string TrackedClass;
+};
+
+struct OracleResult {
+  std::vector<Violation> Violations;
+  std::set<SiteId> ConcreteErrors;
+  unsigned RunsDone = 0;
+  unsigned RunsTimedOut = 0;
+  bool clean() const { return Violations.empty(); }
+};
+
+/// Runs the full matrix and all checks on \p Prog. Throws
+/// std::runtime_error if the program declares no typestate spec.
+OracleResult runOracle(const Program &Prog, const OracleOptions &Opts);
+
+} // namespace difftest
+} // namespace swift
+
+#endif // SWIFT_DIFFTEST_ORACLE_H

@@ -5,11 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Textual dump of a Program's CFGs for debugging, plus a source-size
-/// estimate backing the "KLOC" column of the reproduced Table 1.
-/// (Structured TSL text for generated workloads is emitted by the
-/// generator itself, which knows the control structure; recovering
-/// structure from an arbitrary CFG is out of scope.)
+/// Textual dump of a Program's CFGs for debugging, a source-size estimate
+/// backing the "KLOC" column of the reproduced Table 1, and a
+/// round-trippable serialization of whole Programs (the "swift-ir v1"
+/// format). The serialization is CFG-level — unlike TSL it represents any
+/// CFG, including the unstructured ones the test-case reducer produces —
+/// and printProgramText / parseProgramText are exact inverses:
+/// print(parse(print(P))) == print(P), and the parsed program analyzes
+/// identically (same site numbering, node numbering, and edges). Used by
+/// the differential-testing reproducers (src/difftest, tests/corpus).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,7 +22,10 @@
 
 #include "ir/Program.h"
 
+#include <memory>
 #include <ostream>
+#include <string>
+#include <string_view>
 
 namespace swift {
 
@@ -29,6 +36,20 @@ void dumpCfg(const Program &Prog, std::ostream &OS);
 /// Estimated source line count: one line per primitive command plus
 /// procedure header/footer and typestate declarations.
 size_t sourceLineEstimate(const Program &Prog);
+
+/// Serializes \p Prog in the round-trippable "swift-ir v1" text format.
+/// Deterministic: equal programs print equal text (typestate methods are
+/// emitted in name order, nodes in id order).
+void printProgramText(const Program &Prog, std::ostream &OS);
+
+/// printProgramText into a string.
+std::string programToText(const Program &Prog);
+
+/// Parses text produced by printProgramText (lines starting with '#' are
+/// comments). Throws std::runtime_error with a line number on malformed
+/// input. The result reproduces the printed program exactly: node ids,
+/// successor lists, allocation-site ids, entry/exit nodes.
+std::unique_ptr<Program> parseProgramText(std::string_view Text);
 
 } // namespace swift
 

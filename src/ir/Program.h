@@ -33,6 +33,14 @@ struct CfgNode {
   std::vector<NodeId> Succs;
 };
 
+namespace detail {
+/// Reverse postorder of the nodes reachable from \p Entry. Shared by
+/// ProgramBuilder::finish and the IR-text parser so both finalize
+/// procedures identically.
+std::vector<NodeId> computeRpo(const std::vector<CfgNode> &Nodes,
+                               NodeId Entry);
+} // namespace detail
+
 /// A procedure: parameters, a CFG with unique entry and exit nodes, and the
 /// set of variables it mentions. `return e` is normalized to an assignment
 /// to the program's $ret variable followed by an edge to the exit node, so
@@ -74,6 +82,7 @@ public:
 
 private:
   friend class ProgramBuilder;
+  friend class ProgramParser;
 
   Symbol Name;
   ProcId Id;
@@ -134,6 +143,7 @@ public:
 
 private:
   friend class ProgramBuilder;
+  friend class ProgramParser;
 
   SymbolTable Syms;
   Symbol RetVar;

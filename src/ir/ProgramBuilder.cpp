@@ -12,6 +12,32 @@
 
 using namespace swift;
 
+std::vector<NodeId> swift::detail::computeRpo(
+    const std::vector<CfgNode> &Nodes, NodeId Entry) {
+  std::vector<uint8_t> State(Nodes.size(), 0); // 0 new, 1 open, 2 done
+  std::vector<NodeId> Post;
+  // Iterative DFS with explicit stack of (node, next-successor-index).
+  std::vector<std::pair<NodeId, size_t>> Stack;
+  Stack.emplace_back(Entry, 0);
+  State[Entry] = 1;
+  while (!Stack.empty()) {
+    auto &[N, I] = Stack.back();
+    const std::vector<NodeId> &Succs = Nodes[N].Succs;
+    if (I < Succs.size()) {
+      NodeId S = Succs[I++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+    } else {
+      State[N] = 2;
+      Post.push_back(N);
+      Stack.pop_back();
+    }
+  }
+  return std::vector<NodeId>(Post.rbegin(), Post.rend());
+}
+
 ProgramBuilder::ProgramBuilder() : Prog(std::make_unique<Program>()) {
   Prog->RetVar = Prog->Syms.intern("$ret");
 }
@@ -298,30 +324,8 @@ ProgramBuilder::finish(std::string_view MainName) {
   Pending.clear();
 
   // Compute reachable reverse postorder per procedure.
-  for (Procedure &P : Prog->Procs) {
-    std::vector<uint8_t> State(P.Nodes.size(), 0); // 0 new, 1 open, 2 done
-    std::vector<NodeId> Post;
-    // Iterative DFS with explicit stack of (node, next-successor-index).
-    std::vector<std::pair<NodeId, size_t>> Stack;
-    Stack.emplace_back(P.Entry, 0);
-    State[P.Entry] = 1;
-    while (!Stack.empty()) {
-      auto &[N, I] = Stack.back();
-      const std::vector<NodeId> &Succs = P.Nodes[N].Succs;
-      if (I < Succs.size()) {
-        NodeId S = Succs[I++];
-        if (State[S] == 0) {
-          State[S] = 1;
-          Stack.emplace_back(S, 0);
-        }
-      } else {
-        State[N] = 2;
-        Post.push_back(N);
-        Stack.pop_back();
-      }
-    }
-    P.Rpo.assign(Post.rbegin(), Post.rend());
-  }
+  for (Procedure &P : Prog->Procs)
+    P.Rpo = detail::computeRpo(P.Nodes, P.Entry);
 
   Symbol MainSym = Prog->Syms.intern(MainName);
   auto It = Prog->ProcIndex.find(MainSym);

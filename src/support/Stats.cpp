@@ -15,7 +15,10 @@ using namespace swift;
 namespace {
 
 /// The process-wide counter-name registry backing Stats::Counter handles.
+/// Slot 0 is a placeholder so that real counter ids start at 1 — id 0 is
+/// the reserved invalid id of a default-constructed Stats::Counter.
 struct Registry {
+  Registry() { Names.push_back("<invalid>"); }
   std::mutex M;
   std::unordered_map<std::string, uint32_t> Ids;
   std::vector<std::string> Names;

@@ -21,6 +21,7 @@
 #ifndef SWIFT_SUPPORT_STATS_H
 #define SWIFT_SUPPORT_STATS_H
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -37,9 +38,15 @@ class Stats {
 public:
   /// An interned counter handle: resolve once with Stats::id, bump through
   /// counter(Counter) at vector-index cost per event.
+  ///
+  /// Id 0 is reserved for the invalid (default-constructed) handle: real
+  /// ids start at 1, so a handle that was never resolved can never silently
+  /// bump whichever counter happened to be interned first.
   class Counter {
   public:
     Counter() = default;
+
+    bool isValid() const { return Id != 0; }
 
     friend bool operator==(Counter A, Counter B) { return A.Id == B.Id; }
     friend bool operator!=(Counter A, Counter B) { return A.Id != B.Id; }
@@ -51,10 +58,11 @@ public:
   };
 
   /// Interns \p Name in the process-wide registry (thread-safe). Call once
-  /// per solver, not per event.
+  /// per solver, not per event. The returned handle is always valid.
   static Counter id(const std::string &Name);
 
   uint64_t &counter(Counter C) {
+    assert(C.isValid() && "bump through a default-constructed Counter");
     if (C.Id >= Values.size())
       Values.resize(C.Id + 1, 0);
     return Values[C.Id];

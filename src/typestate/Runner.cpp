@@ -25,6 +25,10 @@ TsRunResult harvest(const TsContext &Ctx,
   R.Stat = std::move(Stat);
 
   R.TdSummariesPerProc.resize(Prog.numProcs());
+  // Same contract as the bottom-up runner: a timed-out run reports only
+  // the timeout, never partially harvested summaries/errors/exit states.
+  if (!Finished)
+    return R;
   for (ProcId P = 0; P != Prog.numProcs(); ++P)
     R.TdSummariesPerProc[P] = Solver.numTdSummaries(P);
   R.TdSummaries = Solver.totalTdSummaries();
@@ -56,16 +60,16 @@ TsRunResult harvest(const TsContext &Ctx,
   return R;
 }
 
-TsRunResult runTabulating(const TsContext &Ctx, uint64_t K, uint64_t Theta,
-                          RunLimits Limits, bool AsyncBu = false,
-                          unsigned Threads = 1) {
+TsRunResult runTabulating(const TsContext &Ctx, const SwiftRunConfig &SC,
+                          RunLimits Limits) {
   Budget Bud(Limits.MaxSteps, Limits.MaxSeconds);
   Stats Stat;
   TabulationSolver<TsAnalysis>::Config Cfg;
-  Cfg.K = K;
-  Cfg.Theta = Theta;
-  Cfg.AsyncBu = AsyncBu;
-  Cfg.BuThreads = Threads;
+  Cfg.K = SC.K;
+  Cfg.Theta = SC.Theta;
+  Cfg.AsyncBu = SC.AsyncBu;
+  Cfg.BuThreads = SC.Threads;
+  Cfg.ObservationManifest = SC.ObservationManifest;
   TabulationSolver<TsAnalysis> Solver(Ctx, Ctx.program(), Ctx.callGraph(),
                                       Cfg, Bud, Stat);
   bool Finished = Solver.run();
@@ -75,13 +79,27 @@ TsRunResult runTabulating(const TsContext &Ctx, uint64_t K, uint64_t Theta,
 } // namespace
 
 TsRunResult swift::runTypestateTd(const TsContext &Ctx, RunLimits Limits) {
-  return runTabulating(Ctx, NoBuTrigger, 1, Limits);
+  SwiftRunConfig SC;
+  SC.K = NoBuTrigger;
+  SC.Theta = 1;
+  return runTabulating(Ctx, SC, Limits);
 }
 
 TsRunResult swift::runTypestateSwift(const TsContext &Ctx, uint64_t K,
                                      uint64_t Theta, RunLimits Limits,
                                      bool AsyncBu, unsigned Threads) {
-  return runTabulating(Ctx, K, Theta, Limits, AsyncBu, Threads);
+  SwiftRunConfig SC;
+  SC.K = K;
+  SC.Theta = Theta;
+  SC.AsyncBu = AsyncBu;
+  SC.Threads = Threads;
+  return runTabulating(Ctx, SC, Limits);
+}
+
+TsRunResult swift::runTypestateSwift(const TsContext &Ctx,
+                                     const SwiftRunConfig &Cfg,
+                                     RunLimits Limits) {
+  return runTabulating(Ctx, Cfg, Limits);
 }
 
 TsRunResult swift::runTypestateBu(const TsContext &Ctx, RunLimits Limits,
@@ -106,9 +124,12 @@ TsRunResult swift::runTypestateBu(const TsContext &Ctx, RunLimits Limits,
   R.Steps = Bud.steps();
   R.Stat = std::move(Stat);
   R.TdSummariesPerProc.resize(Prog.numProcs());
-  R.BuRelations = Solver.totalRelations();
+  // On timeout, report nothing but the timeout itself: a partially
+  // populated relation count (or main-exit set) is indistinguishable from
+  // a completed run's, and consumers must key off Timeout alone.
   if (!Finished)
     return R;
+  R.BuRelations = Solver.totalRelations();
 
   // Instantiate main's summary on the initial (Lambda) state: the only
   // top-down work the bottom-up approach performs.
@@ -137,4 +158,116 @@ TsRunResult swift::runTypestateBu(const TsContext &Ctx, RunLimits Limits,
                                      Prog.proc(Prog.mainProc()).exit()});
       }
   return R;
+}
+
+std::vector<TsConfigRun> swift::runAllConfigs(const TsContext &Ctx,
+                                              RunLimits Limits,
+                                              const AllConfigsOptions &Opts) {
+  std::vector<TsConfigRun> Runs;
+
+  auto SwiftName = [](const SwiftRunConfig &SC) {
+    std::string N = "swift/k" + std::to_string(SC.K) + "/th" +
+                    std::to_string(SC.Theta);
+    if (SC.AsyncBu)
+      N += "/async";
+    if (SC.Threads != 1)
+      N += "/t" + std::to_string(SC.Threads);
+    if (!SC.ObservationManifest)
+      N += "/nomanifest";
+    return N;
+  };
+  // Once a (k, theta) times out, skip its other thread/async/manifest
+  // variants: the step budget bounds total work, so they would burn the
+  // same wall budget just to time out again.
+  std::set<std::pair<uint64_t, uint64_t>> TimedOutKT;
+  auto AddSwift = [&](const SwiftRunConfig &SC) {
+    if (TimedOutKT.count({SC.K, SC.Theta}))
+      return;
+    TsConfigRun R;
+    R.Name = SwiftName(SC);
+    R.Kind = TsConfigRun::Mode::Swift;
+    R.Swift = SC;
+    R.Result = runTypestateSwift(Ctx, SC, Limits);
+    if (R.Result.Timeout)
+      TimedOutKT.insert({SC.K, SC.Theta});
+    Runs.push_back(std::move(R));
+  };
+
+  // TD first: it is the reference every coincidence check compares against.
+  {
+    TsConfigRun R;
+    R.Name = "td";
+    R.Kind = TsConfigRun::Mode::Td;
+    R.Result = runTypestateTd(Ctx, Limits);
+    Runs.push_back(std::move(R));
+  }
+
+  if (Opts.IncludeBu)
+    for (unsigned T : Opts.ThreadCounts) {
+      TsConfigRun R;
+      R.Name = "bu/t" + std::to_string(T);
+      R.Kind = TsConfigRun::Mode::Bu;
+      R.BuThreads = T;
+      R.Result = runTypestateBu(Ctx, Limits, T);
+      bool TimedOut = R.Result.Timeout;
+      Runs.push_back(std::move(R));
+      if (TimedOut)
+        break; // pure BU blow-up: higher thread counts do the same work
+    }
+
+  // SWIFT sync at several (k, theta): the trigger fires at different
+  // times, so these cover very different mixes of analyzed vs served
+  // calls. All must coincide with TD exactly (Theorem 3.1).
+  const std::pair<uint64_t, uint64_t> KTheta[] = {{0, 1}, {1, 1}, {2, 1},
+                                                  {1, 2}, {3, 2}, {5, 2}};
+  for (auto [K, Theta] : KTheta) {
+    SwiftRunConfig SC;
+    SC.K = K;
+    SC.Theta = Theta;
+    AddSwift(SC);
+  }
+
+  // Bottom-up worker threads: results must be bit-identical at every
+  // count, so two representative (k, theta) points suffice per count.
+  for (unsigned T : Opts.ThreadCounts) {
+    if (T == 1)
+      continue; // covered above
+    for (auto [K, Theta] :
+         {std::pair<uint64_t, uint64_t>{2, 1}, {5, 2}}) {
+      SwiftRunConfig SC;
+      SC.K = K;
+      SC.Theta = Theta;
+      SC.Threads = T;
+      AddSwift(SC);
+    }
+  }
+
+  // The asynchronous trigger (Section 7): the summary install point moves,
+  // the result must not.
+  if (Opts.IncludeAsync)
+    for (auto [K, Theta] :
+         {std::pair<uint64_t, uint64_t>{1, 1}, {2, 2}}) {
+      for (unsigned T : {1u, 4u}) {
+        SwiftRunConfig SC;
+        SC.K = K;
+        SC.Theta = Theta;
+        SC.AsyncBu = true;
+        SC.Threads = T;
+        AddSwift(SC);
+      }
+    }
+
+  // Manifest off: value results must still coincide; error reporting is
+  // allowed to under-approximate TD's (never over-approximate).
+  if (Opts.IncludeManifestOff)
+    for (auto [K, Theta] :
+         {std::pair<uint64_t, uint64_t>{2, 1}, {5, 2}}) {
+      SwiftRunConfig SC;
+      SC.K = K;
+      SC.Theta = Theta;
+      SC.ObservationManifest = false;
+      AddSwift(SC);
+    }
+
+  return Runs;
 }

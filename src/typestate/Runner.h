@@ -22,6 +22,7 @@
 #include "typestate/TsAnalysis.h"
 
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -45,6 +46,9 @@ struct TsError {
     if (A.Proc != B.Proc)
       return A.Proc < B.Proc;
     return A.Node < B.Node;
+  }
+  friend bool operator==(const TsError &A, const TsError &B) {
+    return A.Site == B.Site && A.Proc == B.Proc && A.Node == B.Node;
   }
 };
 
@@ -79,6 +83,51 @@ TsRunResult runTypestateSwift(const TsContext &Ctx, uint64_t K,
 /// state. \p Threads parallelizes over the call-graph SCC DAG.
 TsRunResult runTypestateBu(const TsContext &Ctx, RunLimits Limits = {},
                            unsigned Threads = 1);
+
+/// One SWIFT configuration, with every solver knob exposed (the positional
+/// runTypestateSwift overload covers the common ones).
+struct SwiftRunConfig {
+  uint64_t K = 5;
+  uint64_t Theta = 2;
+  bool AsyncBu = false;
+  unsigned Threads = 1;
+  /// Collect and serve the observation manifest (exact error reporting for
+  /// summary-served callees). Disabling it is an ablation: value results
+  /// stay coincident with TD, but error sites on paths that diverge inside
+  /// served callees can be missed.
+  bool ObservationManifest = true;
+};
+
+TsRunResult runTypestateSwift(const TsContext &Ctx,
+                              const SwiftRunConfig &Cfg,
+                              RunLimits Limits = {});
+
+/// One named analysis run of the differential-testing config matrix.
+struct TsConfigRun {
+  std::string Name; ///< e.g. "td", "bu/t2", "swift/k1/th2/async/t4".
+  enum class Mode { Td, Bu, Swift } Kind;
+  SwiftRunConfig Swift;     ///< Swift runs only.
+  unsigned BuThreads = 1;   ///< Bu runs only.
+  TsRunResult Result;
+};
+
+/// Which slice of the config matrix runAllConfigs covers.
+struct AllConfigsOptions {
+  bool IncludeBu = true;    ///< Pure BU can blow up; callers may skip it.
+  bool IncludeAsync = true;
+  bool IncludeManifestOff = true;
+  /// Thread counts exercised for BU and for a subset of SWIFT configs.
+  std::vector<unsigned> ThreadCounts = {1, 2, 4};
+};
+
+/// Runs the whole analysis-mode matrix on one program: TD (the ground
+/// truth of Theorem 3.1), pure BU at each thread count, and SWIFT
+/// sync/async at several (k, theta) x thread-count x manifest settings.
+/// The TD run is always first. This is the engine of the differential
+/// oracle (src/difftest) and of ad-hoc cross-checking in tools.
+std::vector<TsConfigRun> runAllConfigs(const TsContext &Ctx,
+                                       RunLimits Limits = {},
+                                       const AllConfigsOptions &Opts = {});
 
 } // namespace swift
 

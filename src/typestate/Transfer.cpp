@@ -10,6 +10,8 @@
 
 using namespace swift;
 
+std::atomic<bool> swift::test::InjectTsCallWeakUpdateBug{false};
+
 std::vector<TsAbstractState> swift::tsTransfer(const TsContext &Ctx,
                                                ProcId Proc,
                                                const Command &Cmd,
@@ -104,6 +106,8 @@ std::vector<TsAbstractState> swift::tsTransfer(const TsContext &Ctx,
     if (N.contains(Recv))
       return {S}; // Definitely a different object.
     if (Ctx.mayAlias(Proc, Cmd.Src, H)) {
+      if (test::InjectTsCallWeakUpdateBug.load(std::memory_order_relaxed))
+        return {S}; // Injected fault: drop the weak-update error.
       // Weak update: the receiver may be this object; conservatively go to
       // error (the paper's B3 case).
       return {TsAbstractState(H, Ctx.spec().errorState(), std::move(A),

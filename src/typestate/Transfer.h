@@ -32,9 +32,20 @@
 #include "typestate/AbstractState.h"
 #include "typestate/Context.h"
 
+#include <atomic>
 #include <vector>
 
 namespace swift {
+
+namespace test {
+/// Test-only fault injection for the differential-testing oracle
+/// (src/difftest): when set, tsTransfer silently skips the weak-update
+/// error transition of TsCall (the paper's B3 case), making the top-down
+/// transfer unsound while the bottom-up relation construction stays
+/// correct. swift-difftest --inject-bug flips it to prove the oracle and
+/// the reducer actually catch divergences. Never set in production code.
+extern std::atomic<bool> InjectTsCallWeakUpdateBug;
+} // namespace test
 
 /// Applies method \p M of the tracked class in state \p T; error is
 /// absorbing, foreign (undeclared) methods are the identity.

@@ -1,0 +1,246 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden tests of the swift-ir round trip (ir/Dumper.h): printing a
+/// program, parsing the text back, and printing again must reach a
+/// fixpoint, and the re-parsed program must analyze identically — same
+/// procedures, allocation sites, error sites, and main-exit states. This
+/// is what makes differential-test reproducers trustworthy: the file IS
+/// the failing program, exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "genprog/Fuzzer.h"
+#include "ir/Dumper.h"
+#include "lang/Lower.h"
+#include "typestate/Runner.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace swift;
+
+namespace {
+
+const char *PaperExample = R"(
+  typestate File {
+    start closed; error err;
+    closed -open-> opened;
+    opened -close-> closed;
+  }
+  proc main() {
+    v1 = new File; foo(v1);
+    v2 = new File; foo(v2);
+    v3 = new File; foo(v3);
+  }
+  proc foo(f) { f.open(); f.close(); }
+)";
+
+/// Renders a MainExit set in program-independent form. TsAbstractState
+/// values embed access paths ordered by symbol id, and the text parser
+/// interns symbols in a different order than the TSL lowerer, so the sets
+/// cannot be compared bitwise across programs — but their rendered
+/// (site, state, sorted-path-texts) tuples can.
+std::set<std::string> canonicalMainExit(const Program &Prog,
+                                        const std::set<TsAbstractState> &E) {
+  const SymbolTable &Syms = Prog.symbols();
+  auto PathSet = [&](const ApSet &A) {
+    std::set<std::string> Sorted;
+    for (const AccessPath &P : A.paths())
+      Sorted.insert(P.str(Syms));
+    std::string R = "{";
+    for (const std::string &T : Sorted) {
+      if (R.size() > 1)
+        R += ",";
+      R += T;
+    }
+    return R + "}";
+  };
+  std::set<std::string> Out;
+  for (const TsAbstractState &S : E) {
+    if (S.isLambda()) {
+      Out.insert("(lambda)");
+      continue;
+    }
+    Out.insert("(h" + std::to_string(S.site()) + ", t" +
+               std::to_string(S.tstate()) + ", " + PathSet(S.must()) + ", " +
+               PathSet(S.mustNot()) + ")");
+  }
+  return Out;
+}
+
+/// print -> parse -> print fixpoint, plus structural and semantic
+/// equality of the re-parsed program.
+void expectRoundTrip(const Program &Prog) {
+  std::string Text = programToText(Prog);
+  std::unique_ptr<Program> Re = parseProgramText(Text);
+  ASSERT_NE(Re, nullptr);
+  EXPECT_EQ(programToText(*Re), Text);
+
+  // Structure survives exactly: ids, node counts, entry/exit, sites.
+  ASSERT_EQ(Re->numProcs(), Prog.numProcs());
+  EXPECT_EQ(Re->numSites(), Prog.numSites());
+  EXPECT_EQ(Re->numSpecs(), Prog.numSpecs());
+  EXPECT_EQ(Re->numCommands(), Prog.numCommands());
+  EXPECT_EQ(Re->numCallCommands(), Prog.numCallCommands());
+  for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+    const Procedure &A = Prog.proc(P);
+    const Procedure &B = Re->proc(P);
+    EXPECT_EQ(Prog.symbols().text(A.name()), Re->symbols().text(B.name()));
+    EXPECT_EQ(B.numNodes(), A.numNodes());
+    EXPECT_EQ(B.entry(), A.entry());
+    EXPECT_EQ(B.exit(), A.exit());
+    EXPECT_EQ(B.params().size(), A.params().size());
+    EXPECT_EQ(B.reachableRpo(), A.reachableRpo());
+    for (NodeId N = 0; N != A.numNodes(); ++N) {
+      EXPECT_EQ(B.node(N).Cmd.Kind, A.node(N).Cmd.Kind);
+      EXPECT_EQ(B.node(N).Succs, A.node(N).Succs);
+    }
+    // isStableParam must agree: the analyses' call mapping depends on it.
+    for (size_t I = 0; I != A.params().size(); ++I)
+      EXPECT_EQ(B.isStableParam(B.params()[I]),
+                A.isStableParam(A.params()[I]));
+  }
+  for (SiteId S = 0; S != Prog.numSites(); ++S) {
+    EXPECT_EQ(Re->site(S).Proc, Prog.site(S).Proc);
+    EXPECT_EQ(Re->site(S).Node, Prog.site(S).Node);
+    EXPECT_EQ(Re->symbols().text(Re->site(S).Class),
+              Prog.symbols().text(Prog.site(S).Class));
+  }
+
+  // And the analyses cannot tell the two programs apart.
+  if (Prog.numSpecs() == 0)
+    return;
+  TsContext CtxA(Prog, Prog.spec(0).name());
+  TsContext CtxB(*Re, Re->spec(0).name());
+  TsRunResult Ta = runTypestateTd(CtxA);
+  TsRunResult Tb = runTypestateTd(CtxB);
+  ASSERT_FALSE(Ta.Timeout);
+  ASSERT_FALSE(Tb.Timeout);
+  EXPECT_EQ(Tb.ErrorSites, Ta.ErrorSites);
+  EXPECT_EQ(Tb.ErrorPoints, Ta.ErrorPoints);
+  EXPECT_EQ(Tb.TdSummaries, Ta.TdSummaries);
+  EXPECT_EQ(canonicalMainExit(*Re, Tb.MainExit),
+            canonicalMainExit(Prog, Ta.MainExit));
+}
+
+TEST(DumperRoundTripTest, PaperExample) {
+  std::unique_ptr<Program> Prog = parseProgram(PaperExample);
+  expectRoundTrip(*Prog);
+}
+
+TEST(DumperRoundTripTest, FuzzSeeds) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    FuzzConfig FC;
+    FC.Seed = Seed;
+    FC.NumProcs = 2 + Seed % 4;
+    FC.StmtsPerProc = 5 + Seed % 9;
+    FC.NumVars = 3 + Seed % 3;
+    FC.NumFields = 1 + Seed % 2;
+    FC.MaxDepth = 1 + Seed % 3;
+    std::unique_ptr<Program> Prog = generateFuzzProgram(FC);
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    expectRoundTrip(*Prog);
+  }
+}
+
+TEST(DumperRoundTripTest, DeadNodesSurvive) {
+  // `return` leaves a dangling dead node behind; it must keep its id (and
+  // thus keep all later node ids and site ids stable) across the trip.
+  const char *Src = R"(
+    typestate File {
+      start closed; error err;
+      closed -open-> opened;
+    }
+    proc main() {
+      v = new File;
+      return v;
+      v.open();
+    }
+  )";
+  std::unique_ptr<Program> Prog = parseProgram(Src);
+  std::string Text = programToText(*Prog);
+  std::unique_ptr<Program> Re = parseProgramText(Text);
+  EXPECT_EQ(Re->proc(Re->mainProc()).numNodes(),
+            Prog->proc(Prog->mainProc()).numNodes());
+  EXPECT_GT(Prog->proc(Prog->mainProc()).numNodes(),
+            Prog->proc(Prog->mainProc()).reachableRpo().size());
+  expectRoundTrip(*Prog);
+}
+
+TEST(DumperRoundTripTest, MalformedInputsThrow) {
+  const char *Good = R"(# swift-ir v1
+typestate File {
+  states closed opened err
+  init closed
+  error err
+  method open = opened err err
+}
+proc main() entry 0 exit 1 nodes 3 {
+  0: nop -> 2
+  1: nop ->
+  2: v0 = new File @0 -> 1
+}
+main main
+)";
+  // The baseline parses and round-trips.
+  std::unique_ptr<Program> P = parseProgramText(Good);
+  EXPECT_EQ(programToText(*P), Good);
+
+  auto ExpectThrows = [](const std::string &Text) {
+    EXPECT_THROW((void)parseProgramText(Text), std::runtime_error) << Text;
+  };
+  ExpectThrows("");                                   // no main
+  ExpectThrows("garbage\n");                          // unknown directive
+  std::string G(Good);
+  auto Replaced = [&](const std::string &From, const std::string &To) {
+    std::string S = G;
+    S.replace(S.find(From), From.size(), To);
+    return S;
+  };
+  ExpectThrows(Replaced("main main", "main nosuch"));   // unknown main
+  ExpectThrows(Replaced("@0", "@1"));                   // non-dense sites
+  ExpectThrows(Replaced("-> 2", "-> 7"));               // successor range
+  ExpectThrows(Replaced("nodes 3", "nodes 2"));         // node count
+  ExpectThrows(Replaced("init closed", "init ajar"));   // unknown state
+  ExpectThrows(Replaced("new File", "new Pipe"));       // unknown class
+  ExpectThrows(Replaced("0: nop", "5: nop"));           // id out of order
+  ExpectThrows(Replaced("method open = opened err err",
+                        "method open = opened err"));   // short transformer
+}
+
+TEST(DumperRoundTripTest, CallArityAndForwardReferences) {
+  const char *Src = R"(
+typestate File {
+  states closed err
+  init closed
+  error err
+}
+proc main() entry 0 exit 1 nodes 3 {
+  0: nop -> 2
+  1: nop ->
+  2: call helper(v0 v0) -> 1
+}
+proc helper(a b) entry 0 exit 1 nodes 2 {
+  0: nop -> 1
+  1: nop ->
+}
+main main
+)";
+  // Forward call (helper defined after main) resolves fine.
+  std::unique_ptr<Program> P = parseProgramText(Src);
+  EXPECT_EQ(P->numProcs(), 2u);
+  expectRoundTrip(*P);
+
+  // Wrong arity is rejected.
+  std::string Bad(Src);
+  Bad.replace(Bad.find("(v0 v0)"), 7, "(v0)");
+  EXPECT_THROW((void)parseProgramText(Bad), std::runtime_error);
+}
+
+} // namespace

@@ -143,6 +143,26 @@ TEST(StatsTest, InternedHandlesWorkAcrossInstances) {
   EXPECT_EQ(All.count("never.fired"), 0u);
 }
 
+TEST(StatsTest, DefaultHandleIsInvalidAndRealIdsStartAtOne) {
+  // Id 0 is reserved: a default-constructed handle is invalid and distinct
+  // from every interned one, so it can never silently address whichever
+  // counter happened to be interned first.
+  Stats::Counter Default;
+  EXPECT_FALSE(Default.isValid());
+  Stats::Counter C = Stats::id("handle.reserved-zero");
+  EXPECT_TRUE(C.isValid());
+  EXPECT_NE(C, Default);
+  EXPECT_EQ(Stats::Counter(), Default);
+}
+
+#if !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+TEST(StatsDeathTest, BumpingDefaultHandleAsserts) {
+  Stats S;
+  Stats::Counter Default;
+  EXPECT_DEATH(++S.counter(Default), "default-constructed Counter");
+}
+#endif
+
 TEST(HashingTest, CombineHasNoMassCollisionsPastTwentyBits) {
   // Regression for the old path-edge hash, which packed the three fields
   // with <<40 / <<20 shifts and so collided systematically once any field

@@ -1,0 +1,183 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// swift-difftest — differential-testing driver. Fuzzes programs, runs the
+/// concrete interpreter as ground truth plus the whole analysis-mode
+/// matrix (TD / pure BU / SWIFT sync and async at several (k, theta),
+/// thread counts, manifest on/off), checks soundness and the paper's
+/// coincidence guarantees, and on a mismatch delta-debugs the program to a
+/// small reproducer.
+///
+/// Exit code: 0 all seeds clean, 1 violations found, 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "difftest/Difftest.h"
+#include "support/CliParse.h"
+#include "typestate/Transfer.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+using namespace swift;
+using namespace swift::difftest;
+
+namespace {
+
+struct ToolOptions {
+  uint64_t Seeds = 50;
+  uint64_t FirstSeed = 1;
+  unsigned Schedules = 8;
+  uint64_t Steps = 2'000'000;   ///< Per-analysis-run step budget.
+  double RunSeconds = 10.0;     ///< Per-analysis-run wall budget.
+  double BudgetSeconds = 1e18;  ///< Whole-campaign wall budget.
+  std::string OutDir = "results/repros";
+  std::string ReplayPath;
+  bool InjectBug = false;
+  bool NoReduce = false;
+  bool ShowHelp = false;
+};
+
+const char *usageText() {
+  return "usage: swift-difftest [options]\n"
+         "  --seeds=N        fuzz seeds to test (default 50)\n"
+         "  --first-seed=N   first seed (default 1)\n"
+         "  --schedules=N    concrete schedules per seed (default 8)\n"
+         "  --steps=N        step budget per analysis run (default 2000000)\n"
+         "  --run-seconds=S  wall budget per analysis run (default 10)\n"
+         "  --budget=S       wall budget for the whole campaign\n"
+         "  --out-dir=DIR    reproducer directory (default results/repros;\n"
+         "                   empty disables writing)\n"
+         "  --replay=FILE    replay one swift-ir reproducer instead of\n"
+         "                   fuzzing\n"
+         "  --inject-bug     enable the test-only transfer-function fault\n"
+         "                   (proves the oracle catches divergences)\n"
+         "  --no-reduce      skip delta-debugging of violations\n"
+         "  --help           this text\n";
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view V;
+    if (cli::matchValueFlag(A, "--seeds=", V)) {
+      if (!cli::parseU64(V, O.Seeds) || O.Seeds == 0) {
+        Err = "invalid --seeds value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--first-seed=", V)) {
+      if (!cli::parseU64(V, O.FirstSeed)) {
+        Err = "invalid --first-seed value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--schedules=", V)) {
+      if (!cli::parseUnsigned(V, O.Schedules, 1, 10'000)) {
+        Err = "invalid --schedules value '" + std::string(V) +
+              "' (want an integer in [1, 10000])";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--steps=", V)) {
+      if (!cli::parseU64(V, O.Steps) || O.Steps == 0) {
+        Err = "invalid --steps value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--run-seconds=", V)) {
+      if (!cli::parseNonNegDouble(V, O.RunSeconds)) {
+        Err = "invalid --run-seconds value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--budget=", V)) {
+      if (!cli::parseNonNegDouble(V, O.BudgetSeconds)) {
+        Err = "invalid --budget value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--out-dir=", V)) {
+      O.OutDir = V;
+    } else if (cli::matchValueFlag(A, "--replay=", V)) {
+      if (V.empty()) {
+        Err = "--replay needs a file path";
+        return false;
+      }
+      O.ReplayPath = V;
+    } else if (A == "--inject-bug") {
+      O.InjectBug = true;
+    } else if (A == "--no-reduce") {
+      O.NoReduce = true;
+    } else if (A == "--help") {
+      O.ShowHelp = true;
+    } else {
+      Err = "unknown flag '" + std::string(A) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+OracleOptions oracleOptions(const ToolOptions &O) {
+  OracleOptions OO;
+  OO.Limits.MaxSteps = O.Steps;
+  OO.Limits.MaxSeconds = O.RunSeconds;
+  OO.Schedules = O.Schedules;
+  return OO;
+}
+
+int replay(const ToolOptions &O) {
+  OracleResult R;
+  try {
+    R = replayFile(O.ReplayPath, oracleOptions(O));
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-difftest: %s\n", E.what());
+    return 2;
+  }
+  std::printf("replayed %s: %u run(s), %u timed out, %zu violation(s)\n",
+              O.ReplayPath.c_str(), R.RunsDone, R.RunsTimedOut,
+              R.Violations.size());
+  for (const Violation &V : R.Violations)
+    std::printf("  [%s] %s: %s\n", checkKindName(V.Kind), V.Config.c_str(),
+                V.Detail.c_str());
+  return R.clean() ? 0 : 1;
+}
+
+int campaign(const ToolOptions &O) {
+  CampaignOptions CO;
+  CO.FirstSeed = O.FirstSeed;
+  CO.NumSeeds = O.Seeds;
+  CO.Oracle = oracleOptions(O);
+  CO.Reduce.Oracle = CO.Oracle;
+  CO.ReduceViolations = !O.NoReduce;
+  CO.OutDir = O.OutDir;
+  CO.BudgetSeconds = O.BudgetSeconds;
+
+  CampaignResult R = runCampaign(CO, std::cout);
+  std::printf("%llu seed(s) tested, %zu with violations%s\n",
+              static_cast<unsigned long long>(R.SeedsRun),
+              R.BadSeeds.size(),
+              R.StoppedOnBudget ? " (stopped on --budget)" : "");
+  return R.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions O;
+  std::string Err;
+  if (!parseArgs(Argc, Argv, O, Err)) {
+    std::fprintf(stderr, "swift-difftest: %s\n%s", Err.c_str(),
+                 usageText());
+    return 2;
+  }
+  if (O.ShowHelp) {
+    std::fputs(usageText(), stdout);
+    return 0;
+  }
+  if (O.InjectBug)
+    test::InjectTsCallWeakUpdateBug.store(true);
+
+  return O.ReplayPath.empty() ? campaign(O) : replay(O);
+}
