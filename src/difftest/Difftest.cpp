@@ -78,6 +78,8 @@ CampaignResult swift::difftest::runCampaign(const CampaignOptions &Opts,
     OO.InterpSeed = Seed * 1013 + 1; // decorrelate from the fuzz seed
     OracleResult OR = runOracle(*Prog, OO);
     ++Res.SeedsRun;
+    if (OR.ReferenceTimedOut)
+      ++Res.ExhaustedSeeds;
     if (OR.clean())
       continue;
 

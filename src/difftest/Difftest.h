@@ -55,6 +55,11 @@ struct CampaignResult {
   uint64_t SeedsRun = 0;
   std::vector<SeedReport> BadSeeds;
   bool StoppedOnBudget = false;
+  /// Seeds whose TD reference run exhausted its budget: their reference-
+  /// dependent checks were skipped (not failed). A campaign with such
+  /// seeds and no violations is clean but resource-limited; tools report
+  /// it with a distinct exit code.
+  uint64_t ExhaustedSeeds = 0;
   bool clean() const { return BadSeeds.empty(); }
 };
 

@@ -7,6 +7,8 @@
 #include "difftest/Oracle.h"
 
 #include "concrete/Interpreter.h"
+#include "framework/Tabulation.h"
+#include "govern/Checkpoint.h"
 #include "typestate/Context.h"
 
 #include <algorithm>
@@ -31,6 +33,10 @@ const char *swift::difftest::checkKindName(CheckKind K) {
     return "manifest-off";
   case CheckKind::ThreadDeterminism:
     return "thread-determinism";
+  case CheckKind::PartialSoundness:
+    return "partial-soundness";
+  case CheckKind::CheckpointResume:
+    return "checkpoint-resume";
   }
   return "?";
 }
@@ -104,6 +110,9 @@ private:
   void checkSoundness(const TsConfigRun &R);
   void checkAgainstTd(const TsConfigRun &R, const TsRunResult &Td);
   void checkThreadDeterminism(const std::vector<TsConfigRun> &Runs);
+  void checkPartialSoundness(const TsContext &Ctx, const TsRunResult &Td);
+  void checkCheckpointResume(const TsContext &Ctx, Symbol Tracked,
+                             const TsRunResult &Td);
 
   const Program &Prog;
   const OracleOptions &Opts;
@@ -220,6 +229,163 @@ void OracleRun::checkThreadDeterminism(const std::vector<TsConfigRun> &Runs) {
   }
 }
 
+/// Budget-limited governed runs at fractions of the reference run's step
+/// count must return sound subsets: partial error sites are TD error
+/// sites, partial verdicts never claim Proved for an unresolved tracked
+/// site, and a governed run that happens to complete coincides with TD.
+void OracleRun::checkPartialSoundness(const TsContext &Ctx,
+                                      const TsRunResult &Td) {
+  struct Probe {
+    const char *Name;
+    SwiftRunConfig Config;
+    uint64_t MaxSteps;
+  };
+  uint64_t Quarter = std::max<uint64_t>(20, Td.Steps / 4);
+  uint64_t Half = std::max<uint64_t>(20, Td.Steps / 2);
+  SwiftRunConfig TdCfg;
+  TdCfg.K = NoBuTrigger;
+  TdCfg.Theta = 1;
+  SwiftRunConfig HybridCfg;
+  HybridCfg.K = 1;
+  HybridCfg.Theta = 1;
+  const Probe Probes[] = {
+      {"governed-td/quarter", TdCfg, Quarter},
+      {"governed-td/half", TdCfg, Half},
+      {"governed-swift/half", HybridCfg, Half},
+  };
+
+  for (const Probe &P : Probes) {
+    GovernedRunOptions GO;
+    GO.Config = P.Config;
+    GO.Limits.MaxSteps = P.MaxSteps;
+    TsGovernedResult G = runTypestateGoverned(Ctx, GO);
+
+    // Partial or complete, reported error sites must be TD error sites.
+    std::vector<SiteId> Extra = setMinus(G.Run.ErrorSites, Td.ErrorSites);
+    if (!Extra.empty()) {
+      std::ostringstream OS;
+      OS << "partial run reports error sites td does not:";
+      for (SiteId S : Extra)
+        OS << " @" << S;
+      addViolation(CheckKind::PartialSoundness, P.Name, OS.str());
+    }
+
+    for (uint32_t S = 0; S != G.Verdicts.size(); ++S) {
+      TsVerdict V = G.Verdicts[S];
+      if (V == TsVerdict::ErrorReported && !Td.ErrorSites.count(S))
+        addViolation(CheckKind::PartialSoundness, P.Name,
+                     "verdict for @" + std::to_string(S) +
+                         " is error but td never reports it");
+      if (V == TsVerdict::Proved && G.Partial && Ctx.isTrackedSite(S))
+        addViolation(CheckKind::PartialSoundness, P.Name,
+                     "partial run claims Proved for tracked site @" +
+                         std::to_string(S));
+      if (V == TsVerdict::Proved && !G.Partial && Td.ErrorSites.count(S))
+        addViolation(CheckKind::PartialSoundness, P.Name,
+                     "complete governed run claims Proved for @" +
+                         std::to_string(S) + " but td reports it");
+    }
+
+    if (!G.Partial) {
+      // A completed governed run is an ordinary run; full coincidence.
+      if (G.Run.ErrorSites != Td.ErrorSites)
+        addViolation(CheckKind::PartialSoundness, P.Name,
+                     "complete governed run's error sites " +
+                         siteSetStr(G.Run.ErrorSites) + " != td " +
+                         siteSetStr(Td.ErrorSites));
+      if (G.Run.MainExit != Td.MainExit)
+        addViolation(CheckKind::PartialSoundness, P.Name,
+                     "complete governed run's main-exit states " +
+                         mainExitStr(Prog, G.Run.MainExit) + " != td " +
+                         mainExitStr(Prog, Td.MainExit));
+    }
+  }
+}
+
+/// Exhaust a governed TD run at half the reference step count, serialize
+/// the checkpoint, parse it back, resume with an unlimited budget, and
+/// demand bit-identity with the uninterrupted reference in every result
+/// field.
+void OracleRun::checkCheckpointResume(const TsContext &Ctx, Symbol Tracked,
+                                      const TsRunResult &Td) {
+  const char *Name = "checkpoint-resume/td-half";
+  SwiftRunConfig TdCfg;
+  TdCfg.K = NoBuTrigger;
+  TdCfg.Theta = 1;
+
+  TsTabSnapshot Snap;
+  GovernedRunOptions GO;
+  GO.Config = TdCfg;
+  GO.Limits.MaxSteps = std::max<uint64_t>(20, Td.Steps / 2);
+  GO.CheckpointOut = &Snap;
+  TsGovernedResult G = runTypestateGoverned(Ctx, GO);
+
+  if (!G.Partial) {
+    // Tiny program: nothing was checkpointed, the run just completed —
+    // the coincidence half of the contract still applies.
+    if (G.Run.ErrorSites != Td.ErrorSites || G.Run.MainExit != Td.MainExit)
+      addViolation(CheckKind::CheckpointResume, Name,
+                   "governed run completed under the limited budget but "
+                   "does not coincide with td");
+    return;
+  }
+
+  // Serialize, parse, and resume on the *parsed* program — the round trip
+  // itself is under test.
+  TsCheckpoint C;
+  C.Config = TdCfg;
+  C.TrackedClass = Prog.symbols().text(Tracked);
+  C.StepsConsumed = Snap.StepsConsumed;
+  C.Snapshot = std::move(Snap);
+
+  ParsedCheckpoint PC;
+  try {
+    PC = parseCheckpointText(checkpointToText(Prog, C));
+  } catch (const std::exception &E) {
+    addViolation(CheckKind::CheckpointResume, Name,
+                 std::string("checkpoint text round trip failed: ") +
+                     E.what());
+    return;
+  }
+
+  TsContext ResumedCtx(*PC.Prog, PC.Prog->symbols().intern(
+                                     PC.Checkpoint.TrackedClass));
+  GovernedRunOptions RO;
+  RO.Config = PC.Checkpoint.Config;
+  RO.ResumeFrom = &PC.Checkpoint.Snapshot;
+  TsGovernedResult R = runTypestateGoverned(ResumedCtx, RO);
+
+  if (R.Partial) {
+    addViolation(CheckKind::CheckpointResume, Name,
+                 "resumed run with unlimited budget did not complete");
+    return;
+  }
+  auto Mismatch = [&](const char *What, const std::string &Detail) {
+    addViolation(CheckKind::CheckpointResume, Name,
+                 std::string(What) + " of resumed run differs from the "
+                                     "uninterrupted run: " +
+                     Detail);
+  };
+  if (R.Run.ErrorSites != Td.ErrorSites)
+    Mismatch("error sites", siteSetStr(R.Run.ErrorSites) + " != " +
+                                siteSetStr(Td.ErrorSites));
+  if (R.Run.ErrorPoints != Td.ErrorPoints)
+    Mismatch("error points", "set contents differ");
+  if (R.Run.MainExit != Td.MainExit)
+    Mismatch("main-exit states", mainExitStr(Prog, R.Run.MainExit) +
+                                     " != " + mainExitStr(Prog, Td.MainExit));
+  if (R.Run.TdSummaries != Td.TdSummaries)
+    Mismatch("td-summary count",
+             std::to_string(R.Run.TdSummaries) + " != " +
+                 std::to_string(Td.TdSummaries));
+  if (R.Run.TdSummariesPerProc != Td.TdSummariesPerProc)
+    Mismatch("per-procedure td-summary counts", "vectors differ");
+  if (R.Run.BuRelations != Td.BuRelations)
+    Mismatch("bu-relation count",
+             std::to_string(R.Run.BuRelations) + " != " +
+                 std::to_string(Td.BuRelations));
+}
+
 OracleResult OracleRun::run() {
   if (Prog.numSpecs() == 0)
     throw std::runtime_error("difftest oracle: program has no typestate spec");
@@ -262,6 +428,10 @@ OracleResult OracleRun::run() {
 
   const TsConfigRun &Td = Runs.front();
   bool TdOk = !Td.Result.Timeout;
+  // A timed-out reference is a resource fact, not a bug: reference-
+  // dependent checks are skipped, and the flag lets tools exit with the
+  // distinct resource-exhausted code instead of silently passing.
+  Res.ReferenceTimedOut = !TdOk;
 
   for (const TsConfigRun &R : Runs) {
     if (R.Result.Timeout)
@@ -274,6 +444,11 @@ OracleResult OracleRun::run() {
       checkAgainstTd(R, Td.Result);
   }
   checkThreadDeterminism(Runs);
+
+  if (TdOk && Opts.CheckPartial)
+    checkPartialSoundness(Ctx, Td.Result);
+  if (TdOk && Opts.CheckCheckpoint)
+    checkCheckpointResume(Ctx, Tracked, Td.Result);
 
   return std::move(Res);
 }

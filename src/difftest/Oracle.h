@@ -46,6 +46,16 @@ enum class CheckKind {
   BuAgreement,
   ManifestOff,
   ThreadDeterminism,
+  /// Budget-limited governed runs return a sound subset: partial error
+  /// sites are TD error sites, partial verdicts never claim Proved for a
+  /// tracked-but-unresolved site, and a governed run that completes
+  /// coincides with TD exactly.
+  PartialSoundness,
+  /// A run checkpointed at budget exhaustion and resumed (through a full
+  /// checkpoint-text round trip) with an unlimited budget is bit-identical
+  /// to the uninterrupted run — summaries, relations, error sites, error
+  /// points, and main-exit states.
+  CheckpointResume,
 };
 
 const char *checkKindName(CheckKind K);
@@ -69,6 +79,11 @@ struct OracleOptions {
   /// Typestate class under verification; empty selects the program's
   /// first spec (fuzz programs declare exactly one, "File").
   std::string TrackedClass;
+  /// Run the governed partial-soundness checks (budget-limited runs at
+  /// fractions of the reference run's step count).
+  bool CheckPartial = true;
+  /// Run the checkpoint/resume bit-identity check.
+  bool CheckCheckpoint = true;
 };
 
 struct OracleResult {
@@ -76,6 +91,11 @@ struct OracleResult {
   std::set<SiteId> ConcreteErrors;
   unsigned RunsDone = 0;
   unsigned RunsTimedOut = 0;
+  /// The TD reference run itself exhausted its budget: the checks needing
+  /// a completed reference (coincidence, partial-soundness,
+  /// checkpoint-resume) were skipped, not failed. Tools report such runs
+  /// with a distinct resource-exhausted exit code.
+  bool ReferenceTimedOut = false;
   bool clean() const { return Violations.empty(); }
 };
 

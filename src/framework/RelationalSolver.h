@@ -40,8 +40,10 @@
 #ifndef SWIFT_FRAMEWORK_RELATIONALSOLVER_H
 #define SWIFT_FRAMEWORK_RELATIONALSOLVER_H
 
+#include "govern/Governor.h"
 #include "ir/CallGraph.h"
 #include "ir/Program.h"
+#include "support/Cancellation.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -111,14 +113,20 @@ public:
   using FreqProvider = std::function<
       const std::unordered_map<State, uint64_t> *(ProcId)>;
 
+  /// \p Gov, when given, supplies the cooperative CancelToken (a
+  /// cancelled run aborts between node visits, exactly like a budget
+  /// exhaustion) and receives memory charges for in-flight relation
+  /// stores. The governor's Budget should be \p B.
   RelationalSolver(const Context &Ctx, const Program &Prog,
                    const CallGraph &CG, uint64_t Theta, FreqProvider Freq,
                    Budget &B, Stats &S,
                    uint64_t MaxRelsPerPoint = DefaultMaxRelsPerPoint,
-                   bool CollectObservations = true, unsigned NumThreads = 1)
+                   bool CollectObservations = true, unsigned NumThreads = 1,
+                   ResourceGovernor *Gov = nullptr)
       : Ctx(Ctx), Prog(Prog), CG(CG), Theta(Theta), Freq(std::move(Freq)),
         Bud(B), Stat(S), MaxRels(MaxRelsPerPoint),
-        CollectObs(CollectObservations), Threads(NumThreads) {
+        CollectObs(CollectObservations), Threads(NumThreads), Gov(Gov),
+        Cancel(Gov ? &Gov->cancelToken() : nullptr) {
     Summaries.resize(Prog.numProcs());
     HasSummary.assign(Prog.numProcs(), 0);
     Bindings.resize(Prog.numProcs());
@@ -133,7 +141,7 @@ public:
       for (const std::vector<ProcId> &G : Groups)
         if (!solveScc(G, Stat))
           return false;
-      return true;
+      return !cancelled();
     }
     return runWavefront(Groups);
   }
@@ -173,6 +181,41 @@ private:
     bool HasLambda = false; ///< Does the Lambda identity reach this node?
   };
 
+  bool cancelled() const { return Cancel && Cancel->requested(); }
+
+  /// Per-relation footprint for the governor's memory estimate; analyses
+  /// with out-of-line storage provide AN::relBytes, others fall back to
+  /// the object size.
+  static uint64_t approxRelBytes(const Rel &R) {
+    if constexpr (requires { AN::relBytes(R); })
+      return AN::relBytes(R);
+    else
+      return sizeof(Rel);
+  }
+
+  /// RAII memory accounting for one analyzeProc invocation's in-flight
+  /// relation stores: charges accumulate as node values grow and are
+  /// released wholesale when the pass ends (its per-node vectors die with
+  /// the frame; only the final Summary — charged by the tabulation solver
+  /// on install — outlives it).
+  struct GovCharge {
+    ResourceGovernor *Gov;
+    uint64_t Bytes = 0;
+    explicit GovCharge(ResourceGovernor *G) : Gov(G) {}
+    GovCharge(const GovCharge &) = delete;
+    GovCharge &operator=(const GovCharge &) = delete;
+    void add(uint64_t B) {
+      if (!Gov)
+        return;
+      Gov->charge(B);
+      Bytes += B;
+    }
+    ~GovCharge() {
+      if (Gov)
+        Gov->release(Bytes);
+    }
+  };
+
   static bool equal(const Summary &A, const Summary &B) {
     return A.Rels == B.Rels && A.Sigma == B.Sigma &&
            A.LambdaExit == B.LambdaExit && A.ObsRels == B.ObsRels &&
@@ -209,6 +252,8 @@ private:
     bool Changed = true;
     uint64_t Iters = 0;
     while (Changed) {
+      if (cancelled())
+        return false;
       Changed = false;
       ++S.counter(CtrSccIterations);
       if (++Iters > MaxSccIterations) {
@@ -265,14 +310,26 @@ private:
       PendingDeps[I] = CalleeGroups.size();
     }
 
-    ThreadPool Pool(Threads);
+    // The pool observes the governor's CancelToken: tasks dequeued after
+    // cancellation are dropped unexecuted. Dropped RunGroup bodies never
+    // submit their dependents, so the cascade below keeps the Pending
+    // count honest and wait() still returns; the cancel check in the
+    // return value (not Failed alone) is what keeps the result honest —
+    // a drained-but-cancelled wavefront has incomplete summaries.
+    ThreadPool Pool(Threads, Cancel);
     std::mutex M;
+    // Relaxed suffices for Failed: it makes a single false -> true
+    // transition, the loads are only an early-out hint, and the
+    // authoritative final load below is ordered after every worker's
+    // store by Pool.wait()'s mutex (task completion happens-before
+    // wait() returning). No data is published through Failed itself —
+    // summary visibility comes from the scheduler mutex M.
     std::atomic<bool> Failed{false};
 
     // On failure (budget / relation cap) the cascade still runs so every
     // group is accounted for; the work itself is skipped.
     std::function<void(size_t)> RunGroup = [&](size_t I) {
-      if (!Failed.load(std::memory_order_relaxed)) {
+      if (!Failed.load(std::memory_order_relaxed) && !cancelled()) {
         Stats Local;
         if (!solveScc(Groups[I], Local))
           Failed.store(true, std::memory_order_relaxed);
@@ -303,7 +360,7 @@ private:
     // after the last RunGroup invocation has fully returned; nothing
     // touches RunGroup, the pool, or this frame afterwards.
     Pool.wait();
-    return !Failed.load(std::memory_order_relaxed);
+    return !Failed.load(std::memory_order_relaxed) && !cancelled();
   }
 
   /// Sorts, dedupes, drops relations covered by Sigma (excl), and applies
@@ -385,6 +442,7 @@ private:
     const Procedure &Proc = Prog.proc(P);
     std::vector<NodeVal> Vals(Proc.numNodes());
     std::vector<bool> InList(Proc.numNodes(), false);
+    GovCharge Charge(Gov);
 
     // RPO position for worklist ordering.
     std::vector<uint32_t> RpoPos(Proc.numNodes(), UINT32_MAX);
@@ -400,8 +458,11 @@ private:
     InList[Proc.entry()] = true;
 
     while (!Work.empty()) {
+      if (cancelled())
+        return false;
       if (!Bud.step())
         return false;
+      ++S.counter(CtrBuSteps);
       // Pop the node earliest in RPO for fast convergence.
       size_t Best = 0;
       for (size_t I = 1; I != Work.size(); ++I)
@@ -415,9 +476,11 @@ private:
 
       // Charge the budget per input relation so huge relation sets at one
       // point cannot stall the wall-clock poll.
-      for (size_t I = 0; I != Vals[N].Rels.size(); ++I)
+      for (size_t I = 0; I != Vals[N].Rels.size(); ++I) {
         if (!Bud.step())
           return false;
+        ++S.counter(CtrBuSteps);
+      }
 
       const CfgNode &Node = Proc.node(N);
       NodeVal OutVal;
@@ -529,6 +592,7 @@ private:
                                      Vals[Succ].Rels.end(), R);
           if (It == Vals[Succ].Rels.end() || !(*It == R)) {
             Vals[Succ].Rels.insert(It, R);
+            Charge.add(approxRelBytes(R));
             Grew = true;
           }
         }
@@ -575,6 +639,8 @@ private:
   uint64_t MaxRels;
   bool CollectObs;
   unsigned Threads;
+  ResourceGovernor *Gov;      ///< Optional; see constructor.
+  const CancelToken *Cancel;  ///< From Gov; null when ungoverned.
   std::vector<Summary> Summaries;
   /// Byte-sized (not vector<bool>) so concurrent SCC groups writing
   /// distinct procedures never touch the same object.
@@ -590,6 +656,9 @@ private:
   Stats::Counter CtrNodeVisits = Stats::id("bu.node_visits");
   Stats::Counter CtrRelCapHits = Stats::id("bu.rel_cap_hits");
   Stats::Counter CtrPrunedRelations = Stats::id("bu.pruned_relations");
+  /// Budget steps this bottom-up run consumed; the tabulation solver
+  /// re-attributes it to budget.sync_bu_steps / budget.async_bu_steps.
+  Stats::Counter CtrBuSteps = Stats::id("bu.steps");
 };
 
 } // namespace swift

@@ -28,18 +28,38 @@
 /// Each bottom-up solve itself parallelizes over the call-graph SCC DAG
 /// with Config::BuThreads workers (see RelationalSolver).
 ///
+/// Resource governance (Config::Gov): an attached ResourceGovernor turns
+/// the binary run/abort model into staged degradation. The top-down loop
+/// polls the governor between worklist pops and charges it for every
+/// interned state and path edge; under Yellow pressure newly triggered
+/// synchronous bottom-up runs halve theta and no new asynchronous jobs
+/// are minted, under Red no bottom-up runs start, installed summary
+/// caches are shed, and in-flight asynchronous jobs are cancelled through
+/// the governor's CancelToken. All of it is sound: serving is always
+/// guarded by Sigma, and the top-down route is always available
+/// (Theorem 3.1). Budget consumption is attributed per phase in Stats
+/// (budget.td_steps / budget.sync_bu_steps / budget.async_bu_steps) so a
+/// timeout report says where the budget went.
+///
+/// snapshot()/restore() capture and re-seed the solver's mutable state
+/// for checkpoint/resume of budget-limited runs; see TabSnapshot.h for
+/// the exactness guarantees.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWIFT_FRAMEWORK_TABULATION_H
 #define SWIFT_FRAMEWORK_TABULATION_H
 
 #include "framework/RelationalSolver.h"
+#include "framework/TabSnapshot.h"
+#include "govern/Governor.h"
 #include "ir/CallGraph.h"
 #include "ir/Program.h"
 #include "support/Hashing.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -65,6 +85,7 @@ public:
   using Binding = typename AN::Binding;
   using SummaryView = typename AN::SummaryView;
   using BuSummary = typename RelationalSolver<AN>::Summary;
+  using Snapshot = TabSnapshot<State>;
 
   struct Config {
     uint64_t K = NoBuTrigger; ///< Trigger threshold; NoBuTrigger = pure TD.
@@ -89,6 +110,10 @@ public:
     /// skipped (they would duplicate its work); disjoint frontiers
     /// proceed in parallel up to this bound.
     unsigned MaxAsyncJobs = 2;
+    /// Optional resource governor (see file comment). Must outlive the
+    /// solver; its Budget should be the one passed to the constructor so
+    /// pressure fractions describe the budget actually being consumed.
+    ResourceGovernor *Gov = nullptr;
   };
 
   TabulationSolver(const Context &Ctx, const Program &Prog,
@@ -104,7 +129,10 @@ public:
   }
 
   /// Runs to fixpoint from the root procedure's Lambda fact. Returns false
-  /// if the budget was exhausted (results are then partial).
+  /// if the budget was exhausted (results are then partial). Partial
+  /// facts are sound: tabulation only accumulates, so every path edge,
+  /// summary, and observation present at exhaustion is present in the
+  /// full fixpoint too.
   bool run() {
     ProcId Main = Prog.mainProc();
     EverCalled[Main] = true;
@@ -118,6 +146,9 @@ public:
         joinAsync();
         return false;
       }
+      ++Stat.counter(CtrTdSteps);
+      if (Cfg.Gov)
+        governPoll();
       auto [P, E] = Work.back();
       Work.pop_back();
       process(P, E);
@@ -130,6 +161,104 @@ public:
     }
     joinAsync();
     return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Checkpoint / resume
+  //===--------------------------------------------------------------------===
+
+  /// Captures the solver's mutable state. Callable once run() has
+  /// returned (asynchronous jobs are then joined); bottom-up caches are
+  /// intentionally dropped (see TabSnapshot.h).
+  Snapshot snapshot() const {
+    assert(AsyncJobs.empty() && "join asynchronous jobs before snapshot");
+    Snapshot S;
+    S.States = States;
+
+    for (ProcId P = 0; P != Prog.numProcs(); ++P)
+      for (const Edge &E : Edges[P].Set)
+        S.Edges.push_back({P, E.Node, E.Entry, E.Cur});
+    std::sort(S.Edges.begin(), S.Edges.end());
+
+    S.Work.reserve(Work.size());
+    for (const auto &[P, E] : Work)
+      S.Work.push_back({P, E.Node, E.Entry, E.Cur});
+
+    for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+      std::vector<typename Snapshot::SummaryRow> Rows;
+      for (const auto &[Entry, Exits] : Summaries[P])
+        Rows.push_back({P, Entry, Exits});
+      std::sort(Rows.begin(), Rows.end(),
+                [](const auto &A, const auto &B) {
+                  return A.Entry < B.Entry;
+                });
+      for (auto &R : Rows)
+        S.Summaries.push_back(std::move(R));
+    }
+
+    // Rows with the same (callee, entry) key keep their registration
+    // order — recordSummary resumes waiting callers in that order.
+    for (ProcId G = 0; G != Prog.numProcs(); ++G) {
+      std::vector<uint32_t> Keys;
+      for (const auto &[Entry, Callers] : Dependents[G]) {
+        (void)Callers;
+        Keys.push_back(Entry);
+      }
+      std::sort(Keys.begin(), Keys.end());
+      for (uint32_t Entry : Keys)
+        for (const Caller &C : Dependents[G].at(Entry))
+          S.Dependents.push_back({G, Entry, C.P, C.Node, C.Entry, C.Frame});
+    }
+
+    for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+      std::vector<typename Snapshot::IncomingRow> Rows;
+      for (const auto &[Entry, Count] : Incoming[P])
+        Rows.push_back({P, Entry, Count});
+      std::sort(Rows.begin(), Rows.end(),
+                [](const auto &A, const auto &B) {
+                  return A.Entry < B.Entry;
+                });
+      for (auto &R : Rows)
+        S.Incoming.push_back(std::move(R));
+    }
+
+    S.EverCalled.reserve(EverCalled.size());
+    for (bool B : EverCalled)
+      S.EverCalled.push_back(B ? 1 : 0);
+
+    for (const auto &[P, N, StId] : Observed)
+      S.Observed.push_back({P, N, StId});
+    return S;
+  }
+
+  /// Re-seeds a *fresh* solver (same program, same analysis) from \p S.
+  /// Call before run(); run() then continues exactly where the
+  /// checkpointed run stopped (its initial Lambda propagation dedups
+  /// against the restored path-edge table).
+  void restore(const Snapshot &S) {
+    assert(States.empty() && Work.empty() && "restore into a fresh solver");
+    States = S.States;
+    StateIds.clear();
+    for (uint32_t I = 0; I != States.size(); ++I)
+      StateIds.emplace(States[I], I);
+    for (const auto &E : S.Edges) {
+      assert(E.Proc < Edges.size());
+      Edges[E.Proc].Set.insert(Edge{E.Node, E.Entry, E.Cur});
+    }
+    for (const auto &W : S.Work)
+      Work.push_back({W.Proc, Edge{W.Node, W.Entry, W.Cur}});
+    for (const auto &Row : S.Summaries)
+      Summaries[Row.Proc][Row.Entry] = Row.Exits;
+    for (const auto &D : S.Dependents)
+      Dependents[D.Callee][D.Entry].push_back(
+          Caller{D.CallerProc, D.CallNode, D.CallerEntry, D.Frame});
+    for (const auto &I : S.Incoming)
+      Incoming[I.Proc][I.Entry] = I.Count;
+    for (size_t P = 0; P != EverCalled.size() && P != S.EverCalled.size();
+         ++P)
+      EverCalled[P] = S.EverCalled[P] != 0;
+    for (const auto &O : S.Observed)
+      Observed.insert({O.Proc, O.Node, O.StateId});
   }
 
   //===--------------------------------------------------------------------===
@@ -223,6 +352,16 @@ private:
     uint32_t Frame; ///< Caller's state at the call site.
   };
 
+  /// Per-state footprint for the governor's memory estimate; analyses
+  /// with out-of-line storage provide AN::stateBytes, others fall back to
+  /// the object size.
+  static uint64_t approxStateBytes(const State &S) {
+    if constexpr (requires { AN::stateBytes(S); })
+      return AN::stateBytes(S);
+    else
+      return sizeof(State);
+  }
+
   uint32_t intern(const State &S) {
     auto It = StateIds.find(S);
     if (It != StateIds.end())
@@ -230,6 +369,8 @@ private:
     uint32_t Id = static_cast<uint32_t>(States.size());
     States.push_back(S);
     StateIds.emplace(States.back(), Id);
+    if (Cfg.Gov)
+      Cfg.Gov->charge(approxStateBytes(S) + 4 * sizeof(void *));
     return Id;
   }
 
@@ -238,6 +379,9 @@ private:
     if (!Edges[P].Set.insert(E).second)
       return;
     ++Stat.counter(CtrPathEdges);
+    // Hash-set node plus the worklist entry, roughly.
+    if (Cfg.Gov)
+      Cfg.Gov->charge(3 * sizeof(Edge));
     Work.push_back({P, E});
   }
 
@@ -375,6 +519,25 @@ private:
     }
   }
 
+  /// Governed degradation, checked between worklist pops. Shedding runs
+  /// once: installed bottom-up caches are dropped (callers fall back to
+  /// the always-sound top-down route) and their memory charge released.
+  /// In-flight asynchronous jobs observe the governor's CancelToken —
+  /// requested when Red latched — and abort without installing.
+  void governPoll() {
+    Pressure L = Cfg.Gov->poll();
+    if (L == Pressure::Red && !GovShedDone) {
+      GovShedDone = true;
+      for (auto &B : Bu)
+        if (B) {
+          B.reset();
+          ++Stat.counter(CtrGovShedSummaries);
+        }
+      Cfg.Gov->release(GovBuBytes);
+      GovBuBytes = 0;
+    }
+  }
+
   /// Runs the pruned bottom-up analysis on every procedure reachable from
   /// \p G (Algorithm 1's run_bu), unless some reachable procedure has not
   /// been seen by the top-down analysis yet (the paper's postponement for
@@ -383,6 +546,24 @@ private:
   /// going; runs with disjoint frontiers may overlap, all drawing from
   /// the one shared budget.
   void tryRunBu(ProcId G) {
+    // Degradation ladder: Red mints no bottom-up summaries at all;
+    // Yellow stops minting *asynchronous* (speculative) ones and, below,
+    // halves theta for synchronous runs.
+    uint64_t EffTheta = Cfg.Theta;
+    if (Cfg.Gov) {
+      Pressure L = Cfg.Gov->level();
+      if (pressureAtLeast(L, Pressure::Red) ||
+          (Cfg.AsyncBu && pressureAtLeast(L, Pressure::Yellow))) {
+        ++Stat.counter(CtrGovBuSuppressed);
+        return;
+      }
+      if (pressureAtLeast(L, Pressure::Yellow) && Cfg.Theta != NoPruning &&
+          Cfg.Theta > 1) {
+        EffTheta = std::max<uint64_t>(1, Cfg.Theta / 2);
+        ++Stat.counter(CtrGovThetaShrunk);
+      }
+    }
+
     if (Cfg.AsyncBu)
       pollAsync(); // Reap finished jobs first — frees slots.
 
@@ -420,15 +601,21 @@ private:
 
     if (!Cfg.AsyncBu) {
       Timer BuTimer;
+      // Local stats: the run's bu.steps are re-attributed to the
+      // synchronous-phase budget counter before merging.
+      Stats BuStats;
       RelationalSolver<AN> Solver(
-          Ctx, Prog, CG, Cfg.Theta,
-          [Freq](ProcId Q) { return &(*Freq)[Q]; }, Bud, Stat,
-          DefaultMaxRelsPerPoint, Cfg.ObservationManifest, Cfg.BuThreads);
+          Ctx, Prog, CG, EffTheta,
+          [Freq](ProcId Q) { return &(*Freq)[Q]; }, Bud, BuStats,
+          DefaultMaxRelsPerPoint, Cfg.ObservationManifest, Cfg.BuThreads,
+          Cfg.Gov);
       bool Ok = Solver.run(F);
-      Stat.counter(CtrBuTimeUs) +=
+      BuStats.counter(CtrBuTimeUs) +=
           static_cast<uint64_t>(BuTimer.seconds() * 1e6);
+      Stat.counter(CtrSyncBuSteps) += BuStats.get("bu.steps");
+      Stat.merge(BuStats);
       if (!Ok)
-        return; // Budget exhausted; leave summaries uninstalled.
+        return; // Budget exhausted or cancelled; leave uninstalled.
       for (ProcId Q : F)
         install(Q, Solver.summary(Q));
       ++Stat.counter(CtrBuTriggers);
@@ -448,22 +635,26 @@ private:
     const Program *ProgPtr = &Prog;
     const CallGraph *CGPtr = &CG;
     Budget *BudPtr = &Bud;
-    uint64_t Theta = Cfg.Theta;
+    uint64_t Theta = EffTheta;
     bool Manifest = Cfg.ObservationManifest;
     unsigned BuThreads = Cfg.BuThreads;
+    ResourceGovernor *Gov = Cfg.Gov;
     J->Worker = std::thread([J, Freq, CtxPtr, ProgPtr, CGPtr, BudPtr,
-                             Theta, Manifest, BuThreads]() {
+                             Theta, Manifest, BuThreads, Gov]() {
       Timer BuTimer;
       RelationalSolver<AN> Solver(
           *CtxPtr, *ProgPtr, *CGPtr, Theta,
           [Freq](ProcId Q) { return &(*Freq)[Q]; }, *BudPtr,
-          J->WorkerStats, DefaultMaxRelsPerPoint, Manifest, BuThreads);
+          J->WorkerStats, DefaultMaxRelsPerPoint, Manifest, BuThreads,
+          Gov);
       J->Ok = Solver.run(J->F);
       if (J->Ok)
         for (ProcId Q : J->F)
           J->Results.push_back(Solver.summary(Q));
       J->WorkerStats.counter("swift.bu_time_us") +=
           static_cast<uint64_t>(BuTimer.seconds() * 1e6);
+      // Release ordering: publishes Ok/Results/WorkerStats to the
+      // acquire load in pollAsync (see AsyncJob::Done below).
       J->Done.store(true, std::memory_order_release);
     });
     AsyncJobs.push_back(std::move(Job));
@@ -473,6 +664,13 @@ private:
     Bu[Q] = std::move(Summary);
     Stat.counter(CtrBuSummaryRels) += Bu[Q]->Rels.size();
     Stat.counter(CtrBuSummarySigma) += Bu[Q]->SigmaAll.size();
+    if (Cfg.Gov) {
+      uint64_t Bytes =
+          (Bu[Q]->Rels.size() + Bu[Q]->ObsRels.size() + 1) *
+          (sizeof(Rel) + 16);
+      Cfg.Gov->charge(Bytes);
+      GovBuBytes += Bytes;
+    }
   }
 
   /// Installs finished asynchronous runs' summaries and merges their
@@ -496,6 +694,7 @@ private:
         install(Job.F[K], std::move(Job.Results[K]));
       ++Stat.counter(CtrBuTriggers);
     }
+    Stat.counter(CtrAsyncBuSteps) += Job.WorkerStats.get("bu.steps");
     Stat.merge(Job.WorkerStats);
     AsyncJobs.erase(AsyncJobs.begin() + I);
   }
@@ -525,9 +724,16 @@ private:
   std::vector<std::optional<BuSummary>> Bu;
   std::unordered_map<uint64_t, Binding> Bindings;
   std::set<std::tuple<ProcId, NodeId, uint32_t>> Observed;
+  bool GovShedDone = false;   ///< Red-pressure cache shed ran.
+  uint64_t GovBuBytes = 0;    ///< Memory charged for installed summaries.
 
   struct AsyncJob {
     std::thread Worker;
+    /// Done's release store in the worker pairs with the acquire load in
+    /// pollAsync: observing Done == true guarantees Ok, Results, and
+    /// WorkerStats are fully written. finishJob additionally join()s,
+    /// which synchronizes-with thread exit — so the blocking path needs
+    /// no ordering from Done at all.
     std::atomic<bool> Done{false};
     bool Ok = false;
     std::vector<ProcId> F;
@@ -550,6 +756,13 @@ private:
   Stats::Counter CtrBuTimeUs = Stats::id("swift.bu_time_us");
   Stats::Counter CtrBuSummaryRels = Stats::id("swift.bu_summary_rels");
   Stats::Counter CtrBuSummarySigma = Stats::id("swift.bu_summary_sigma");
+  // Budget phase attribution and governor events.
+  Stats::Counter CtrTdSteps = Stats::id("budget.td_steps");
+  Stats::Counter CtrSyncBuSteps = Stats::id("budget.sync_bu_steps");
+  Stats::Counter CtrAsyncBuSteps = Stats::id("budget.async_bu_steps");
+  Stats::Counter CtrGovBuSuppressed = Stats::id("gov.bu_suppressed");
+  Stats::Counter CtrGovThetaShrunk = Stats::id("gov.theta_shrunk");
+  Stats::Counter CtrGovShedSummaries = Stats::id("gov.shed_summaries");
 };
 
 } // namespace swift

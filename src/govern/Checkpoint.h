@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkpoint (de)serialization for budget-limited typestate runs: the
+/// "swift-ckpt v1" text format. A checkpoint bundles everything a resume
+/// needs to be self-contained: the analyzed program (embedded verbatim as
+/// swift-ir v1 text, reusing the round-trip dumper), the run
+/// configuration, and the tabulation snapshot (framework/TabSnapshot.h).
+///
+/// Name-based where ids could drift, id-based where the dumper guarantees
+/// stability: procedures and typestates are referenced by name, abstract
+/// states spell their access paths as dotted identifiers re-interned on
+/// parse; allocation-site and CFG-node ids are numeric because
+/// parseProgramText reproduces them exactly.
+///
+/// The resume guarantee (enforced by the checkpoint-resume oracle in
+/// src/difftest): for a pure top-down run, save(exhausted run) -> load ->
+/// resume with a sufficient budget yields results bit-identical to an
+/// uninterrupted run. Hybrid runs drop bottom-up caches at checkpoint
+/// (sound; see TabSnapshot.h) and coincide on error sites and main-exit
+/// states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_GOVERN_CHECKPOINT_H
+#define SWIFT_GOVERN_CHECKPOINT_H
+
+#include "typestate/Runner.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace swift {
+
+class Program;
+
+/// One saved budget-exhausted run: configuration + snapshot. TrackedClass
+/// names the typestate class the run analyzed (checkpoints are per
+/// TsContext).
+struct TsCheckpoint {
+  SwiftRunConfig Config;
+  std::string TrackedClass;
+  uint64_t StepsConsumed = 0;
+  TsTabSnapshot Snapshot;
+};
+
+/// Serializes \p C (a checkpoint of a run over \p Prog) as swift-ckpt v1
+/// text. Deterministic: equal checkpoints print equal text.
+std::string checkpointToText(const Program &Prog, const TsCheckpoint &C);
+
+/// A parsed checkpoint owns its program (rebuilt from the embedded
+/// swift-ir text; the snapshot's ids refer to it).
+struct ParsedCheckpoint {
+  std::unique_ptr<Program> Prog;
+  TsCheckpoint Checkpoint;
+};
+
+/// Parses swift-ckpt v1 text. Throws std::runtime_error with a line
+/// number on malformed input.
+ParsedCheckpoint parseCheckpointText(std::string_view Text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void saveCheckpointFile(const std::string &Path, const Program &Prog,
+                        const TsCheckpoint &C);
+ParsedCheckpoint loadCheckpointFile(const std::string &Path);
+
+} // namespace swift
+
+#endif // SWIFT_GOVERN_CHECKPOINT_H

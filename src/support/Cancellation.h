@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation. A CancelToken is a one-way latch: once
+/// request()ed it stays requested. Long-running work (the bottom-up
+/// relational solver, queued thread-pool tasks) polls requested() at loop
+/// heads and unwinds cleanly, leaving whatever state it was building
+/// uninstalled — the resource governor uses this to stop speculative
+/// summary computation under memory/deadline pressure without tearing down
+/// threads mid-write.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_CANCELLATION_H
+#define SWIFT_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+
+namespace swift {
+
+/// A one-way cancellation latch shared between a requester and any number
+/// of workers.
+///
+/// Memory ordering: request() uses release and requested() acquire so that
+/// everything the requester wrote before requesting (e.g. the governor's
+/// latched pressure level) is visible to a worker that observes the
+/// cancellation. Workers only ever *read* the flag; the single false->true
+/// transition makes stronger orderings unnecessary.
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  void request() { Requested.store(true, std::memory_order_release); }
+
+  bool requested() const {
+    return Requested.load(std::memory_order_acquire);
+  }
+
+private:
+  std::atomic<bool> Requested{false};
+};
+
+} // namespace swift
+
+#endif // SWIFT_SUPPORT_CANCELLATION_H

@@ -11,24 +11,41 @@
 /// wait() blocks — no spinning — until every task, including ones enqueued
 /// by running tasks, has finished.
 ///
+/// Robustness contracts:
+///  * A task that throws never deadlocks wait(): the worker catches the
+///    exception, still decrements the pending count, and wait() rethrows
+///    the first captured exception once the queue has drained.
+///  * With a CancelToken, tasks dequeued after cancellation is requested
+///    are dropped without executing (their pending slot is still
+///    released), so a governor can cut short speculative work that is
+///    already queued.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWIFT_SUPPORT_THREADPOOL_H
 #define SWIFT_SUPPORT_THREADPOOL_H
 
+#include "support/Cancellation.h"
+
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace swift {
 
 class ThreadPool {
 public:
-  explicit ThreadPool(unsigned NumThreads) {
+  /// \p Cancel, when given, is polled before each dequeued task runs;
+  /// once requested, remaining queued tasks are dropped unexecuted.
+  explicit ThreadPool(unsigned NumThreads,
+                      const CancelToken *Cancel = nullptr)
+      : Cancel(Cancel) {
     if (NumThreads == 0)
       NumThreads = 1;
     Workers.reserve(NumThreads);
@@ -36,7 +53,9 @@ public:
       Workers.emplace_back([this] { workerLoop(); });
   }
 
-  /// Drains the queue (every submitted task runs), then joins.
+  /// Drains the queue (every submitted task runs), then joins. A pending
+  /// task exception that was never observed via wait() is swallowed —
+  /// destructors must not throw.
   ~ThreadPool() {
     {
       std::lock_guard<std::mutex> L(M);
@@ -61,10 +80,14 @@ public:
   }
 
   /// Blocks until every submitted task — including tasks submitted by
-  /// other tasks after this call — has completed.
+  /// other tasks after this call — has completed (or been dropped by
+  /// cancellation). Rethrows the first exception any task threw since the
+  /// last wait(); the queue is fully drained either way.
   void wait() {
     std::unique_lock<std::mutex> L(M);
     Idle.wait(L, [this] { return Pending == 0; });
+    if (FirstError)
+      std::rethrow_exception(std::exchange(FirstError, nullptr));
   }
 
   unsigned size() const { return static_cast<unsigned>(Workers.size()); }
@@ -79,7 +102,17 @@ private:
       std::function<void()> Task = std::move(Queue.front());
       Queue.pop_front();
       L.unlock();
-      Task();
+      // Dropping a cancelled task must still release its Pending slot
+      // below, or wait() would block on work that will never run.
+      if (!Cancel || !Cancel->requested()) {
+        try {
+          Task();
+        } catch (...) {
+          std::lock_guard<std::mutex> EL(M);
+          if (!FirstError)
+            FirstError = std::current_exception();
+        }
+      }
       L.lock();
       if (--Pending == 0)
         Idle.notify_all();
@@ -91,7 +124,9 @@ private:
   std::condition_variable Idle;
   std::deque<std::function<void()>> Queue;
   std::vector<std::thread> Workers;
-  size_t Pending = 0; ///< Queued plus running tasks.
+  const CancelToken *Cancel;
+  std::exception_ptr FirstError; ///< First task exception; guarded by M.
+  size_t Pending = 0;            ///< Queued plus running tasks.
   bool Stopping = false;
 };
 

@@ -82,6 +82,12 @@ public:
     return true;
   }
 
+  /// Marks the budget exhausted from the outside. The resource governor
+  /// calls this when a limit the Budget itself cannot see — the memory
+  /// estimate — is exceeded, so every solver sharing the budget aborts at
+  /// its next step() exactly as it would on a step/wall exhaustion.
+  void exhaust() { Exhausted.store(true, std::memory_order_relaxed); }
+
   bool exhausted() const { return Exhausted.load(std::memory_order_relaxed); }
   uint64_t steps() const { return Steps.load(std::memory_order_relaxed); }
   double seconds() const { return Clock.seconds(); }

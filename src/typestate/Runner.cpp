@@ -14,9 +14,13 @@ using namespace swift;
 namespace {
 
 /// Collects errors and summary counts out of a finished tabulation.
+/// \p HarvestPartial: governed runs harvest even on budget exhaustion —
+/// tabulation only accumulates, so the partial facts are a sound subset
+/// of the fixpoint's. Ungoverned runs keep the historical contract that a
+/// timed-out run reports only the timeout.
 TsRunResult harvest(const TsContext &Ctx,
                     TabulationSolver<TsAnalysis> &Solver, Budget &Bud,
-                    bool Finished, Stats Stat) {
+                    bool Finished, Stats Stat, bool HarvestPartial = false) {
   const Program &Prog = Ctx.program();
   TsRunResult R;
   R.Timeout = !Finished;
@@ -27,7 +31,7 @@ TsRunResult harvest(const TsContext &Ctx,
   R.TdSummariesPerProc.resize(Prog.numProcs());
   // Same contract as the bottom-up runner: a timed-out run reports only
   // the timeout, never partially harvested summaries/errors/exit states.
-  if (!Finished)
+  if (!Finished && !HarvestPartial)
     return R;
   for (ProcId P = 0; P != Prog.numProcs(); ++P)
     R.TdSummariesPerProc[P] = Solver.numTdSummaries(P);
@@ -100,6 +104,68 @@ TsRunResult swift::runTypestateSwift(const TsContext &Ctx,
                                      const SwiftRunConfig &Cfg,
                                      RunLimits Limits) {
   return runTabulating(Ctx, Cfg, Limits);
+}
+
+const char *swift::tsVerdictName(TsVerdict V) {
+  switch (V) {
+  case TsVerdict::Proved:
+    return "proved";
+  case TsVerdict::ErrorReported:
+    return "error";
+  case TsVerdict::Unresolved:
+    return "unresolved";
+  }
+  return "?";
+}
+
+TsGovernedResult swift::runTypestateGoverned(const TsContext &Ctx,
+                                             const GovernedRunOptions &Opts) {
+  const Program &Prog = Ctx.program();
+  ResourceGovernor Gov(Opts.Limits);
+  Stats Stat;
+  TabulationSolver<TsAnalysis>::Config Cfg;
+  Cfg.K = Opts.Config.K;
+  Cfg.Theta = Opts.Config.Theta;
+  Cfg.AsyncBu = Opts.Config.AsyncBu;
+  Cfg.BuThreads = Opts.Config.Threads;
+  Cfg.ObservationManifest = Opts.Config.ObservationManifest;
+  Cfg.Gov = &Gov;
+  TabulationSolver<TsAnalysis> Solver(Ctx, Prog, Ctx.callGraph(), Cfg,
+                                      Gov.budget(), Stat);
+  if (Opts.ResumeFrom)
+    Solver.restore(*Opts.ResumeFrom);
+  bool Finished = Solver.run();
+  Gov.recompute(); // Final telemetry, past the poll throttle.
+
+  TsGovernedResult G;
+  G.Partial = !Finished;
+  G.Peak = Gov.level();
+  G.PeakMemoryBytes = Gov.peakMemoryBytes();
+
+  // Checkpoint before harvesting: snapshot() wants the solver untouched,
+  // and harvest only reads.
+  if (Opts.CheckpointOut && !Finished) {
+    *Opts.CheckpointOut = Solver.snapshot();
+    Opts.CheckpointOut->StepsConsumed = Gov.budget().steps();
+  }
+
+  G.Run = harvest(Ctx, Solver, Gov.budget(), Finished, std::move(Stat),
+                  /*HarvestPartial=*/true);
+
+  // Per-site verdicts. Untracked sites are trivially Proved; a tracked
+  // site without a reported error is Proved only when the run completed —
+  // a partial run must not claim absence of errors it did not finish
+  // looking for.
+  G.Verdicts.assign(Prog.numSites(), TsVerdict::Proved);
+  for (uint32_t S = 0; S != Prog.numSites(); ++S) {
+    if (!Ctx.isTrackedSite(S))
+      continue;
+    if (G.Run.ErrorSites.count(S))
+      G.Verdicts[S] = TsVerdict::ErrorReported;
+    else if (G.Partial)
+      G.Verdicts[S] = TsVerdict::Unresolved;
+  }
+  return G;
 }
 
 TsRunResult swift::runTypestateBu(const TsContext &Ctx, RunLimits Limits,

@@ -16,11 +16,14 @@
 #ifndef SWIFT_TYPESTATE_RUNNER_H
 #define SWIFT_TYPESTATE_RUNNER_H
 
+#include "framework/TabSnapshot.h"
+#include "govern/Governor.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 #include "typestate/Context.h"
 #include "typestate/TsAnalysis.h"
 
+#include <cstdint>
 #include <set>
 #include <string>
 #include <utility>
@@ -101,6 +104,62 @@ struct SwiftRunConfig {
 TsRunResult runTypestateSwift(const TsContext &Ctx,
                               const SwiftRunConfig &Cfg,
                               RunLimits Limits = {});
+
+//===----------------------------------------------------------------------===//
+// Governed (budget-limited, gracefully degrading) runs
+//===----------------------------------------------------------------------===//
+
+/// Per-allocation-site verdict of a governed run. The soundness contract
+/// for partial results: a budget-exhausted run never claims Proved for a
+/// tracked site (tracked sites without a reported error are Unresolved),
+/// and every ErrorReported site of the partial run is ErrorReported in
+/// the uninterrupted run too — partial verdicts are a sound subset.
+enum class TsVerdict : uint8_t {
+  Proved,        ///< No error reachable (complete runs / untracked sites).
+  ErrorReported, ///< The site may reach the error state.
+  Unresolved,    ///< Budget ran out before the site was resolved.
+};
+
+const char *tsVerdictName(TsVerdict V);
+
+/// A checkpoint of a budget-exhausted typestate tabulation; see
+/// framework/TabSnapshot.h for exactness guarantees and
+/// govern/Checkpoint.h for (de)serialization.
+using TsTabSnapshot = TabSnapshot<TsAbstractState>;
+
+/// Result of a governed run: the ordinary run result plus partiality,
+/// degradation telemetry, and the per-site verdict vector (indexed by
+/// SiteId). When Partial, Run.Timeout is also true but — unlike the
+/// ungoverned runners, which zero everything on timeout — Run carries the
+/// partially computed (sound-subset) summaries, error sites, and stats.
+struct TsGovernedResult {
+  TsRunResult Run;
+  bool Partial = false;              ///< Budget exhausted before fixpoint.
+  Pressure Peak = Pressure::Green;   ///< Highest pressure level reached.
+  uint64_t PeakMemoryBytes = 0;      ///< Governor's peak memory estimate.
+  std::vector<TsVerdict> Verdicts;   ///< One per allocation site.
+};
+
+/// Options for one governed run. ResumeFrom, when set, re-seeds the
+/// solver from a checkpoint before running (the snapshot must come from
+/// the same program and an equivalent config); CheckpointOut, when set,
+/// receives a snapshot if the run exhausts its budget (it is left
+/// untouched on completion).
+struct GovernedRunOptions {
+  SwiftRunConfig Config;
+  GovernorLimits Limits;
+  const TsTabSnapshot *ResumeFrom = nullptr;
+  TsTabSnapshot *CheckpointOut = nullptr;
+};
+
+/// Runs the tabulation (TD when Config.K == NoBuTrigger, hybrid
+/// otherwise) under a resource governor: staged degradation under
+/// pressure, and a partial-but-sound result instead of nothing when the
+/// budget runs out. A pure-TD run checkpointed at exhaustion and resumed
+/// with a larger budget produces results bit-identical to an
+/// uninterrupted run (the checkpoint-resume oracle enforces this).
+TsGovernedResult runTypestateGoverned(const TsContext &Ctx,
+                                      const GovernedRunOptions &Opts);
 
 /// One named analysis run of the differential-testing config matrix.
 struct TsConfigRun {

@@ -141,6 +141,21 @@ struct TsAnalysis {
     return Sigma.coversPred(R.phi());
   }
   static void ignoreAll(Ignore &Sigma) { Sigma.makeAll(); }
+
+  // -- Resource-governor memory instrumentation (optional traits) --
+  /// Approximate heap footprint of one interned abstract state: the
+  /// object plus its out-of-line must / must-not access-path storage.
+  static uint64_t stateBytes(const State &S) {
+    return sizeof(State) +
+           (S.must().size() + S.mustNot().size()) * sizeof(AccessPath);
+  }
+  /// Approximate heap footprint of one abstract relation.
+  static uint64_t relBytes(const Rel &R) {
+    uint64_t N = sizeof(Rel);
+    if (!R.isAlloc())
+      N += R.iota().size() * sizeof(TState);
+    return N;
+  }
 };
 
 } // namespace swift

@@ -10,6 +10,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/Cancellation.h"
 #include "support/Hashing.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
@@ -21,6 +22,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -197,6 +199,72 @@ TEST(ThreadPoolTest, TasksCanSubmitTasksAndWaitDrains) {
   Pool.submit([&Count] { ++Count; });
   Pool.wait();
   EXPECT_EQ(Count.load(), 17);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskRethrowsFromWaitWithoutDeadlock) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 16; ++I)
+    Pool.submit([&Ran, I] {
+      ++Ran;
+      if (I == 5)
+        throw std::runtime_error("task blew up");
+    });
+  // wait() must drain every task (no deadlock waiting on Pending) and
+  // rethrow the first captured exception exactly once.
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Ran.load(), 16);
+  // The error was consumed; the pool stays usable and a clean round does
+  // not rethrow the stale exception.
+  Pool.submit([&Ran] { ++Ran; });
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_EQ(Ran.load(), 17);
+}
+
+TEST(ThreadPoolTest, ThrowingTasksDoNotDeadlockSubmittingPeers) {
+  // Tasks that submit further tasks while another task throws: wait()
+  // still drains everything and reports one of the errors.
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([&Pool, &Count] {
+      Pool.submit([&Count] { ++Count; });
+      throw std::runtime_error("parent failed");
+    });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Count.load(), 8); // children still ran
+}
+
+TEST(ThreadPoolTest, CancelledPoolDropsTaskBodiesButStillDrains) {
+  CancelToken Cancel;
+  Cancel.request();
+  ThreadPool Pool(4, &Cancel);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 32; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+  Pool.wait(); // skipped bodies still decrement Pending; no deadlock
+  EXPECT_EQ(Ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, CancellationMidRunStopsNewBodies) {
+  CancelToken Cancel;
+  ThreadPool Pool(2, &Cancel);
+  std::atomic<int> Ran{0};
+  Pool.submit([&Cancel] { Cancel.request(); });
+  Pool.wait();
+  for (int I = 0; I != 16; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 0); // everything after the request is dropped
+}
+
+TEST(CancelTokenTest, RequestIsSticky) {
+  CancelToken C;
+  EXPECT_FALSE(C.requested());
+  C.request();
+  EXPECT_TRUE(C.requested());
+  C.request(); // idempotent
+  EXPECT_TRUE(C.requested());
 }
 
 TEST(BudgetTest, ConcurrentSteppingRespectsCap) {

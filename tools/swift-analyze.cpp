@@ -1,0 +1,294 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// swift-analyze — governed typestate analysis of one swift-ir program.
+/// Runs TD or the SWIFT hybrid under the resource governor (step / wall /
+/// memory limits with staged Green-Yellow-Red degradation) and prints
+/// per-site verdicts, the budget's per-phase attribution, and degradation
+/// telemetry. A budget-exhausted run can write a checkpoint
+/// (--checkpoint-out) that a later invocation resumes (--resume-from)
+/// with a larger budget; for TD mode the resumed results are
+/// bit-identical to an uninterrupted run.
+///
+/// Exit code: 0 complete, 2 usage/input error, 3 partial (budget
+/// exhausted; verdicts are a sound subset — Unresolved sites need a
+/// bigger budget or a resume).
+///
+//===----------------------------------------------------------------------===//
+
+#include "framework/Tabulation.h"
+#include "govern/Checkpoint.h"
+#include "ir/Dumper.h"
+#include "support/CliParse.h"
+#include "typestate/Context.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+using namespace swift;
+
+namespace {
+
+struct ToolOptions {
+  std::string InputPath;
+  std::string Mode = "td";       ///< "td" or "swift".
+  uint64_t K = 5;
+  uint64_t Theta = 2;
+  bool AsyncBu = false;
+  unsigned Threads = 1;
+  uint64_t Steps = UINT64_MAX;
+  double Seconds = 1e18;
+  uint64_t MemMb = UINT64_MAX;
+  std::string CheckpointOut;
+  std::string ResumeFrom;
+  bool ShowHelp = false;
+};
+
+const char *usageText() {
+  return "usage: swift-analyze [options] <program.swiftir>\n"
+         "  --mode=td|swift     analysis mode (default td)\n"
+         "  --k=N               SWIFT trigger threshold (default 5)\n"
+         "  --theta=N           SWIFT pruning bound (default 2)\n"
+         "  --async             asynchronous bottom-up triggers\n"
+         "  --threads=N         bottom-up worker threads (default 1)\n"
+         "  --steps=N           step budget (default unlimited)\n"
+         "  --seconds=S         wall-clock budget (default unlimited)\n"
+         "  --mem-mb=N          memory-estimate cap in MiB (default\n"
+         "                      unlimited)\n"
+         "  --checkpoint-out=F  write a checkpoint to F if the budget is\n"
+         "                      exhausted\n"
+         "  --resume-from=F     resume from checkpoint F (the program and\n"
+         "                      config come from the checkpoint; the\n"
+         "                      positional input is not allowed)\n"
+         "  --help              this text\n"
+         "exit: 0 complete, 2 usage/input error, 3 partial result\n";
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view V;
+    if (cli::matchValueFlag(A, "--mode=", V)) {
+      if (V != "td" && V != "swift") {
+        Err = "invalid --mode value '" + std::string(V) +
+              "' (want td or swift)";
+        return false;
+      }
+      O.Mode = V;
+    } else if (cli::matchValueFlag(A, "--k=", V)) {
+      if (!cli::parseU64(V, O.K)) {
+        Err = "invalid --k value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--theta=", V)) {
+      if (!cli::parseU64(V, O.Theta) || O.Theta == 0) {
+        Err = "invalid --theta value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (A == "--async") {
+      O.AsyncBu = true;
+    } else if (cli::matchValueFlag(A, "--threads=", V)) {
+      if (!cli::parseUnsigned(V, O.Threads, 1, 1024)) {
+        Err = "invalid --threads value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--steps=", V)) {
+      if (!cli::parseU64(V, O.Steps) || O.Steps == 0) {
+        Err = "invalid --steps value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--seconds=", V)) {
+      if (!cli::parseNonNegDouble(V, O.Seconds)) {
+        Err = "invalid --seconds value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--mem-mb=", V)) {
+      if (!cli::parseU64(V, O.MemMb) || O.MemMb == 0) {
+        Err = "invalid --mem-mb value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--checkpoint-out=", V)) {
+      if (V.empty()) {
+        Err = "--checkpoint-out needs a file path";
+        return false;
+      }
+      O.CheckpointOut = V;
+    } else if (cli::matchValueFlag(A, "--resume-from=", V)) {
+      if (V.empty()) {
+        Err = "--resume-from needs a file path";
+        return false;
+      }
+      O.ResumeFrom = V;
+    } else if (A == "--help") {
+      O.ShowHelp = true;
+    } else if (!A.empty() && A[0] == '-') {
+      Err = "unknown flag '" + std::string(A) + "'";
+      return false;
+    } else if (O.InputPath.empty()) {
+      O.InputPath = A;
+    } else {
+      Err = "more than one input file";
+      return false;
+    }
+  }
+  if (O.ResumeFrom.empty() && O.InputPath.empty()) {
+    Err = "no input file";
+    return false;
+  }
+  if (!O.ResumeFrom.empty() && !O.InputPath.empty()) {
+    Err = "--resume-from carries its own program; drop the input file";
+    return false;
+  }
+  return true;
+}
+
+uint64_t statOf(const Stats &S, const char *Name) { return S.get(Name); }
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions O;
+  std::string Err;
+  if (!parseArgs(Argc, Argv, O, Err)) {
+    std::fprintf(stderr, "swift-analyze: %s\n%s", Err.c_str(), usageText());
+    return 2;
+  }
+  if (O.ShowHelp) {
+    std::fputs(usageText(), stdout);
+    return 0;
+  }
+
+  std::unique_ptr<Program> Prog;
+  GovernedRunOptions GO;
+  TsTabSnapshot Resume;
+  std::string TrackedClass;
+
+  try {
+    if (!O.ResumeFrom.empty()) {
+      ParsedCheckpoint PC = loadCheckpointFile(O.ResumeFrom);
+      Prog = std::move(PC.Prog);
+      GO.Config = PC.Checkpoint.Config;
+      TrackedClass = PC.Checkpoint.TrackedClass;
+      Resume = std::move(PC.Checkpoint.Snapshot);
+      GO.ResumeFrom = &Resume;
+      std::printf("resuming from %s (%llu steps consumed before the "
+                  "checkpoint)\n",
+                  O.ResumeFrom.c_str(),
+                  static_cast<unsigned long long>(
+                      PC.Checkpoint.StepsConsumed));
+    } else {
+      std::ifstream IS(O.InputPath);
+      if (!IS) {
+        std::fprintf(stderr, "swift-analyze: cannot open '%s'\n",
+                     O.InputPath.c_str());
+        return 2;
+      }
+      std::ostringstream Buf;
+      Buf << IS.rdbuf();
+      Prog = parseProgramText(Buf.str());
+      GO.Config.K = O.Mode == "td" ? NoBuTrigger : O.K;
+      GO.Config.Theta = O.Mode == "td" ? 1 : O.Theta;
+      GO.Config.AsyncBu = O.AsyncBu;
+      GO.Config.Threads = O.Threads;
+    }
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-analyze: %s\n", E.what());
+    return 2;
+  }
+
+  if (Prog->numSpecs() == 0) {
+    std::fprintf(stderr, "swift-analyze: program declares no typestate "
+                         "spec\n");
+    return 2;
+  }
+  Symbol Tracked = TrackedClass.empty()
+                       ? Prog->spec(0).name()
+                       : Prog->symbols().intern(TrackedClass);
+  if (!Prog->specFor(Tracked)) {
+    std::fprintf(stderr, "swift-analyze: no spec for class '%s'\n",
+                 TrackedClass.c_str());
+    return 2;
+  }
+
+  GO.Limits.MaxSteps = O.Steps;
+  GO.Limits.MaxSeconds = O.Seconds;
+  GO.Limits.MaxMemoryBytes =
+      O.MemMb == UINT64_MAX ? UINT64_MAX : O.MemMb * (1024 * 1024);
+
+  TsContext Ctx(*Prog, Tracked);
+  TsTabSnapshot Checkpoint;
+  GO.CheckpointOut = &Checkpoint;
+  TsGovernedResult G = runTypestateGoverned(Ctx, GO);
+
+  uint64_t Proved = 0, Errors = 0, Unresolved = 0;
+  for (TsVerdict V : G.Verdicts) {
+    if (V == TsVerdict::Proved)
+      ++Proved;
+    else if (V == TsVerdict::ErrorReported)
+      ++Errors;
+    else
+      ++Unresolved;
+  }
+
+  std::printf("%s: %s in %.2fs, %llu steps\n",
+              Prog->symbols().text(Tracked).c_str(),
+              G.Partial ? "PARTIAL" : "complete", G.Run.Seconds,
+              static_cast<unsigned long long>(G.Run.Steps));
+  std::printf("verdicts: %llu proved, %llu error, %llu unresolved "
+              "(of %llu sites)\n",
+              static_cast<unsigned long long>(Proved),
+              static_cast<unsigned long long>(Errors),
+              static_cast<unsigned long long>(Unresolved),
+              static_cast<unsigned long long>(G.Verdicts.size()));
+  for (SiteId S : G.Run.ErrorSites)
+    std::printf("  error @%u\n", S);
+  std::printf("pressure: peak %s, peak memory estimate %llu bytes\n",
+              pressureName(G.Peak),
+              static_cast<unsigned long long>(G.PeakMemoryBytes));
+  std::printf("budget attribution: td %llu, sync-bu %llu, async-bu %llu "
+              "steps\n",
+              static_cast<unsigned long long>(
+                  statOf(G.Run.Stat, "budget.td_steps")),
+              static_cast<unsigned long long>(
+                  statOf(G.Run.Stat, "budget.sync_bu_steps")),
+              static_cast<unsigned long long>(
+                  statOf(G.Run.Stat, "budget.async_bu_steps")));
+  if (statOf(G.Run.Stat, "gov.bu_suppressed") ||
+      statOf(G.Run.Stat, "gov.theta_shrunk") ||
+      statOf(G.Run.Stat, "gov.shed_summaries"))
+    std::printf("degradation: %llu bu runs suppressed, %llu theta "
+                "shrinks, %llu summary caches shed\n",
+                static_cast<unsigned long long>(
+                    statOf(G.Run.Stat, "gov.bu_suppressed")),
+                static_cast<unsigned long long>(
+                    statOf(G.Run.Stat, "gov.theta_shrunk")),
+                static_cast<unsigned long long>(
+                    statOf(G.Run.Stat, "gov.shed_summaries")));
+
+  if (G.Partial && !O.CheckpointOut.empty()) {
+    try {
+      TsCheckpoint C;
+      C.Config = GO.Config;
+      C.TrackedClass = Prog->symbols().text(Tracked);
+      C.StepsConsumed = Checkpoint.StepsConsumed;
+      C.Snapshot = std::move(Checkpoint);
+      saveCheckpointFile(O.CheckpointOut, *Prog, C);
+      std::printf("checkpoint written to %s (resume with "
+                  "--resume-from=%s)\n",
+                  O.CheckpointOut.c_str(), O.CheckpointOut.c_str());
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "swift-analyze: %s\n", E.what());
+      return 2;
+    }
+  }
+
+  return G.Partial ? 3 : 0;
+}

@@ -12,7 +12,11 @@
 /// coincidence guarantees, and on a mismatch delta-debugs the program to a
 /// small reproducer.
 ///
-/// Exit code: 0 all seeds clean, 1 violations found, 2 usage error.
+/// Exit code: 0 all seeds clean, 1 violations found, 2 usage error,
+/// 3 clean but resource-exhausted (some reference runs hit their budget,
+/// so their coincidence / partial-soundness / checkpoint checks were
+/// skipped rather than failed — rerun with a larger --steps/--run-seconds
+/// for full coverage).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -141,7 +145,14 @@ int replay(const ToolOptions &O) {
   for (const Violation &V : R.Violations)
     std::printf("  [%s] %s: %s\n", checkKindName(V.Kind), V.Config.c_str(),
                 V.Detail.c_str());
-  return R.clean() ? 0 : 1;
+  if (!R.clean())
+    return 1;
+  if (R.ReferenceTimedOut) {
+    std::printf("note: the td reference run exhausted its budget; "
+                "reference-dependent checks were skipped\n");
+    return 3;
+  }
+  return 0;
 }
 
 int campaign(const ToolOptions &O) {
@@ -155,11 +166,15 @@ int campaign(const ToolOptions &O) {
   CO.BudgetSeconds = O.BudgetSeconds;
 
   CampaignResult R = runCampaign(CO, std::cout);
-  std::printf("%llu seed(s) tested, %zu with violations%s\n",
+  std::printf("%llu seed(s) tested, %zu with violations, %llu "
+              "resource-exhausted%s\n",
               static_cast<unsigned long long>(R.SeedsRun),
               R.BadSeeds.size(),
+              static_cast<unsigned long long>(R.ExhaustedSeeds),
               R.StoppedOnBudget ? " (stopped on --budget)" : "");
-  return R.clean() ? 0 : 1;
+  if (!R.clean())
+    return 1;
+  return R.ExhaustedSeeds != 0 ? 3 : 0;
 }
 
 } // namespace
