@@ -7,6 +7,7 @@
 #include "difftest/Difftest.h"
 
 #include "ir/Dumper.h"
+#include "support/AtomicFile.h"
 #include "support/Timer.h"
 
 #include <filesystem>
@@ -38,16 +39,21 @@ std::string swift::difftest::writeReproducer(const std::string &OutDir,
     return "";
   std::string Path =
       OutDir + "/seed" + std::to_string(Seed) + ".swiftir";
-  std::ofstream OS(Path);
-  if (!OS)
-    return "";
+  std::ostringstream OS;
   OS << "# swift-difftest reproducer\n";
   OS << "# violation: " << checkKindName(V.Kind) << " config=" << V.Config
      << "\n";
   OS << "# detail: " << V.Detail << "\n";
   OS << "# fuzz seed: " << Seed << "\n";
   OS << ProgramText;
-  return OS ? Path : "";
+  // Atomic + write/flush/close-checked: a reproducer that exists is
+  // complete, and a failed write never leaves a half-written decoy.
+  try {
+    writeFileAtomic(Path, OS.str(), "repro.save");
+  } catch (const std::exception &) {
+    return "";
+  }
+  return Path;
 }
 
 OracleResult swift::difftest::replayFile(const std::string &Path,

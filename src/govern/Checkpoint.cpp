@@ -9,8 +9,11 @@
 #include "framework/Tabulation.h"
 #include "ir/Dumper.h"
 #include "ir/Program.h"
+#include "support/AtomicFile.h"
+#include "support/Hashing.h"
 
-#include <fstream>
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -297,7 +300,15 @@ ParsedCheckpoint swift::parseCheckpointText(std::string_view Text) {
     if (T.size() != 2 || T[0] != Name)
       fail(R.Line, std::string("expected '") + Name + " <n>', got '" + L +
                        "'");
-    return parseU64(T[1], R.Line);
+    uint64_t N = parseU64(T[1], R.Line);
+    // Sanity limit before any reserve: every row costs at least two
+    // bytes of input, so a count beyond half the remaining text is a
+    // mutation — fail fast instead of allocating for it.
+    size_t Remaining = Text.size() - std::min(R.Pos, Text.size());
+    if (N > Remaining / 2 + 1)
+      fail(R.Line, std::string(Name) + " count " + T[1] +
+                       " exceeds the remaining input size");
+    return N;
   };
   auto row = [&](const char *Tag, size_t MinToks) -> std::vector<std::string> {
     if (!R.next(L))
@@ -387,7 +398,9 @@ ParsedCheckpoint swift::parseCheckpointText(std::string_view Text) {
     Row.Proc = procByName(Prog, T[1], R.Line);
     Row.Entry = checkStateId(parseU64(T[2], R.Line));
     uint64_t NumExits = parseU64(T[3], R.Line);
-    if (T.size() != 4 + NumExits)
+    // Bound before the arithmetic below: a near-2^64 count would wrap
+    // 4 + NumExits and walk T out of bounds.
+    if (NumExits > T.size() || T.size() != 4 + NumExits)
       fail(R.Line, "summary exit count mismatch");
     for (uint64_t K = 0; K != NumExits; ++K)
       Row.Exits.push_back(checkStateId(parseU64(T[4 + K], R.Line)));
@@ -441,21 +454,165 @@ ParsedCheckpoint swift::parseCheckpointText(std::string_view Text) {
   return PC;
 }
 
+//===----------------------------------------------------------------------===//
+// v2 file framing: length header + CRC32 trailer around the v1 payload
+//===----------------------------------------------------------------------===//
+
+const char *swift::loadErrorKindName(LoadErrorKind K) {
+  switch (K) {
+  case LoadErrorKind::IoError:
+    return "io-error";
+  case LoadErrorKind::Truncated:
+    return "truncated";
+  case LoadErrorKind::Corrupt:
+    return "corrupt";
+  case LoadErrorKind::VersionMismatch:
+    return "version-mismatch";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::string_view MagicV1 = "swift-ckpt v1";
+constexpr std::string_view HeaderV2 = "swift-ckpt v2 ";
+constexpr std::string_view TrailerTag = "crc32 ";
+/// Trailer: "crc32 " + 8 hex digits + '\n'.
+constexpr size_t TrailerSize = TrailerTag.size() + 8 + 1;
+
+[[noreturn]] void loadFail(LoadErrorKind K, const std::string &Msg) {
+  throw CheckpointLoadError(K, "swift-ckpt: " + Msg + " [" +
+                                   loadErrorKindName(K) + "]");
+}
+
+std::string hex8(uint32_t V) {
+  char Buf[9];
+  std::snprintf(Buf, sizeof(Buf), "%08x", V);
+  return Buf;
+}
+
+bool parseHex8(std::string_view T, uint32_t &Out) {
+  if (T.size() != 8)
+    return false;
+  uint32_t V = 0;
+  for (char C : T) {
+    uint32_t D;
+    if (C >= '0' && C <= '9')
+      D = static_cast<uint32_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      D = static_cast<uint32_t>(C - 'a') + 10;
+    else
+      return false;
+    V = (V << 4) | D;
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+std::string swift::frameCheckpointV2(std::string_view Payload) {
+  std::string Out;
+  Out.reserve(Payload.size() + 48);
+  Out.append(HeaderV2);
+  Out += std::to_string(Payload.size());
+  Out += '\n';
+  Out.append(Payload);
+  Out.append(TrailerTag);
+  Out += hex8(crc32(Payload.data(), Payload.size()));
+  Out += '\n';
+  return Out;
+}
+
+ParsedCheckpoint swift::parseCheckpointFile(std::string_view Text) {
+  if (Text.empty())
+    loadFail(LoadErrorKind::Truncated, "empty checkpoint file");
+
+  // Legacy bare v1: the whole file is the payload, no framing to check.
+  if (Text.substr(0, MagicV1.size()) == MagicV1) {
+    try {
+      return parseCheckpointText(Text);
+    } catch (const std::exception &E) {
+      loadFail(LoadErrorKind::Corrupt,
+               std::string("invalid v1 checkpoint: ") + E.what());
+    }
+  }
+
+  if (Text.substr(0, HeaderV2.size()) == HeaderV2) {
+    size_t Eol = Text.find('\n');
+    if (Eol == std::string_view::npos)
+      loadFail(LoadErrorKind::Truncated, "v2 header line is cut short");
+    std::string_view LenText = Text.substr(HeaderV2.size(),
+                                           Eol - HeaderV2.size());
+    uint64_t Len = 0;
+    if (LenText.empty())
+      loadFail(LoadErrorKind::Corrupt, "v2 header has no payload length");
+    for (char C : LenText) {
+      if (C < '0' || C > '9')
+        loadFail(LoadErrorKind::Corrupt,
+                 "malformed v2 payload length '" + std::string(LenText) +
+                     "'");
+      if (Len > UINT64_MAX / 10)
+        loadFail(LoadErrorKind::Corrupt, "v2 payload length out of range");
+      Len = Len * 10 + static_cast<uint64_t>(C - '0');
+    }
+    size_t Body = Eol + 1;
+    if (Len > Text.size() - Body)
+      loadFail(LoadErrorKind::Truncated,
+               "payload truncated: header declares " + std::to_string(Len) +
+                   " bytes, " + std::to_string(Text.size() - Body) +
+                   " present");
+    std::string_view Payload = Text.substr(Body, Len);
+    std::string_view Rest = Text.substr(Body + Len);
+    if (Rest.size() < TrailerSize)
+      loadFail(LoadErrorKind::Truncated, "CRC trailer is missing or cut");
+    if (Rest.size() > TrailerSize)
+      loadFail(LoadErrorKind::Corrupt, "trailing data after CRC trailer");
+    if (Rest.substr(0, TrailerTag.size()) != TrailerTag ||
+        Rest.back() != '\n')
+      loadFail(LoadErrorKind::Corrupt, "malformed CRC trailer");
+    uint32_t Stored = 0;
+    if (!parseHex8(Rest.substr(TrailerTag.size(), 8), Stored))
+      loadFail(LoadErrorKind::Corrupt, "malformed CRC value");
+    uint32_t Computed = crc32(Payload.data(), Payload.size());
+    if (Computed != Stored)
+      loadFail(LoadErrorKind::Corrupt, "CRC mismatch: stored " +
+                                           hex8(Stored) + ", computed " +
+                                           hex8(Computed));
+    try {
+      return parseCheckpointText(Payload);
+    } catch (const std::exception &E) {
+      // The frame validated but the payload does not parse: a producer
+      // bug or a collision-rate event, not a torn file.
+      loadFail(LoadErrorKind::Corrupt,
+               std::string("invalid v2 payload: ") + E.what());
+    }
+  }
+
+  if (Text.substr(0, 10) == "swift-ckpt") {
+    size_t Eol = std::min(Text.find('\n'), Text.size());
+    loadFail(LoadErrorKind::VersionMismatch,
+             "unsupported checkpoint version '" +
+                 std::string(Text.substr(0, std::min<size_t>(Eol, 32))) +
+                 "' (this build reads v1 and v2)");
+  }
+  loadFail(LoadErrorKind::Corrupt, "not a swift-ckpt file");
+}
+
 void swift::saveCheckpointFile(const std::string &Path, const Program &Prog,
                                const TsCheckpoint &C) {
-  std::ofstream OS(Path);
-  if (!OS)
-    throw std::runtime_error("cannot open '" + Path + "' for writing");
-  OS << checkpointToText(Prog, C);
-  if (!OS)
-    throw std::runtime_error("error writing '" + Path + "'");
+  writeFileAtomic(Path, frameCheckpointV2(checkpointToText(Prog, C)),
+                  "ckpt.save");
 }
 
 ParsedCheckpoint swift::loadCheckpointFile(const std::string &Path) {
-  std::ifstream IS(Path);
-  if (!IS)
-    throw std::runtime_error("cannot open '" + Path + "'");
-  std::ostringstream SS;
-  SS << IS.rdbuf();
-  return parseCheckpointText(SS.str());
+  std::string Bytes;
+  try {
+    Bytes = readWholeFile(Path, "ckpt.load");
+  } catch (const std::exception &E) {
+    throw CheckpointLoadError(LoadErrorKind::IoError,
+                              std::string("swift-ckpt: ") + E.what() +
+                                  " [io-error]");
+  }
+  return parseCheckpointFile(Bytes);
 }

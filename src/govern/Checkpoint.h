@@ -5,11 +5,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Checkpoint (de)serialization for budget-limited typestate runs: the
-/// "swift-ckpt v1" text format. A checkpoint bundles everything a resume
-/// needs to be self-contained: the analyzed program (embedded verbatim as
-/// swift-ir v1 text, reusing the round-trip dumper), the run
-/// configuration, and the tabulation snapshot (framework/TabSnapshot.h).
+/// Checkpoint (de)serialization for budget-limited typestate runs. A
+/// checkpoint bundles everything a resume needs to be self-contained:
+/// the analyzed program (embedded verbatim as swift-ir v1 text, reusing
+/// the round-trip dumper), the run configuration, and the tabulation
+/// snapshot (framework/TabSnapshot.h).
+///
+/// On disk a checkpoint is "swift-ckpt v2": a header line declaring the
+/// payload byte count, the payload (the v1 text), and a CRC32 trailer —
+/// so a loader can tell a truncated file from a bit-flipped one from a
+/// version it does not speak, each reported as a typed
+/// CheckpointLoadError instead of a bare runtime_error. Bare v1 files
+/// (PR 3) still load. Saving goes through writeFileAtomic: temp file +
+/// fsync + atomic rename, so a crash at any point leaves either the
+/// complete old or the complete new checkpoint, never a torn mix — the
+/// property tools/swift-crashtest proves under injected kills.
 ///
 /// Name-based where ids could drift, id-based where the dumper guarantees
 /// stability: procedures and typestates are referenced by name, abstract
@@ -32,12 +42,37 @@
 #include "typestate/Runner.h"
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace swift {
 
 class Program;
+
+/// Why a checkpoint failed to load. Truncated and Corrupt are only
+/// reliably distinguished for v2 files (v1 has no framing): a cut
+/// anywhere in a v2 file reports Truncated, a flipped bit Corrupt.
+enum class LoadErrorKind {
+  IoError,         ///< open/read failed; message carries errno detail.
+  Truncated,       ///< Shorter than its header/trailer framing declares.
+  Corrupt,         ///< Framing present but CRC or payload invalid.
+  VersionMismatch, ///< swift-ckpt magic with an unsupported version.
+};
+
+const char *loadErrorKindName(LoadErrorKind K);
+
+/// Typed load failure: what() carries the human-readable detail, kind()
+/// lets callers distinguish malformed input from environment trouble.
+class CheckpointLoadError : public std::runtime_error {
+public:
+  CheckpointLoadError(LoadErrorKind Kind, const std::string &Msg)
+      : std::runtime_error(Msg), K(Kind) {}
+  LoadErrorKind kind() const { return K; }
+
+private:
+  LoadErrorKind K;
+};
 
 /// One saved budget-exhausted run: configuration + snapshot. TrackedClass
 /// names the typestate class the run analyzed (checkpoints are per
@@ -60,13 +95,29 @@ struct ParsedCheckpoint {
   TsCheckpoint Checkpoint;
 };
 
-/// Parses swift-ckpt v1 text. Throws std::runtime_error with a line
-/// number on malformed input.
+/// Parses bare swift-ckpt v1 text (the v2 payload). Throws
+/// std::runtime_error with a line number on malformed input. Section
+/// counts are sanity-checked against the remaining input size, so a
+/// mutated count fails fast instead of reserving absurd memory.
 ParsedCheckpoint parseCheckpointText(std::string_view Text);
 
-/// File convenience wrappers; throw std::runtime_error on I/O failure.
+/// Frames v1 payload text as a swift-ckpt v2 file image: header line
+/// with the payload byte count, payload, CRC32 trailer.
+std::string frameCheckpointV2(std::string_view Payload);
+
+/// Parses a checkpoint *file image*: v2 framed (magic/version/length/CRC
+/// validated) or bare legacy v1. Throws CheckpointLoadError.
+ParsedCheckpoint parseCheckpointFile(std::string_view Text);
+
+/// Writes \p C as a v2 file, crash-safely: temp file + fsync + atomic
+/// rename with bounded retry (failpoints ckpt.save.*). Throws
+/// std::runtime_error with errno detail on persistent failure; an
+/// existing checkpoint at \p Path survives any failed or killed save.
 void saveCheckpointFile(const std::string &Path, const Program &Prog,
                         const TsCheckpoint &C);
+
+/// Reads and validates a checkpoint file (v2 or legacy v1; failpoints
+/// ckpt.load.*). Throws CheckpointLoadError.
 ParsedCheckpoint loadCheckpointFile(const std::string &Path);
 
 } // namespace swift

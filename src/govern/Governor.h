@@ -43,6 +43,7 @@
 #define SWIFT_GOVERN_GOVERNOR_H
 
 #include "support/Cancellation.h"
+#include "support/FailPoint.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -139,6 +140,16 @@ public:
 
   /// Unthrottled recompute. Single-threaded caller only.
   void recompute() {
+    // Deterministic fault injection: a fired gov.tick failpoint is a
+    // sudden resource exhaustion at this budget tick — the run must
+    // degrade to a partial-but-sound result exactly as if a real limit
+    // tripped.
+    if (SWIFT_FAILPOINT("gov.tick")) {
+      Bud.exhaust();
+      latch(Pressure::Red);
+      LastFraction = 1.0;
+      return;
+    }
     double F = 0.0;
     if (Lim.MaxSteps != UINT64_MAX && Lim.MaxSteps != 0)
       F = std::max(F, static_cast<double>(Bud.steps()) /

@@ -6,6 +6,8 @@
 
 #include "ir/Dumper.h"
 
+#include "support/AtomicFile.h"
+
 #include <algorithm>
 #include <cassert>
 #include <sstream>
@@ -187,6 +189,11 @@ std::string swift::programToText(const Program &Prog) {
   std::ostringstream OS;
   printProgramText(Prog, OS);
   return OS.str();
+}
+
+void swift::saveProgramTextFile(const std::string &Path,
+                                const Program &Prog) {
+  writeFileAtomic(Path, programToText(Prog), "ir.save");
 }
 
 //===----------------------------------------------------------------------===//
@@ -475,6 +482,12 @@ void ProgramParser::parseProc() {
   expectEnd(I + 7);
   if (NumNodes == 0 || Entry >= NumNodes || Exit >= NumNodes)
     fail("entry/exit out of range");
+  // Sanity limit before the reserve: every node occupies at least a
+  // "N: nop ->" line, so a count beyond a quarter of the remaining bytes
+  // is a mutated input — fail fast instead of reserving gigabytes.
+  if (NumNodes > (Text.size() - std::min(Pos, Text.size())) / 4 + 1)
+    fail("node count " + std::to_string(NumNodes) +
+         " exceeds the remaining input size");
 
   ProcId Id = static_cast<ProcId>(Prog->Procs.size());
   Prog->ProcIndex.emplace(Name, Id);

@@ -45,6 +45,12 @@ void printProgramText(const Program &Prog, std::ostream &OS);
 /// printProgramText into a string.
 std::string programToText(const Program &Prog);
 
+/// Writes \p Prog as swift-ir v1 text to \p Path crash-safely: temp file
+/// + fsync + atomic rename, every write and the close verified (a
+/// buffered write error can surface only at close). Throws
+/// std::runtime_error with errno detail; failpoints ir.save.*.
+void saveProgramTextFile(const std::string &Path, const Program &Prog);
+
 /// Parses text produced by printProgramText (lines starting with '#' are
 /// comments). Throws std::runtime_error with a line number on malformed
 /// input. The result reproduces the printed program exactly: node ids,

@@ -1,0 +1,161 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include "support/FailPoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace swift;
+
+namespace {
+
+/// Small chunks so a kill-failpoint on <prefix>.write can land at many
+/// distinct positions inside even a few-KB checkpoint.
+constexpr size_t WriteChunk = 512;
+constexpr int MaxAttempts = 3;
+
+std::string opError(const char *Op, const std::string &Path, int Err) {
+  return std::string(Op) + " '" + Path + "': " + std::strerror(Err);
+}
+
+std::string fp(const char *Prefix, const char *Site) {
+  return std::string(Prefix) + "." + Site;
+}
+
+/// One attempt: create/truncate the temp file, stream the bytes, fsync,
+/// and close — verifying each step. Returns false with \p Err set on any
+/// failure (simulated failures report EIO).
+bool writeTempOnce(const std::string &Tmp, std::string_view Bytes,
+                   const char *Prefix, std::string &Err) {
+  if (SWIFT_FAILPOINT(fp(Prefix, "open").c_str())) {
+    Err = opError("open", Tmp, EIO) + " (injected)";
+    return false;
+  }
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Err = opError("open", Tmp, errno);
+    return false;
+  }
+  auto Fail = [&](const char *Op, int E, bool Injected = false) {
+    Err = opError(Op, Tmp, E) + (Injected ? " (injected)" : "");
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  };
+
+  const std::string WriteFp = fp(Prefix, "write");
+  for (size_t Off = 0; Off != Bytes.size();) {
+    if (SWIFT_FAILPOINT(WriteFp.c_str()))
+      return Fail("write", EIO, /*Injected=*/true);
+    size_t Want = std::min(WriteChunk, Bytes.size() - Off);
+    ssize_t W = ::write(Fd, Bytes.data() + Off, Want);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return Fail("write", errno);
+    }
+    Off += static_cast<size_t>(W);
+  }
+
+  // Flush to stable storage, then close — checking both: a buffered
+  // write error can surface only at fsync/close, and swallowing it would
+  // report success for a file the kernel never persisted.
+  if (SWIFT_FAILPOINT(fp(Prefix, "flush").c_str()))
+    return Fail("fsync", EIO, /*Injected=*/true);
+  if (::fsync(Fd) != 0)
+    return Fail("fsync", errno);
+  if (SWIFT_FAILPOINT(fp(Prefix, "close").c_str()))
+    return Fail("close", EIO, /*Injected=*/true);
+  if (::close(Fd) != 0) {
+    Err = opError("close", Tmp, errno);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Best-effort directory fsync so the rename itself is durable.
+void syncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd >= 0) {
+    ::fsync(Fd);
+    ::close(Fd);
+  }
+}
+
+} // namespace
+
+void swift::writeFileAtomic(const std::string &Path, std::string_view Bytes,
+                            const char *FailPrefix) {
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  std::string Err;
+  for (int Attempt = 0; Attempt != MaxAttempts; ++Attempt) {
+    if (Attempt) // transient-fault backoff: 20 ms, then 40 ms
+      std::this_thread::sleep_for(std::chrono::milliseconds(10 << Attempt));
+    if (!writeTempOnce(Tmp, Bytes, FailPrefix, Err))
+      continue;
+    if (SWIFT_FAILPOINT(fp(FailPrefix, "rename").c_str())) {
+      Err = opError("rename", Path, EIO) + " (injected)";
+      continue;
+    }
+    if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+      Err = opError("rename", Path, errno);
+      continue;
+    }
+    syncParentDir(Path);
+    return;
+  }
+  ::unlink(Tmp.c_str());
+  throw std::runtime_error("cannot write '" + Path + "' after " +
+                           std::to_string(MaxAttempts) +
+                           " attempts; last error: " + Err);
+}
+
+std::string swift::readWholeFile(const std::string &Path,
+                                 const char *FailPrefix) {
+  if (FailPrefix && SWIFT_FAILPOINT(fp(FailPrefix, "open").c_str()))
+    throw std::runtime_error(opError("open", Path, EIO) + " (injected)");
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    throw std::runtime_error(opError("open", Path, errno));
+  std::string Out;
+  char Buf[1 << 16];
+  for (;;) {
+    if (FailPrefix && SWIFT_FAILPOINT(fp(FailPrefix, "read").c_str())) {
+      ::close(Fd);
+      throw std::runtime_error(opError("read", Path, EIO) + " (injected)");
+    }
+    ssize_t R = ::read(Fd, Buf, sizeof(Buf));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      int E = errno;
+      ::close(Fd);
+      throw std::runtime_error(opError("read", Path, E));
+    }
+    if (R == 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(R));
+  }
+  ::close(Fd);
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe whole-file persistence shared by the checkpoint writer and
+/// the IR dumper. writeFileAtomic streams the bytes into a temp file next
+/// to the target, fsyncs, verifies every write *and* the close, and only
+/// then renames over the target — so a reader never observes a torn
+/// file: after a crash at any instruction the target is either the
+/// complete old content or the complete new content. Transient failures
+/// (including injected ones) are retried a bounded number of times with
+/// backoff; persistent failure throws with the failing operation and
+/// errno detail, leaving the old target untouched.
+///
+/// Both functions hit failpoints (support/FailPoint.h) named
+/// <prefix>.open / .write (once per chunk) / .flush / .close / .rename
+/// and <prefix>.open / .read respectively, which is how the crash-
+/// recovery harness kills the process mid-write at a chosen position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_ATOMICFILE_H
+#define SWIFT_SUPPORT_ATOMICFILE_H
+
+#include <string>
+#include <string_view>
+
+namespace swift {
+
+/// Atomically replaces \p Path with \p Bytes (temp file + fsync + rename,
+/// bounded retry on transient errors). \p FailPrefix names the failpoints
+/// instrumenting this write. Throws std::runtime_error with errno detail
+/// on persistent failure; the previous content of \p Path survives.
+void writeFileAtomic(const std::string &Path, std::string_view Bytes,
+                     const char *FailPrefix = "file.save");
+
+/// Reads the whole file. Throws std::runtime_error with errno detail on
+/// any I/O failure. \p FailPrefix, when given, names the failpoints
+/// instrumenting the read.
+std::string readWholeFile(const std::string &Path,
+                          const char *FailPrefix = nullptr);
+
+} // namespace swift
+
+#endif // SWIFT_SUPPORT_ATOMICFILE_H

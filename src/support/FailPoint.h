@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection: named failpoints compiled into the I/O,
+/// thread-pool, and governor paths, armed at runtime from a spec string
+/// (the SWIFT_FAILPOINTS environment variable or a --failpoints= flag).
+/// Disarmed — the production state — a failpoint costs one relaxed atomic
+/// load; nothing is looked up and no counter is touched.
+///
+/// Spec grammar (';'-separated entries):
+///
+///   spec    := entry (';' entry)*
+///   entry   := name '=' trigger ['!kill']
+///   trigger := 'nth(' N ')'        fire exactly on the Nth hit (1-based)
+///            | 'every(' N ')'      fire on hits N, 2N, 3N, ...
+///            | 'prob(' P ',' S ')' fire each hit with probability P,
+///                                  drawn from a PRNG seeded with S
+///            | 'always'            fire on every hit
+///
+/// e.g. SWIFT_FAILPOINTS='ckpt.save.write=nth(3)!kill;pool.task=every(2)'
+///
+/// A firing failpoint either *fails* (the default: SWIFT_FAILPOINT(...)
+/// evaluates to true and the instrumented site simulates the fault — a
+/// short write, a task exception, a budget exhaustion) or *kills* the
+/// process on the spot via _exit(KillExitCode), without flushing buffers
+/// or running destructors — the crash the recovery harness provokes
+/// mid-checkpoint-write. Triggers are evaluated under a lock in hit
+/// order, so single-threaded sites fire deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_FAILPOINT_H
+#define SWIFT_SUPPORT_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swift {
+namespace failpoint {
+
+/// Exit code of a process killed by a '!kill' failpoint; distinguishes an
+/// injected crash from both success and genuine failures in harnesses.
+constexpr int KillExitCode = 85;
+
+namespace detail {
+/// True iff any failpoint is armed; the only state the fast path reads.
+extern std::atomic<bool> AnyArmed;
+/// Registry lookup + trigger evaluation; never returns if the failpoint
+/// fires with the kill action.
+bool shouldFailSlow(const char *Name);
+} // namespace detail
+
+/// True iff any failpoint is armed.
+inline bool armed() {
+  return detail::AnyArmed.load(std::memory_order_relaxed);
+}
+
+/// The instrumentation predicate: true iff failpoint \p Name is armed and
+/// its trigger fires on this hit. Kill-action failpoints do not return.
+inline bool shouldFail(const char *Name) {
+  return armed() && detail::shouldFailSlow(Name);
+}
+
+/// Arms every entry of \p Spec (grammar above), merging with already
+/// armed failpoints (an entry for an armed name replaces it and resets
+/// its counters). Throws std::runtime_error on a malformed spec.
+void armSpec(std::string_view Spec);
+
+/// Arms from the SWIFT_FAILPOINTS environment variable. Returns false if
+/// the variable is unset or empty; throws like armSpec on malformed
+/// content.
+bool armFromEnv();
+
+/// Disarms everything and discards all counters.
+void disarmAll();
+
+/// Times failpoint \p Name was evaluated / fired since it was armed
+/// (0 for unknown names).
+uint64_t hits(const std::string &Name);
+uint64_t fires(const std::string &Name);
+
+/// Names currently armed, sorted.
+std::vector<std::string> armedNames();
+
+/// RAII arming for tests and harness children: arms a spec on
+/// construction, disarms *everything* on destruction.
+struct ScopedArm {
+  explicit ScopedArm(std::string_view Spec) { armSpec(Spec); }
+  ~ScopedArm() { disarmAll(); }
+  ScopedArm(const ScopedArm &) = delete;
+  ScopedArm &operator=(const ScopedArm &) = delete;
+};
+
+} // namespace failpoint
+} // namespace swift
+
+/// The instrumentation macro. Reads as "did the named fault trigger?":
+///
+///   if (SWIFT_FAILPOINT("ckpt.save.write"))
+///     ... simulate the write failure ...
+#define SWIFT_FAILPOINT(NAME) (::swift::failpoint::shouldFail(NAME))
+
+#endif // SWIFT_SUPPORT_FAILPOINT_H

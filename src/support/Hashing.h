@@ -17,6 +17,8 @@
 #ifndef SWIFT_SUPPORT_HASHING_H
 #define SWIFT_SUPPORT_HASHING_H
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace swift {
@@ -36,6 +38,30 @@ inline uint64_t mix64(uint64_t X) {
 inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
   return mix64(Seed ^ (mix64(Value) + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
                        (Seed >> 2)));
+}
+
+/// CRC-32 (IEEE 802.3 reflected polynomial, the zlib/PNG checksum) over
+/// \p Size bytes, optionally continuing from a previous \p Seed. Used as
+/// the corruption detector of the swift-ckpt v2 file framing — unlike
+/// mix64-style hashes it has a fixed, documented value for any byte
+/// string (crc32("123456789") == 0xCBF43926), so checkpoints written by
+/// one build validate under any other.
+inline uint32_t crc32(const void *Data, size_t Size, uint32_t Seed = 0) {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = ~Seed;
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Size; ++I)
+    C = Table[(C ^ P[I]) & 0xff] ^ (C >> 8);
+  return ~C;
 }
 
 } // namespace swift

@@ -19,6 +19,13 @@
 ///    are dropped without executing (their pending slot is still
 ///    released), so a governor can cut short speculative work that is
 ///    already queued.
+///  * A worker that fails to start (std::thread throwing, or the
+///    pool.worker.start failpoint) does not leak the workers already
+///    running: the constructor joins them and rethrows.
+///
+/// Fault injection: pool.worker.start fires per worker construction and
+/// makes it throw; pool.task fires per dequeued task and replaces its
+/// body with a thrown injected fault (surfaced by the next wait()).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +33,7 @@
 #define SWIFT_SUPPORT_THREADPOOL_H
 
 #include "support/Cancellation.h"
+#include "support/FailPoint.h"
 
 #include <condition_variable>
 #include <cstddef>
@@ -33,6 +41,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -49,22 +58,26 @@ public:
     if (NumThreads == 0)
       NumThreads = 1;
     Workers.reserve(NumThreads);
-    for (unsigned I = 0; I != NumThreads; ++I)
-      Workers.emplace_back([this] { workerLoop(); });
+    try {
+      for (unsigned I = 0; I != NumThreads; ++I) {
+        if (SWIFT_FAILPOINT("pool.worker.start"))
+          throw std::runtime_error(
+              "injected worker startup failure (pool.worker.start)");
+        Workers.emplace_back([this] { workerLoop(); });
+      }
+    } catch (...) {
+      // Don't leak the workers that did start: joining here (instead of
+      // letting ~vector destroy joinable threads) turns a startup fault
+      // into an ordinary exception rather than std::terminate.
+      shutdownAndJoin();
+      throw;
+    }
   }
 
   /// Drains the queue (every submitted task runs), then joins. A pending
   /// task exception that was never observed via wait() is swallowed —
   /// destructors must not throw.
-  ~ThreadPool() {
-    {
-      std::lock_guard<std::mutex> L(M);
-      Stopping = true;
-    }
-    HasWork.notify_all();
-    for (std::thread &W : Workers)
-      W.join();
-  }
+  ~ThreadPool() { shutdownAndJoin(); }
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
@@ -93,6 +106,17 @@ public:
   unsigned size() const { return static_cast<unsigned>(Workers.size()); }
 
 private:
+  void shutdownAndJoin() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stopping = true;
+    }
+    HasWork.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+    Workers.clear();
+  }
+
   void workerLoop() {
     std::unique_lock<std::mutex> L(M);
     for (;;) {
@@ -106,6 +130,9 @@ private:
       // below, or wait() would block on work that will never run.
       if (!Cancel || !Cancel->requested()) {
         try {
+          if (SWIFT_FAILPOINT("pool.task"))
+            throw std::runtime_error(
+                "injected task failure (pool.task)");
           Task();
         } catch (...) {
           std::lock_guard<std::mutex> EL(M);

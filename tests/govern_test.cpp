@@ -18,6 +18,7 @@
 #include "genprog/Fuzzer.h"
 #include "govern/Checkpoint.h"
 #include "govern/Governor.h"
+#include "support/FailPoint.h"
 #include "typestate/Runner.h"
 
 #include <gtest/gtest.h>
@@ -411,6 +412,50 @@ TEST(CheckpointTest, HybridResumeCoincidesWithTd) {
     ASSERT_FALSE(Resumed.Partial) << "seed " << Seed;
     EXPECT_EQ(Resumed.Run.ErrorSites, Td.ErrorSites) << "seed " << Seed;
     EXPECT_EQ(Resumed.Run.MainExit, Td.MainExit) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection: gov.tick simulates a sudden resource exhaustion
+//===----------------------------------------------------------------------===//
+
+TEST(GovernorTest, GovTickFailpointExhaustsAndLatchesRed) {
+  failpoint::ScopedArm Arm("gov.tick=nth(2)");
+  ResourceGovernor Gov(GovernorLimits{}); // everything unlimited
+  Gov.recompute();                        // hit 1: no fire
+  EXPECT_EQ(Gov.level(), Pressure::Green);
+  EXPECT_FALSE(Gov.budget().exhausted());
+  Gov.recompute(); // hit 2: injected exhaustion
+  EXPECT_TRUE(Gov.budget().exhausted());
+  EXPECT_EQ(Gov.level(), Pressure::Red);
+  EXPECT_TRUE(Gov.cancelToken().requested());
+  EXPECT_EQ(Gov.fraction(), 1.0);
+}
+
+TEST(GovernedRunTest, GovTickInjectionYieldsPartialButSoundResult) {
+  // An unlimited-budget run hit by an injected exhaustion behaves exactly
+  // like a genuine budget run-out: partial, and a sound subset.
+  for (uint64_t Seed : {1u, 3u, 5u}) {
+    std::unique_ptr<Program> Prog = generateFuzzProgram(fuzzCfg(Seed));
+    TsContext Ctx(*Prog, Prog->spec(0).name());
+    TsRunResult Td = runTypestateTd(Ctx);
+    ASSERT_FALSE(Td.Timeout);
+
+    // nth(1) fires at the solver's first governor poll — the only
+    // recompute a short run is guaranteed to reach before finishing.
+    failpoint::ScopedArm Arm("gov.tick=nth(1)");
+    TsGovernedResult G = runTypestateGoverned(Ctx, tdOptions());
+    EXPECT_TRUE(G.Partial) << "seed " << Seed;
+    EXPECT_EQ(G.Peak, Pressure::Red);
+    for (SiteId S : G.Run.ErrorSites)
+      EXPECT_TRUE(Td.ErrorSites.count(S))
+          << "seed " << Seed << ": injected-exhaustion run reported error @"
+          << S << " that the full run does not";
+    for (uint32_t S = 0; S != Prog->numSites(); ++S) {
+      if (Ctx.isTrackedSite(S)) {
+        EXPECT_NE(G.Verdicts[S], TsVerdict::Proved) << "seed " << Seed;
+      }
+    }
   }
 }
 

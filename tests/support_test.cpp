@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Cancellation.h"
+#include "support/FailPoint.h"
 #include "support/Hashing.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
@@ -20,8 +21,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
+#include <string>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
@@ -286,6 +289,92 @@ TEST(BudgetTest, ConcurrentSteppingRespectsCap) {
   // Relaxed atomics may overshoot by at most one step per racing thread.
   EXPECT_GE(Accepted.load(), Cap - NumThreads);
   EXPECT_LE(Accepted.load(), Cap + NumThreads);
+}
+
+//===----------------------------------------------------------------------===//
+// Failpoints
+//===----------------------------------------------------------------------===//
+
+TEST(FailPointTest, DisarmedIsInertAndCountsNothing) {
+  failpoint::disarmAll();
+  EXPECT_FALSE(failpoint::armed());
+  EXPECT_FALSE(SWIFT_FAILPOINT("never.armed"));
+  EXPECT_EQ(failpoint::hits("never.armed"), 0u);
+  EXPECT_TRUE(failpoint::armedNames().empty());
+}
+
+TEST(FailPointTest, NthFiresExactlyOnce) {
+  failpoint::ScopedArm Arm("fp.test.nth=nth(3)");
+  std::vector<bool> Fired;
+  for (int I = 0; I != 6; ++I)
+    Fired.push_back(SWIFT_FAILPOINT("fp.test.nth"));
+  EXPECT_EQ(Fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(failpoint::hits("fp.test.nth"), 6u);
+  EXPECT_EQ(failpoint::fires("fp.test.nth"), 1u);
+}
+
+TEST(FailPointTest, EveryNthRepeats) {
+  failpoint::ScopedArm Arm("fp.test.every=every(2)");
+  int Fires = 0;
+  for (int I = 0; I != 10; ++I)
+    Fires += SWIFT_FAILPOINT("fp.test.every");
+  EXPECT_EQ(Fires, 5);
+  EXPECT_EQ(failpoint::fires("fp.test.every"), 5u);
+}
+
+TEST(FailPointTest, ProbIsSeededAndDeterministic) {
+  std::vector<bool> First, Second;
+  {
+    failpoint::ScopedArm Arm("fp.test.prob=prob(0.5,42)");
+    for (int I = 0; I != 64; ++I)
+      First.push_back(SWIFT_FAILPOINT("fp.test.prob"));
+  }
+  {
+    failpoint::ScopedArm Arm("fp.test.prob=prob(0.5,42)");
+    for (int I = 0; I != 64; ++I)
+      Second.push_back(SWIFT_FAILPOINT("fp.test.prob"));
+  }
+  EXPECT_EQ(First, Second); // same seed, same sequence
+  int Fires = static_cast<int>(std::count(First.begin(), First.end(), true));
+  EXPECT_GT(Fires, 10); // p=.5 over 64 draws: wildly improbable to miss
+  EXPECT_LT(Fires, 54);
+}
+
+TEST(FailPointTest, SpecParsingMergesAndRejects) {
+  failpoint::ScopedArm Arm("a.b=nth(1);c.d=always");
+  std::vector<std::string> Names = failpoint::armedNames();
+  EXPECT_EQ(Names, (std::vector<std::string>{"a.b", "c.d"}));
+
+  // A malformed entry anywhere arms nothing new.
+  EXPECT_THROW(failpoint::armSpec("e.f=nth(1);oops"), std::runtime_error);
+  EXPECT_THROW(failpoint::armSpec("=nth(1)"), std::runtime_error);
+  EXPECT_THROW(failpoint::armSpec("x=nth(zero)"), std::runtime_error);
+  EXPECT_THROW(failpoint::armSpec("x=prob(1.5,1)"), std::runtime_error);
+  EXPECT_THROW(failpoint::armSpec("x=sometimes"), std::runtime_error);
+  EXPECT_EQ(failpoint::armedNames().size(), 2u);
+}
+
+TEST(ThreadPoolTest, WorkerStartupFaultDoesNotLeakThreads) {
+  // The second worker's constructor throws; the pool must join the first
+  // worker and surface an ordinary exception (not std::terminate).
+  failpoint::ScopedArm Arm("pool.worker.start=nth(2)");
+  EXPECT_THROW(ThreadPool(4), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, InjectedTaskFaultSurfacesViaWait) {
+  failpoint::ScopedArm Arm("pool.task=nth(2)");
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != 8; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // Exactly one task body was replaced by the injected fault; the queue
+  // still drained completely.
+  EXPECT_EQ(Ran.load(), 7);
+  Pool.submit([&Ran] { ++Ran; }); // the pool stays usable afterwards
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 8);
 }
 
 } // namespace

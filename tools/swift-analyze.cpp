@@ -24,6 +24,7 @@
 #include "govern/Checkpoint.h"
 #include "ir/Dumper.h"
 #include "support/CliParse.h"
+#include "support/FailPoint.h"
 #include "typestate/Context.h"
 
 #include <cstdio>
@@ -49,6 +50,7 @@ struct ToolOptions {
   uint64_t MemMb = UINT64_MAX;
   std::string CheckpointOut;
   std::string ResumeFrom;
+  std::string FailPoints;
   bool ShowHelp = false;
 };
 
@@ -68,6 +70,9 @@ const char *usageText() {
          "  --resume-from=F     resume from checkpoint F (the program and\n"
          "                      config come from the checkpoint; the\n"
          "                      positional input is not allowed)\n"
+         "  --failpoints=SPEC   arm fault-injection failpoints (see\n"
+         "                      docs/MANUAL.md section 8; also armed from\n"
+         "                      the SWIFT_FAILPOINTS environment variable)\n"
          "  --help              this text\n"
          "exit: 0 complete, 2 usage/input error, 3 partial result\n";
 }
@@ -127,6 +132,12 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
         return false;
       }
       O.ResumeFrom = V;
+    } else if (cli::matchValueFlag(A, "--failpoints=", V)) {
+      if (V.empty()) {
+        Err = "--failpoints needs a spec";
+        return false;
+      }
+      O.FailPoints = V;
     } else if (A == "--help") {
       O.ShowHelp = true;
     } else if (!A.empty() && A[0] == '-') {
@@ -166,6 +177,15 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  try {
+    failpoint::armFromEnv();
+    if (!O.FailPoints.empty())
+      failpoint::armSpec(O.FailPoints);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-analyze: %s\n%s", E.what(), usageText());
+    return 2;
+  }
+
   std::unique_ptr<Program> Prog;
   GovernedRunOptions GO;
   TsTabSnapshot Resume;
@@ -199,6 +219,12 @@ int main(int Argc, char **Argv) {
       GO.Config.AsyncBu = O.AsyncBu;
       GO.Config.Threads = O.Threads;
     }
+  } catch (const CheckpointLoadError &E) {
+    // Malformed *input*, not a usage error: name the failing file and the
+    // typed kind, and do not print the usage text. Exit code stays 2.
+    std::fprintf(stderr, "swift-analyze: malformed checkpoint '%s': %s\n",
+                 O.ResumeFrom.c_str(), E.what());
+    return 2;
   } catch (const std::exception &E) {
     std::fprintf(stderr, "swift-analyze: %s\n", E.what());
     return 2;

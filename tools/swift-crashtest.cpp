@@ -1,0 +1,328 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// swift-crashtest — the crash-recovery campaign. For each fuzz seed it
+/// exhausts a governed TD run on a tiny step budget and saves checkpoint
+/// A, then for every kill schedule it forks a child that resumes from A
+/// and tries to save the successor checkpoint B over the same path with
+/// a '!kill' failpoint armed somewhere inside the save (open, the Nth
+/// write chunk, fsync, close, rename) — the child dies mid-write exactly
+/// as on a power cut. The parent then asserts the crash-safety contract:
+///
+///  1. the surviving file loads cleanly (magic/length/CRC validate), and
+///  2. it is byte-identical to either the complete old checkpoint A or
+///     the complete new checkpoint B — never a torn mix, and
+///  3. resuming from the surviving file with an unlimited budget yields
+///     exactly the uninterrupted run's results (the PR 3 resume-
+///     coincidence oracle, extended to post-crash states).
+///
+/// Exit code: 0 all seeds clean, 1 contract violation, 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "difftest/Difftest.h"
+#include "framework/Tabulation.h"
+#include "govern/Checkpoint.h"
+#include "ir/Dumper.h"
+#include "support/AtomicFile.h"
+#include "support/CliParse.h"
+#include "support/FailPoint.h"
+#include "typestate/Context.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace swift;
+
+namespace {
+
+struct ToolOptions {
+  uint64_t Seeds = 25;
+  uint64_t FirstSeed = 1;
+  uint64_t Steps = 40; ///< Phase-1 budget that provokes the checkpoint.
+  std::string OutDir = "results/crashtest";
+  bool ShowHelp = false;
+};
+
+/// Kill positions inside saveCheckpointFile. nth(N) on the write chunk
+/// moves the crash through the payload (512-byte chunks); the others hit
+/// the open / fsync / close / rename edges.
+const char *const KillSchedules[] = {
+    "ckpt.save.open=nth(1)!kill",  "ckpt.save.write=nth(1)!kill",
+    "ckpt.save.write=nth(2)!kill", "ckpt.save.write=nth(4)!kill",
+    "ckpt.save.flush=nth(1)!kill", "ckpt.save.close=nth(1)!kill",
+    "ckpt.save.rename=nth(1)!kill"};
+
+const char *usageText() {
+  return "usage: swift-crashtest [options]\n"
+         "  --seeds=N       fuzz seeds to test (default 25)\n"
+         "  --first-seed=N  first seed (default 1)\n"
+         "  --steps=N       step budget provoking the first checkpoint\n"
+         "                  (default 40)\n"
+         "  --out-dir=DIR   scratch directory (default results/crashtest)\n"
+         "  --help          this text\n"
+         "exit: 0 clean, 1 crash-safety violation, 2 usage error\n";
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view V;
+    if (cli::matchValueFlag(A, "--seeds=", V)) {
+      if (!cli::parseU64(V, O.Seeds) || O.Seeds == 0) {
+        Err = "invalid --seeds value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--first-seed=", V)) {
+      if (!cli::parseU64(V, O.FirstSeed)) {
+        Err = "invalid --first-seed value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--steps=", V)) {
+      if (!cli::parseU64(V, O.Steps) || O.Steps == 0) {
+        Err = "invalid --steps value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--out-dir=", V)) {
+      if (V.empty()) {
+        Err = "--out-dir needs a path";
+        return false;
+      }
+      O.OutDir = V;
+    } else if (A == "--help") {
+      O.ShowHelp = true;
+    } else {
+      Err = "unknown flag '" + std::string(A) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+GovernedRunOptions tdOptions(uint64_t MaxSteps) {
+  GovernedRunOptions GO;
+  GO.Config.K = NoBuTrigger; // pure TD: single-threaded, fork-safe,
+  GO.Config.Theta = 1;       // and bit-identical resume guaranteed
+  GO.Limits.MaxSteps = MaxSteps;
+  return GO;
+}
+
+/// Loads the checkpoint at \p Path and resumes it under \p MaxSteps.
+/// On exhaustion (and with \p SavePath nonempty) saves the successor
+/// checkpoint over \p SavePath.
+TsGovernedResult resumeFromFile(const std::string &Path, uint64_t MaxSteps,
+                                const std::string &SavePath) {
+  ParsedCheckpoint PC = loadCheckpointFile(Path);
+  TsContext Ctx(*PC.Prog,
+                PC.Prog->symbols().intern(PC.Checkpoint.TrackedClass));
+  GovernedRunOptions GO = tdOptions(MaxSteps);
+  GO.Config = PC.Checkpoint.Config;
+  GO.ResumeFrom = &PC.Checkpoint.Snapshot;
+  TsTabSnapshot Out;
+  GO.CheckpointOut = &Out;
+  TsGovernedResult G = runTypestateGoverned(Ctx, GO);
+  if (G.Partial && !SavePath.empty()) {
+    TsCheckpoint C;
+    C.Config = GO.Config;
+    C.TrackedClass = PC.Checkpoint.TrackedClass;
+    C.StepsConsumed = Out.StepsConsumed;
+    C.Snapshot = std::move(Out);
+    saveCheckpointFile(SavePath, *PC.Prog, C);
+  }
+  return G;
+}
+
+struct SeedStats {
+  uint64_t Tested = 0;    ///< Seeds whose phase-1 run went partial.
+  uint64_t Completed = 0; ///< Seeds that finished under the tiny budget.
+  uint64_t KillsLanded = 0;
+  uint64_t ChildCompleted = 0;
+  uint64_t Violations = 0;
+};
+
+bool coincides(const TsGovernedResult &A, const TsGovernedResult &B) {
+  return A.Run.ErrorSites == B.Run.ErrorSites &&
+         A.Run.ErrorPoints == B.Run.ErrorPoints &&
+         A.Run.MainExit == B.Run.MainExit &&
+         A.Run.TdSummaries == B.Run.TdSummaries &&
+         A.Verdicts == B.Verdicts;
+}
+
+void reportViolation(SeedStats &St, uint64_t Seed, const char *Schedule,
+                     const std::string &What) {
+  ++St.Violations;
+  std::printf("seed %llu [%s]: VIOLATION: %s\n",
+              static_cast<unsigned long long>(Seed), Schedule, What.c_str());
+}
+
+void runSeed(uint64_t Seed, const ToolOptions &O, SeedStats &St) {
+  // Normalise the generated program through one text round trip so its
+  // symbol table matches what every checkpoint reload will reconstruct.
+  // parseProgramText interns symbols in textual order, which can differ
+  // from generation order; print/parse is a fixed point after one pass,
+  // so the reference run and all resumed runs share identical symbol
+  // ids and coincides() can compare abstract states exactly.
+  std::unique_ptr<Program> Prog = parseProgramText(
+      programToText(*generateFuzzProgram(difftest::fuzzConfigForSeed(Seed))));
+  TsContext Ctx(*Prog, Prog->spec(0).name());
+
+  // The uninterrupted reference run every recovery must coincide with.
+  TsGovernedResult Full = runTypestateGoverned(Ctx, tdOptions(UINT64_MAX));
+
+  // Phase 1: exhaust on the tiny budget, save checkpoint A.
+  GovernedRunOptions GO = tdOptions(O.Steps);
+  TsTabSnapshot Snap;
+  GO.CheckpointOut = &Snap;
+  TsGovernedResult G = runTypestateGoverned(Ctx, GO);
+  if (!G.Partial) {
+    ++St.Completed;
+    return;
+  }
+  ++St.Tested;
+
+  std::string CkPath =
+      O.OutDir + "/seed" + std::to_string(Seed) + ".swiftckpt";
+  TsCheckpoint A;
+  A.Config = GO.Config;
+  A.TrackedClass = Prog->symbols().text(Prog->spec(0).name());
+  A.StepsConsumed = Snap.StepsConsumed;
+  A.Snapshot = std::move(Snap);
+  saveCheckpointFile(CkPath, *Prog, A);
+  const std::string TextA = readWholeFile(CkPath);
+
+  // What the successor checkpoint B will be, byte for byte: the child's
+  // resume is deterministic (single-threaded, step-limited), so a dry
+  // run over a scratch path predicts it exactly.
+  const uint64_t ResumeSteps = std::max<uint64_t>(4, O.Steps / 2);
+  std::string DryPath = CkPath + ".dry";
+  writeFileAtomic(DryPath, TextA, "crashtest.scratch");
+  TsGovernedResult Dry = resumeFromFile(DryPath, ResumeSteps, DryPath);
+  const std::string TextB = Dry.Partial ? readWholeFile(DryPath) : "";
+  ::unlink(DryPath.c_str());
+
+  for (const char *Schedule : KillSchedules) {
+    // Fresh A on disk, then crash a child mid-save of B.
+    writeFileAtomic(CkPath, TextA, "crashtest.scratch");
+
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      reportViolation(St, Seed, Schedule, "fork failed");
+      return;
+    }
+    if (Pid == 0) {
+      // Child: arm the kill and redo the resume+save. _exit keeps the
+      // parent's stdio buffers from double-flushing.
+      try {
+        failpoint::armSpec(Schedule);
+        resumeFromFile(CkPath, ResumeSteps, CkPath);
+      } catch (...) {
+        ::_exit(3);
+      }
+      ::_exit(0);
+    }
+
+    int Status = 0;
+    if (::waitpid(Pid, &Status, 0) != Pid || !WIFEXITED(Status)) {
+      reportViolation(St, Seed, Schedule,
+                      "child did not exit normally (signal?)");
+      continue;
+    }
+    int Code = WEXITSTATUS(Status);
+    if (Code == failpoint::KillExitCode)
+      ++St.KillsLanded;
+    else if (Code == 0)
+      ++St.ChildCompleted; // schedule beyond the save's chunk count
+    else {
+      reportViolation(St, Seed, Schedule,
+                      "child failed with exit " + std::to_string(Code));
+      continue;
+    }
+
+    // Contract 1+2: the survivor is a complete, valid old-or-new file.
+    std::string Survivor;
+    try {
+      Survivor = readWholeFile(CkPath);
+      (void)parseCheckpointFile(Survivor);
+    } catch (const std::exception &E) {
+      reportViolation(St, Seed, Schedule,
+                      std::string("surviving checkpoint unusable: ") +
+                          E.what());
+      continue;
+    }
+    if (Survivor != TextA && (TextB.empty() || Survivor != TextB)) {
+      reportViolation(St, Seed, Schedule,
+                      "surviving checkpoint is neither the old nor the "
+                      "new snapshot (torn write?)");
+      continue;
+    }
+
+    // Contract 3: recovery coincides with the uninterrupted run.
+    try {
+      TsGovernedResult Rec = resumeFromFile(CkPath, UINT64_MAX, "");
+      if (Rec.Partial || !coincides(Rec, Full))
+        reportViolation(St, Seed, Schedule,
+                        "post-crash resume diverges from the "
+                        "uninterrupted run");
+    } catch (const std::exception &E) {
+      reportViolation(St, Seed, Schedule,
+                      std::string("post-crash resume failed: ") + E.what());
+    }
+  }
+  ::unlink(CkPath.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions O;
+  std::string Err;
+  if (!parseArgs(Argc, Argv, O, Err)) {
+    std::fprintf(stderr, "swift-crashtest: %s\n%s", Err.c_str(),
+                 usageText());
+    return 2;
+  }
+  if (O.ShowHelp) {
+    std::fputs(usageText(), stdout);
+    return 0;
+  }
+
+  std::error_code EC;
+  std::filesystem::create_directories(O.OutDir, EC);
+  if (EC) {
+    std::fprintf(stderr, "swift-crashtest: cannot create '%s': %s\n",
+                 O.OutDir.c_str(), EC.message().c_str());
+    return 2;
+  }
+
+  SeedStats St;
+  for (uint64_t Seed = O.FirstSeed; Seed != O.FirstSeed + O.Seeds; ++Seed)
+    runSeed(Seed, O, St);
+
+  std::printf("%llu seed(s): %llu crash-tested, %llu completed under the "
+              "budget; %llu kill(s) landed, %llu child save(s) ran to "
+              "completion; %llu violation(s)\n",
+              static_cast<unsigned long long>(St.Tested + St.Completed),
+              static_cast<unsigned long long>(St.Tested),
+              static_cast<unsigned long long>(St.Completed),
+              static_cast<unsigned long long>(St.KillsLanded),
+              static_cast<unsigned long long>(St.ChildCompleted),
+              static_cast<unsigned long long>(St.Violations));
+  if (St.Violations)
+    return 1;
+  if (St.Tested && !St.KillsLanded)
+    // The harness must actually provoke crashes to certify anything.
+    std::printf("warning: no kill schedule landed; raise --steps so "
+                "checkpoints span more write chunks\n");
+  return 0;
+}

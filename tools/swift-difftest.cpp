@@ -22,6 +22,7 @@
 
 #include "difftest/Difftest.h"
 #include "support/CliParse.h"
+#include "support/FailPoint.h"
 #include "typestate/Transfer.h"
 
 #include <cstdio>
@@ -193,6 +194,12 @@ int main(int Argc, char **Argv) {
   }
   if (O.InjectBug)
     test::InjectTsCallWeakUpdateBug.store(true);
+  try {
+    failpoint::armFromEnv();
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-difftest: %s\n", E.what());
+    return 2;
+  }
 
   return O.ReplayPath.empty() ? campaign(O) : replay(O);
 }
