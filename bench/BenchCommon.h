@@ -13,6 +13,9 @@
 ///                      for the paper's 24 h / 16 GB limit)
 ///   --bench=NAME       restrict to one workload
 ///   --threads=N        worker threads per bottom-up solve (default 1)
+///   --trace-out=F      write a Chrome/Perfetto trace of the whole bench
+///                      run to F (flushed at exit; MANUAL section 9)
+///   --metrics-out=F    write a swift-metrics JSON snapshot to F
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,12 +24,15 @@
 
 #include "genprog/Generator.h"
 #include "genprog/Workloads.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/CliParse.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 #include "typestate/Runner.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <string_view>
@@ -39,11 +45,14 @@ struct Options {
   uint64_t BudgetSteps = 200'000'000;
   std::string Only;     ///< Restrict to one workload name.
   unsigned Threads = 1; ///< Worker threads per bottom-up solve.
+  std::string TraceOut;   ///< Chrome trace output path (empty = off).
+  std::string MetricsOut; ///< swift-metrics snapshot path (empty = off).
   bool ShowHelp = false;
 };
 
 inline const char *optionsUsage() {
-  return "[--budget=SECONDS] [--bench=NAME] [--threads=N]";
+  return "[--budget=SECONDS] [--bench=NAME] [--threads=N] "
+         "[--trace-out=F] [--metrics-out=F]";
 }
 
 /// Strict flag parsing: numeric values are validated (no atoi — "-1" or
@@ -68,6 +77,18 @@ inline bool parseOptionsInto(int Argc, char **Argv, Options &O,
               "' (want an integer in [1, 1024])";
         return false;
       }
+    } else if (cli::matchValueFlag(A, "--trace-out=", V)) {
+      if (V.empty()) {
+        Err = "--trace-out needs a file path";
+        return false;
+      }
+      O.TraceOut = V;
+    } else if (cli::matchValueFlag(A, "--metrics-out=", V)) {
+      if (V.empty()) {
+        Err = "--metrics-out needs a file path";
+        return false;
+      }
+      O.MetricsOut = V;
     } else if (A == "--help") {
       O.ShowHelp = true;
     } else {
@@ -78,8 +99,39 @@ inline bool parseOptionsInto(int Argc, char **Argv, Options &O,
   return true;
 }
 
+/// Enables tracing/metrics per \p O and registers an atexit flusher, so
+/// every bench binary gets --trace-out/--metrics-out without per-main
+/// plumbing. An observability write failure warns on stderr only.
+inline void initObservability(const Options &O) {
+  static std::string TracePath;   // Read by the atexit handler.
+  static std::string MetricsPath; // Read by the atexit handler.
+  if (O.TraceOut.empty() && O.MetricsOut.empty())
+    return;
+  TracePath = O.TraceOut;
+  MetricsPath = O.MetricsOut;
+  if (!TracePath.empty())
+    obs::TraceRecorder::instance().start();
+  if (!MetricsPath.empty())
+    obs::MetricsRegistry::instance().enable();
+  std::atexit(+[] {
+    std::string Err;
+    if (!TracePath.empty()) {
+      obs::TraceRecorder::instance().stop();
+      if (!obs::TraceRecorder::instance().flushToFile(TracePath, &Err))
+        std::fprintf(stderr, "warning: trace write failed: %s\n",
+                     Err.c_str());
+    }
+    if (!MetricsPath.empty() &&
+        !obs::MetricsRegistry::instance().writeSnapshot(MetricsPath,
+                                                        nullptr, &Err))
+      std::fprintf(stderr, "warning: metrics write failed: %s\n",
+                   Err.c_str());
+  });
+}
+
 /// parseOptionsInto with the standard CLI behavior: prints usage and exits
-/// 0 on --help, prints the error and exits 2 on a bad flag.
+/// 0 on --help, prints the error and exits 2 on a bad flag. Also arms
+/// tracing/metrics when the flags ask for them.
 inline Options parseOptions(int Argc, char **Argv) {
   Options O;
   std::string Err;
@@ -92,6 +144,7 @@ inline Options parseOptions(int Argc, char **Argv) {
     std::printf("usage: %s %s\n", Argv[0], optionsUsage());
     std::exit(0);
   }
+  initObservability(O);
   return O;
 }
 

@@ -43,6 +43,7 @@
 #include "govern/Governor.h"
 #include "ir/CallGraph.h"
 #include "ir/Program.h"
+#include "obs/Trace.h"
 #include "support/Cancellation.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -249,6 +250,11 @@ private:
   /// Iterates one SCC's members until their summaries stabilize (charging
   /// \p S). Precondition: every callee SCC's summaries are final.
   bool solveScc(const std::vector<ProcId> &Members, Stats &S) {
+    // One span per SCC: in the wavefront these land on the worker thread
+    // that ran the group, so per-worker utilization reads directly off
+    // the trace timeline.
+    obs::TraceSpan SccSpan("bu", "bu.scc", {"proc", Members.front()},
+                           {"members", Members.size()});
     bool Changed = true;
     uint64_t Iters = 0;
     while (Changed) {
@@ -290,6 +296,9 @@ private:
   /// the happens-before edge from a callee group's summary writes to its
   /// dependents' reads).
   bool runWavefront(const std::vector<std::vector<ProcId>> &Groups) {
+    obs::TraceSpan WaveSpan("bu", "bu.wavefront",
+                            {"groups", Groups.size()},
+                            {"threads", Threads});
     size_t N = Groups.size();
     std::unordered_map<size_t, size_t> GroupOf; // SCC index -> position.
     for (size_t I = 0; I != N; ++I)

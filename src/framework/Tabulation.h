@@ -39,7 +39,18 @@
 /// guarded by Sigma, and the top-down route is always available
 /// (Theorem 3.1). Budget consumption is attributed per phase in Stats
 /// (budget.td_steps / budget.sync_bu_steps / budget.async_bu_steps) so a
-/// timeout report says where the budget went.
+/// timeout report says where the budget went; steps burned by an
+/// asynchronous run that was cancelled mid-flight (Red latch or budget
+/// exhaustion) and installed nothing are shed work, recorded under
+/// gov.cancelled_bu_steps / gov.bu_cancelled instead of the productive
+/// async-BU phase.
+///
+/// Observability (src/obs): when tracing is enabled the solver emits a
+/// "td.run" span, "bu.sync"/"bu.async" spans per bottom-up run,
+/// per-procedure "bu.serve"/"bu.fallback"/"bu.install" instants,
+/// "swift.k_trip" trigger instants, "gov.shed" instants, and a periodic
+/// "td.path_edges" counter track. Every site is a single relaxed atomic
+/// load when tracing is off.
 ///
 /// snapshot()/restore() capture and re-seed the solver's mutable state
 /// for checkpoint/resume of budget-limited runs; see TabSnapshot.h for
@@ -55,6 +66,7 @@
 #include "govern/Governor.h"
 #include "ir/CallGraph.h"
 #include "ir/Program.h"
+#include "obs/Trace.h"
 #include "support/Hashing.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
@@ -134,6 +146,7 @@ public:
   /// summary, and observation present at exhaustion is present in the
   /// full fixpoint too.
   bool run() {
+    obs::TraceSpan RunSpan("td", "td.run");
     ProcId Main = Prog.mainProc();
     EverCalled[Main] = true;
     propagate(Main, Prog.proc(Main).entry(), intern(AN::lambda()),
@@ -378,7 +391,11 @@ private:
     Edge E{N, Entry, Cur};
     if (!Edges[P].Set.insert(E).second)
       return;
-    ++Stat.counter(CtrPathEdges);
+    uint64_t NEdges = ++Stat.counter(CtrPathEdges);
+    // Path-edge growth curve, sampled sparsely to keep the innermost
+    // propagation free of per-edge trace events.
+    if (obs::tracingEnabled() && (NEdges & 1023) == 0)
+      obs::counterEvent("td.path_edges", "edges", NEdges);
     // Hash-set node plus the worklist entry, roughly.
     if (Cfg.Gov)
       Cfg.Gov->charge(3 * sizeof(Edge));
@@ -455,7 +472,10 @@ private:
       if (Bu[G] &&
           !(Cfg.ObservationManifest ? Bu[G]->SigmaAll : Bu[G]->Sigma)
                .contains(Ctx, EntryState)) {
-        ++Stat.counter(CtrBuServedCalls);
+        uint64_t Served = ++Stat.counter(CtrBuServedCalls);
+        obs::instant("td", "bu.serve", {"callee", G}, {"caller", P});
+        if (obs::tracingEnabled() && (Served & 63) == 0)
+          obs::counterEvent("bu.served_calls", "calls", Served);
         if (AN::isLambda(EntryState) && Bu[G]->LambdaExit)
           applyAfter(P, E, Node, B, States[E.Cur], EntryState);
         for (const Rel &R : Bu[G]->Rels)
@@ -469,8 +489,12 @@ private:
         continue;
       }
 
-      if (Bu[G])
+      if (Bu[G]) {
+        // A Sigma hit: the summary exists but its ignore set covers this
+        // entry state, so the call takes the top-down route.
         ++Stat.counter(CtrBuFallbackCalls);
+        obs::instant("td", "bu.fallback", {"callee", G}, {"caller", P});
+      }
 
       // Top-down route: register for resumption and seed the callee.
       Dependents[G][EntryId].push_back(Caller{P, E.Node, E.Entry, E.Cur});
@@ -481,8 +505,11 @@ private:
           applyAfter(P, E, Node, B, States[E.Cur], States[ExitId]);
 
       // The SWIFT trigger (Algorithm 1, line 17).
-      if (Cfg.K != NoBuTrigger && !Bu[G] && Incoming[G].size() > Cfg.K)
+      if (Cfg.K != NoBuTrigger && !Bu[G] && Incoming[G].size() > Cfg.K) {
+        obs::instant("td", "swift.k_trip", {"proc", G},
+                     {"incoming", Incoming[G].size()});
         tryRunBu(G);
+      }
     }
   }
 
@@ -528,6 +555,7 @@ private:
     Pressure L = Cfg.Gov->poll();
     if (L == Pressure::Red && !GovShedDone) {
       GovShedDone = true;
+      obs::instant("gov", "gov.shed");
       for (auto &B : Bu)
         if (B) {
           B.reset();
@@ -600,6 +628,8 @@ private:
         (*Freq)[Q].emplace(States[StateId], Count);
 
     if (!Cfg.AsyncBu) {
+      obs::TraceSpan BuSpan("bu", "bu.sync", {"root", G},
+                            {"frontier", F.size()});
       Timer BuTimer;
       // Local stats: the run's bu.steps are re-attributed to the
       // synchronous-phase budget counter before merging.
@@ -639,8 +669,11 @@ private:
     bool Manifest = Cfg.ObservationManifest;
     unsigned BuThreads = Cfg.BuThreads;
     ResourceGovernor *Gov = Cfg.Gov;
+    uint64_t Root = G;
     J->Worker = std::thread([J, Freq, CtxPtr, ProgPtr, CGPtr, BudPtr,
-                             Theta, Manifest, BuThreads, Gov]() {
+                             Theta, Manifest, BuThreads, Gov, Root]() {
+      obs::TraceSpan BuSpan("bu", "bu.async", {"root", Root},
+                            {"frontier", J->F.size()});
       Timer BuTimer;
       RelationalSolver<AN> Solver(
           *CtxPtr, *ProgPtr, *CGPtr, Theta,
@@ -662,6 +695,8 @@ private:
 
   void install(ProcId Q, BuSummary Summary) {
     Bu[Q] = std::move(Summary);
+    obs::instant("td", "bu.install", {"proc", Q},
+                 {"rels", Bu[Q]->Rels.size()});
     Stat.counter(CtrBuSummaryRels) += Bu[Q]->Rels.size();
     Stat.counter(CtrBuSummarySigma) += Bu[Q]->SigmaAll.size();
     if (Cfg.Gov) {
@@ -693,8 +728,18 @@ private:
       for (size_t K = 0; K != Job.F.size(); ++K)
         install(Job.F[K], std::move(Job.Results[K]));
       ++Stat.counter(CtrBuTriggers);
+      Stat.counter(CtrAsyncBuSteps) += Job.WorkerStats.get("bu.steps");
+    } else {
+      // Cancelled mid-flight (Red latch) or budget-exhausted: nothing was
+      // installed, and the top-down analysis re-spends budget on the very
+      // calls this run was meant to serve. Attributing the partial steps
+      // to budget.async_bu_steps would double-count them against the
+      // productive async phase; they are shed work, recorded under gov.*.
+      Stat.counter(CtrGovCancelledSteps) += Job.WorkerStats.get("bu.steps");
+      ++Stat.counter(CtrGovBuCancelled);
+      obs::instant("gov", "gov.bu_cancelled",
+                   {"steps", Job.WorkerStats.get("bu.steps")});
     }
-    Stat.counter(CtrAsyncBuSteps) += Job.WorkerStats.get("bu.steps");
     Stat.merge(Job.WorkerStats);
     AsyncJobs.erase(AsyncJobs.begin() + I);
   }
@@ -763,6 +808,11 @@ private:
   Stats::Counter CtrGovBuSuppressed = Stats::id("gov.bu_suppressed");
   Stats::Counter CtrGovThetaShrunk = Stats::id("gov.theta_shrunk");
   Stats::Counter CtrGovShedSummaries = Stats::id("gov.shed_summaries");
+  // Shed async work: cancelled runs' step spend is *not* part of the
+  // budget.* phase partition (those counters cover work that produced
+  // installed summaries or top-down facts).
+  Stats::Counter CtrGovBuCancelled = Stats::id("gov.bu_cancelled");
+  Stats::Counter CtrGovCancelledSteps = Stats::id("gov.cancelled_bu_steps");
 };
 
 } // namespace swift

@@ -42,6 +42,8 @@
 #ifndef SWIFT_GOVERN_GOVERNOR_H
 #define SWIFT_GOVERN_GOVERNOR_H
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Cancellation.h"
 #include "support/FailPoint.h"
 #include "support/Timer.h"
@@ -148,6 +150,7 @@ public:
       Bud.exhaust();
       latch(Pressure::Red);
       LastFraction = 1.0;
+      samplePressure();
       return;
     }
     double F = 0.0;
@@ -160,6 +163,7 @@ public:
       F = std::max(F, static_cast<double>(memoryBytes()) /
                           static_cast<double>(Lim.MaxMemoryBytes));
     LastFraction = F;
+    samplePressure();
     if (F >= Lim.RedAt)
       latch(Pressure::Red);
     else if (F >= Lim.YellowAt)
@@ -175,16 +179,34 @@ public:
   double fraction() const { return LastFraction; }
 
 private:
+  /// Emits one point on the governor pressure timeline (percent of the
+  /// nearest limit) to the trace and the "gov.pressure_pct" gauge.
+  void samplePressure() {
+    uint64_t Pct = static_cast<uint64_t>(LastFraction * 100.0);
+    if (obs::metricsEnabled())
+      PressurePct->set(Pct);
+    obs::counterEvent("gov.pressure", "pct", Pct);
+  }
+
   /// Ratchets the level up to at least \p P; Red requests cancellation.
   /// Release ordering pairs with level()'s acquire so a worker seeing Red
   /// also sees every write the governor's thread made before latching.
   void latch(Pressure P) {
     int Want = static_cast<int>(P);
     int Cur = Level.load(std::memory_order_relaxed);
-    while (Cur < Want && !Level.compare_exchange_weak(
-                             Cur, Want, std::memory_order_release,
-                             std::memory_order_relaxed)) {
+    bool Raised = false;
+    while (Cur < Want) {
+      if (Level.compare_exchange_weak(Cur, Want, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        Raised = true;
+        break;
+      }
     }
+    // The winning transition (not re-latches at the same level) is a
+    // ladder instant in the trace.
+    if (Raised)
+      obs::instant("gov", "gov.latch",
+                   {"level", static_cast<uint64_t>(Want)});
     if (P == Pressure::Red)
       Cancel.request();
   }
@@ -197,6 +219,9 @@ private:
   std::atomic<int> Level{static_cast<int>(Pressure::Green)};
   uint64_t PollCount = 0;    ///< poll()ing thread only.
   double LastFraction = 0.0; ///< poll()ing thread only.
+  /// Interned once; sampled lock-free by samplePressure().
+  obs::Gauge *PressurePct =
+      obs::MetricsRegistry::instance().gauge("gov.pressure_pct");
 };
 
 } // namespace swift

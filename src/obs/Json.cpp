@@ -1,0 +1,355 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent JSON parser and compact serializer (see Json.h for
+/// the supported subset).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace swift {
+namespace obs {
+namespace json {
+
+namespace {
+
+constexpr int MaxDepth = 64;
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : T(Text) {}
+
+  Value run() {
+    Value V = parseValue(0);
+    skipWs();
+    if (Pos != T.size())
+      fail("trailing garbage after JSON value");
+    return V;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string &Msg) {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(Pos) + ": " + Msg);
+  }
+
+  void skipWs() {
+    while (Pos < T.size() && (T[Pos] == ' ' || T[Pos] == '\t' ||
+                              T[Pos] == '\n' || T[Pos] == '\r'))
+      ++Pos;
+  }
+
+  char peek() {
+    if (Pos >= T.size())
+      fail("unexpected end of input");
+    return T[Pos];
+  }
+
+  void expect(char C) {
+    if (peek() != C)
+      fail(std::string("expected '") + C + "'");
+    ++Pos;
+  }
+
+  bool consumeLiteral(std::string_view Lit) {
+    if (T.substr(Pos, Lit.size()) != Lit)
+      return false;
+    Pos += Lit.size();
+    return true;
+  }
+
+  Value parseValue(int Depth) {
+    if (Depth > MaxDepth)
+      fail("nesting too deep");
+    skipWs();
+    char C = peek();
+    Value V;
+    switch (C) {
+    case '{': {
+      ++Pos;
+      V.K = Value::Kind::Object;
+      skipWs();
+      if (peek() == '}') {
+        ++Pos;
+        return V;
+      }
+      for (;;) {
+        skipWs();
+        std::string Key = parseString();
+        skipWs();
+        expect(':');
+        V.Obj.emplace_back(std::move(Key), parseValue(Depth + 1));
+        skipWs();
+        char D = peek();
+        ++Pos;
+        if (D == '}')
+          return V;
+        if (D != ',')
+          fail("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++Pos;
+      V.K = Value::Kind::Array;
+      skipWs();
+      if (peek() == ']') {
+        ++Pos;
+        return V;
+      }
+      for (;;) {
+        V.Arr.push_back(parseValue(Depth + 1));
+        skipWs();
+        char D = peek();
+        ++Pos;
+        if (D == ']')
+          return V;
+        if (D != ',')
+          fail("expected ',' or ']' in array");
+      }
+    }
+    case '"':
+      V.K = Value::Kind::String;
+      V.Str = parseString();
+      return V;
+    case 't':
+      if (!consumeLiteral("true"))
+        fail("bad literal");
+      V.K = Value::Kind::Bool;
+      V.B = true;
+      return V;
+    case 'f':
+      if (!consumeLiteral("false"))
+        fail("bad literal");
+      V.K = Value::Kind::Bool;
+      V.B = false;
+      return V;
+    case 'n':
+      if (!consumeLiteral("null"))
+        fail("bad literal");
+      return V;
+    default:
+      return parseNumber();
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string Out;
+    for (;;) {
+      if (Pos >= T.size())
+        fail("unterminated string");
+      char C = T[Pos++];
+      if (C == '"')
+        return Out;
+      if (static_cast<unsigned char>(C) < 0x20)
+        fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= T.size())
+        fail("unterminated escape");
+      char E = T[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > T.size())
+          fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = T[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            fail("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode (BMP only; a lone surrogate encodes as-is, which
+        // round-trips our own output — we never emit surrogates).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        fail("unknown escape");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    size_t Start = Pos;
+    if (Pos < T.size() && T[Pos] == '-')
+      ++Pos;
+    while (Pos < T.size() &&
+           (std::isdigit(static_cast<unsigned char>(T[Pos])) ||
+            T[Pos] == '.' || T[Pos] == 'e' || T[Pos] == 'E' ||
+            T[Pos] == '+' || T[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      fail("expected a value");
+    std::string Num(T.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size())
+      fail("malformed number '" + Num + "'");
+    Value V;
+    V.K = Value::Kind::Number;
+    V.Num = D;
+    return V;
+  }
+
+  std::string_view T;
+  size_t Pos = 0;
+};
+
+void dumpString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void dumpInto(std::string &Out, const Value &V) {
+  switch (V.K) {
+  case Value::Kind::Null:
+    Out += "null";
+    return;
+  case Value::Kind::Bool:
+    Out += V.B ? "true" : "false";
+    return;
+  case Value::Kind::Number: {
+    char Buf[40];
+    double I;
+    if (std::modf(V.Num, &I) == 0.0 && std::abs(V.Num) < 1e15)
+      std::snprintf(Buf, sizeof(Buf), "%.0f", V.Num);
+    else
+      std::snprintf(Buf, sizeof(Buf), "%.17g", V.Num);
+    Out += Buf;
+    return;
+  }
+  case Value::Kind::String:
+    dumpString(Out, V.Str);
+    return;
+  case Value::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Value &E : V.Arr) {
+      if (!First)
+        Out += ',';
+      First = false;
+      dumpInto(Out, E);
+    }
+    Out += ']';
+    return;
+  }
+  case Value::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[K, E] : V.Obj) {
+      if (!First)
+        Out += ',';
+      First = false;
+      dumpString(Out, K);
+      Out += ':';
+      dumpInto(Out, E);
+    }
+    Out += '}';
+    return;
+  }
+  }
+}
+
+} // namespace
+
+const Value *Value::find(std::string_view Key) const {
+  for (const auto &[K, V] : Obj)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+uint64_t Value::asU64() const {
+  if (K != Kind::Number || Num < 0)
+    return 0;
+  return static_cast<uint64_t>(Num);
+}
+
+Value parse(std::string_view Text) { return Parser(Text).run(); }
+
+std::string dump(const Value &V) {
+  std::string Out;
+  dumpInto(Out, V);
+  return Out;
+}
+
+} // namespace json
+} // namespace obs
+} // namespace swift

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal JSON value model + recursive-descent parser, just enough to
+/// round-trip the trace and metrics files this repo emits (obs_test's
+/// parse-validation and the swift-tracecat merger). Not a general-purpose
+/// JSON library: numbers are doubles, no \uXXXX surrogate pairs beyond
+/// the BMP, object key order is preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_OBS_JSON_H
+#define SWIFT_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swift {
+namespace obs {
+namespace json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj; ///< Insertion order.
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// First member with \p Key, or nullptr.
+  const Value *find(std::string_view Key) const;
+
+  /// Num truncated to uint64_t (0 for non-numbers or negatives).
+  uint64_t asU64() const;
+};
+
+/// Parses \p Text (must be a single JSON value plus optional trailing
+/// whitespace). Throws std::runtime_error with a byte offset on
+/// malformed input; nesting is depth-limited.
+Value parse(std::string_view Text);
+
+/// Serializes \p V (compact, no insignificant whitespace). Integral
+/// numbers print without a decimal point.
+std::string dump(const Value &V);
+
+} // namespace json
+} // namespace obs
+} // namespace swift
+
+#endif // SWIFT_OBS_JSON_H

@@ -1,0 +1,175 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MetricsRegistry interning and the swift-metrics v1 JSON snapshot.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/AtomicFile.h"
+
+#include <cstdio>
+
+namespace swift {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> MetricsOn{false};
+} // namespace detail
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry R;
+  return R;
+}
+
+Histogram *MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> L(M);
+  auto &Slot = Hists[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return Slot.get();
+}
+
+Gauge *MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> L(M);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return Slot.get();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> L(M);
+  for (auto &[Name, H] : Hists)
+    H->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(C)));
+      Out += Buf;
+      continue;
+    }
+    Out += C;
+  }
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+} // namespace
+
+std::string MetricsRegistry::snapshotJson(const Stats *RunStats) const {
+  std::string Out;
+  Out += "{\"format\":\"swift-metrics\",\"version\":1";
+
+  Out += ",\n\"counters\":{";
+  if (RunStats) {
+    bool First = true;
+    for (const auto &[Name, Value] : RunStats->all()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += "\n\"";
+      appendEscaped(Out, Name);
+      Out += "\":";
+      appendU64(Out, Value);
+    }
+  }
+  Out += "}";
+
+  std::lock_guard<std::mutex> L(M);
+
+  Out += ",\n\"gauges\":{";
+  {
+    bool First = true;
+    for (const auto &[Name, G] : Gauges) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += "\n\"";
+      appendEscaped(Out, Name);
+      Out += "\":{\"value\":";
+      appendU64(Out, G->value());
+      Out += ",\"max\":";
+      appendU64(Out, G->max());
+      Out += '}';
+    }
+  }
+  Out += "}";
+
+  Out += ",\n\"histograms\":{";
+  {
+    bool First = true;
+    for (const auto &[Name, H] : Hists) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += "\n\"";
+      appendEscaped(Out, Name);
+      Out += "\":{\"count\":";
+      appendU64(Out, H->count());
+      Out += ",\"sum\":";
+      appendU64(Out, H->sum());
+      Out += ",\"min\":";
+      appendU64(Out, H->min());
+      Out += ",\"max\":";
+      appendU64(Out, H->max());
+      Out += ",\"buckets\":[";
+      bool FirstB = true;
+      for (unsigned I = 0; I != Histogram::NumBuckets; ++I) {
+        uint64_t N = H->bucketCount(I);
+        if (N == 0)
+          continue;
+        if (!FirstB)
+          Out += ',';
+        FirstB = false;
+        Out += "{\"lo\":";
+        appendU64(Out, Histogram::bucketLo(I));
+        Out += ",\"hi\":";
+        appendU64(Out, Histogram::bucketHi(I));
+        Out += ",\"n\":";
+        appendU64(Out, N);
+        Out += '}';
+      }
+      Out += "]}";
+    }
+  }
+  Out += "}\n}\n";
+  return Out;
+}
+
+bool MetricsRegistry::writeSnapshot(const std::string &Path,
+                                    const Stats *RunStats,
+                                    std::string *Err) {
+  // Metrics I/O must never take the analysis down with it.
+  try {
+    writeFileAtomic(Path, snapshotJson(RunStats), "obs.metrics");
+    return true;
+  } catch (const std::exception &E) {
+    if (Err)
+      *Err = E.what();
+    return false;
+  }
+}
+
+} // namespace obs
+} // namespace swift

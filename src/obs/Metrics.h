@@ -1,0 +1,192 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MetricsRegistry: histograms and gauges layered on top of the flat
+/// Stats counters, with a versioned JSON snapshot format ("swift-metrics"
+/// version 1) consumed by the benches, swift-difftest, and EXPERIMENTS.md
+/// tables.
+///
+///   * Histogram — log2-bucketed (bucket 0 holds exactly the value 0,
+///     bucket i >= 1 holds [2^(i-1), 2^i)), with count/sum/min/max.
+///     record() is lock-free: relaxed atomic adds only.
+///   * Gauge — a last-value + running-max pair (queue depth, pressure).
+///
+/// Instruments are interned by name: histogram()/gauge() return pointers
+/// that stay valid for the process lifetime, so hot paths resolve once
+/// and then pay only metricsEnabled() (one relaxed load) plus a few
+/// relaxed atomic ops per sample. Recording into an instrument while
+/// another thread snapshots is safe; the snapshot is a consistent-enough
+/// monotone view (counts may trail sums by in-flight samples).
+///
+/// Snapshot writes go through writeFileAtomic (failpoint prefix
+/// "obs.metrics"); failure is reported via the return value, never an
+/// exception — metrics I/O must not affect analysis results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_OBS_METRICS_H
+#define SWIFT_OBS_METRICS_H
+
+#include "support/Stats.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace swift {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> MetricsOn;
+} // namespace detail
+
+/// One relaxed atomic load: the disabled-mode fast path.
+inline bool metricsEnabled() {
+  return detail::MetricsOn.load(std::memory_order_relaxed);
+}
+
+/// Log2-bucketed histogram over uint64_t samples. Thread-safe via
+/// relaxed atomics; no locks anywhere on the record path.
+class Histogram {
+public:
+  /// Bucket 0: the value 0. Bucket i in [1, 64]: values in [2^(i-1), 2^i).
+  static constexpr unsigned NumBuckets = 65;
+
+  static unsigned bucketOf(uint64_t V) {
+    // std::bit_width(V) == 1 + floor(log2 V) for V > 0, and 0 for V == 0,
+    // which is exactly the bucket index we want.
+    return static_cast<unsigned>(std::bit_width(V));
+  }
+
+  /// Inclusive lower bound of bucket \p I.
+  static uint64_t bucketLo(unsigned I) {
+    return I < 2 ? static_cast<uint64_t>(I) : uint64_t{1} << (I - 1);
+  }
+
+  /// Inclusive upper bound of bucket \p I.
+  static uint64_t bucketHi(unsigned I) {
+    if (I == 0)
+      return 0;
+    if (I == 64)
+      return UINT64_MAX;
+    return (uint64_t{1} << I) - 1;
+  }
+
+  void record(uint64_t V) {
+    Buckets[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    N.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+    uint64_t Cur = Min.load(std::memory_order_relaxed);
+    while (V < Cur &&
+           !Min.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+    Cur = Max.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !Max.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t min() const {
+    uint64_t V = Min.load(std::memory_order_relaxed);
+    return V == UINT64_MAX && count() == 0 ? 0 : V;
+  }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  uint64_t bucketCount(unsigned I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+    N.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Min.store(UINT64_MAX, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// Last-value + running-max gauge (e.g. pool queue depth).
+class Gauge {
+public:
+  void set(uint64_t V) {
+    Val.store(V, std::memory_order_relaxed);
+    uint64_t Cur = Mx.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !Mx.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return Val.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Mx.load(std::memory_order_relaxed); }
+  void reset() {
+    Val.store(0, std::memory_order_relaxed);
+    Mx.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Val{0};
+  std::atomic<uint64_t> Mx{0};
+};
+
+/// The process-wide instrument registry.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  void enable() { detail::MetricsOn.store(true, std::memory_order_relaxed); }
+  void disable() {
+    detail::MetricsOn.store(false, std::memory_order_relaxed);
+  }
+
+  /// Interns (creating on first use) the named instrument. The returned
+  /// pointer is valid for the process lifetime; resolve once, sample many.
+  Histogram *histogram(const std::string &Name);
+  Gauge *gauge(const std::string &Name);
+
+  /// Zeroes every instrument (names and pointers stay interned).
+  void reset();
+
+  /// The versioned snapshot:
+  ///   {"format":"swift-metrics","version":1,
+  ///    "counters":{...},            // from RunStats, when given
+  ///    "gauges":{NAME:{"value":v,"max":m}},
+  ///    "histograms":{NAME:{"count":c,"sum":s,"min":..,"max":..,
+  ///                        "buckets":[{"lo":..,"hi":..,"n":..},...]}}}
+  /// Only non-empty histogram buckets appear.
+  std::string snapshotJson(const Stats *RunStats = nullptr) const;
+
+  /// snapshotJson() + writeFileAtomic (failpoint prefix "obs.metrics").
+  /// Returns false with *Err set on I/O failure; never throws.
+  bool writeSnapshot(const std::string &Path,
+                     const Stats *RunStats = nullptr,
+                     std::string *Err = nullptr);
+
+private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Histogram>> Hists;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+};
+
+} // namespace obs
+} // namespace swift
+
+#endif // SWIFT_OBS_METRICS_H

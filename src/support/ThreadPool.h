@@ -27,11 +27,19 @@
 /// makes it throw; pool.task fires per dequeued task and replaces its
 /// body with a thrown injected fault (surfaced by the next wait()).
 ///
+/// Observability (src/obs): when enabled, the pool maintains a
+/// "pool.queue_depth" gauge + counter-event track, a
+/// "pool.task_latency_us" histogram (submit-to-dequeue latency), and a
+/// "pool.task" span around each executed task body. All of it reduces to
+/// one relaxed atomic load per site when tracing/metrics are off.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWIFT_SUPPORT_THREADPOOL_H
 #define SWIFT_SUPPORT_THREADPOOL_H
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Cancellation.h"
 #include "support/FailPoint.h"
 
@@ -84,10 +92,21 @@ public:
 
   /// Enqueues \p Task. Safe to call from within a running task.
   void submit(std::function<void()> Task) {
+    // Timestamp only when someone is watching; 0 means "not sampled" to
+    // the dequeue side.
+    uint64_t EnqueuedUs =
+        (obs::metricsEnabled() || obs::tracingEnabled()) ? obs::nowMicros()
+                                                         : 0;
+    size_t Depth;
     {
       std::lock_guard<std::mutex> L(M);
-      Queue.push_back(std::move(Task));
+      Queue.push_back({std::move(Task), EnqueuedUs});
       ++Pending;
+      Depth = Queue.size();
+    }
+    if (EnqueuedUs) {
+      QueueDepth->set(Depth);
+      obs::counterEvent("pool.queue_depth", "depth", Depth);
     }
     HasWork.notify_one();
   }
@@ -123,17 +142,20 @@ private:
       HasWork.wait(L, [this] { return Stopping || !Queue.empty(); });
       if (Queue.empty())
         return; // Stopping and drained.
-      std::function<void()> Task = std::move(Queue.front());
+      Item It = std::move(Queue.front());
       Queue.pop_front();
       L.unlock();
+      if (It.EnqueuedUs && obs::metricsEnabled())
+        TaskLatency->record(obs::nowMicros() - It.EnqueuedUs);
       // Dropping a cancelled task must still release its Pending slot
       // below, or wait() would block on work that will never run.
       if (!Cancel || !Cancel->requested()) {
+        obs::TraceSpan Span("pool", "pool.task");
         try {
           if (SWIFT_FAILPOINT("pool.task"))
             throw std::runtime_error(
                 "injected task failure (pool.task)");
-          Task();
+          It.Fn();
         } catch (...) {
           std::lock_guard<std::mutex> EL(M);
           if (!FirstError)
@@ -146,12 +168,25 @@ private:
     }
   }
 
+  /// A queued task plus its enqueue timestamp (0 when observability was
+  /// off at submit time).
+  struct Item {
+    std::function<void()> Fn;
+    uint64_t EnqueuedUs = 0;
+  };
+
   std::mutex M;
   std::condition_variable HasWork;
   std::condition_variable Idle;
-  std::deque<std::function<void()>> Queue;
+  std::deque<Item> Queue;
   std::vector<std::thread> Workers;
   const CancelToken *Cancel;
+  /// Resolved once here (interning takes the registry lock); sampled
+  /// lock-free afterwards.
+  obs::Gauge *QueueDepth =
+      obs::MetricsRegistry::instance().gauge("pool.queue_depth");
+  obs::Histogram *TaskLatency =
+      obs::MetricsRegistry::instance().histogram("pool.task_latency_us");
   std::exception_ptr FirstError; ///< First task exception; guarded by M.
   size_t Pending = 0;            ///< Queued plus running tasks.
   bool Stopping = false;

@@ -289,6 +289,67 @@ TEST(GovernedRunTest, BudgetPhaseAttributionAddsUp) {
   EXPECT_EQ(TdSteps + SyncBu + AsyncBu, G.Run.Steps);
 }
 
+TEST(GovernedRunTest, CancelledAsyncBuAttributesToGovNotBudget) {
+  // An asynchronous bottom-up run cancelled mid-flight (Red latch or
+  // budget exhaustion) installs nothing, so its partial steps are shed
+  // work: they must land in gov.cancelled_bu_steps, not in
+  // budget.async_bu_steps. (They used to be attributed to the productive
+  // async phase, overstating it by the shed amount.) The partition
+  // invariants below hold for every governed run, cancelled or not.
+  uint64_t TotalCancelled = 0;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    std::unique_ptr<Program> Prog = generateFuzzProgram(fuzzCfg(Seed));
+    TsContext Ctx(*Prog, Prog->spec(0).name());
+    for (uint64_t MaxSteps :
+         {uint64_t(40), uint64_t(120), uint64_t(400), uint64_t(1u << 30)}) {
+      GovernedRunOptions GO;
+      GO.Config.K = 0; // trigger bottom-up immediately
+      GO.Config.Theta = 2;
+      GO.Config.AsyncBu = true;
+      GO.Limits.MaxSteps = MaxSteps;
+      TsGovernedResult G = runTypestateGoverned(Ctx, GO);
+
+      uint64_t TdSteps = G.Run.Stat.get("budget.td_steps");
+      uint64_t SyncBu = G.Run.Stat.get("budget.sync_bu_steps");
+      uint64_t AsyncBu = G.Run.Stat.get("budget.async_bu_steps");
+      uint64_t Shed = G.Run.Stat.get("gov.cancelled_bu_steps");
+      uint64_t Cancelled = G.Run.Stat.get("gov.bu_cancelled");
+      // Every budget-accepted step lands in exactly one bucket. When the
+      // budget ran out mid-run — the run went partial, or an async job
+      // was cancelled — Budget::steps() additionally counts the rejected
+      // step of each thread that observed exhaustion (at most the TD
+      // loop plus each in-flight async worker, per the Budget overshoot
+      // contract).
+      uint64_t Attributed = TdSteps + SyncBu + AsyncBu + Shed;
+      EXPECT_LE(Attributed, G.Run.Steps)
+          << "seed " << Seed << " budget " << MaxSteps;
+      EXPECT_LE(G.Run.Steps - Attributed, 3u) // TD + MaxAsyncJobs (2)
+          << "seed " << Seed << " budget " << MaxSteps;
+      if (!G.Partial && Cancelled == 0) {
+        EXPECT_EQ(Attributed, G.Run.Steps)
+            << "seed " << Seed << " budget " << MaxSteps;
+      }
+      // The raw bottom-up step count partitions into productive + shed.
+      EXPECT_EQ(SyncBu + AsyncBu + Shed, G.Run.Stat.get("bu.steps"))
+          << "seed " << Seed << " budget " << MaxSteps;
+      // The async config never runs a synchronous bottom-up phase.
+      EXPECT_EQ(SyncBu, 0u) << "seed " << Seed << " budget " << MaxSteps;
+      // Productive async steps imply an installed run (and a trigger).
+      if (G.Run.Stat.get("swift.bu_triggers") == 0) {
+        EXPECT_EQ(AsyncBu, 0u) << "seed " << Seed << " budget " << MaxSteps;
+      }
+      // Shed steps only exist when some run was actually cancelled.
+      if (Cancelled == 0) {
+        EXPECT_EQ(Shed, 0u) << "seed " << Seed << " budget " << MaxSteps;
+      }
+      TotalCancelled += Cancelled;
+    }
+  }
+  // Tiny budgets with an immediate trigger: across the sweep, some run
+  // certainly had an async job in flight when the budget ran out.
+  EXPECT_GT(TotalCancelled, 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Checkpoint/resume
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file emitted by --trace-out.
+
+Schema checks (CI runs this on swift-analyze traces of fuzz-seed
+programs; see .github/workflows/ci.yml):
+  * the file parses as JSON and has a non-empty "traceEvents" array;
+  * every event has a string "name", a known "ph" (X/i/C/M), and integer
+    "pid"/"tid";
+  * non-metadata events carry a non-negative numeric "ts"; "X" events
+    additionally carry a non-negative "dur";
+  * "args", when present, is an object;
+  * the trace contains at least one duration span and one counter sample
+    (a governed swift-analyze run always produces both: the td.run span
+    and the gov.pressure timeline).
+
+Exit 0 with a one-line summary on success, exit 1 with a diagnostic on
+the first violation.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"X", "i", "C", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(root, dict):
+        fail(f"{path}: top level is not an object")
+    events = root.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing or empty traceEvents array")
+
+    phase_counts = {}
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing or non-string name")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"{where} ({name}): unknown phase {ph!r}")
+        phase_counts[ph] = phase_counts.get(ph, 0) + 1
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                fail(f"{where} ({name}): missing or non-integer {key}")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                fail(f"{where} ({name}): bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where} ({name}): bad dur {dur!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(f"{where} ({name}): args is not an object")
+
+    if phase_counts.get("X", 0) == 0:
+        fail(f"{path}: no duration spans — instrumentation missing?")
+    if phase_counts.get("C", 0) == 0:
+        fail(f"{path}: no counter samples — instrumentation missing?")
+
+    total = len(events)
+    summary = ", ".join(f"{k}:{v}" for k, v in sorted(phase_counts.items()))
+    print(f"check_trace: {path}: OK ({total} events; {summary})")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,8 @@
 #include "framework/Tabulation.h"
 #include "govern/Checkpoint.h"
 #include "ir/Dumper.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/CliParse.h"
 #include "support/FailPoint.h"
 #include "typestate/Context.h"
@@ -51,6 +53,8 @@ struct ToolOptions {
   std::string CheckpointOut;
   std::string ResumeFrom;
   std::string FailPoints;
+  std::string TraceOut;
+  std::string MetricsOut;
   bool ShowHelp = false;
 };
 
@@ -73,6 +77,9 @@ const char *usageText() {
          "  --failpoints=SPEC   arm fault-injection failpoints (see\n"
          "                      docs/MANUAL.md section 8; also armed from\n"
          "                      the SWIFT_FAILPOINTS environment variable)\n"
+         "  --trace-out=F       write a Chrome/Perfetto trace of the run\n"
+         "                      to F (docs/MANUAL.md section 9)\n"
+         "  --metrics-out=F     write a swift-metrics JSON snapshot to F\n"
          "  --help              this text\n"
          "exit: 0 complete, 2 usage/input error, 3 partial result\n";
 }
@@ -138,6 +145,18 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
         return false;
       }
       O.FailPoints = V;
+    } else if (cli::matchValueFlag(A, "--trace-out=", V)) {
+      if (V.empty()) {
+        Err = "--trace-out needs a file path";
+        return false;
+      }
+      O.TraceOut = V;
+    } else if (cli::matchValueFlag(A, "--metrics-out=", V)) {
+      if (V.empty()) {
+        Err = "--metrics-out needs a file path";
+        return false;
+      }
+      O.MetricsOut = V;
     } else if (A == "--help") {
       O.ShowHelp = true;
     } else if (!A.empty() && A[0] == '-') {
@@ -185,6 +204,11 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "swift-analyze: %s\n%s", E.what(), usageText());
     return 2;
   }
+
+  if (!O.TraceOut.empty())
+    obs::TraceRecorder::instance().start();
+  if (!O.MetricsOut.empty())
+    obs::MetricsRegistry::instance().enable();
 
   std::unique_ptr<Program> Prog;
   GovernedRunOptions GO;
@@ -289,15 +313,21 @@ int main(int Argc, char **Argv) {
                   statOf(G.Run.Stat, "budget.async_bu_steps")));
   if (statOf(G.Run.Stat, "gov.bu_suppressed") ||
       statOf(G.Run.Stat, "gov.theta_shrunk") ||
-      statOf(G.Run.Stat, "gov.shed_summaries"))
+      statOf(G.Run.Stat, "gov.shed_summaries") ||
+      statOf(G.Run.Stat, "gov.bu_cancelled"))
     std::printf("degradation: %llu bu runs suppressed, %llu theta "
-                "shrinks, %llu summary caches shed\n",
+                "shrinks, %llu summary caches shed, %llu async runs "
+                "cancelled (%llu steps shed)\n",
                 static_cast<unsigned long long>(
                     statOf(G.Run.Stat, "gov.bu_suppressed")),
                 static_cast<unsigned long long>(
                     statOf(G.Run.Stat, "gov.theta_shrunk")),
                 static_cast<unsigned long long>(
-                    statOf(G.Run.Stat, "gov.shed_summaries")));
+                    statOf(G.Run.Stat, "gov.shed_summaries")),
+                static_cast<unsigned long long>(
+                    statOf(G.Run.Stat, "gov.bu_cancelled")),
+                static_cast<unsigned long long>(
+                    statOf(G.Run.Stat, "gov.cancelled_bu_steps")));
 
   if (G.Partial && !O.CheckpointOut.empty()) {
     try {
@@ -314,6 +344,30 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "swift-analyze: %s\n", E.what());
       return 2;
     }
+  }
+
+  // Observability flushes come last and are advisory: a trace/metrics
+  // I/O failure warns on stderr but never changes the analysis exit code.
+  if (!O.TraceOut.empty()) {
+    obs::TraceRecorder::instance().stop();
+    std::string FlushErr;
+    if (!obs::TraceRecorder::instance().flushToFile(O.TraceOut, &FlushErr))
+      std::fprintf(stderr, "swift-analyze: warning: trace write failed: "
+                           "%s\n",
+                   FlushErr.c_str());
+    else
+      std::printf("trace written to %s (load at ui.perfetto.dev)\n",
+                  O.TraceOut.c_str());
+  }
+  if (!O.MetricsOut.empty()) {
+    std::string FlushErr;
+    if (!obs::MetricsRegistry::instance().writeSnapshot(
+            O.MetricsOut, &G.Run.Stat, &FlushErr))
+      std::fprintf(stderr, "swift-analyze: warning: metrics write "
+                           "failed: %s\n",
+                   FlushErr.c_str());
+    else
+      std::printf("metrics written to %s\n", O.MetricsOut.c_str());
   }
 
   return G.Partial ? 3 : 0;

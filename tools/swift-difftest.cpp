@@ -21,6 +21,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "difftest/Difftest.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/CliParse.h"
 #include "support/FailPoint.h"
 #include "typestate/Transfer.h"
@@ -44,6 +46,8 @@ struct ToolOptions {
   double BudgetSeconds = 1e18;  ///< Whole-campaign wall budget.
   std::string OutDir = "results/repros";
   std::string ReplayPath;
+  std::string TraceOut;
+  std::string MetricsOut;
   bool InjectBug = false;
   bool NoReduce = false;
   bool ShowHelp = false;
@@ -64,6 +68,9 @@ const char *usageText() {
          "  --inject-bug     enable the test-only transfer-function fault\n"
          "                   (proves the oracle catches divergences)\n"
          "  --no-reduce      skip delta-debugging of violations\n"
+         "  --trace-out=F    write a Chrome/Perfetto trace of the whole\n"
+         "                   campaign/replay to F (MANUAL section 9)\n"
+         "  --metrics-out=F  write a swift-metrics JSON snapshot to F\n"
          "  --help           this text\n";
 }
 
@@ -110,6 +117,18 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
         return false;
       }
       O.ReplayPath = V;
+    } else if (cli::matchValueFlag(A, "--trace-out=", V)) {
+      if (V.empty()) {
+        Err = "--trace-out needs a file path";
+        return false;
+      }
+      O.TraceOut = V;
+    } else if (cli::matchValueFlag(A, "--metrics-out=", V)) {
+      if (V.empty()) {
+        Err = "--metrics-out needs a file path";
+        return false;
+      }
+      O.MetricsOut = V;
     } else if (A == "--inject-bug") {
       O.InjectBug = true;
     } else if (A == "--no-reduce") {
@@ -201,5 +220,30 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  return O.ReplayPath.empty() ? campaign(O) : replay(O);
+  if (!O.TraceOut.empty())
+    obs::TraceRecorder::instance().start();
+  if (!O.MetricsOut.empty())
+    obs::MetricsRegistry::instance().enable();
+
+  int Rc = O.ReplayPath.empty() ? campaign(O) : replay(O);
+
+  // Advisory flushes: an observability write failure warns but never
+  // changes the campaign verdict.
+  if (!O.TraceOut.empty()) {
+    obs::TraceRecorder::instance().stop();
+    std::string FlushErr;
+    if (!obs::TraceRecorder::instance().flushToFile(O.TraceOut, &FlushErr))
+      std::fprintf(stderr, "swift-difftest: warning: trace write failed: "
+                           "%s\n",
+                   FlushErr.c_str());
+  }
+  if (!O.MetricsOut.empty()) {
+    std::string FlushErr;
+    if (!obs::MetricsRegistry::instance().writeSnapshot(O.MetricsOut,
+                                                        nullptr, &FlushErr))
+      std::fprintf(stderr, "swift-difftest: warning: metrics write "
+                           "failed: %s\n",
+                   FlushErr.c_str());
+  }
+  return Rc;
 }

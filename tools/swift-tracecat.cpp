@@ -1,0 +1,168 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// swift-tracecat — merges several Chrome/Perfetto trace files (e.g. the
+/// per-process traces of a multi-process crashtest run) into one. Each
+/// input keeps its events but gets a distinct pid (input order, starting
+/// at 1) plus a process_name metadata record naming the source file, so
+/// the viewer shows one track group per process.
+///
+/// usage: swift-tracecat [--out=F] trace1.json trace2.json ...
+///
+/// Without --out the merged trace goes to stdout. Inputs are validated by
+/// a full JSON parse; a malformed input is a hard error (exit 2), since a
+/// silently dropped trace would misread as "that process did nothing".
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "support/AtomicFile.h"
+#include "support/CliParse.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+using namespace swift;
+using namespace swift::obs;
+
+namespace {
+
+const char *usageText() {
+  return "usage: swift-tracecat [--out=F] trace1.json trace2.json ...\n"
+         "  --out=F   write the merged trace to F (default stdout)\n"
+         "  --help    this text\n"
+         "exit: 0 merged, 2 usage error or malformed input\n";
+}
+
+json::Value numberValue(double N) {
+  json::Value V;
+  V.K = json::Value::Kind::Number;
+  V.Num = N;
+  return V;
+}
+
+json::Value stringValue(std::string S) {
+  json::Value V;
+  V.K = json::Value::Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+/// Sets (or inserts) key \p K of object \p O.
+void setKey(json::Value &O, const std::string &K, json::Value V) {
+  for (auto &[Key, Val] : O.Obj)
+    if (Key == K) {
+      Val = std::move(V);
+      return;
+    }
+  O.Obj.emplace_back(K, std::move(V));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath;
+  std::vector<std::string> Inputs;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view V;
+    if (cli::matchValueFlag(A, "--out=", V)) {
+      if (V.empty()) {
+        std::fprintf(stderr, "swift-tracecat: --out needs a file path\n%s",
+                     usageText());
+        return 2;
+      }
+      OutPath = V;
+    } else if (A == "--help") {
+      std::fputs(usageText(), stdout);
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "swift-tracecat: unknown flag '%s'\n%s",
+                   std::string(A).c_str(), usageText());
+      return 2;
+    } else {
+      Inputs.emplace_back(A);
+    }
+  }
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "swift-tracecat: no input traces\n%s",
+                 usageText());
+    return 2;
+  }
+
+  json::Value Merged;
+  Merged.K = json::Value::Kind::Object;
+  json::Value Events;
+  Events.K = json::Value::Kind::Array;
+
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    const std::string &Path = Inputs[I];
+    double Pid = static_cast<double>(I + 1);
+    json::Value Root;
+    try {
+      Root = json::parse(readWholeFile(Path));
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "swift-tracecat: %s: %s\n", Path.c_str(),
+                   E.what());
+      return 2;
+    }
+    const json::Value *TraceEvents = Root.find("traceEvents");
+    if (!Root.isObject() || !TraceEvents || !TraceEvents->isArray()) {
+      std::fprintf(stderr,
+                   "swift-tracecat: %s: not a Chrome trace (no "
+                   "traceEvents array)\n",
+                   Path.c_str());
+      return 2;
+    }
+    // Name the merged process track after the source file.
+    json::Value Meta;
+    Meta.K = json::Value::Kind::Object;
+    setKey(Meta, "name", stringValue("process_name"));
+    setKey(Meta, "ph", stringValue("M"));
+    setKey(Meta, "pid", numberValue(Pid));
+    setKey(Meta, "tid", numberValue(0));
+    json::Value Args;
+    Args.K = json::Value::Kind::Object;
+    setKey(Args, "name", stringValue(Path));
+    setKey(Meta, "args", std::move(Args));
+    Events.Arr.push_back(std::move(Meta));
+
+    for (const json::Value &E : TraceEvents->Arr) {
+      if (!E.isObject())
+        continue;
+      const json::Value *Name = E.find("name");
+      // Per-input process_name records are superseded by ours above.
+      if (Name && Name->isString() && Name->Str == "process_name")
+        continue;
+      json::Value Copy = E;
+      setKey(Copy, "pid", numberValue(Pid));
+      Events.Arr.push_back(std::move(Copy));
+    }
+  }
+
+  setKey(Merged, "traceEvents", std::move(Events));
+  setKey(Merged, "displayTimeUnit", stringValue("ms"));
+  std::string Out = json::dump(Merged);
+  Out += '\n';
+
+  if (OutPath.empty()) {
+    std::fwrite(Out.data(), 1, Out.size(), stdout);
+    return 0;
+  }
+  try {
+    writeFileAtomic(OutPath, Out, "obs.flush");
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-tracecat: cannot write '%s': %s\n",
+                 OutPath.c_str(), E.what());
+    return 2;
+  }
+  std::printf("merged %zu trace(s), %zu events -> %s\n", Inputs.size(),
+              Merged.find("traceEvents")->Arr.size(), OutPath.c_str());
+  return 0;
+}
