@@ -11,11 +11,14 @@
 ///
 ///   --budget=SECONDS   per-run analysis budget (default 15; the stand-in
 ///                      for the paper's 24 h / 16 GB limit)
-///   --bench=NAME       restrict to one workload
+///   --bench=NAMES      restrict to the comma-separated workload names
 ///   --threads=N        worker threads per bottom-up solve (default 1)
 ///   --trace-out=F      write a Chrome/Perfetto trace of the whole bench
 ///                      run to F (flushed at exit; MANUAL section 9)
 ///   --metrics-out=F    write a swift-metrics JSON snapshot to F
+///   --json-out=F       write a machine-readable "swift-bench" v1 result
+///                      (obs/BenchResult.h) to F; the perf-trajectory
+///                      input of tools/swift-benchdiff (MANUAL section 10)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +27,7 @@
 
 #include "genprog/Generator.h"
 #include "genprog/Workloads.h"
+#include "obs/BenchResult.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/CliParse.h"
@@ -43,16 +47,36 @@ namespace bench {
 struct Options {
   double BudgetSeconds = 15.0;
   uint64_t BudgetSteps = 200'000'000;
-  std::string Only;     ///< Restrict to one workload name.
+  std::string Only;     ///< Workload filter: comma-separated exact names.
   unsigned Threads = 1; ///< Worker threads per bottom-up solve.
   std::string TraceOut;   ///< Chrome trace output path (empty = off).
   std::string MetricsOut; ///< swift-metrics snapshot path (empty = off).
+  std::string JsonOut;    ///< swift-bench result path (empty = off).
   bool ShowHelp = false;
 };
 
 inline const char *optionsUsage() {
-  return "[--budget=SECONDS] [--bench=NAME] [--threads=N] "
-         "[--trace-out=F] [--metrics-out=F]";
+  return "[--budget=SECONDS] [--bench=NAME[,NAME...]] [--threads=N] "
+         "[--trace-out=F] [--metrics-out=F] [--json-out=F]";
+}
+
+/// True when \p Name passes the --bench filter: no filter, or an exact
+/// match of one of its comma-separated entries (the CI perf gate runs a
+/// fixed subset of workloads in one invocation this way).
+inline bool matchesOnly(const Options &O, std::string_view Name) {
+  if (O.Only.empty())
+    return true;
+  std::string_view Rest = O.Only;
+  while (!Rest.empty()) {
+    size_t Comma = Rest.find(',');
+    std::string_view Entry = Rest.substr(0, Comma);
+    if (Entry == Name)
+      return true;
+    if (Comma == std::string_view::npos)
+      break;
+    Rest.remove_prefix(Comma + 1);
+  }
+  return false;
 }
 
 /// Strict flag parsing: numeric values are validated (no atoi — "-1" or
@@ -89,6 +113,12 @@ inline bool parseOptionsInto(int Argc, char **Argv, Options &O,
         return false;
       }
       O.MetricsOut = V;
+    } else if (cli::matchValueFlag(A, "--json-out=", V)) {
+      if (V.empty()) {
+        Err = "--json-out needs a file path";
+        return false;
+      }
+      O.JsonOut = V;
     } else if (A == "--help") {
       O.ShowHelp = true;
     } else {
@@ -147,6 +177,61 @@ inline Options parseOptions(int Argc, char **Argv) {
   initObservability(O);
   return O;
 }
+
+/// Collects swift-bench v1 rows during a bench run and writes them to
+/// --json-out at the end. Construct after parseOptions, call add()/
+/// addRow() per run, and make main return `Rep.flush() ? 0 : 1` so a
+/// failed result write fails the (CI) invocation instead of passing
+/// silently with a table on stdout and no JSON on disk.
+class Reporter {
+public:
+  Reporter(const Options &O, std::string BenchName) : Path(O.JsonOut) {
+    R.Bench = std::move(BenchName);
+    R.Context.emplace_back("budget_seconds", O.BudgetSeconds);
+    R.Context.emplace_back("budget_steps", double(O.BudgetSteps));
+    R.Context.emplace_back("threads", double(O.Threads));
+  }
+
+  /// Records a solver run: wall time, budget steps, and the two headline
+  /// result sizes. Timeout rows keep their (budget-truncated) numbers
+  /// for the record; swift-benchdiff skips them.
+  void add(const std::string &Workload, const std::string &Config,
+           const TsRunResult &Res) {
+    obs::benchjson::Row &W = R.newRow(Workload, Config);
+    W.Timeout = Res.Timeout;
+    W.set("seconds", Res.Seconds);
+    W.set("steps", double(Res.Steps));
+    W.set("td_summaries", double(Res.TdSummaries));
+    W.set("bu_relations", double(Res.BuRelations));
+  }
+
+  /// Records a custom row (static characteristics, micro-op timings...).
+  /// Metrics must be lower-is-better by the swift-bench convention.
+  obs::benchjson::Row &addRow(const std::string &Workload,
+                              const std::string &Config) {
+    return R.newRow(Workload, Config);
+  }
+
+  /// Writes the result if --json-out was given. True when disabled or
+  /// the write succeeded; on failure warns on stderr and returns false.
+  bool flush() const {
+    if (Path.empty())
+      return true;
+    std::string Err;
+    if (obs::benchjson::writeReport(R, Path, &Err)) {
+      std::fprintf(stderr, "wrote %s (%zu rows)\n", Path.c_str(),
+                   R.Rows.size());
+      return true;
+    }
+    std::fprintf(stderr, "error: bench result write failed: %s\n",
+                 Err.c_str());
+    return false;
+  }
+
+private:
+  std::string Path;
+  obs::benchjson::Report R;
+};
 
 inline RunLimits limits(const Options &O) {
   RunLimits L;

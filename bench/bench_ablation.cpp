@@ -82,6 +82,16 @@ int main(int Argc, char **Argv) {
   }
   std::unique_ptr<Program> Prog = generateWorkload(W->Config);
   TsContext Ctx(*Prog, Prog->symbols().intern("File"));
+  Reporter Rep(O, "bench_ablation");
+
+  auto Record = [&](const std::string &Config, const AblationResult &R) {
+    auto &Row = Rep.addRow(Name, Config);
+    Row.Timeout = R.Timeout;
+    Row.set("seconds", R.Seconds);
+    Row.set("td_summaries", double(R.TdSummaries));
+    Row.set("bu_served", double(R.Served));
+    Row.set("error_sites", double(R.ErrorSites));
+  };
 
   std::printf("Ablation (a): k x theta grid on %s (time; td-summaries)\n\n",
               Name);
@@ -95,6 +105,8 @@ int main(int Argc, char **Argv) {
     std::printf("%8llu |", static_cast<unsigned long long>(K));
     for (uint64_t Theta : {1, 2, 4, 8}) {
       AblationResult R = runVariant(Ctx, K, Theta, true, L);
+      Record("swift_k" + std::to_string(K) + "_th" + std::to_string(Theta),
+             R);
       char Cell[40];
       if (R.Timeout)
         std::snprintf(Cell, sizeof(Cell), "timeout");
@@ -114,6 +126,7 @@ int main(int Argc, char **Argv) {
               "td-summaries", "bu-served", "errors");
   for (bool Manifest : {true, false}) {
     AblationResult R = runVariant(Ctx, 5, 2, Manifest, L);
+    Record(Manifest ? "manifest_on" : "manifest_off", R);
     std::printf("%-10s %10s %12s %10s %8zu\n",
                 Manifest ? "manifest" : "plain",
                 R.Timeout ? "timeout" : formatSeconds(R.Seconds).c_str(),
@@ -131,6 +144,7 @@ int main(int Argc, char **Argv) {
               "td-summaries", "triggers");
   for (bool Async : {false, true}) {
     TsRunResult R = runTypestateSwift(Ctx, 5, 2, limits(O), Async, O.Threads);
+    Rep.add(Name, Async ? "swift_k5_th2_async" : "swift_k5_th2_sync", R);
     std::printf("%-10s %10s %12s %10llu\n", Async ? "async" : "sync",
                 R.Timeout ? "timeout" : formatSeconds(R.Seconds).c_str(),
                 Stats::formatThousands(R.TdSummaries).c_str(),
@@ -140,5 +154,5 @@ int main(int Argc, char **Argv) {
   std::printf("\nAsync overlaps summary computation with top-down "
               "analysis; while a run is in flight, arriving contexts are "
               "analyzed top-down (more summaries, same results).\n");
-  return 0;
+  return Rep.flush() ? 0 : 1;
 }

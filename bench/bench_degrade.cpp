@@ -50,6 +50,7 @@ Row runAt(const TsContext &Ctx, uint64_t MaxSteps, double MaxSeconds) {
 
 int main(int Argc, char **Argv) {
   Options O = parseOptions(Argc, Argv);
+  Reporter Rep(O, "bench_degrade");
 
   std::printf("Degradation sweep: governed SWIFT (k=5, theta=2) at "
               "fractional step budgets, wall cap %.0fs per run\n\n",
@@ -62,7 +63,7 @@ int main(int Argc, char **Argv) {
               "----------------------------------------------------------");
 
   for (const NamedWorkload &W : benchmarkWorkloads()) {
-    if (!O.Only.empty() && W.Name != O.Only)
+    if (!matchesOnly(O, W.Name))
       continue;
     std::unique_ptr<Program> Prog = generateWorkload(W.Config);
     TsContext Ctx(*Prog, Prog->symbols().intern("File"));
@@ -82,6 +83,19 @@ int main(int Argc, char **Argv) {
     for (const Tier &T : Tiers) {
       Row R = T.Steps == 0 ? Full : runAt(Ctx, T.Steps, O.BudgetSeconds);
       const Stats &S = R.G.Run.Stat;
+      {
+        // Row keys are "workload/config" strings; keep '/' out of the
+        // config ("1/8" -> "1o8").
+        std::string Cfg = "governed_";
+        for (const char *P = T.Label; *P; ++P)
+          Cfg += *P == '/' ? 'o' : *P;
+        auto &JR = Rep.addRow(W.Name, Cfg);
+        JR.Timeout = R.G.Partial;
+        JR.set("seconds", R.G.Run.Seconds);
+        JR.set("steps", double(R.G.Run.Steps));
+        JR.set("unresolved",
+               double(R.G.Verdicts.size() - size_t(R.Resolved)));
+      }
       std::printf("%-10s %-7s | %9llu %5llu/%-3zu %8s | %9s %9s %9s | %s\n",
                   W.Name.c_str(), T.Label,
                   static_cast<unsigned long long>(R.G.Run.Steps),

@@ -84,12 +84,13 @@ void plotSeries(const char *Name, std::vector<uint64_t> Td,
 int main(int Argc, char **Argv) {
   Options O = parseOptions(Argc, Argv);
   RunLimits L = limits(O);
+  Reporter Rep(O, "bench_fig5");
 
   std::printf("Figure 5: number of top-down summaries per method, TD vs "
               "SWIFT (k=5, theta=2)\n");
 
   for (const char *Name : {"toba-s", "javasrc-p", "antlr"}) {
-    if (!O.Only.empty() && O.Only != Name)
+    if (!matchesOnly(O, Name))
       continue;
     const NamedWorkload *W = findWorkload(Name);
     std::unique_ptr<Program> Prog = generateWorkload(W->Config);
@@ -97,6 +98,8 @@ int main(int Argc, char **Argv) {
 
     TsRunResult Td = runTypestateTd(Ctx, L);
     TsRunResult Sw = runTypestateSwift(Ctx, 5, 2, L);
+    Rep.add(Name, "td", Td);
+    Rep.add(Name, "swift_k5_th2", Sw);
     if (Td.Timeout || Sw.Timeout) {
       std::printf("\n%s: timeout (increase --budget)\n", Name);
       continue;
@@ -108,5 +111,5 @@ int main(int Argc, char **Argv) {
   std::printf("\nExpected shape (paper's Figure 5): SWIFT's per-method "
               "counts collapse towards the trigger threshold k while TD's "
               "head methods carry orders of magnitude more summaries.\n");
-  return 0;
+  return Rep.flush() ? 0 : 1;
 }

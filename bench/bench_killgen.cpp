@@ -26,6 +26,7 @@ using namespace swift::bench;
 
 int main(int Argc, char **Argv) {
   Options O = parseOptions(Argc, Argv);
+  Reporter Rep(O, "bench_killgen");
   KgRunLimits L;
   L.MaxSeconds = O.BudgetSeconds;
   L.MaxSteps = O.BudgetSteps;
@@ -40,7 +41,7 @@ int main(int Argc, char **Argv) {
               "--------------------");
 
   for (const NamedWorkload &W : benchmarkWorkloads()) {
-    if (!O.Only.empty() && W.Name != O.Only)
+    if (!matchesOnly(O, W.Name))
       continue;
     std::unique_ptr<Program> Prog = generateWorkload(W.Config);
     KgContext Ctx(*Prog, {Prog->symbols().intern("File")},
@@ -49,6 +50,18 @@ int main(int Argc, char **Argv) {
     KgRunResult Td = runTaintTd(Ctx, L);
     KgRunResult Bu = runTaintBu(Ctx, L);
     KgRunResult Sw = runTaintSwift(Ctx, 5, 4, L);
+
+    auto Record = [&](const char *Config, const KgRunResult &R) {
+      auto &Row = Rep.addRow(W.Name, Config);
+      Row.Timeout = R.Timeout;
+      Row.set("seconds", R.Seconds);
+      Row.set("steps", double(R.Steps));
+      Row.set("td_summaries", double(R.TdSummaries));
+      Row.set("bu_relations", double(R.BuRelations));
+    };
+    Record("td", Td);
+    Record("bu", Bu);
+    Record("swift_k5_th4", Sw);
 
     auto Cell = [](const KgRunResult &R) {
       return R.Timeout ? std::string("timeout") : formatSeconds(R.Seconds);
@@ -60,5 +73,5 @@ int main(int Argc, char **Argv) {
                 Sw.Leaks.size());
     std::fflush(stdout);
   }
-  return 0;
+  return Rep.flush() ? 0 : 1;
 }

@@ -14,11 +14,18 @@
 
 #include "genprog/Generator.h"
 #include "genprog/Workloads.h"
+#include "obs/BenchResult.h"
+#include "support/CliParse.h"
 #include "typestate/Relation.h"
 #include "typestate/Runner.h"
 #include "typestate/Transfer.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 using namespace swift;
 
@@ -161,6 +168,79 @@ void BM_TopDownEndToEnd_Small(benchmark::State &S) {
 }
 BENCHMARK(BM_TopDownEndToEnd_Small);
 
+/// Console output as usual, plus a swift-bench v1 row per finished
+/// benchmark so --json-out feeds the same perf trajectory as the table
+/// benches (config = benchmark name, per-iteration times in seconds).
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonCapturingReporter(obs::benchjson::Report &R) : R(R) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &Ru : Runs) {
+      if (Ru.run_type != Run::RT_Iteration || Ru.error_occurred ||
+          Ru.iterations == 0)
+        continue;
+      obs::benchjson::Row &Row = R.newRow("microop", Ru.benchmark_name());
+      Row.set("seconds",
+              Ru.real_accumulated_time / double(Ru.iterations));
+      Row.set("cpu_seconds",
+              Ru.cpu_accumulated_time / double(Ru.iterations));
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  obs::benchjson::Report &R;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN: peels off our --json-out= flag, leaves
+// every --benchmark_* flag to google-benchmark's parser (which rejects
+// anything else), and runs with the row-capturing reporter.
+int main(int Argc, char **Argv) {
+  std::string JsonOut;
+  std::vector<char *> Args;
+  for (int I = 0; I != Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view V;
+    if (cli::matchValueFlag(A, "--json-out=", V)) {
+      if (V.empty()) {
+        std::fprintf(stderr, "%s: --json-out needs a file path\n", Argv[0]);
+        return 2;
+      }
+      JsonOut = V;
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+  int Remaining = static_cast<int>(Args.size());
+  benchmark::Initialize(&Remaining, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Remaining, Args.data()))
+    return 1;
+
+  obs::benchjson::Report R;
+  R.Bench = "bench_microops";
+  JsonCapturingReporter Reporter(R);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  if (!JsonOut.empty()) {
+    std::string Err;
+    if (R.Rows.empty()) {
+      std::fprintf(stderr,
+                   "error: no benchmark ran; refusing to write an empty "
+                   "%s\n",
+                   JsonOut.c_str());
+      return 1;
+    }
+    if (!obs::benchjson::writeReport(R, JsonOut, &Err)) {
+      std::fprintf(stderr, "error: bench result write failed: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu rows)\n", JsonOut.c_str(),
+                 R.Rows.size());
+  }
+  return 0;
+}

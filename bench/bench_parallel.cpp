@@ -30,6 +30,7 @@ using namespace swift::bench;
 int main(int Argc, char **Argv) {
   Options O = parseOptions(Argc, Argv);
   RunLimits L = limits(O);
+  Reporter Rep(O, "bench_parallel");
 
   const char *Configs[] = {"toba-s", "javasrc-p", "antlr"};
 
@@ -43,7 +44,7 @@ int main(int Argc, char **Argv) {
               "--------------------");
 
   for (const char *Name : Configs) {
-    if (!O.Only.empty() && O.Only != Name)
+    if (!matchesOnly(O, Name))
       continue;
     const NamedWorkload *W = findWorkload(Name);
     if (!W) {
@@ -60,6 +61,7 @@ int main(int Argc, char **Argv) {
           runTypestateSwift(Ctx, 5, 2, L, /*AsyncBu=*/false, T);
       double BuSecs =
           static_cast<double>(R.Stat.get("swift.bu_time_us")) / 1e6;
+      Rep.add(Name, "swift_k5_th2_t" + std::to_string(T), R);
       char Spd[16];
       if (T == 1) {
         BuBase = BuSecs;
@@ -88,5 +90,5 @@ int main(int Argc, char **Argv) {
   std::printf("bu-time is the summed wall time of all triggered bottom-up "
               "solves (swift.bu_time_us); bu-spd is its speedup over the "
               "1-thread row. Summary counts must match across rows.\n");
-  return 0;
+  return Rep.flush() ? 0 : 1;
 }

@@ -25,6 +25,7 @@ using namespace swift::bench;
 
 int main(int Argc, char **Argv) {
   Options O = parseOptions(Argc, Argv);
+  Reporter Rep(O, "bench_table1");
 
   std::printf("Table 1: workload characteristics (stand-ins for the "
               "paper's 12 Java benchmarks)\n\n");
@@ -36,7 +37,7 @@ int main(int Argc, char **Argv) {
               "----------------------------------------------------------");
 
   for (const NamedWorkload &W : benchmarkWorkloads()) {
-    if (!O.Only.empty() && W.Name != O.Only)
+    if (!matchesOnly(O, W.Name))
       continue;
     GenStats GS;
     std::unique_ptr<Program> Prog = generateWorkload(W.Config, &GS);
@@ -45,6 +46,13 @@ int main(int Argc, char **Argv) {
                 W.Name.c_str(), W.Description.c_str(), GS.Procs,
                 GS.Commands, GS.Calls, GS.Sites, GS.SourceLines,
                 Aliases.totalPtsSize());
+    auto &Row = Rep.addRow(W.Name, "characteristics");
+    Row.set("procs", double(GS.Procs));
+    Row.set("commands", double(GS.Commands));
+    Row.set("calls", double(GS.Calls));
+    Row.set("sites", double(GS.Sites));
+    Row.set("lines", double(GS.SourceLines));
+    Row.set("pts_size", double(Aliases.totalPtsSize()));
   }
-  return 0;
+  return Rep.flush() ? 0 : 1;
 }

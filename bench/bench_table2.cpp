@@ -28,6 +28,7 @@ using namespace swift::bench;
 int main(int Argc, char **Argv) {
   Options O = parseOptions(Argc, Argv);
   RunLimits L = limits(O);
+  Reporter Rep(O, "bench_table2");
 
   std::printf("Table 2: TD vs BU vs SWIFT (k=5, theta=2), budget %.0fs "
               "per run\n\n",
@@ -41,7 +42,7 @@ int main(int Argc, char **Argv) {
               "----------");
 
   for (const NamedWorkload &W : benchmarkWorkloads()) {
-    if (!O.Only.empty() && W.Name != O.Only)
+    if (!matchesOnly(O, W.Name))
       continue;
     std::unique_ptr<Program> Prog = generateWorkload(W.Config);
     TsContext Ctx(*Prog, Prog->symbols().intern("File"));
@@ -50,6 +51,9 @@ int main(int Argc, char **Argv) {
     TsRunResult Bu = runTypestateBu(Ctx, L, O.Threads);
     TsRunResult Sw =
         runTypestateSwift(Ctx, 5, 2, L, /*AsyncBu=*/false, O.Threads);
+    Rep.add(W.Name, "td", Td);
+    Rep.add(W.Name, "bu", Bu);
+    Rep.add(W.Name, "swift_k5_th2", Sw);
 
     auto Drop = [](const TsRunResult &Base, uint64_t BaseN,
                    const TsRunResult &Subj, uint64_t SubjN) -> std::string {
@@ -81,5 +85,5 @@ int main(int Argc, char **Argv) {
               "12; TD times out on the largest three; BU finishes only on "
               "the two smallest; SWIFT computes a small fraction of both "
               "baselines' summaries.\n");
-  return 0;
+  return Rep.flush() ? 0 : 1;
 }

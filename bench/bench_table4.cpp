@@ -24,6 +24,7 @@ using namespace swift::bench;
 int main(int Argc, char **Argv) {
   Options O = parseOptions(Argc, Argv);
   RunLimits L = limits(O);
+  Reporter Rep(O, "bench_table4");
 
   std::printf("Table 4: varying theta with k=5, budget %.0fs\n\n",
               O.BudgetSeconds);
@@ -37,7 +38,7 @@ int main(int Argc, char **Argv) {
   for (const NamedWorkload &W : benchmarkWorkloads()) {
     if (W.Name == "jpat-p" || W.Name == "elevator")
       continue; // The paper's Table 4 starts at toba-s.
-    if (!O.Only.empty() && W.Name != O.Only)
+    if (!matchesOnly(O, W.Name))
       continue;
     std::unique_ptr<Program> Prog = generateWorkload(W.Config);
     TsContext Ctx(*Prog, Prog->symbols().intern("File"));
@@ -45,6 +46,9 @@ int main(int Argc, char **Argv) {
     TsRunResult R1 = runTypestateSwift(Ctx, 5, 1, L);
     TsRunResult R2 = runTypestateSwift(Ctx, 5, 2, L);
     TsRunResult R4 = runTypestateSwift(Ctx, 5, 4, L);
+    Rep.add(W.Name, "swift_k5_th1", R1);
+    Rep.add(W.Name, "swift_k5_th2", R2);
+    Rep.add(W.Name, "swift_k5_th4", R4);
     std::printf("%-10s | %10s %10s %10s | %10s %10s %10s\n",
                 W.Name.c_str(), timeCell(R1).c_str(), timeCell(R2).c_str(),
                 timeCell(R4).c_str(),
@@ -58,5 +62,5 @@ int main(int Argc, char **Argv) {
               "reduces the top-down summary count; it usually costs "
               "bottom-up time, paying off only on the largest "
               "workloads.\n");
-  return 0;
+  return Rep.flush() ? 0 : 1;
 }

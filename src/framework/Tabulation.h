@@ -19,6 +19,30 @@
 /// paper's td map. A "top-down summary" is an (entry, exit) pair of a
 /// procedure, matching the paper's counting.
 ///
+/// Data layout (the hot-path rewrite): every abstract state is interned
+/// once into a dense-id arena (States) indexed by an open-addressing
+/// HashIndex keyed on a cached 64-bit state hash; all solver tables key
+/// on the 32-bit ids, never on state values. Path-edge sets, summaries,
+/// dependents, incoming multisets, and the observation set are flat
+/// open-addressing tables (support/FlatHash.h) over contiguous row
+/// vectors — no per-entry node allocations, and snapshot/iteration walk
+/// the rows linearly. EverCalled is a packed bit vector.
+///
+/// On top of the id layout the solver memoizes the pure per-call-site
+/// analysis functions, which the tabulation loop otherwise re-evaluates
+/// once per path edge sharing the same current state:
+///   * transfer outs per (proc, node, cur-state id),
+///   * enter results per (call site, cur-state id),
+///   * combine results per (call site, frame id, exit id),
+///   * bottom-up serve decisions and outputs per (callee, entry id) —
+///     this batches the Sigma guard and the applyRel sweep that every
+///     wavefront of callers to the same callee entry would repeat; the
+///     cache carries a generation stamp and is invalidated wholesale when
+///     a summary is installed or shed.
+/// All memo hits replay the exact id sequence the first evaluation
+/// produced, so worklist order, budget step counts, and every reported
+/// fact are identical to the unmemoized solver's.
+///
 /// Concurrency (the paper's Section 7 sketch, generalized): with
 /// Config::AsyncBu, triggered bottom-up runs execute on worker threads
 /// while the top-down analysis continues. Up to Config::MaxAsyncJobs runs
@@ -26,7 +50,9 @@
 /// every run draws steps from the *shared* budget, so the total cost of a
 /// hybrid run stays bounded by the same cap as the synchronous baselines.
 /// Each bottom-up solve itself parallelizes over the call-graph SCC DAG
-/// with Config::BuThreads workers (see RelationalSolver).
+/// with Config::BuThreads workers (see RelationalSolver). Workers touch
+/// only immutable analysis state plus a materialized frequency snapshot;
+/// the interner and memo tables are top-down-thread-only.
 ///
 /// Resource governance (Config::Gov): an attached ResourceGovernor turns
 /// the binary run/abort model into staged degradation. The top-down loop
@@ -54,7 +80,8 @@
 ///
 /// snapshot()/restore() capture and re-seed the solver's mutable state
 /// for checkpoint/resume of budget-limited runs; see TabSnapshot.h for
-/// the exactness guarantees.
+/// the exactness guarantees. Memo tables are pure caches and are
+/// intentionally not part of the snapshot: a resumed run refills them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +94,7 @@
 #include "ir/CallGraph.h"
 #include "ir/Program.h"
 #include "obs/Trace.h"
+#include "support/FlatHash.h"
 #include "support/Hashing.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
@@ -75,11 +103,10 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
-#include <set>
 #include <thread>
-#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -148,7 +175,7 @@ public:
   bool run() {
     obs::TraceSpan RunSpan("td", "td.run");
     ProcId Main = Prog.mainProc();
-    EverCalled[Main] = true;
+    EverCalled.set(Main);
     propagate(Main, Prog.proc(Main).entry(), intern(AN::lambda()),
               intern(AN::lambda()));
 
@@ -181,15 +208,15 @@ public:
   //===--------------------------------------------------------------------===
 
   /// Captures the solver's mutable state. Callable once run() has
-  /// returned (asynchronous jobs are then joined); bottom-up caches are
-  /// intentionally dropped (see TabSnapshot.h).
+  /// returned (asynchronous jobs are then joined); bottom-up caches and
+  /// memo tables are intentionally dropped (see TabSnapshot.h).
   Snapshot snapshot() const {
     assert(AsyncJobs.empty() && "join asynchronous jobs before snapshot");
     Snapshot S;
     S.States = States;
 
     for (ProcId P = 0; P != Prog.numProcs(); ++P)
-      for (const Edge &E : Edges[P].Set)
+      for (const Edge &E : Edges[P].Rows)
         S.Edges.push_back({P, E.Node, E.Entry, E.Cur});
     std::sort(S.Edges.begin(), S.Edges.end());
 
@@ -199,8 +226,10 @@ public:
 
     for (ProcId P = 0; P != Prog.numProcs(); ++P) {
       std::vector<typename Snapshot::SummaryRow> Rows;
-      for (const auto &[Entry, Exits] : Summaries[P])
-        Rows.push_back({P, Entry, Exits});
+      Summaries[P].forEach(
+          [&](uint32_t Entry, const std::vector<uint32_t> &Exits) {
+            Rows.push_back({P, Entry, Exits});
+          });
       std::sort(Rows.begin(), Rows.end(),
                 [](const auto &A, const auto &B) {
                   return A.Entry < B.Entry;
@@ -212,21 +241,18 @@ public:
     // Rows with the same (callee, entry) key keep their registration
     // order — recordSummary resumes waiting callers in that order.
     for (ProcId G = 0; G != Prog.numProcs(); ++G) {
-      std::vector<uint32_t> Keys;
-      for (const auto &[Entry, Callers] : Dependents[G]) {
-        (void)Callers;
-        Keys.push_back(Entry);
-      }
+      std::vector<uint32_t> Keys = Dependents[G].keys();
       std::sort(Keys.begin(), Keys.end());
       for (uint32_t Entry : Keys)
-        for (const Caller &C : Dependents[G].at(Entry))
+        for (const Caller &C : *Dependents[G].find(Entry))
           S.Dependents.push_back({G, Entry, C.P, C.Node, C.Entry, C.Frame});
     }
 
     for (ProcId P = 0; P != Prog.numProcs(); ++P) {
       std::vector<typename Snapshot::IncomingRow> Rows;
-      for (const auto &[Entry, Count] : Incoming[P])
+      Incoming[P].forEach([&](uint32_t Entry, uint64_t Count) {
         Rows.push_back({P, Entry, Count});
+      });
       std::sort(Rows.begin(), Rows.end(),
                 [](const auto &A, const auto &B) {
                   return A.Entry < B.Entry;
@@ -236,11 +262,22 @@ public:
     }
 
     S.EverCalled.reserve(EverCalled.size());
-    for (bool B : EverCalled)
-      S.EverCalled.push_back(B ? 1 : 0);
+    for (size_t P = 0; P != EverCalled.size(); ++P)
+      S.EverCalled.push_back(EverCalled.get(P) ? 1 : 0);
 
-    for (const auto &[P, N, StId] : Observed)
-      S.Observed.push_back({P, N, StId});
+    // The flat observation table keeps insertion order; checkpoints store
+    // the rows sorted (the historical std::set iteration order), so a
+    // resumed run snapshots byte-identically to an uninterrupted one.
+    for (const ObsRow &O : ObservedRows)
+      S.Observed.push_back({O.P, O.Node, O.StateId});
+    std::sort(S.Observed.begin(), S.Observed.end(),
+              [](const auto &A, const auto &B) {
+                if (A.Proc != B.Proc)
+                  return A.Proc < B.Proc;
+                if (A.Node != B.Node)
+                  return A.Node < B.Node;
+                return A.StateId < B.StateId;
+              });
     return S;
   }
 
@@ -251,27 +288,29 @@ public:
   void restore(const Snapshot &S) {
     assert(States.empty() && Work.empty() && "restore into a fresh solver");
     States = S.States;
-    StateIds.clear();
+    StateIndex.clear();
+    StateIndex.reserve(States.size());
     for (uint32_t I = 0; I != States.size(); ++I)
-      StateIds.emplace(States[I], I);
+      StateIndex.insert(stateHash(States[I]), I);
     for (const auto &E : S.Edges) {
       assert(E.Proc < Edges.size());
-      Edges[E.Proc].Set.insert(Edge{E.Node, E.Entry, E.Cur});
+      insertEdge(E.Proc, Edge{E.Node, E.Entry, E.Cur});
     }
     for (const auto &W : S.Work)
       Work.push_back({W.Proc, Edge{W.Node, W.Entry, W.Cur}});
     for (const auto &Row : S.Summaries)
-      Summaries[Row.Proc][Row.Entry] = Row.Exits;
+      Summaries[Row.Proc].getOrCreate(Row.Entry) = Row.Exits;
     for (const auto &D : S.Dependents)
-      Dependents[D.Callee][D.Entry].push_back(
+      Dependents[D.Callee].getOrCreate(D.Entry).push_back(
           Caller{D.CallerProc, D.CallNode, D.CallerEntry, D.Frame});
     for (const auto &I : S.Incoming)
-      Incoming[I.Proc][I.Entry] = I.Count;
+      Incoming[I.Proc].getOrCreate(I.Entry) = I.Count;
     for (size_t P = 0; P != EverCalled.size() && P != S.EverCalled.size();
          ++P)
-      EverCalled[P] = S.EverCalled[P] != 0;
+      if (S.EverCalled[P] != 0)
+        EverCalled.set(P);
     for (const auto &O : S.Observed)
-      Observed.insert({O.Proc, O.Node, O.StateId});
+      observedInsert(O.Proc, O.Node, O.StateId);
   }
 
   //===--------------------------------------------------------------------===
@@ -285,12 +324,12 @@ public:
   /// counts line up with the paper's (which has no Lambda fact).
   uint64_t numTdSummaries(ProcId P) const {
     uint64_t N = 0;
-    for (const auto &[E, Exits] : Summaries[P]) {
-      (void)E;
-      for (uint32_t X : Exits)
-        if (!AN::isLambda(States[X]))
-          ++N;
-    }
+    Summaries[P].forEach(
+        [&](uint32_t, const std::vector<uint32_t> &Exits) {
+          for (uint32_t X : Exits)
+            if (!AN::isLambda(States[X]))
+              ++N;
+        });
     return N;
   }
 
@@ -319,22 +358,24 @@ public:
   /// current state).
   template <typename Fn> void forEachFact(Fn F) const {
     for (ProcId P = 0; P != Prog.numProcs(); ++P)
-      for (const Edge &E : Edges[P].Set)
+      for (const Edge &E : Edges[P].Rows)
         F(P, E.Node, States[E.Entry], States[E.Cur]);
   }
 
   /// Visits every (entry, exit) summary pair of \p P.
   template <typename Fn> void forEachSummary(ProcId P, Fn F) const {
-    for (const auto &[E, Exits] : Summaries[P])
-      for (uint32_t X : Exits)
-        F(States[E], States[X]);
+    Summaries[P].forEach(
+        [&](uint32_t E, const std::vector<uint32_t> &Exits) {
+          for (uint32_t X : Exits)
+            F(States[E], States[X]);
+        });
   }
 
   /// Visits every observable state reported through a bottom-up summary's
   /// observation manifest: (caller proc, call node, state).
   template <typename Fn> void forEachObserved(Fn F) const {
-    for (const auto &[P, N, S] : Observed)
-      F(P, N, States[S]);
+    for (const ObsRow &O : ObservedRows)
+      F(O.P, O.Node, States[O.StateId]);
   }
 
 private:
@@ -349,20 +390,25 @@ private:
   /// Full-width mixing of all three fields. Shift-xor packing (the
   /// previous scheme) aliased once state ids passed 2^20, collapsing the
   /// path-edge set to near-linear probing on large configs.
-  struct EdgeHash {
-    size_t operator()(const Edge &E) const noexcept {
-      uint64_t H = hashCombine(hashCombine(mix64(E.Node), E.Entry), E.Cur);
-      return static_cast<size_t>(H);
-    }
-  };
-  struct EdgeSet {
-    std::unordered_set<Edge, EdgeHash> Set;
+  static uint64_t edgeHash(const Edge &E) {
+    return hashCombine(hashCombine(mix64(E.Node), E.Entry), E.Cur);
+  }
+  /// Path edges of one procedure: dense insertion-order rows plus an
+  /// open-addressing dedup index over them.
+  struct EdgeTab {
+    std::vector<Edge> Rows;
+    HashIndex Idx;
   };
   struct Caller {
     ProcId P;
     NodeId Node;
     uint32_t Entry; ///< Caller's own entry-state id.
     uint32_t Frame; ///< Caller's state at the call site.
+  };
+  struct ObsRow {
+    ProcId P;
+    NodeId Node;
+    uint32_t StateId;
   };
 
   /// Per-state footprint for the governor's memory estimate; analyses
@@ -375,21 +421,43 @@ private:
       return sizeof(State);
   }
 
+  /// 64-bit hash of a state; analyses that cache a hash at construction
+  /// expose it through AN::stateHash, others pay the std::hash walk.
+  static uint64_t stateHash(const State &S) {
+    if constexpr (requires { AN::stateHash(S); })
+      return AN::stateHash(S);
+    else
+      return static_cast<uint64_t>(std::hash<State>{}(S));
+  }
+
   uint32_t intern(const State &S) {
-    auto It = StateIds.find(S);
-    if (It != StateIds.end())
-      return It->second;
-    uint32_t Id = static_cast<uint32_t>(States.size());
-    States.push_back(S);
-    StateIds.emplace(States.back(), Id);
-    if (Cfg.Gov)
-      Cfg.Gov->charge(approxStateBytes(S) + 4 * sizeof(void *));
+    uint64_t H = stateHash(S);
+    auto [Id, Inserted] = StateIndex.findOrInsert(
+        H, static_cast<uint32_t>(States.size()),
+        [&](uint32_t I) { return States[I] == S; });
+    if (Inserted) {
+      States.push_back(S);
+      if (Cfg.Gov)
+        Cfg.Gov->charge(approxStateBytes(S) + 4 * sizeof(void *));
+    }
     return Id;
+  }
+
+  /// Dedups \p E into \p P's path-edge table; true when newly inserted.
+  bool insertEdge(ProcId P, const Edge &E) {
+    EdgeTab &T = Edges[P];
+    auto [Row, Inserted] = T.Idx.findOrInsert(
+        edgeHash(E), static_cast<uint32_t>(T.Rows.size()),
+        [&](uint32_t I) { return T.Rows[I] == E; });
+    (void)Row;
+    if (Inserted)
+      T.Rows.push_back(E);
+    return Inserted;
   }
 
   void propagate(ProcId P, NodeId N, uint32_t Entry, uint32_t Cur) {
     Edge E{N, Entry, Cur};
-    if (!Edges[P].Set.insert(E).second)
+    if (!insertEdge(P, E))
       return;
     uint64_t NEdges = ++Stat.counter(CtrPathEdges);
     // Path-edge growth curve, sampled sparsely to keep the innermost
@@ -402,12 +470,26 @@ private:
     Work.push_back({P, E});
   }
 
-  const Binding &binding(ProcId P, NodeId N, const Command &Cmd) {
+  /// A call-site binding plus its dense site id (the memo key for the
+  /// per-site enter/combine caches).
+  struct BoundSite {
+    const Binding &B;
+    uint32_t Site;
+  };
+
+  BoundSite binding(ProcId P, NodeId N, const Command &Cmd) {
     uint64_t Key = (static_cast<uint64_t>(P) << 32) | N;
-    auto It = Bindings.find(Key);
-    if (It == Bindings.end())
-      It = Bindings.emplace(Key, AN::makeBinding(Ctx, P, Cmd)).first;
-    return It->second;
+    uint64_t H = mix64(Key);
+    uint32_t Id = BindingIdx.find(
+        H, [&](uint32_t I) { return BindingKeys[I] == Key; });
+    if (Id == HashIndex::Npos) {
+      Id = static_cast<uint32_t>(BindingKeys.size());
+      BindingIdx.insert(H, Id);
+      BindingKeys.push_back(Key);
+      // Deque: stable references while new sites are bound.
+      BindingArena.emplace_back(AN::makeBinding(Ctx, P, Cmd));
+    }
+    return {BindingArena[Id], Id};
   }
 
   std::vector<State> combineDispatch(const Binding &B, const State &Frame,
@@ -420,6 +502,40 @@ private:
     assert(!AN::isLambda(Exit) &&
            "non-Lambda entries never reach a Lambda exit");
     return AN::combine(B, Frame, Exit);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Memo tables (pure caches over interned ids; never snapshotted)
+  //===--------------------------------------------------------------------===
+
+  struct MemoKey {
+    uint32_t A, B, C;
+  };
+  /// Key triple -> (begin, count) slice into MemoPool.
+  struct MemoTab {
+    HashIndex Idx;
+    std::vector<MemoKey> Keys;
+    std::vector<std::pair<uint32_t, uint32_t>> Slices;
+  };
+
+  static uint64_t memoHash(MemoKey K) {
+    return hashCombine(hashCombine(mix64(K.A), K.B), K.C);
+  }
+
+  uint32_t memoFind(const MemoTab &T, MemoKey K) const {
+    return T.Idx.find(memoHash(K), [&](uint32_t I) {
+      return T.Keys[I].A == K.A && T.Keys[I].B == K.B && T.Keys[I].C == K.C;
+    });
+  }
+
+  uint32_t memoAdd(MemoTab &T, MemoKey K, const std::vector<uint32_t> &Ids) {
+    uint32_t Row = static_cast<uint32_t>(T.Keys.size());
+    T.Idx.insert(memoHash(K), Row);
+    T.Keys.push_back(K);
+    T.Slices.push_back({static_cast<uint32_t>(MemoPool.size()),
+                        static_cast<uint32_t>(Ids.size())});
+    MemoPool.insert(MemoPool.end(), Ids.begin(), Ids.end());
+    return Row;
   }
 
   void process(ProcId P, const Edge &E) {
@@ -436,9 +552,24 @@ private:
       return;
     }
 
-    for (const State &S2 :
-         AN::transfer(Ctx, P, Node.Cmd, States[E.Cur])) {
-      uint32_t Id = intern(S2);
+    // Transfer depends only on (node, current state); path edges that
+    // share both replay the interned out ids without re-running it.
+    MemoKey K{P, E.Node, E.Cur};
+    uint32_t Row = memoFind(TransferMemo, K);
+    if (Row == HashIndex::Npos) {
+      std::vector<uint32_t> Out;
+      // Most commands are the identity on most states; the arena is
+      // injective, so out == in short-circuits to the input's own id
+      // (the cached-hash compare rejects non-identity outs in one load)
+      // without touching the interner.
+      for (const State &S2 :
+           AN::transfer(Ctx, P, Node.Cmd, States[E.Cur]))
+        Out.push_back(S2 == States[E.Cur] ? E.Cur : intern(S2));
+      Row = memoAdd(TransferMemo, K, Out);
+    }
+    auto [Begin, Count] = TransferMemo.Slices[Row];
+    for (uint32_t I = 0; I != Count; ++I) {
+      uint32_t Id = MemoPool[Begin + I];
       for (NodeId Succ : Node.Succs)
         propagate(P, Succ, E.Entry, Id);
     }
@@ -446,50 +577,63 @@ private:
 
   void processCall(ProcId P, const Edge &E, const CfgNode &Node) {
     ProcId G = Node.Cmd.Callee;
-    const Binding &B = binding(P, E.Node, Node.Cmd);
-    EverCalled[G] = true;
+    BoundSite BS = binding(P, E.Node, Node.Cmd);
+    EverCalled.set(G);
 
     // Call-to-return flow that bypasses the callee (empty for analyses
     // whose facts all travel through the callee, like the typestate one).
-    for (const State &S : AN::callLocal(B, States[E.Cur])) {
+    for (const State &S : AN::callLocal(BS.B, States[E.Cur])) {
       uint32_t Id = intern(S);
       for (NodeId Succ : Node.Succs)
         propagate(P, Succ, E.Entry, Id);
     }
 
-    std::vector<State> Entries = AN::enter(B, States[E.Cur]);
-    std::sort(Entries.begin(), Entries.end());
-    Entries.erase(std::unique(Entries.begin(), Entries.end()),
-                  Entries.end());
-    for (const State &EntryState : Entries) {
-      uint32_t EntryId = intern(EntryState);
-      if (!AN::isLambda(EntryState))
-        ++Incoming[G][EntryId];
+    // Enter depends only on (site, current state); the sorted-unique
+    // entry ids are memoized across all path edges through this site.
+    MemoKey EK{BS.Site, E.Cur, 0};
+    uint32_t ERow = memoFind(EnterMemo, EK);
+    if (ERow == HashIndex::Npos) {
+      std::vector<State> Entries = AN::enter(BS.B, States[E.Cur]);
+      std::sort(Entries.begin(), Entries.end());
+      Entries.erase(std::unique(Entries.begin(), Entries.end()),
+                    Entries.end());
+      std::vector<uint32_t> Ids;
+      Ids.reserve(Entries.size());
+      for (const State &EntryState : Entries)
+        Ids.push_back(intern(EntryState));
+      ERow = memoAdd(EnterMemo, EK, Ids);
+    }
+    auto [EBegin, ECount] = EnterMemo.Slices[ERow];
+    for (uint32_t EI = 0; EI != ECount; ++EI) {
+      uint32_t EntryId = MemoPool[EBegin + EI];
+      if (!AN::isLambda(States[EntryId]))
+        ++Incoming[G].getOrCreate(EntryId);
 
       // Serve from the bottom-up summary when one covers this entry
       // state. The guard uses SigmaAll (every point's ignore set), which
-      // also validates the observation manifest.
-      if (Bu[G] &&
-          !(Cfg.ObservationManifest ? Bu[G]->SigmaAll : Bu[G]->Sigma)
-               .contains(Ctx, EntryState)) {
-        uint64_t Served = ++Stat.counter(CtrBuServedCalls);
-        obs::instant("td", "bu.serve", {"callee", G}, {"caller", P});
-        if (obs::tracingEnabled() && (Served & 63) == 0)
-          obs::counterEvent("bu.served_calls", "calls", Served);
-        if (AN::isLambda(EntryState) && Bu[G]->LambdaExit)
-          applyAfter(P, E, Node, B, States[E.Cur], EntryState);
-        for (const Rel &R : Bu[G]->Rels)
-          if (std::optional<State> Out = AN::applyRel(Ctx, R, EntryState))
-            applyAfter(P, E, Node, B, States[E.Cur], *Out);
-        // Errors at the callee's internal points, reported at this call.
-        for (const Rel &R : Bu[G]->ObsRels)
-          if (std::optional<State> Out = AN::applyRel(Ctx, R, EntryState))
-            if (AN::stateObservable(Ctx, *Out))
-              Observed.insert({P, E.Node, intern(*Out)});
-        continue;
-      }
-
+      // also validates the observation manifest. The decision and the
+      // summary's outputs for this entry are cached per (callee, entry)
+      // until the next install/shed bumps the generation; without an
+      // installed summary the check stays the original single branch.
       if (Bu[G]) {
+        uint32_t SRow = serveLookup(G, EntryId);
+        if (ServeRows[SRow].Served) {
+          uint64_t Served = ++Stat.counter(CtrBuServedCalls);
+          obs::instant("td", "bu.serve", {"callee", G}, {"caller", P});
+          if (obs::tracingEnabled() && (Served & 63) == 0)
+            obs::counterEvent("bu.served_calls", "calls", Served);
+          // Copy the slice header: applyAfter can grow the pool.
+          ServeRow SR = ServeRows[SRow];
+          if (SR.LambdaServe)
+            applyAfter(P, E, Node, BS, E.Cur, EntryId);
+          for (uint32_t I = 0; I != SR.OutsCount; ++I)
+            applyAfter(P, E, Node, BS, E.Cur, MemoPool[SR.OutsBegin + I]);
+          // Errors at the callee's internal points, reported at this
+          // call.
+          for (uint32_t I = 0; I != SR.ObsCount; ++I)
+            observedInsert(P, E.Node, MemoPool[SR.ObsBegin + I]);
+          continue;
+        }
         // A Sigma hit: the summary exists but its ignore set covers this
         // entry state, so the call takes the top-down route.
         ++Stat.counter(CtrBuFallbackCalls);
@@ -497,12 +641,12 @@ private:
       }
 
       // Top-down route: register for resumption and seed the callee.
-      Dependents[G][EntryId].push_back(Caller{P, E.Node, E.Entry, E.Cur});
+      Dependents[G].getOrCreate(EntryId).push_back(
+          Caller{P, E.Node, E.Entry, E.Cur});
       propagate(G, Prog.proc(G).entry(), EntryId, EntryId);
-      auto SumIt = Summaries[G].find(EntryId);
-      if (SumIt != Summaries[G].end())
-        for (uint32_t ExitId : SumIt->second)
-          applyAfter(P, E, Node, B, States[E.Cur], States[ExitId]);
+      if (const std::vector<uint32_t> *Exits = Summaries[G].find(EntryId))
+        for (uint32_t ExitId : *Exits)
+          applyAfter(P, E, Node, BS, E.Cur, ExitId);
 
       // The SWIFT trigger (Algorithm 1, line 17).
       if (Cfg.K != NoBuTrigger && !Bu[G] && Incoming[G].size() > Cfg.K) {
@@ -513,18 +657,96 @@ private:
     }
   }
 
+  /// (Re)computes the cached serve decision for entry \p EntryId of
+  /// callee \p G; returns the ServeRows index. Rows whose generation
+  /// predates the last install/shed are recomputed in place.
+  uint32_t serveLookup(ProcId G, uint32_t EntryId) {
+    uint64_t H = hashCombine(mix64(G), EntryId);
+    uint32_t Row = ServeIdx.find(H, [&](uint32_t I) {
+      return ServeKeys[I].first == G && ServeKeys[I].second == EntryId;
+    });
+    if (Row != HashIndex::Npos && ServeRows[Row].Gen == ServeGen)
+      return Row;
+
+    // Copy: interning the outputs below can reallocate the arena.
+    State EntryState = States[EntryId];
+    ServeRow R{};
+    R.Gen = ServeGen;
+    if (Bu[G] &&
+        !(Cfg.ObservationManifest ? Bu[G]->SigmaAll : Bu[G]->Sigma)
+             .contains(Ctx, EntryState)) {
+      R.Served = 1;
+      R.LambdaServe = AN::isLambda(EntryState) && Bu[G]->LambdaExit;
+      std::vector<uint32_t> Outs, Obs;
+      for (const Rel &Rl : Bu[G]->Rels)
+        if (std::optional<State> Out = AN::applyRel(Ctx, Rl, EntryState))
+          Outs.push_back(*Out == EntryState ? EntryId : intern(*Out));
+      for (const Rel &Rl : Bu[G]->ObsRels)
+        if (std::optional<State> Out = AN::applyRel(Ctx, Rl, EntryState))
+          if (AN::stateObservable(Ctx, *Out))
+            Obs.push_back(intern(*Out));
+      R.OutsBegin = static_cast<uint32_t>(MemoPool.size());
+      R.OutsCount = static_cast<uint32_t>(Outs.size());
+      MemoPool.insert(MemoPool.end(), Outs.begin(), Outs.end());
+      R.ObsBegin = static_cast<uint32_t>(MemoPool.size());
+      R.ObsCount = static_cast<uint32_t>(Obs.size());
+      MemoPool.insert(MemoPool.end(), Obs.begin(), Obs.end());
+    }
+    if (Row == HashIndex::Npos) {
+      Row = static_cast<uint32_t>(ServeRows.size());
+      ServeIdx.insert(H, Row);
+      ServeKeys.push_back({G, EntryId});
+      ServeRows.push_back(R);
+    } else {
+      ServeRows[Row] = R;
+    }
+    return Row;
+  }
+
+  /// Dedups an observation row; insertion order is kept for iteration,
+  /// snapshot() sorts.
+  void observedInsert(ProcId P, NodeId N, uint32_t StateId) {
+    uint64_t H = hashCombine(hashCombine(mix64(P), N), StateId);
+    auto [Row, Inserted] = ObservedIdx.findOrInsert(
+        H, static_cast<uint32_t>(ObservedRows.size()), [&](uint32_t I) {
+          return ObservedRows[I].P == P && ObservedRows[I].Node == N &&
+                 ObservedRows[I].StateId == StateId;
+        });
+    (void)Row;
+    if (Inserted)
+      ObservedRows.push_back(ObsRow{P, N, StateId});
+  }
+
+  /// Combines exit \p ExitId into the caller across call site \p BS and
+  /// propagates the results to the call's successors. The combined out
+  /// ids are memoized per (site, frame, exit) — resumption replays the
+  /// same exit against every waiting caller sharing the frame.
   void applyAfter(ProcId P, const Edge &E, const CfgNode &Node,
-                  const Binding &B, const State &Frame, const State &Exit) {
-    std::vector<State> Afters = combineDispatch(B, Frame, Exit);
-    for (const State &After : Afters) {
-      uint32_t Id = intern(After);
+                  const BoundSite &BS, uint32_t FrameId, uint32_t ExitId) {
+    MemoKey K{BS.Site, FrameId, ExitId};
+    uint32_t Row = memoFind(CombineMemo, K);
+    if (Row == HashIndex::Npos) {
+      std::vector<State> Afters =
+          combineDispatch(BS.B, States[FrameId], States[ExitId]);
+      std::vector<uint32_t> Ids;
+      Ids.reserve(Afters.size());
+      // A callee that leaves the caller-visible part alone combines back
+      // to the frame state itself; resolve that to FrameId by one
+      // cached-hash compare instead of an interner probe.
+      for (const State &After : Afters)
+        Ids.push_back(After == States[FrameId] ? FrameId : intern(After));
+      Row = memoAdd(CombineMemo, K, Ids);
+    }
+    auto [Begin, Count] = CombineMemo.Slices[Row];
+    for (uint32_t I = 0; I != Count; ++I) {
+      uint32_t Id = MemoPool[Begin + I];
       for (NodeId Succ : Node.Succs)
         propagate(P, Succ, E.Entry, Id);
     }
   }
 
   void recordSummary(ProcId P, uint32_t Entry, uint32_t Exit) {
-    std::vector<uint32_t> &Exits = Summaries[P][Entry];
+    std::vector<uint32_t> &Exits = Summaries[P].getOrCreate(Entry);
     for (uint32_t X : Exits)
       if (X == Exit)
         return;
@@ -532,17 +754,16 @@ private:
     ++Stat.counter(CtrTdSummaries);
 
     // Resume callers waiting on this (callee, entry) pair.
-    auto DepIt = Dependents[P].find(Entry);
-    if (DepIt == Dependents[P].end())
+    std::vector<Caller> *DepIt = Dependents[P].find(Entry);
+    if (!DepIt)
       return;
     // Copy: applyAfter may grow the dependents map.
-    std::vector<Caller> Waiting = DepIt->second;
+    std::vector<Caller> Waiting = *DepIt;
     for (const Caller &C : Waiting) {
       const CfgNode &Node = Prog.proc(C.P).node(C.Node);
-      const Binding &B = binding(C.P, C.Node, Node.Cmd);
+      BoundSite BS = binding(C.P, C.Node, Node.Cmd);
       Edge CallerEdge{C.Node, C.Entry, C.Frame};
-      applyAfter(C.P, CallerEdge, Node, B, States[C.Frame],
-                 States[Exit]);
+      applyAfter(C.P, CallerEdge, Node, BS, C.Frame, Exit);
     }
   }
 
@@ -561,6 +782,7 @@ private:
           B.reset();
           ++Stat.counter(CtrGovShedSummaries);
         }
+      ++ServeGen; // Cached serve decisions refer to shed summaries.
       Cfg.Gov->release(GovBuBytes);
       GovBuBytes = 0;
     }
@@ -597,7 +819,7 @@ private:
 
     std::vector<ProcId> F = CG.reachableFrom(G);
     for (ProcId Q : F)
-      if (!EverCalled[Q]) {
+      if (!EverCalled.get(Q)) {
         ++Stat.counter(CtrBuPostponed);
         return;
       }
@@ -620,12 +842,15 @@ private:
     }
 
     // Materialize the frequency multisets M for the pruning ranking.
+    // Workers only ever read this immutable snapshot — never the
+    // interner or the memo tables, which stay top-down-thread-only.
     auto Freq = std::make_shared<
         std::vector<std::unordered_map<State, uint64_t>>>();
     Freq->resize(Prog.numProcs());
     for (ProcId Q : F)
-      for (const auto &[StateId, Count] : Incoming[Q])
+      Incoming[Q].forEach([&](uint32_t StateId, uint64_t Count) {
         (*Freq)[Q].emplace(States[StateId], Count);
+      });
 
     if (!Cfg.AsyncBu) {
       obs::TraceSpan BuSpan("bu", "bu.sync", {"root", G},
@@ -695,6 +920,7 @@ private:
 
   void install(ProcId Q, BuSummary Summary) {
     Bu[Q] = std::move(Summary);
+    ++ServeGen; // Cached serve decisions for Q are stale now.
     obs::instant("td", "bu.install", {"proc", Q},
                  {"rels", Bu[Q]->Rels.size()});
     Stat.counter(CtrBuSummaryRels) += Bu[Q]->Rels.size();
@@ -758,17 +984,51 @@ private:
   Budget &Bud;
   Stats &Stat;
 
+  // State interner: dense-id arena plus an open-addressing index over
+  // cached hashes. Ids are assigned in first-intern order, which every
+  // deterministic replay (memo hit or checkpoint resume) reproduces.
   std::vector<State> States;
-  std::unordered_map<State, uint32_t> StateIds;
-  std::vector<EdgeSet> Edges;
+  HashIndex StateIndex;
+
+  std::vector<EdgeTab> Edges;
   std::vector<std::pair<ProcId, Edge>> Work;
-  std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> Summaries;
-  std::vector<std::unordered_map<uint32_t, std::vector<Caller>>> Dependents;
-  std::vector<std::unordered_map<uint32_t, uint64_t>> Incoming;
-  std::vector<bool> EverCalled;
+  std::vector<FlatMap32<std::vector<uint32_t>>> Summaries;
+  std::vector<FlatMap32<std::vector<Caller>>> Dependents;
+  std::vector<FlatMap32<uint64_t>> Incoming;
+  BitVec EverCalled;
   std::vector<std::optional<BuSummary>> Bu;
-  std::unordered_map<uint64_t, Binding> Bindings;
-  std::set<std::tuple<ProcId, NodeId, uint32_t>> Observed;
+
+  // Call-site binding arena: dense site ids double as memo keys.
+  HashIndex BindingIdx;
+  std::vector<uint64_t> BindingKeys; ///< (proc << 32) | node.
+  std::deque<Binding> BindingArena;
+
+  // Observation set: insertion-order rows plus a dedup index.
+  std::vector<ObsRow> ObservedRows;
+  HashIndex ObservedIdx;
+
+  // Memo tables; all slices live in the shared id pool (index-addressed —
+  // the pool reallocates while slices are being replayed).
+  std::vector<uint32_t> MemoPool;
+  MemoTab TransferMemo; ///< (proc, node, cur) -> transfer out ids.
+  MemoTab EnterMemo;    ///< (site, cur, 0) -> sorted-unique entry ids.
+  MemoTab CombineMemo;  ///< (site, frame, exit) -> combined out ids.
+
+  /// Cached bottom-up serve decision for one (callee, entry id), valid
+  /// while Gen == ServeGen. Served == 0 also caches the negative case
+  /// (no summary, or its ignore set covers the entry).
+  struct ServeRow {
+    uint32_t Gen = 0;
+    uint32_t OutsBegin = 0, OutsCount = 0;
+    uint32_t ObsBegin = 0, ObsCount = 0;
+    uint8_t Served = 0;
+    uint8_t LambdaServe = 0;
+  };
+  HashIndex ServeIdx;
+  std::vector<std::pair<ProcId, uint32_t>> ServeKeys;
+  std::vector<ServeRow> ServeRows;
+  uint32_t ServeGen = 0; ///< Bumped on every install and shed.
+
   bool GovShedDone = false;   ///< Red-pressure cache shed ran.
   uint64_t GovBuBytes = 0;    ///< Memory charged for installed summaries.
 

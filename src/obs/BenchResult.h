@@ -1,0 +1,170 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "swift-bench" v1 machine-readable benchmark result format and the
+/// comparison engine behind tools/swift-benchdiff. Every bench binary
+/// emits this via --json-out= (bench/BenchCommon.h); the checked-in
+/// BENCH_baseline.json files and the CI perf gate consume it.
+///
+/// Schema (all object keys appear in a fixed order, so byte-level diffs
+/// of two snapshots are stable):
+///
+///   {"format": "swift-bench", "version": 1,
+///    "bench": "<binary name>",
+///    "context": {"budget_seconds": 15, ...},      // numeric, optional
+///    "rows": [
+///      {"workload": "jpat-p", "config": "td", "timeout": false,
+///       "metrics": {"seconds": 0.42, "steps": 10120, ...}}]}
+///
+/// Rows are keyed by (workload, config); keys must be unique. Every
+/// metric is a non-negative finite number where *lower is better*
+/// (times, budget steps, summary/relation counts) — speedups and other
+/// higher-is-better derived values stay out of the file by convention.
+///
+/// Comparison semantics (diffReports): rows are matched by key; metric
+/// "seconds" (and any "*_seconds") is time-like and compared with both a
+/// relative noise threshold and an absolute floor, every other metric is
+/// a count and compared with the relative threshold plus a small count
+/// floor. Budget-step counts are deterministic for a fixed solver at a
+/// fixed thread count, so the CI gate compares steps only
+/// (--metric=steps) and stays immune to runner-machine speed; local
+/// trajectory checks compare wall time with the noise threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_OBS_BENCHRESULT_H
+#define SWIFT_OBS_BENCHRESULT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swift {
+namespace obs {
+namespace benchjson {
+
+inline constexpr const char *FormatName = "swift-bench";
+inline constexpr uint64_t FormatVersion = 1;
+
+/// One benchmark run: a (workload, config) cell with its metrics.
+struct Row {
+  std::string Workload;
+  std::string Config;
+  bool Timeout = false;
+  /// Insertion-ordered; names unique; values non-negative and finite.
+  std::vector<std::pair<std::string, double>> Metrics;
+
+  void set(std::string Name, double V) {
+    for (auto &M : Metrics)
+      if (M.first == Name) {
+        M.second = V;
+        return;
+      }
+    Metrics.emplace_back(std::move(Name), V);
+  }
+  const double *find(std::string_view Name) const {
+    for (const auto &M : Metrics)
+      if (M.first == Name)
+        return &M.second;
+    return nullptr;
+  }
+  std::string key() const { return Workload + "/" + Config; }
+};
+
+struct Report {
+  std::string Bench;
+  /// Run context (budget, threads, ...); numeric, insertion-ordered.
+  std::vector<std::pair<std::string, double>> Context;
+  std::vector<Row> Rows;
+
+  Row &newRow(std::string Workload, std::string Config) {
+    Rows.emplace_back();
+    Rows.back().Workload = std::move(Workload);
+    Rows.back().Config = std::move(Config);
+    return Rows.back();
+  }
+  const Row *findRow(std::string_view Key) const {
+    for (const Row &R : Rows)
+      if (R.key() == Key)
+        return &R;
+    return nullptr;
+  }
+};
+
+/// Serializes \p R as compact swift-bench v1 JSON (deterministic key
+/// order: schema fields first, then context/metrics in insertion order).
+std::string dumpReport(const Report &R);
+
+/// Parses and schema-validates swift-bench v1 text. Returns false with a
+/// diagnostic in \p Err on malformed JSON, wrong format/version, missing
+/// or mistyped fields, non-finite/negative metrics, or duplicate
+/// (workload, config) row keys.
+bool parseReport(std::string_view Text, Report &R, std::string *Err);
+
+/// dumpReport + writeFileAtomic (failpoint prefix "obs.bench"). Returns
+/// false with the write error in \p Err.
+bool writeReport(const Report &R, const std::string &Path,
+                 std::string *Err);
+
+struct DiffOptions {
+  /// Relative regression threshold: new > old * (1 + Threshold) flags.
+  double Threshold = 0.25;
+  /// Absolute floor for time-like metrics: deltas under this many
+  /// seconds are never regressions (scheduler noise on sub-50ms cells).
+  double MinSeconds = 0.05;
+  /// Absolute floor for count metrics (a 2 -> 3 step count is +50% but
+  /// meaningless).
+  double MinCount = 8.0;
+  enum class Filter { All, TimeOnly, StepsOnly };
+  Filter Metric = Filter::All;
+};
+
+struct DiffEntry {
+  enum class Verdict { Improved, Within, Regressed };
+  std::string RowKey; ///< "workload/config"
+  std::string Name;   ///< metric name
+  double Old = 0.0;
+  double New = 0.0;
+  Verdict V = Verdict::Within;
+};
+
+struct DiffResult {
+  /// Per-metric comparisons, in baseline row/metric order.
+  std::vector<DiffEntry> Entries;
+  /// Rows that newly time out (regressions) / newly complete.
+  std::vector<std::string> NewTimeouts, FixedTimeouts;
+  /// Row keys present on only one side (informational, not gating).
+  std::vector<std::string> OnlyBaseline, OnlyNew;
+  bool BenchNameMismatch = false;
+
+  bool hasRegression() const {
+    if (!NewTimeouts.empty())
+      return true;
+    for (const DiffEntry &E : Entries)
+      if (E.V == DiffEntry::Verdict::Regressed)
+        return true;
+    return false;
+  }
+};
+
+/// Compares \p New against \p Base row by row. Rows where either side
+/// timed out skip metric comparison (budget-truncated numbers are
+/// machine-dependent); a completed->timeout flip is itself a regression.
+DiffResult diffReports(const Report &Base, const Report &New,
+                       const DiffOptions &O);
+
+/// Human-readable rendering of a diff: one line per comparison plus a
+/// summary tail ("swift-benchdiff: OK ..." or "... REGRESSION ...").
+std::string formatDiff(const DiffResult &D, const DiffOptions &O);
+
+} // namespace benchjson
+} // namespace obs
+} // namespace swift
+
+#endif // SWIFT_OBS_BENCHRESULT_H

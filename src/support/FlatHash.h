@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat, data-oriented hash containers for the tabulation hot path:
+///
+///  * HashIndex — an insert-only open-addressing index mapping a caller
+///    supplied 64-bit hash to a 32-bit payload (typically a dense id into
+///    a sibling arena vector). The index stores only (hash, value) pairs
+///    in two parallel arrays; keys live in the caller's arena and are
+///    compared through a caller-supplied equality callback. Growth
+///    rehashes from the stored hashes, so keys are never re-hashed.
+///
+///  * FlatMap32<V> — a map from uint32_t keys to V built on HashIndex,
+///    with insertion-order iteration over parallel Keys/Vals vectors.
+///    Replaces per-procedure std::unordered_map<uint32_t, V> tables: one
+///    probe sequence over contiguous memory instead of a node allocation
+///    per entry.
+///
+///  * BitVec — a packed bit vector (std::vector<bool> without the proxy
+///    iterator, plus word-at-a-time storage under the solver's control).
+///
+/// None of these containers support erase: tabulation only accumulates,
+/// which is exactly what makes open addressing with tombstone-free
+/// probing safe here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SUPPORT_FLATHASH_H
+#define SWIFT_SUPPORT_FLATHASH_H
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace swift {
+
+/// Insert-only open-addressing index: 64-bit hash -> 32-bit payload.
+/// Payload UINT32_MAX is reserved as the empty-slot sentinel.
+class HashIndex {
+public:
+  static constexpr uint32_t Npos = UINT32_MAX;
+
+  HashIndex() = default;
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  void clear() {
+    Hashes.clear();
+    Values.clear();
+    Mask = 0;
+    Count = 0;
+  }
+
+  /// Pre-sizes the table for \p N entries.
+  void reserve(size_t N) {
+    size_t Cap = 16;
+    while (Cap * 7 < N * 8)
+      Cap <<= 1;
+    if (Cap > Mask + 1)
+      rehash(Cap);
+  }
+
+  /// Returns the payload of the entry whose stored hash is \p Hash and
+  /// for which \p Eq(payload) is true, or Npos. \p Eq receives the
+  /// candidate payload and must compare the caller's key against the
+  /// arena entry it denotes.
+  template <typename EqFn> uint32_t find(uint64_t Hash, EqFn Eq) const {
+    if (Count == 0)
+      return Npos;
+    for (size_t I = Hash & Mask;; I = (I + 1) & Mask) {
+      if (Values[I] == Npos)
+        return Npos;
+      if (Hashes[I] == Hash && Eq(Values[I]))
+        return Values[I];
+    }
+  }
+
+  /// Inserts \p Value under \p Hash. The caller must have established
+  /// absence (via find) first; duplicates are not detected here.
+  void insert(uint64_t Hash, uint32_t Value) {
+    assert(Value != Npos && "payload collides with the empty sentinel");
+    if ((Count + 1) * 8 > (Mask + 1) * 7)
+      rehash(Mask == 0 ? 16 : (Mask + 1) * 2);
+    size_t I = Hash & Mask;
+    while (Values[I] != Npos)
+      I = (I + 1) & Mask;
+    Hashes[I] = Hash;
+    Values[I] = Value;
+    ++Count;
+  }
+
+  /// find + insert in one probe sequence: returns {payload, false} when
+  /// an equal entry exists, otherwise inserts \p Value and returns
+  /// {Value, true}.
+  template <typename EqFn>
+  std::pair<uint32_t, bool> findOrInsert(uint64_t Hash, uint32_t Value,
+                                         EqFn Eq) {
+    assert(Value != Npos && "payload collides with the empty sentinel");
+    if ((Count + 1) * 8 > (Mask + 1) * 7)
+      rehash(Mask == 0 ? 16 : (Mask + 1) * 2);
+    size_t I = Hash & Mask;
+    for (;; I = (I + 1) & Mask) {
+      if (Values[I] == Npos)
+        break;
+      if (Hashes[I] == Hash && Eq(Values[I]))
+        return {Values[I], false};
+    }
+    Hashes[I] = Hash;
+    Values[I] = Value;
+    ++Count;
+    return {Value, true};
+  }
+
+private:
+  void rehash(size_t NewCap) {
+    assert((NewCap & (NewCap - 1)) == 0 && "capacity must be a power of 2");
+    std::vector<uint64_t> OldH = std::move(Hashes);
+    std::vector<uint32_t> OldV = std::move(Values);
+    Hashes.assign(NewCap, 0);
+    Values.assign(NewCap, Npos);
+    Mask = NewCap - 1;
+    for (size_t I = 0; I != OldV.size(); ++I) {
+      if (OldV[I] == Npos)
+        continue;
+      size_t J = OldH[I] & Mask;
+      while (Values[J] != Npos)
+        J = (J + 1) & Mask;
+      Hashes[J] = OldH[I];
+      Values[J] = OldV[I];
+    }
+  }
+
+  std::vector<uint64_t> Hashes;
+  std::vector<uint32_t> Values; ///< Npos = empty slot.
+  size_t Mask = 0;              ///< Capacity - 1; 0 = unallocated.
+  size_t Count = 0;
+};
+
+/// Map from uint32_t keys to V with insertion-order iteration. Entries
+/// live in parallel Keys/Vals vectors; the HashIndex maps hashed keys to
+/// their dense position. No erase.
+template <typename V> class FlatMap32 {
+public:
+  size_t size() const { return Keys.size(); }
+  bool empty() const { return Keys.empty(); }
+
+  const std::vector<uint32_t> &keys() const { return Keys; }
+  const std::vector<V> &vals() const { return Vals; }
+  V &valAt(size_t I) { return Vals[I]; }
+  const V &valAt(size_t I) const { return Vals[I]; }
+
+  V *find(uint32_t Key) {
+    uint32_t I = Idx.find(mix64(Key),
+                          [&](uint32_t P) { return Keys[P] == Key; });
+    return I == HashIndex::Npos ? nullptr : &Vals[I];
+  }
+  const V *find(uint32_t Key) const {
+    return const_cast<FlatMap32 *>(this)->find(Key);
+  }
+
+  /// Returns the value for \p Key, default-constructing it on first use.
+  V &getOrCreate(uint32_t Key) {
+    auto [I, Inserted] =
+        Idx.findOrInsert(mix64(Key), static_cast<uint32_t>(Keys.size()),
+                         [&](uint32_t P) { return Keys[P] == Key; });
+    if (Inserted) {
+      Keys.push_back(Key);
+      Vals.emplace_back();
+    }
+    return Vals[I];
+  }
+
+  /// Visits (key, value) pairs in insertion order.
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t I = 0; I != Keys.size(); ++I)
+      F(Keys[I], Vals[I]);
+  }
+
+private:
+  HashIndex Idx;
+  std::vector<uint32_t> Keys;
+  std::vector<V> Vals;
+};
+
+/// Packed bit vector with plain bool reads and word-backed storage.
+class BitVec {
+public:
+  void assign(size_t N, bool Value) {
+    Size = N;
+    Words.assign((N + 63) / 64, Value ? ~uint64_t{0} : 0);
+  }
+
+  size_t size() const { return Size; }
+
+  bool get(size_t I) const {
+    assert(I < Size);
+    return (Words[I >> 6] >> (I & 63)) & 1;
+  }
+
+  void set(size_t I) {
+    assert(I < Size);
+    Words[I >> 6] |= uint64_t{1} << (I & 63);
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t Size = 0;
+};
+
+} // namespace swift
+
+#endif // SWIFT_SUPPORT_FLATHASH_H

@@ -25,6 +25,8 @@ namespace swift {
 /// A simple wall-clock stopwatch.
 class Timer {
 public:
+  using Clock = std::chrono::steady_clock;
+
   Timer() : Start(Clock::now()) {}
 
   void reset() { Start = Clock::now(); }
@@ -33,12 +35,20 @@ public:
     return std::chrono::duration<double>(Clock::now() - Start).count();
   }
 
-  uint64_t millis() const {
-    return static_cast<uint64_t>(seconds() * 1000.0);
+  /// Whole milliseconds in \p Elapsed, counted in integer clock ticks.
+  /// Converting through seconds() would round through a double, which
+  /// drops ticks near millisecond boundaries and loses integer precision
+  /// entirely once the count exceeds 2^53. (Separated from millis() so
+  /// the regression test can feed synthetic durations.)
+  static uint64_t millisFor(Clock::duration Elapsed) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
+            .count());
   }
 
+  uint64_t millis() const { return millisFor(Clock::now() - Start); }
+
 private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
 };
 

@@ -110,11 +110,14 @@ private:
   std::vector<AccessPath> Paths;
 };
 
-/// One abstract state (h, t, A, N), or Lambda.
+/// One abstract state (h, t, A, N), or Lambda. States are immutable
+/// after construction, so the 64-bit hash every interning table keys on
+/// is computed once here and cached — hashing a state again is a single
+/// load instead of a walk over both access-path sets.
 class TsAbstractState {
 public:
   /// The Lambda ("no tracked object") state.
-  TsAbstractState() : H(LambdaSite), T(0) {}
+  TsAbstractState() : H(LambdaSite), T(0), Hash(LambdaHash) {}
 
   TsAbstractState(SiteId H, TState T, ApSet Must, ApSet MustNot)
       : H(H), T(T), Must(std::move(Must)), MustNot(std::move(MustNot)) {
@@ -124,6 +127,7 @@ public:
     for (const AccessPath &P : this->Must)
       assert(!this->MustNot.contains(P) && "must/must-not sets overlap");
 #endif
+    Hash = computeHash();
   }
 
   static TsAbstractState lambda() { return TsAbstractState(); }
@@ -140,9 +144,13 @@ public:
   const ApSet &must() const { return Must; }
   const ApSet &mustNot() const { return MustNot; }
 
+  /// The hash cached at construction.
+  uint64_t hashValue() const { return Hash; }
+
   friend bool operator==(const TsAbstractState &A, const TsAbstractState &B) {
-    return A.H == B.H && A.T == B.T && A.Must == B.Must &&
-           A.MustNot == B.MustNot;
+    // Unequal cached hashes reject without touching the path sets.
+    return A.Hash == B.Hash && A.H == B.H && A.T == B.T &&
+           A.Must == B.Must && A.MustNot == B.MustNot;
   }
   friend bool operator!=(const TsAbstractState &A, const TsAbstractState &B) {
     return !(A == B);
@@ -160,10 +168,29 @@ public:
   std::string str(const Program &Prog) const;
 
 private:
+  static constexpr uint64_t LambdaHash = 0x5bd1e995;
+
+  static uint64_t hashApSet(const ApSet &S) {
+    uint64_t H = 0x9e3779b97f4a7c15ULL;
+    std::hash<AccessPath> PH;
+    for (const AccessPath &P : S)
+      H = H * 0x100000001b3ULL + PH(P);
+    return H;
+  }
+
+  uint64_t computeHash() const {
+    uint64_t Hv = std::hash<uint64_t>()(
+        (static_cast<uint64_t>(H) << 16) | T);
+    Hv = Hv * 31 + hashApSet(Must);
+    Hv = Hv * 31 + hashApSet(MustNot);
+    return Hv;
+  }
+
   SiteId H;
   TState T;
   ApSet Must;
   ApSet MustNot;
+  uint64_t Hash; ///< Cached computeHash(); LambdaHash for Lambda.
 };
 
 } // namespace swift
@@ -181,14 +208,7 @@ template <> struct hash<swift::ApSet> {
 
 template <> struct hash<swift::TsAbstractState> {
   size_t operator()(const swift::TsAbstractState &S) const noexcept {
-    if (S.isLambda())
-      return 0x5bd1e995;
-    size_t H = std::hash<uint64_t>()(
-        (static_cast<uint64_t>(S.site()) << 16) | S.tstate());
-    std::hash<swift::ApSet> SH;
-    H = H * 31 + SH(S.must());
-    H = H * 31 + SH(S.mustNot());
-    return H;
+    return static_cast<size_t>(S.hashValue());
   }
 };
 } // namespace std

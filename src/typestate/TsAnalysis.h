@@ -37,6 +37,9 @@ struct TsAnalysis {
   // -- Top-down analysis --
   static State lambda() { return TsAbstractState::lambda(); }
   static bool isLambda(const State &S) { return S.isLambda(); }
+  /// Interning hash: the value cached at state construction, so the
+  /// tabulation solver's arena index never re-walks the path sets.
+  static uint64_t stateHash(const State &S) { return S.hashValue(); }
   static std::vector<State> transfer(const Context &Ctx, ProcId P,
                                      const Command &Cmd, const State &S) {
     return tsTransfer(Ctx, P, Cmd, S);

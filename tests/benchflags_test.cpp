@@ -48,6 +48,49 @@ TEST(BenchFlagsTest, AcceptsValidFlags) {
   EXPECT_FALSE(O.ShowHelp);
 }
 
+TEST(BenchFlagsTest, JsonOutParsesStrictly) {
+  bench::Options O;
+  std::string Err;
+  ASSERT_TRUE(parse({"--json-out=out/bench.json"}, O, Err)) << Err;
+  EXPECT_EQ(O.JsonOut, "out/bench.json");
+
+  // An empty path is an error, not a silently-disabled writer.
+  bench::Options Empty;
+  EXPECT_FALSE(parse({"--json-out="}, Empty, Err));
+  EXPECT_NE(Err.find("--json-out"), std::string::npos) << Err;
+  EXPECT_TRUE(Empty.JsonOut.empty());
+
+  // Misspellings stay hard errors (the atoi-era lesson).
+  for (const char *Flag :
+       {"--json-out", "--jsonout=x", "--json_out=x", "--json-out x"}) {
+    bench::Options Bad;
+    EXPECT_FALSE(parse({Flag}, Bad, Err)) << Flag;
+    EXPECT_NE(Err.find("unknown flag"), std::string::npos) << Err;
+  }
+}
+
+TEST(BenchFlagsTest, BenchFilterAcceptsCommaLists) {
+  bench::Options O;
+  std::string Err;
+  ASSERT_TRUE(parse({"--bench=jpat-p,elevator,javasrc-p"}, O, Err)) << Err;
+  EXPECT_TRUE(bench::matchesOnly(O, "jpat-p"));
+  EXPECT_TRUE(bench::matchesOnly(O, "elevator"));
+  EXPECT_TRUE(bench::matchesOnly(O, "javasrc-p"));
+  // Entries are exact names, not substrings.
+  EXPECT_FALSE(bench::matchesOnly(O, "jpat"));
+  EXPECT_FALSE(bench::matchesOnly(O, "javasrc"));
+  EXPECT_FALSE(bench::matchesOnly(O, "avrora"));
+
+  bench::Options Single;
+  ASSERT_TRUE(parse({"--bench=avrora"}, Single, Err)) << Err;
+  EXPECT_TRUE(bench::matchesOnly(Single, "avrora"));
+  EXPECT_FALSE(bench::matchesOnly(Single, "avr"));
+
+  bench::Options None;
+  ASSERT_TRUE(parse({}, None, Err)) << Err;
+  EXPECT_TRUE(bench::matchesOnly(None, "anything"));
+}
+
 TEST(BenchFlagsTest, DefaultsSurviveEmptyCommandLine) {
   bench::Options O;
   std::string Err;

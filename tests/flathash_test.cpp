@@ -1,0 +1,161 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the flat open-addressing containers (support/FlatHash.h)
+/// backing the tabulation solver's interner, path-edge tables, and memo
+/// caches. The interesting cases are the ones a solver run exercises
+/// millions of times: dedup through findOrInsert, growth across many
+/// rehashes, full-hash collisions resolved by the caller's equality, and
+/// insertion-order iteration of FlatMap32.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FlatHash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace swift;
+
+namespace {
+
+TEST(HashIndexTest, FindOnEmptyIsNpos) {
+  HashIndex Idx;
+  EXPECT_EQ(Idx.find(42, [](uint32_t) { return true; }), HashIndex::Npos);
+  EXPECT_EQ(Idx.size(), 0u);
+  EXPECT_TRUE(Idx.empty());
+}
+
+TEST(HashIndexTest, InternPatternDedupsAcrossGrowth) {
+  // The solver's interner: arena + index, id = dense position. Insert
+  // 10k keys, then re-probe all of them — growth must never lose or
+  // duplicate an entry.
+  std::vector<uint64_t> Arena;
+  HashIndex Idx;
+  auto Intern = [&](uint64_t Key) {
+    uint64_t H = mix64(Key);
+    auto [Id, Inserted] = Idx.findOrInsert(
+        H, static_cast<uint32_t>(Arena.size()),
+        [&](uint32_t I) { return Arena[I] == Key; });
+    if (Inserted)
+      Arena.push_back(Key);
+    return Id;
+  };
+
+  for (uint64_t K = 0; K != 10000; ++K)
+    EXPECT_EQ(Intern(K * 7919), K) << "fresh keys get dense ids in order";
+  EXPECT_EQ(Idx.size(), 10000u);
+  for (uint64_t K = 0; K != 10000; ++K)
+    EXPECT_EQ(Intern(K * 7919), K) << "re-interning is a lookup, not a copy";
+  EXPECT_EQ(Arena.size(), 10000u);
+}
+
+TEST(HashIndexTest, EqualHashesResolveThroughCallerEquality) {
+  // Distinct keys forced onto one hash: probing must step over the
+  // earlier entry and match through Eq, not through the hash alone.
+  std::vector<std::string> Arena;
+  HashIndex Idx;
+  auto Intern = [&](const std::string &Key) {
+    auto [Id, Inserted] = Idx.findOrInsert(
+        /*Hash=*/0xdeadbeef, static_cast<uint32_t>(Arena.size()),
+        [&](uint32_t I) { return Arena[I] == Key; });
+    if (Inserted)
+      Arena.push_back(Key);
+    return Id;
+  };
+  EXPECT_EQ(Intern("alpha"), 0u);
+  EXPECT_EQ(Intern("beta"), 1u);
+  EXPECT_EQ(Intern("gamma"), 2u);
+  EXPECT_EQ(Intern("alpha"), 0u);
+  EXPECT_EQ(Intern("beta"), 1u);
+  EXPECT_EQ(Idx.size(), 3u);
+}
+
+TEST(HashIndexTest, ReserveThenInsertAndClear) {
+  HashIndex Idx;
+  Idx.reserve(1000);
+  for (uint32_t K = 0; K != 1000; ++K)
+    Idx.insert(mix64(K), K);
+  EXPECT_EQ(Idx.size(), 1000u);
+  for (uint32_t K = 0; K != 1000; ++K)
+    EXPECT_EQ(Idx.find(mix64(K), [&](uint32_t V) { return V == K; }), K);
+  Idx.clear();
+  EXPECT_TRUE(Idx.empty());
+  EXPECT_EQ(Idx.find(mix64(3), [](uint32_t) { return true; }),
+            HashIndex::Npos);
+}
+
+TEST(FlatMap32Test, GetOrCreateAndFind) {
+  FlatMap32<uint64_t> M;
+  EXPECT_EQ(M.find(7), nullptr);
+  M.getOrCreate(7) = 70;
+  M.getOrCreate(3) = 30;
+  ++M.getOrCreate(7); // Existing entry: same slot.
+  ASSERT_NE(M.find(7), nullptr);
+  EXPECT_EQ(*M.find(7), 71u);
+  ASSERT_NE(M.find(3), nullptr);
+  EXPECT_EQ(*M.find(3), 30u);
+  EXPECT_EQ(M.find(4), nullptr);
+  EXPECT_EQ(M.size(), 2u);
+  const FlatMap32<uint64_t> &CM = M;
+  ASSERT_NE(CM.find(3), nullptr);
+  EXPECT_EQ(*CM.find(3), 30u);
+}
+
+TEST(FlatMap32Test, IterationIsInsertionOrder) {
+  FlatMap32<uint32_t> M;
+  // Keys deliberately non-monotonic: iteration must follow first-insert
+  // order (what snapshot code then sorts explicitly), not key order.
+  const uint32_t Keys[] = {90, 2, 57, 31, 4};
+  for (uint32_t I = 0; I != 5; ++I)
+    M.getOrCreate(Keys[I]) = I;
+  M.getOrCreate(57) = 99; // Update must not re-order.
+  std::vector<uint32_t> Seen;
+  M.forEach([&](uint32_t K, uint32_t) { Seen.push_back(K); });
+  EXPECT_EQ(Seen, std::vector<uint32_t>(Keys, Keys + 5));
+  EXPECT_EQ(M.keys(), Seen);
+  EXPECT_EQ(M.valAt(2), 99u);
+}
+
+TEST(FlatMap32Test, SurvivesRehashWithHeavyValues) {
+  FlatMap32<std::vector<uint32_t>> M;
+  for (uint32_t K = 0; K != 5000; ++K)
+    M.getOrCreate(K).push_back(K * 3);
+  EXPECT_EQ(M.size(), 5000u);
+  for (uint32_t K = 0; K != 5000; ++K) {
+    auto *V = M.find(K);
+    ASSERT_NE(V, nullptr) << K;
+    ASSERT_EQ(V->size(), 1u);
+    EXPECT_EQ((*V)[0], K * 3);
+  }
+}
+
+TEST(BitVecTest, SetGetAcrossWordBoundaries) {
+  BitVec B;
+  B.assign(130, false);
+  EXPECT_EQ(B.size(), 130u);
+  for (size_t I : {size_t{0}, size_t{63}, size_t{64}, size_t{129}})
+    EXPECT_FALSE(B.get(I));
+  B.set(63);
+  B.set(64);
+  B.set(129);
+  EXPECT_TRUE(B.get(63));
+  EXPECT_TRUE(B.get(64));
+  EXPECT_TRUE(B.get(129));
+  EXPECT_FALSE(B.get(0));
+  EXPECT_FALSE(B.get(65));
+  B.assign(4, true);
+  EXPECT_EQ(B.size(), 4u);
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_TRUE(B.get(I));
+}
+
+} // namespace
+

@@ -46,24 +46,32 @@ namespace {
 std::atomic<uint64_t> GAllocCount{0};
 } // namespace
 
-void *operator new(std::size_t N) {
+// noinline: if the optimizer inlines these replaced operators it pairs
+// the visible std::free with the standard operator new it assumes
+// callers used, and -Wmismatched-new-delete misfires (the replacement
+// new also uses malloc, so the pairing is actually correct).
+[[gnu::noinline]] void *operator new(std::size_t N) {
   GAllocCount.fetch_add(1, std::memory_order_relaxed);
   if (void *P = std::malloc(N ? N : 1))
     return P;
   throw std::bad_alloc();
 }
 
-void *operator new[](std::size_t N) {
+[[gnu::noinline]] void *operator new[](std::size_t N) {
   GAllocCount.fetch_add(1, std::memory_order_relaxed);
   if (void *P = std::malloc(N ? N : 1))
     return P;
   throw std::bad_alloc();
 }
 
-void operator delete(void *P) noexcept { std::free(P); }
-void operator delete(void *P, std::size_t) noexcept { std::free(P); }
-void operator delete[](void *P) noexcept { std::free(P); }
-void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+[[gnu::noinline]] void operator delete(void *P) noexcept { std::free(P); }
+[[gnu::noinline]] void operator delete(void *P, std::size_t) noexcept {
+  std::free(P);
+}
+[[gnu::noinline]] void operator delete[](void *P) noexcept { std::free(P); }
+[[gnu::noinline]] void operator delete[](void *P, std::size_t) noexcept {
+  std::free(P);
+}
 
 namespace {
 

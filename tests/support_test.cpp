@@ -108,6 +108,31 @@ TEST(FormatTest, Seconds) {
   EXPECT_EQ(formatSeconds(119.6), "2m0s"); // carries into the minute
 }
 
+// Regression: millis() used to compute seconds() * 1000.0 through a
+// double, dropping ticks near millisecond boundaries and losing integer
+// precision entirely for counts past 2^53 (a ~104-day steady_clock span
+// is ~9e12 ms; the double detour already misrounds far smaller values).
+TEST(TimerTest, MillisCountsWholeTicksExactly) {
+  using std::chrono::milliseconds;
+  using std::chrono::nanoseconds;
+  EXPECT_EQ(Timer::millisFor(nanoseconds(0)), 0u);
+  EXPECT_EQ(Timer::millisFor(nanoseconds(999'999)), 0u);
+  EXPECT_EQ(Timer::millisFor(milliseconds(1)), 1u);
+  EXPECT_EQ(Timer::millisFor(milliseconds(1) - nanoseconds(1)), 0u);
+  EXPECT_EQ(Timer::millisFor(milliseconds(999) + nanoseconds(999'999)),
+            999u);
+  // 999,999,999,999,999,999 ns is 999,999,999,999 whole ms; the double
+  // path rounds it to exactly 1e9 seconds (the true value sits within
+  // half an ulp of it), overcounting by a full millisecond.
+  EXPECT_EQ(Timer::millisFor(nanoseconds(999'999'999'999'999'999)),
+            999'999'999'999u);
+  // A live timer agrees with its own seconds() to within one tick.
+  Timer T;
+  uint64_t Ms = T.millis();
+  double Secs = T.seconds();
+  EXPECT_LE(Ms, uint64_t(Secs * 1000.0) + 1);
+}
+
 TEST(FormatTest, Thousands) {
   EXPECT_EQ(Stats::formatThousands(0), "0");
   EXPECT_EQ(Stats::formatThousands(999), "999");

@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two "swift-bench" v1 result files (obs/BenchResult.h) and
+/// exits non-zero on a perf regression — the gate behind the CI perf-gate
+/// job and the local perf-trajectory workflow (MANUAL section 10).
+///
+/// Exit codes: 0 = no regression (improvements and within-noise deltas
+/// included), 1 = at least one regression, 2 = usage / IO / schema error.
+///
+/// The CI gate runs with --metric=steps: budget-step counts are
+/// deterministic for a fixed solver, so the comparison is independent of
+/// runner-machine speed. Wall-time comparisons (--metric=time or the
+/// default all-metrics mode) are for same-machine trajectory checks and
+/// use the relative noise threshold plus an absolute seconds floor.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchResult.h"
+#include "support/AtomicFile.h"
+#include "support/CliParse.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+using namespace swift;
+using namespace swift::obs;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--threshold=FRACTION] [--min-seconds=S] [--min-count=N] "
+      "[--metric=all|time|steps] BASELINE.json NEW.json\n"
+      "  --threshold=F    relative regression threshold (default 0.25)\n"
+      "  --min-seconds=S  ignore time deltas under S seconds (default "
+      "0.05)\n"
+      "  --min-count=N    ignore count deltas under N (default 8)\n"
+      "  --metric=M       compare all metrics, time-like only, or "
+      "steps only\n",
+      Argv0);
+  return 2;
+}
+
+bool loadReport(const char *Argv0, const std::string &Path,
+                benchjson::Report &R) {
+  std::string Text, Err;
+  try {
+    Text = readWholeFile(Path);
+  } catch (const std::runtime_error &E) {
+    std::fprintf(stderr, "%s: %s\n", Argv0, E.what());
+    return false;
+  }
+  if (!benchjson::parseReport(Text, R, &Err)) {
+    std::fprintf(stderr, "%s: %s: %s\n", Argv0, Path.c_str(), Err.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  benchjson::DiffOptions O;
+  std::vector<std::string> Paths;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view V;
+    if (cli::matchValueFlag(A, "--threshold=", V)) {
+      if (!cli::parseNonNegDouble(V, O.Threshold)) {
+        std::fprintf(stderr, "%s: invalid --threshold value '%.*s'\n",
+                     Argv[0], int(V.size()), V.data());
+        return 2;
+      }
+    } else if (cli::matchValueFlag(A, "--min-seconds=", V)) {
+      if (!cli::parseNonNegDouble(V, O.MinSeconds)) {
+        std::fprintf(stderr, "%s: invalid --min-seconds value '%.*s'\n",
+                     Argv[0], int(V.size()), V.data());
+        return 2;
+      }
+    } else if (cli::matchValueFlag(A, "--min-count=", V)) {
+      if (!cli::parseNonNegDouble(V, O.MinCount)) {
+        std::fprintf(stderr, "%s: invalid --min-count value '%.*s'\n",
+                     Argv[0], int(V.size()), V.data());
+        return 2;
+      }
+    } else if (cli::matchValueFlag(A, "--metric=", V)) {
+      if (V == "all")
+        O.Metric = benchjson::DiffOptions::Filter::All;
+      else if (V == "time")
+        O.Metric = benchjson::DiffOptions::Filter::TimeOnly;
+      else if (V == "steps")
+        O.Metric = benchjson::DiffOptions::Filter::StepsOnly;
+      else {
+        std::fprintf(stderr,
+                     "%s: invalid --metric value '%.*s' (want all, time, "
+                     "or steps)\n",
+                     Argv[0], int(V.size()), V.data());
+        return 2;
+      }
+    } else if (A == "--help") {
+      usage(Argv[0]);
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", Argv[0], Argv[I]);
+      return 2;
+    } else {
+      Paths.emplace_back(A);
+    }
+  }
+  if (Paths.size() != 2)
+    return usage(Argv[0]);
+
+  benchjson::Report Base, New;
+  if (!loadReport(Argv[0], Paths[0], Base) ||
+      !loadReport(Argv[0], Paths[1], New))
+    return 2;
+
+  benchjson::DiffResult D = benchjson::diffReports(Base, New, O);
+  std::fputs(benchjson::formatDiff(D, O).c_str(), stdout);
+  return D.hasRegression() ? 1 : 0;
+}
