@@ -9,6 +9,9 @@
 #include "concrete/Interpreter.h"
 #include "framework/Tabulation.h"
 #include "govern/Checkpoint.h"
+#include "ir/Dumper.h"
+#include "serve/EditGen.h"
+#include "serve/Engine.h"
 #include "typestate/Context.h"
 
 #include <algorithm>
@@ -37,6 +40,8 @@ const char *swift::difftest::checkKindName(CheckKind K) {
     return "partial-soundness";
   case CheckKind::CheckpointResume:
     return "checkpoint-resume";
+  case CheckKind::IncrementalCoincidence:
+    return "incremental-coincidence";
   }
   return "?";
 }
@@ -113,6 +118,7 @@ private:
   void checkPartialSoundness(const TsContext &Ctx, const TsRunResult &Td);
   void checkCheckpointResume(const TsContext &Ctx, Symbol Tracked,
                              const TsRunResult &Td);
+  void checkIncremental(Symbol Tracked, const TsRunResult &Td);
 
   const Program &Prog;
   const OracleOptions &Opts;
@@ -371,8 +377,24 @@ void OracleRun::checkCheckpointResume(const TsContext &Ctx, Symbol Tracked,
                                 siteSetStr(Td.ErrorSites));
   if (R.Run.ErrorPoints != Td.ErrorPoints)
     Mismatch("error points", "set contents differ");
-  if (R.Run.MainExit != Td.MainExit)
-    Mismatch("main-exit states", mainExitStr(Prog, R.Run.MainExit) +
+  // The resumed run lives in the re-parsed program's symbol-id space:
+  // site, proc, and node ids survive the checkpoint text round trip by
+  // construction, but symbols re-intern in textual order, which need not
+  // match the original program's interning order (a generator-built
+  // program interns in generation order). Abstract states carry access
+  // paths — Symbols — so they must be compared by rendered text through
+  // each run's own symbol table; comparing raw ids flags identical states
+  // as different (and prints them with swapped names) whenever the two
+  // orders disagree.
+  auto RenderExit = [](const Program &P,
+                       const std::set<TsAbstractState> &S) {
+    std::set<std::string> Out;
+    for (const TsAbstractState &St : S)
+      Out.insert(St.str(P));
+    return Out;
+  };
+  if (RenderExit(*PC.Prog, R.Run.MainExit) != RenderExit(Prog, Td.MainExit))
+    Mismatch("main-exit states", mainExitStr(*PC.Prog, R.Run.MainExit) +
                                      " != " + mainExitStr(Prog, Td.MainExit));
   if (R.Run.TdSummaries != Td.TdSummaries)
     Mismatch("td-summary count",
@@ -384,6 +406,91 @@ void OracleRun::checkCheckpointResume(const TsContext &Ctx, Symbol Tracked,
     Mismatch("bu-relation count",
              std::to_string(R.Run.BuRelations) + " != " +
                  std::to_string(Td.BuRelations));
+}
+
+/// Replay a deterministic procedure-replacement edit sequence on the
+/// incremental serve engine and demand its final verdicts coincide with a
+/// from-scratch solve of the final program text. Blow-ups — the serve
+/// engine's per-request step budget or its per-point relation cap — are
+/// resource facts, not bugs: the check skips the program, mirroring how
+/// the other checks skip timed-out runs. The relation cap is deliberately
+/// tight so unprunable fuzz programs fail fast instead of stalling the
+/// seed loop.
+void OracleRun::checkIncremental(Symbol Tracked, const TsRunResult &Td) {
+  const char *Name = "incremental/edit-replay";
+  serve::EngineOptions EO;
+  EO.TrackedClass = Prog.symbols().text(Tracked);
+  EO.MaxStepsPerRequest = Opts.Limits.MaxSteps;
+  EO.MaxRelsPerPoint = 1 << 12;
+
+  std::unique_ptr<serve::ServeEngine> Inc;
+  try {
+    Inc = std::make_unique<serve::ServeEngine>(programToText(Prog), EO);
+  } catch (const std::exception &E) {
+    addViolation(CheckKind::IncrementalCoincidence, Name,
+                 std::string("engine rejected canonical program text: ") +
+                     E.what());
+    return;
+  }
+  if (!Inc->solveInitial().Ok)
+    return; // Budget or relation-cap exhaustion: skip, don't fail.
+
+  // The cold solve is an unpruned BU run; its error sites must coincide
+  // with the TD reference (site ids survive the text round trip).
+  if (Inc->errorSites() != Td.ErrorSites) {
+    addViolation(CheckKind::IncrementalCoincidence, Name,
+                 "initial serve solve's error sites " +
+                     siteSetStr(Inc->errorSites()) + " != td " +
+                     siteSetStr(Td.ErrorSites));
+    return;
+  }
+
+  // Replay edits. A budget-exhausted edit is transactional and skipped;
+  // any other rejection of a generated edit is a generator/engine bug.
+  unsigned Applied = 0;
+  for (uint64_t K = 0;
+       K != 2 * Opts.IncrementalEdits && Applied != Opts.IncrementalEdits;
+       ++K) {
+    std::optional<serve::FuzzEdit> E =
+        serve::makeFuzzEdit(Inc->programText(), Opts.InterpSeed, K);
+    if (!E)
+      break; // Nothing editable (e.g. every command is an allocation).
+    serve::EditResult R = Inc->applyEdit(E->ProcName, E->Body);
+    if (R.BudgetExhausted)
+      continue;
+    if (!R.Ok) {
+      addViolation(CheckKind::IncrementalCoincidence, Name,
+                   "generated edit #" + std::to_string(K) + " on '" +
+                       E->ProcName + "' rejected: " + R.Error);
+      return;
+    }
+    ++Applied;
+  }
+  if (Applied == 0)
+    return;
+
+  serve::ServeEngine Fresh(Inc->programText(), EO);
+  if (!Fresh.solveInitial().Ok)
+    return; // The edited program blew up from scratch: skip.
+
+  if (Fresh.errorSites() != Inc->errorSites()) {
+    addViolation(CheckKind::IncrementalCoincidence, Name,
+                 "after " + std::to_string(Applied) +
+                     " edits, incremental error sites " +
+                     siteSetStr(Inc->errorSites()) + " != from-scratch " +
+                     siteSetStr(Fresh.errorSites()));
+    return;
+  }
+  for (SiteId S = 0; S != Fresh.program().numSites(); ++S)
+    if (Fresh.verdict(S) != Inc->verdict(S)) {
+      addViolation(CheckKind::IncrementalCoincidence, Name,
+                   "after " + std::to_string(Applied) +
+                       " edits, verdict for @" + std::to_string(S) +
+                       " differs: incremental " +
+                       tsVerdictName(Inc->verdict(S)) + " != from-scratch " +
+                       tsVerdictName(Fresh.verdict(S)));
+      return;
+    }
 }
 
 OracleResult OracleRun::run() {
@@ -449,6 +556,8 @@ OracleResult OracleRun::run() {
     checkPartialSoundness(Ctx, Td.Result);
   if (TdOk && Opts.CheckCheckpoint)
     checkCheckpointResume(Ctx, Tracked, Td.Result);
+  if (TdOk && Opts.CheckIncremental)
+    checkIncremental(Tracked, Td.Result);
 
   return std::move(Res);
 }

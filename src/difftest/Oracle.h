@@ -56,6 +56,12 @@ enum class CheckKind {
   /// to the uninterrupted run — summaries, relations, error sites, error
   /// points, and main-exit states.
   CheckpointResume,
+  /// The incremental serve engine, replaying a deterministic sequence of
+  /// procedure-replacement edits with dependency-driven summary reuse,
+  /// ends with exactly the error sites and per-site verdicts of a
+  /// from-scratch solve of the final program (and its initial solve
+  /// coincides with the TD reference).
+  IncrementalCoincidence,
 };
 
 const char *checkKindName(CheckKind K);
@@ -84,6 +90,10 @@ struct OracleOptions {
   bool CheckPartial = true;
   /// Run the checkpoint/resume bit-identity check.
   bool CheckCheckpoint = true;
+  /// Run the incremental-vs-from-scratch edit-replay check.
+  bool CheckIncremental = true;
+  /// Edits replayed per program by the incremental check.
+  unsigned IncrementalEdits = 3;
 };
 
 struct OracleResult {

@@ -165,6 +165,27 @@ public:
   bool hasSummary(ProcId P) const { return HasSummary[P] != 0; }
   const Summary &summary(ProcId P) const { return Summaries[P]; }
 
+  /// Installs \p S as the final summary of \p P without analyzing it.
+  /// This is the warm-start / incremental path: a subsequent run() over a
+  /// set excluding \p P reads it for calls to \p P exactly as if this
+  /// solver had computed it, so run()'s call-closure precondition weakens
+  /// to "every callee is a member or has an installed summary". Must not
+  /// be called while run() is in flight.
+  void installSummary(ProcId P, Summary S) {
+    Summaries[P] = std::move(S);
+    HasSummary[P] = 1;
+  }
+
+  /// Observer of summary reads: invoked (possibly repeatedly) for every
+  /// Call command processed during run(), with the procedure under
+  /// analysis and the callee whose summary — installed, in-flight, or the
+  /// empty eta_0 start — it consults. The serve engine records these
+  /// edges to invalidate exactly the dependent summaries on a program
+  /// edit. With NumThreads > 1 the callback fires on worker threads and
+  /// must be thread-safe.
+  using DepRecorder = std::function<void(ProcId Caller, ProcId Callee)>;
+  void setDepRecorder(DepRecorder R) { Deps = std::move(R); }
+
   /// Total number of bottom-up summaries: one per (relation, procedure)
   /// pair, matching the paper's counting of (r, phi) pairs.
   uint64_t totalRelations() const {
@@ -497,6 +518,8 @@ private:
 
       if (Node.Cmd.Kind == CmdKind::Call) {
         ProcId G = Node.Cmd.Callee;
+        if (Deps)
+          Deps(P, G);
         SummaryView SV;
         static const std::vector<Rel> EmptyRels;
         static const Ignore EmptySigma;
@@ -650,6 +673,7 @@ private:
   unsigned Threads;
   ResourceGovernor *Gov;      ///< Optional; see constructor.
   const CancelToken *Cancel;  ///< From Gov; null when ungoverned.
+  DepRecorder Deps;           ///< Optional; see setDepRecorder.
   std::vector<Summary> Summaries;
   /// Byte-sized (not vector<bool>) so concurrent SCC groups writing
   /// distinct procedures never touch the same object.

@@ -170,6 +170,23 @@ public:
       latch(Pressure::Yellow);
   }
 
+  /// Async-signal-safe interrupt: exhausts the shared Budget, ratchets
+  /// the level to Red, and requests cancellation — every solver then
+  /// winds down at its next step() / cancellation check exactly as if a
+  /// hard limit tripped, yielding the partial-but-sound result path.
+  /// Unlike latch() this emits no trace events (obs::instant allocates
+  /// and locks), so a SIGINT/SIGTERM handler may call it directly.
+  void interruptFromSignal() {
+    Bud.exhaust();
+    int Want = static_cast<int>(Pressure::Red);
+    int Cur = Level.load(std::memory_order_relaxed);
+    while (Cur < Want &&
+           !Level.compare_exchange_weak(Cur, Want, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
+    Cancel.request();
+  }
+
   /// The latched (maximum ever observed) pressure level.
   Pressure level() const {
     return static_cast<Pressure>(Level.load(std::memory_order_acquire));

@@ -287,18 +287,24 @@ std::string benchjson::formatDiff(const DiffResult &D,
     Out += "REGRESSED " + K + " completed in baseline, times out now\n";
   for (const std::string &K : D.FixedTimeouts)
     Out += "improved  " + K + " timed out in baseline, completes now\n";
+  bool MissingFail = D.hasMissingRows() && !O.AllowMissingRows;
   for (const std::string &K : D.OnlyBaseline)
-    Out += "note      " + K + " only in baseline\n";
+    Out += (MissingFail ? "MISSING   " : "note      ") + K +
+           " only in baseline\n";
   for (const std::string &K : D.OnlyNew)
     Out += "note      " + K + " only in new result\n";
   if (D.BenchNameMismatch)
     Out += "note      bench names differ\n";
+  const char *Tail = D.hasRegression() ? "REGRESSION"
+                     : MissingFail     ? "MISSING ROWS"
+                                       : "OK";
   std::snprintf(Buf, sizeof(Buf),
                 "swift-benchdiff: %s — %u regressed, %u improved, %u "
-                "within %.0f%% noise, %zu timeout flip(s)\n",
-                D.hasRegression() ? "REGRESSION" : "OK", Regressed,
-                Improved, Within, O.Threshold * 100,
-                D.NewTimeouts.size() + D.FixedTimeouts.size());
+                "within %.0f%% noise, %zu timeout flip(s), %zu missing "
+                "row(s)\n",
+                Tail, Regressed, Improved, Within, O.Threshold * 100,
+                D.NewTimeouts.size() + D.FixedTimeouts.size(),
+                D.OnlyBaseline.size());
   Out += Buf;
   return Out;
 }

@@ -123,6 +123,12 @@ struct DiffOptions {
   double MinCount = 8.0;
   enum class Filter { All, TimeOnly, StepsOnly };
   Filter Metric = Filter::All;
+  /// Accept rows that exist only in the baseline (a deliberately
+  /// subsetted run, e.g. the CI gate's 3-workload sweep against the full
+  /// baseline). Off by default: a silently shrunken bench set would
+  /// otherwise pass the gate with whatever rows regressed conveniently
+  /// absent.
+  bool AllowMissingRows = false;
 };
 
 struct DiffEntry {
@@ -139,7 +145,10 @@ struct DiffResult {
   std::vector<DiffEntry> Entries;
   /// Rows that newly time out (regressions) / newly complete.
   std::vector<std::string> NewTimeouts, FixedTimeouts;
-  /// Row keys present on only one side (informational, not gating).
+  /// Row keys present on only one side. OnlyNew is informational;
+  /// OnlyBaseline (removed/renamed workloads) is its own failing
+  /// category unless DiffOptions::AllowMissingRows opted in — see
+  /// hasMissingRows().
   std::vector<std::string> OnlyBaseline, OnlyNew;
   bool BenchNameMismatch = false;
 
@@ -151,6 +160,11 @@ struct DiffResult {
         return true;
     return false;
   }
+
+  /// Baseline rows with no counterpart in the new result: the bench set
+  /// shrank. Distinct from hasRegression() so callers can exit with a
+  /// dedicated code (swift-benchdiff exits 4).
+  bool hasMissingRows() const { return !OnlyBaseline.empty(); }
 };
 
 /// Compares \p New against \p Base row by row. Rows where either side

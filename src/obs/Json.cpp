@@ -13,6 +13,7 @@
 #include "obs/Json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -222,22 +223,38 @@ private:
     size_t Start = Pos;
     if (Pos < T.size() && T[Pos] == '-')
       ++Pos;
+    bool PureInt = Pos < T.size();
     while (Pos < T.size() &&
            (std::isdigit(static_cast<unsigned char>(T[Pos])) ||
             T[Pos] == '.' || T[Pos] == 'e' || T[Pos] == 'E' ||
-            T[Pos] == '+' || T[Pos] == '-'))
+            T[Pos] == '+' || T[Pos] == '-')) {
+      if (!std::isdigit(static_cast<unsigned char>(T[Pos])))
+        PureInt = false;
       ++Pos;
+    }
     if (Pos == Start)
       fail("expected a value");
     std::string Num(T.substr(Start, Pos - Start));
     char *End = nullptr;
+    // A pure-integer lexeme in u64/i64 range keeps the exact value:
+    // doubles round above 2^53, and trace/bench ids and step counters
+    // are full-width u64s. Out-of-range integers fall back to double.
+    if (PureInt) {
+      errno = 0;
+      if (Num[0] == '-') {
+        long long S = std::strtoll(Num.c_str(), &End, 10);
+        if (errno == 0 && End == Num.c_str() + Num.size())
+          return Value::i64(S);
+      } else {
+        unsigned long long Us = std::strtoull(Num.c_str(), &End, 10);
+        if (errno == 0 && End == Num.c_str() + Num.size())
+          return Value::u64(Us);
+      }
+    }
     double D = std::strtod(Num.c_str(), &End);
     if (End != Num.c_str() + Num.size())
       fail("malformed number '" + Num + "'");
-    Value V;
-    V.K = Value::Kind::Number;
-    V.Num = D;
-    return V;
+    return Value::number(D);
   }
 
   std::string_view T;
@@ -288,7 +305,13 @@ void dumpInto(std::string &Out, const Value &V) {
   case Value::Kind::Number: {
     char Buf[40];
     double I;
-    if (std::modf(V.Num, &I) == 0.0 && std::abs(V.Num) < 1e15)
+    if (V.NR == Value::NumRep::U64)
+      std::snprintf(Buf, sizeof(Buf), "%llu",
+                    static_cast<unsigned long long>(V.U));
+    else if (V.NR == Value::NumRep::I64)
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(V.I));
+    else if (std::modf(V.Num, &I) == 0.0 && std::abs(V.Num) < 1e15)
       std::snprintf(Buf, sizeof(Buf), "%.0f", V.Num);
     else
       std::snprintf(Buf, sizeof(Buf), "%.17g", V.Num);
@@ -336,8 +359,55 @@ const Value *Value::find(std::string_view Key) const {
   return nullptr;
 }
 
+Value Value::u64(uint64_t V) {
+  Value R;
+  R.K = Kind::Number;
+  R.NR = NumRep::U64;
+  R.U = V;
+  R.Num = static_cast<double>(V);
+  return R;
+}
+
+Value Value::i64(int64_t V) {
+  if (V >= 0)
+    return u64(static_cast<uint64_t>(V));
+  Value R;
+  R.K = Kind::Number;
+  R.NR = NumRep::I64;
+  R.I = V;
+  R.Num = static_cast<double>(V);
+  return R;
+}
+
+Value Value::number(double D) {
+  Value R;
+  R.K = Kind::Number;
+  R.Num = D;
+  return R;
+}
+
+Value Value::str(std::string S) {
+  Value R;
+  R.K = Kind::String;
+  R.Str = std::move(S);
+  return R;
+}
+
+Value Value::boolean(bool V) {
+  Value R;
+  R.K = Kind::Bool;
+  R.B = V;
+  return R;
+}
+
 uint64_t Value::asU64() const {
-  if (K != Kind::Number || Num < 0)
+  if (K != Kind::Number)
+    return 0;
+  if (NR == NumRep::U64)
+    return U;
+  if (NR == NumRep::I64)
+    return 0; // I64 representation is negative by construction.
+  if (Num < 0)
     return 0;
   return static_cast<uint64_t>(Num);
 }

@@ -7,9 +7,13 @@
 /// \file
 /// A minimal JSON value model + recursive-descent parser, just enough to
 /// round-trip the trace and metrics files this repo emits (obs_test's
-/// parse-validation and the swift-tracecat merger). Not a general-purpose
-/// JSON library: numbers are doubles, no \uXXXX surrogate pairs beyond
-/// the BMP, object key order is preserved.
+/// parse-validation, the swift-tracecat merger, swift-benchdiff, and the
+/// swift-serve request protocol). Not a general-purpose JSON library: no
+/// \uXXXX surrogate pairs beyond the BMP; object key order is preserved.
+/// Numbers whose lexeme is a pure integer in u64/i64 range keep the exact
+/// integer through parse -> dump (u64 step counters and ids above 2^53
+/// would otherwise silently round to the nearest double), everything else
+/// is a double.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,12 +33,29 @@ namespace json {
 struct Value {
   enum class Kind { Null, Bool, Number, String, Array, Object };
 
+  /// How a Number is stored exactly. Dbl is the general case; U64/I64
+  /// mark integers held exactly in U/I (Num then carries the rounded
+  /// double approximation for arithmetic consumers).
+  enum class NumRep : uint8_t { Dbl, U64, I64 };
+
   Kind K = Kind::Null;
+  NumRep NR = NumRep::Dbl;
   bool B = false;
   double Num = 0.0;
+  uint64_t U = 0; ///< Exact value when NR == NumRep::U64.
+  int64_t I = 0;  ///< Exact value when NR == NumRep::I64 (negative).
   std::string Str;
   std::vector<Value> Arr;
   std::vector<std::pair<std::string, Value>> Obj; ///< Insertion order.
+
+  /// An exact unsigned-integer Number (round-trips any uint64_t).
+  static Value u64(uint64_t V);
+  /// An exact signed-integer Number.
+  static Value i64(int64_t V);
+  /// A general (double) Number.
+  static Value number(double D);
+  static Value str(std::string S);
+  static Value boolean(bool V);
 
   bool isNull() const { return K == Kind::Null; }
   bool isBool() const { return K == Kind::Bool; }
@@ -46,7 +67,9 @@ struct Value {
   /// First member with \p Key, or nullptr.
   const Value *find(std::string_view Key) const;
 
-  /// Num truncated to uint64_t (0 for non-numbers or negatives).
+  /// The number as uint64_t: exact for integer-represented values (the
+  /// parser preserves pure-integer lexemes up to UINT64_MAX), otherwise
+  /// Num truncated (0 for non-numbers or negatives).
   uint64_t asU64() const;
 };
 

@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/EditGen.h"
+
+#include "serve/Engine.h"
+#include "support/Hashing.h"
+
+#include <vector>
+
+using namespace swift;
+using namespace swift::serve;
+
+namespace {
+
+/// splitmix64 stream seeded from (Seed, K); support::mix64 is the
+/// finalizer, so successive draws are well-distributed even for dense
+/// seed/k grids.
+class Rng {
+public:
+  Rng(uint64_t Seed, uint64_t K)
+      : State(mix64(Seed ^ mix64(K + 0x9e3779b97f4a7c15ULL))) {}
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    return mix64(State);
+  }
+  size_t below(size_t N) { return static_cast<size_t>(next() % N); }
+
+private:
+  uint64_t State;
+};
+
+/// A command line inside a proc block that an edit may rewrite.
+struct Candidate {
+  size_t Block;    ///< Index into the procBlocks vector.
+  size_t CmdBegin; ///< Absolute offset of the command text.
+  size_t CmdEnd;   ///< One past the command text (before " ->").
+  bool IsTsCall;   ///< `v.m()` form; eligible for method swap.
+};
+
+/// True for `v.m()` / `v.f.m()` receiver-call commands: single token (no
+/// spaces — rules out `call p(...)` and every assignment), a '.', and the
+/// trailing call parens.
+bool isTsCallCmd(std::string_view Cmd) {
+  if (Cmd.size() < 5 || Cmd.substr(Cmd.size() - 2) != "()")
+    return false;
+  if (Cmd.find(' ') != std::string_view::npos)
+    return false;
+  return Cmd.find('.') != std::string_view::npos;
+}
+
+} // namespace
+
+std::optional<FuzzEdit> swift::serve::makeFuzzEdit(std::string_view Text,
+                                                   uint64_t Seed,
+                                                   uint64_t K) {
+  std::vector<ProcBlock> Blocks = procBlocks(Text);
+  if (Blocks.empty())
+    return std::nullopt;
+
+  // Declared methods, from every `  method <name> =` spec line. Swapping
+  // in a method of a *different* class is still a valid edit: undeclared
+  // methods are identity in both the abstract transfer (Spec::apply) and
+  // the concrete interpreter ("foreign method"), so the two oracle sides
+  // keep coinciding.
+  std::vector<std::string> Methods;
+  for (size_t Pos = 0; Pos < Text.size();) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string_view::npos)
+      Eol = Text.size();
+    std::string_view Line = Text.substr(Pos, Eol - Pos);
+    constexpr std::string_view Key = "  method ";
+    if (Line.substr(0, Key.size()) == Key) {
+      std::string_view Rest = Line.substr(Key.size());
+      size_t End = Rest.find(' ');
+      if (End != std::string_view::npos && End > 0)
+        Methods.emplace_back(Rest.substr(0, End));
+    }
+    Pos = Eol + 1;
+  }
+
+  // Collect every rewritable command line: "  <N>: <cmd> -> <succs>".
+  // Alloc lines are off-limits (they carry @site ids the engine's edit
+  // validation pins); nop lines offer nothing to remove.
+  std::vector<Candidate> Cands;
+  for (size_t BI = 0; BI != Blocks.size(); ++BI) {
+    const ProcBlock &B = Blocks[BI];
+    size_t Pos = B.Begin;
+    while (Pos < B.End) {
+      size_t Eol = Text.find('\n', Pos);
+      if (Eol == std::string_view::npos || Eol >= B.End)
+        break;
+      std::string_view Line = Text.substr(Pos, Eol - Pos);
+      size_t Colon = Line.find(": ");
+      if (Line.size() > 2 && Line[0] == ' ' && Line[1] == ' ' &&
+          Colon != std::string_view::npos && Line[2] >= '0' &&
+          Line[2] <= '9') {
+        size_t Arrow = Line.rfind(" ->");
+        if (Arrow != std::string_view::npos && Arrow > Colon + 2) {
+          std::string_view Cmd = Line.substr(Colon + 2, Arrow - Colon - 2);
+          bool IsAlloc = Cmd.find(" = new ") != std::string_view::npos;
+          bool IsNop = Cmd == "nop";
+          if (!IsAlloc && !IsNop) {
+            Candidate C;
+            C.Block = BI;
+            C.CmdBegin = Pos + Colon + 2;
+            C.CmdEnd = Pos + Arrow;
+            C.IsTsCall = isTsCallCmd(Cmd);
+            Cands.push_back(C);
+          }
+        }
+      }
+      Pos = Eol + 1;
+    }
+  }
+  if (Cands.empty())
+    return std::nullopt;
+
+  Rng R(Seed, K);
+  const Candidate &C = Cands[R.below(Cands.size())];
+  std::string_view Cmd = Text.substr(C.CmdBegin, C.CmdEnd - C.CmdBegin);
+
+  // Prefer a method swap when the picked line is a receiver call and a
+  // different declared method exists; otherwise nop the command out.
+  std::string NewCmd = "nop";
+  if (C.IsTsCall && Methods.size() > 1 && (R.next() & 1)) {
+    size_t Dot = Cmd.rfind('.');
+    std::string_view Cur = Cmd.substr(Dot + 1, Cmd.size() - Dot - 3);
+    std::vector<const std::string *> Others;
+    for (const std::string &M : Methods)
+      if (M != Cur)
+        Others.push_back(&M);
+    if (!Others.empty())
+      NewCmd = std::string(Cmd.substr(0, Dot + 1)) +
+               *Others[R.below(Others.size())] + "()";
+  }
+
+  const ProcBlock &B = Blocks[C.Block];
+  std::string Body;
+  Body.reserve(B.End - B.Begin + NewCmd.size());
+  Body.append(Text.substr(B.Begin, C.CmdBegin - B.Begin));
+  Body.append(NewCmd);
+  Body.append(Text.substr(C.CmdEnd, B.End - C.CmdEnd));
+  return FuzzEdit{B.Name, std::move(Body)};
+}

@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic procedure-replacement edit generator for the incremental
+/// oracle: given canonical (printProgramText) program text, produces a
+/// small semantic edit — nop out one non-allocation command, or swap one
+/// typestate method call for another declared method. Both edit kinds
+/// keep the program parseable under the engine's edit validation rules:
+/// node ids, allocation sites, the proc list, and the spec blocks are all
+/// untouched, only one command changes.
+///
+/// Edits are pure functions of (text, seed, k): the difftest oracle and
+/// the CI smoke job replay the exact same edit sequence on both the
+/// incremental engine and the from-scratch baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SERVE_EDITGEN_H
+#define SWIFT_SERVE_EDITGEN_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace swift {
+namespace serve {
+
+/// One generated edit: replace procedure \p ProcName's whole block with
+/// \p Body (a full `proc ... { ... }` block, engine-splice ready).
+struct FuzzEdit {
+  std::string ProcName;
+  std::string Body;
+};
+
+/// Derives the \p K'th edit of seed \p Seed against \p CanonText. Returns
+/// nullopt when the program offers no editable command (e.g. every
+/// command is an allocation). Deterministic; never touches alloc lines,
+/// spec blocks, or node structure, so the result always re-parses with
+/// identical sites and proc order.
+std::optional<FuzzEdit> makeFuzzEdit(std::string_view CanonText,
+                                     uint64_t Seed, uint64_t K);
+
+} // namespace serve
+} // namespace swift
+
+#endif // SWIFT_SERVE_EDITGEN_H

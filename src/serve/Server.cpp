@@ -1,0 +1,178 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "obs/Json.h"
+#include "serve/Engine.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+using namespace swift;
+using namespace swift::serve;
+namespace json = swift::obs::json;
+
+namespace {
+
+json::Value makeObj() {
+  json::Value V;
+  V.K = json::Value::Kind::Object;
+  return V;
+}
+
+json::Value makeArr() {
+  json::Value V;
+  V.K = json::Value::Kind::Array;
+  return V;
+}
+
+void put(json::Value &Obj, const char *Key, json::Value V) {
+  Obj.Obj.emplace_back(Key, std::move(V));
+}
+
+json::Value errorResp(const std::string &Msg) {
+  json::Value R = makeObj();
+  put(R, "ok", json::Value::boolean(false));
+  put(R, "error", json::Value::str(Msg));
+  return R;
+}
+
+const char *verdictName(TsVerdict V) {
+  switch (V) {
+  case TsVerdict::Proved:
+    return "proved";
+  case TsVerdict::ErrorReported:
+    return "error";
+  case TsVerdict::Unresolved:
+    return "unresolved";
+  }
+  return "unresolved";
+}
+
+json::Value editResp(const EditResult &R) {
+  json::Value Resp = makeObj();
+  put(Resp, "ok", json::Value::boolean(R.Ok));
+  if (!R.Ok) {
+    put(Resp, "error", json::Value::str(R.Error));
+    put(Resp, "budget_exhausted", json::Value::boolean(R.BudgetExhausted));
+    return Resp;
+  }
+  put(Resp, "invalidated", json::Value::u64(R.Invalidated));
+  put(Resp, "reanalyzed", json::Value::u64(R.Reanalyzed));
+  put(Resp, "reused", json::Value::u64(R.Reused));
+  if (!R.Warning.empty())
+    put(Resp, "warning", json::Value::str(R.Warning));
+  return Resp;
+}
+
+json::Value handle(ServeEngine &E, const std::string &Line,
+                   bool &Shutdown) {
+  json::Value Req;
+  try {
+    Req = json::parse(Line);
+  } catch (const std::runtime_error &Err) {
+    return errorResp(std::string("bad request: ") + Err.what());
+  }
+  if (!Req.isObject())
+    return errorResp("bad request: not a JSON object");
+  const json::Value *Op = Req.find("op");
+  if (!Op || !Op->isString())
+    return errorResp("bad request: missing string field 'op'");
+
+  if (Op->Str == "query") {
+    const json::Value *Site = Req.find("site");
+    if (!Site || !Site->isNumber())
+      return errorResp("query: missing numeric field 'site'");
+    SiteId S = static_cast<SiteId>(Site->asU64());
+    json::Value R = makeObj();
+    put(R, "ok", json::Value::boolean(true));
+    put(R, "site", json::Value::u64(S));
+    put(R, "verdict", json::Value::str(verdictName(E.verdict(S))));
+    put(R, "tracked", json::Value::boolean(E.trackedSite(S)));
+    return R;
+  }
+
+  if (Op->Str == "query_all") {
+    json::Value R = makeObj();
+    put(R, "ok", json::Value::boolean(true));
+    put(R, "num_sites", json::Value::u64(E.program().numSites()));
+    json::Value Sites = makeArr();
+    for (SiteId S : E.errorSites())
+      Sites.Arr.push_back(json::Value::u64(S));
+    put(R, "error_sites", std::move(Sites));
+    return R;
+  }
+
+  if (Op->Str == "edit") {
+    const json::Value *Proc = Req.find("proc");
+    const json::Value *Body = Req.find("body");
+    if (!Proc || !Proc->isString())
+      return errorResp("edit: missing string field 'proc'");
+    if (!Body || !Body->isString())
+      return errorResp("edit: missing string field 'body'");
+    return editResp(E.applyEdit(Proc->Str, Body->Str));
+  }
+
+  if (Op->Str == "stats") {
+    json::Value R = makeObj();
+    put(R, "ok", json::Value::boolean(true));
+    put(R, "procs", json::Value::u64(E.numProcs()));
+    put(R, "summaries", json::Value::u64(E.numSummaries()));
+    put(R, "solved", json::Value::boolean(E.solved()));
+    return R;
+  }
+
+  if (Op->Str == "save") {
+    const json::Value *Path = Req.find("path");
+    try {
+      if (Path && Path->isString())
+        E.saveStore(Path->Str);
+      else
+        E.saveStore();
+    } catch (const std::exception &Err) {
+      return errorResp(std::string("save failed: ") + Err.what());
+    }
+    json::Value R = makeObj();
+    put(R, "ok", json::Value::boolean(true));
+    return R;
+  }
+
+  if (Op->Str == "shutdown") {
+    Shutdown = true;
+    json::Value R = makeObj();
+    put(R, "ok", json::Value::boolean(true));
+    return R;
+  }
+
+  return errorResp("unknown op '" + Op->Str + "'");
+}
+
+} // namespace
+
+int swift::serve::serveLines(ServeEngine &Engine, std::istream &In,
+                             std::ostream &Out) {
+  std::string Line;
+  while (std::getline(In, Line)) {
+    bool OnlySpace = true;
+    for (char C : Line)
+      if (C != ' ' && C != '\t' && C != '\r')
+        OnlySpace = false;
+    if (OnlySpace)
+      continue;
+    bool Shutdown = false;
+    json::Value Resp = handle(Engine, Line, Shutdown);
+    Out << json::dump(Resp) << '\n';
+    Out.flush();
+    if (!Out)
+      return 1;
+    if (Shutdown)
+      break;
+  }
+  return 0;
+}

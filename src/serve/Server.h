@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The swift-serve request loop: line-delimited JSON over an istream /
+/// ostream pair (stdin/stdout in the daemon, stringstreams in tests).
+/// One request per line, one response per line; a malformed request gets
+/// an {"ok":false,...} response and the loop keeps serving. EOF or a
+/// shutdown request ends the loop.
+///
+/// Requests (field order free; unknown fields ignored):
+///   {"op":"query","site":N}      -> {"ok":true,"site":N,
+///                                    "verdict":"proved|error|unresolved",
+///                                    "tracked":bool}
+///   {"op":"query_all"}           -> {"ok":true,"num_sites":N,
+///                                    "error_sites":[...]}
+///   {"op":"edit","proc":"p","body":"proc p(...) ... {...}"}
+///                                -> {"ok":true,"invalidated":I,
+///                                    "reanalyzed":R,"reused":U} or
+///                                   {"ok":false,"error":"...",
+///                                    "budget_exhausted":bool}
+///   {"op":"stats"}               -> {"ok":true,"procs":N,"summaries":N,
+///                                    "solved":bool}
+///   {"op":"save"[,"path":"f"]}   -> {"ok":true} (engine store path when
+///                                    no explicit path is given)
+///   {"op":"shutdown"}            -> {"ok":true} and the loop returns
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SERVE_SERVER_H
+#define SWIFT_SERVE_SERVER_H
+
+#include <iosfwd>
+
+namespace swift {
+namespace serve {
+
+class ServeEngine;
+
+/// Serves requests from \p In to \p Out until EOF or shutdown. Returns 0
+/// on a clean exit (shutdown or EOF), non-zero only on an unwritable
+/// output stream. The engine must already be solved; requests arriving
+/// before that report unresolved verdicts but are still answered.
+int serveLines(ServeEngine &Engine, std::istream &In, std::ostream &Out);
+
+} // namespace serve
+} // namespace swift
+
+#endif // SWIFT_SERVE_SERVER_H

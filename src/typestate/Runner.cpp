@@ -122,6 +122,17 @@ TsGovernedResult swift::runTypestateGoverned(const TsContext &Ctx,
                                              const GovernedRunOptions &Opts) {
   const Program &Prog = Ctx.program();
   ResourceGovernor Gov(Opts.Limits);
+  // Publish the governor for signal handlers; cleared on every exit path
+  // before Gov dies (the slot outlives the run, the governor does not).
+  struct SlotGuard {
+    std::atomic<ResourceGovernor *> *Slot;
+    ~SlotGuard() {
+      if (Slot)
+        Slot->store(nullptr, std::memory_order_release);
+    }
+  } Guard{Opts.GovSlot};
+  if (Opts.GovSlot)
+    Opts.GovSlot->store(&Gov, std::memory_order_release);
   Stats Stat;
   TabulationSolver<TsAnalysis>::Config Cfg;
   Cfg.K = Opts.Config.K;

@@ -150,6 +150,12 @@ struct GovernedRunOptions {
   GovernorLimits Limits;
   const TsTabSnapshot *ResumeFrom = nullptr;
   TsTabSnapshot *CheckpointOut = nullptr;
+  /// When set, runTypestateGoverned publishes its internally constructed
+  /// governor here for the duration of the run (and clears it before
+  /// returning). A signal handler can then call interruptFromSignal() on
+  /// the loaded pointer to wind the run down to the partial-but-sound
+  /// exit path; both sides are lock-free atomics.
+  std::atomic<ResourceGovernor *> *GovSlot = nullptr;
 };
 
 /// Runs the tabulation (TD when Config.K == NoBuTrigger, hybrid

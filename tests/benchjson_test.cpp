@@ -228,6 +228,39 @@ TEST(BenchDiffTest, AbsoluteFloorsSuppressTinyDeltas) {
   EXPECT_EQ(findEntry(D, "steps")->V, DiffEntry::Verdict::Within);
 }
 
+TEST(BenchDiffTest, MissingBaselineRowsAreTheirOwnFailureCategory) {
+  // The new result dropped the only row: not a regression (nothing got
+  // slower) but hasMissingRows() must trip so swift-benchdiff can exit 4
+  // — a shrunken bench set must not read as a pass.
+  Report Base = oneRowReport(1.0, 1000.0);
+  Report Empty;
+  Empty.Bench = Base.Bench;
+  DiffResult D = diffReports(Base, Empty, DiffOptions());
+  EXPECT_FALSE(D.hasRegression());
+  EXPECT_TRUE(D.hasMissingRows());
+  ASSERT_EQ(D.OnlyBaseline.size(), 1u);
+  EXPECT_EQ(D.OnlyBaseline[0], "antlr/swift_k5_th2");
+
+  // The rendering names the missing row either way; only the verdict
+  // line changes with the opt-in.
+  DiffOptions Strict;
+  std::string StrictText = formatDiff(D, Strict);
+  EXPECT_NE(StrictText.find("antlr/swift_k5_th2"), std::string::npos);
+  EXPECT_NE(StrictText.find("MISSING"), std::string::npos);
+
+  DiffOptions Allow;
+  Allow.AllowMissingRows = true;
+  DiffResult DA = diffReports(Base, Empty, Allow);
+  EXPECT_TRUE(DA.hasMissingRows()); // the fact is reported either way
+  EXPECT_FALSE(DA.hasRegression()); // the caller decides via the flag
+
+  // Rows only in the NEW result are informational, never failing.
+  DiffResult Grown = diffReports(Empty, Base, DiffOptions());
+  EXPECT_FALSE(Grown.hasRegression());
+  EXPECT_FALSE(Grown.hasMissingRows());
+  ASSERT_EQ(Grown.OnlyNew.size(), 1u);
+}
+
 TEST(BenchDiffTest, MetricFilterSelectsDimension) {
   DiffOptions O;
   O.Metric = DiffOptions::Filter::StepsOnly;

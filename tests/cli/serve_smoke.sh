@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# swift-serve protocol smoke: a scripted stats/query/edit/query session
+# over stdin must agree with batch swift-analyze on every error site, a
+# self-edit through the protocol (the first proc block resubmitted
+# verbatim) must be accepted and change no verdict, and a warm start
+# from the auto-saved store must reuse every summary and still agree.
+#
+# Usage: serve_smoke.sh <swift-serve> <swift-analyze> <program.swiftir>
+set -u
+
+serve=$1
+analyze=$2
+prog=$3
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fails=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  fails=$((fails + 1))
+}
+
+# Batch reference: swift-analyze's error sites, one "@N" per line.
+"$analyze" "$prog" > "$work/batch.out" 2>/dev/null ||
+  fail "swift-analyze exited $?"
+grep -o 'error @[0-9]*' "$work/batch.out" | grep -o '@[0-9]*' |
+  sort > "$work/batch.sites"
+
+# Build the scripted session: the edit body is the program's own first
+# proc block, so the edit must be accepted and is semantically a no-op.
+python3 - "$prog" > "$work/requests" <<'EOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+start = next(i for i, l in enumerate(lines) if l.startswith('proc '))
+end = next(i for i in range(start, len(lines)) if lines[i] == '}')
+name = lines[start].split()[1].split('(')[0]
+body = '\n'.join(lines[start:end + 1]) + '\n'
+print(json.dumps({"op": "stats"}))
+print(json.dumps({"op": "query_all"}))
+print(json.dumps({"op": "edit", "proc": name, "body": body}))
+print(json.dumps({"op": "query_all"}))
+print(json.dumps({"op": "query", "site": 0}))
+print(json.dumps({"op": "shutdown"}))
+EOF
+
+"$serve" --store-out="$work/store" "$prog" < "$work/requests" \
+  > "$work/session.out" 2> "$work/session.err"
+rc=$?
+[ "$rc" -eq 0 ] || { fail "serve session exited $rc"; cat "$work/session.err" >&2; }
+
+# Validate the six responses and print the session's error sites.
+python3 - "$work/session.out" > "$work/serve.sites" <<'EOF'
+import json, sys
+rs = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(rs) == 6, f"expected 6 responses, got {len(rs)}: {rs}"
+stats, qa1, edit, qa2, q0, bye = rs
+for r in rs:
+    assert r.get("ok") is True, f"request failed: {r}"
+assert stats["solved"] is True and stats["procs"] >= 1, stats
+assert qa1["error_sites"] == qa2["error_sites"], \
+    f"self-edit changed verdicts: {qa1} -> {qa2}"
+v = q0["verdict"]
+assert (0 in qa1["error_sites"]) == (v == "error"), (qa1, v)
+for s in sorted(qa1["error_sites"]):
+    print(f"@{s}")
+EOF
+[ $? -eq 0 ] || fail "session responses malformed (see above)"
+
+diff "$work/batch.sites" "$work/serve.sites" ||
+  fail "serve session error sites differ from batch swift-analyze"
+
+# Warm start from the auto-saved store: every summary reused, same sites.
+test -s "$work/store" || fail "auto-saved store missing or empty"
+printf '{"op":"query_all"}\n{"op":"shutdown"}\n' |
+  "$serve" --store="$work/store" > "$work/warm.out" 2> "$work/warm.err" ||
+  fail "warm-start session exited $?"
+counts=$(sed -n 's/.* \([0-9]*\) summaries (\([0-9]*\) reused).*/\1 \2/p' \
+  "$work/warm.err")
+if [ -z "$counts" ]; then
+  fail "warm-start ready line missing"
+  cat "$work/warm.err" >&2
+else
+  set -- $counts
+  [ "$1" = "$2" ] || fail "warm start reused only $2 of $1 summaries"
+  [ "$1" -ge 1 ] || fail "warm start loaded no summaries"
+fi
+python3 - "$work/warm.out" > "$work/warm.sites" <<'EOF'
+import json, sys
+rs = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(rs) == 2 and all(r.get("ok") for r in rs), rs
+for s in sorted(rs[0]["error_sites"]):
+    print(f"@{s}")
+EOF
+[ $? -eq 0 ] || fail "warm-start responses malformed"
+diff "$work/batch.sites" "$work/warm.sites" ||
+  fail "warm-start error sites differ from batch swift-analyze"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "all serve smoke checks passed"

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# SIGINT/SIGTERM contract for swift-analyze: a signal mid-run lands on the
+# governor's Red latch and winds the analysis down through the normal
+# budget-exhausted path — exit code 3, a PARTIAL verdict line whose error
+# sites are a sound subset (never fabricated Proved), and flushed
+# trace/metrics files — instead of dying with nothing.
+#
+# The run prints "analysis running" on stderr right before the governed
+# solve starts; we wait for that marker so the signal always lands
+# mid-run (the alias-analysis setup phase before it is not governed).
+#
+# Usage: sigint_partial.sh <swift-analyze> <heavy-program.swiftir>
+set -u
+
+analyze=$1
+prog=$2
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fails=0
+
+check() { # check <desc> <expected-rc> <actual-rc>
+  if [ "$3" -ne "$2" ]; then
+    echo "FAIL: $1: expected exit $2, got $3" >&2
+    fails=$((fails + 1))
+  fi
+}
+expect_grep() { # expect_grep <desc> <pattern> <file>
+  if ! grep -q "$2" "$3"; then
+    echo "FAIL: $1: output lacks '$2'" >&2
+    cat "$3" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+run_one() { # run_one <desc> <signal>
+  desc=$1
+  sig=$2
+  : > "$work/err"
+  "$analyze" --mode=swift --trace-out="$work/trace.json" \
+    --metrics-out="$work/metrics.json" "$prog" \
+    > "$work/out" 2> "$work/err" &
+  pid=$!
+
+  # Wait (up to 120s) for the run-is-live marker, then signal. The
+  # governed run lasts several seconds even on fast machines, so a
+  # signal sent a beat after the marker always lands mid-run.
+  for _ in $(seq 1 1200); do
+    grep -q "analysis running" "$work/err" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if ! grep -q "analysis running" "$work/err"; then
+    echo "FAIL: $desc: run-is-live marker never appeared" >&2
+    kill -9 "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+    fails=$((fails + 1))
+    return
+  fi
+  sleep 0.3
+  kill -"$sig" "$pid"
+  wait "$pid"
+  rc=$?
+
+  check "$desc exit code" 3 "$rc"
+  expect_grep "$desc verdict line" "PARTIAL" "$work/out"
+  # A signal-interrupted run must never claim full resolution.
+  expect_grep "$desc unresolved sites" "unresolved" "$work/out"
+  # Observability flushed on the way out.
+  if [ ! -s "$work/trace.json" ]; then
+    echo "FAIL: $desc: trace file missing or empty" >&2
+    fails=$((fails + 1))
+  fi
+  if [ ! -s "$work/metrics.json" ]; then
+    echo "FAIL: $desc: metrics file missing or empty" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+run_one "SIGINT" INT
+run_one "SIGTERM" TERM
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "all signal-interrupt checks passed"

@@ -398,6 +398,41 @@ TEST(JsonTest, ParseDumpRoundTrip) {
   EXPECT_EQ(V2.find("b")->find("nested")->Num, -3.0);
 }
 
+TEST(JsonTest, IntegersAbove2To53RoundTripExactly) {
+  // 2^53 is the last integer a double represents exactly; the lexemes
+  // around it (and UINT64_MAX) must survive parse -> dump unchanged. A
+  // double-only number model would collapse 9007199254740993 to ...992.
+  const char *Cases[] = {
+      "9007199254740992",     // 2^53
+      "9007199254740993",     // 2^53 + 1: first double casualty
+      "18446744073709551615", // UINT64_MAX
+      "-9007199254740993",    // 2^53 + 1, negated
+      "-9223372036854775808", // INT64_MIN
+  };
+  for (const char *Lexeme : Cases) {
+    json::Value V = json::parse(Lexeme);
+    EXPECT_EQ(json::dump(V), Lexeme) << Lexeme;
+  }
+
+  json::Value U = json::parse("9007199254740993");
+  EXPECT_EQ(U.NR, json::Value::NumRep::U64);
+  EXPECT_EQ(U.asU64(), 9007199254740993ull);
+  json::Value I = json::parse("-9007199254740993");
+  EXPECT_EQ(I.NR, json::Value::NumRep::I64);
+  EXPECT_EQ(I.I, -9007199254740993ll);
+
+  // The factories hit the same exact paths as the parser.
+  EXPECT_EQ(json::dump(json::Value::u64(18446744073709551615ull)),
+            "18446744073709551615");
+  EXPECT_EQ(json::dump(json::Value::i64(-9007199254740993ll)),
+            "-9007199254740993");
+
+  // Non-integer lexemes still take the double path.
+  EXPECT_EQ(json::parse("9007199254740993.0").NR,
+            json::Value::NumRep::Dbl);
+  EXPECT_EQ(json::parse("9e3").NR, json::Value::NumRep::Dbl);
+}
+
 TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_THROW(json::parse(""), std::runtime_error);
   EXPECT_THROW(json::parse("{"), std::runtime_error);

@@ -29,7 +29,10 @@
 #include "support/FailPoint.h"
 #include "typestate/Context.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -39,6 +42,23 @@
 using namespace swift;
 
 namespace {
+
+/// The live run's governor, published by runTypestateGoverned through
+/// GovernedRunOptions::GovSlot for the duration of the run. The handler
+/// below reads it; interruptFromSignal() is async-signal-safe (lock-free
+/// atomics only, no allocation, no trace emission).
+std::atomic<ResourceGovernor *> LiveGovernor{nullptr};
+
+extern "C" void interruptHandler(int) {
+  if (ResourceGovernor *Gov =
+          LiveGovernor.load(std::memory_order_acquire))
+    Gov->interruptFromSignal();
+  // No governor published yet (parsing / setup): the run has produced
+  // nothing to save, so the default-ish immediate exit is fine — but go
+  // through _exit to skip non-signal-safe atexit work.
+  else
+    _Exit(130);
+}
 
 struct ToolOptions {
   std::string InputPath;
@@ -276,6 +296,24 @@ int main(int Argc, char **Argv) {
   TsContext Ctx(*Prog, Tracked);
   TsTabSnapshot Checkpoint;
   GO.CheckpointOut = &Checkpoint;
+
+  // SIGINT/SIGTERM land on the governor's Red latch: the run winds down
+  // through the normal budget-exhausted path — sound partial verdicts, a
+  // checkpoint if requested, flushed trace/metrics, exit code 3 — instead
+  // of dying with nothing.
+  GO.GovSlot = &LiveGovernor;
+  {
+    struct sigaction SA = {};
+    SA.sa_handler = interruptHandler;
+    sigemptyset(&SA.sa_mask);
+    sigaction(SIGINT, &SA, nullptr);
+    sigaction(SIGTERM, &SA, nullptr);
+  }
+  // Run-is-live marker for scripted drivers (the SIGINT CLI test waits
+  // for it before signaling, so the signal always lands mid-run).
+  std::fprintf(stderr, "analysis running\n");
+  std::fflush(stderr);
+
   TsGovernedResult G = runTypestateGoverned(Ctx, GO);
 
   uint64_t Proved = 0, Errors = 0, Unresolved = 0;

@@ -10,7 +10,10 @@
 /// job and the local perf-trajectory workflow (MANUAL section 10).
 ///
 /// Exit codes: 0 = no regression (improvements and within-noise deltas
-/// included), 1 = at least one regression, 2 = usage / IO / schema error.
+/// included), 1 = at least one regression, 2 = usage / IO / schema
+/// error, 4 = rows present only in the baseline (the bench set shrank —
+/// a removed or renamed workload must not read as a pass; a run that
+/// deliberately covers a subset passes --allow-missing-rows).
 ///
 /// The CI gate runs with --metric=steps: budget-step counts are
 /// deterministic for a fixed solver, so the comparison is independent of
@@ -39,13 +42,17 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--threshold=FRACTION] [--min-seconds=S] [--min-count=N] "
-      "[--metric=all|time|steps] BASELINE.json NEW.json\n"
+      "[--metric=all|time|steps] [--allow-missing-rows] "
+      "BASELINE.json NEW.json\n"
       "  --threshold=F    relative regression threshold (default 0.25)\n"
       "  --min-seconds=S  ignore time deltas under S seconds (default "
       "0.05)\n"
       "  --min-count=N    ignore count deltas under N (default 8)\n"
       "  --metric=M       compare all metrics, time-like only, or "
-      "steps only\n",
+      "steps only\n"
+      "  --allow-missing-rows\n"
+      "                   accept baseline rows absent from NEW (exit 4 "
+      "otherwise)\n",
       Argv0);
   return 2;
 }
@@ -106,6 +113,8 @@ int main(int Argc, char **Argv) {
                      Argv[0], int(V.size()), V.data());
         return 2;
       }
+    } else if (A == "--allow-missing-rows") {
+      O.AllowMissingRows = true;
     } else if (A == "--help") {
       usage(Argv[0]);
       return 0;
@@ -126,5 +135,9 @@ int main(int Argc, char **Argv) {
 
   benchjson::DiffResult D = benchjson::diffReports(Base, New, O);
   std::fputs(benchjson::formatDiff(D, O).c_str(), stdout);
-  return D.hasRegression() ? 1 : 0;
+  if (D.hasRegression())
+    return 1;
+  if (D.hasMissingRows() && !O.AllowMissingRows)
+    return 4;
+  return 0;
 }

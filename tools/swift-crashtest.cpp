@@ -20,6 +20,15 @@
 ///     exactly the uninterrupted run's results (the PR 3 resume-
 ///     coincidence oracle, extended to post-crash states).
 ///
+/// The same contract is enforced on the serve engine's summary store: a
+/// child warm-starts from store A, applies a generated procedure edit,
+/// and is killed somewhere inside the store save (failpoints
+/// serve.save.open/write/flush/close/rename). The survivor must decode
+/// cleanly, be byte-identical to old-A or new-B, and a warm start from
+/// it — replaying the edit when the crash preserved A — must end with
+/// exactly the error sites and verdicts of a from-scratch solve of the
+/// edited program.
+///
 /// Exit code: 0 all seeds clean, 1 contract violation, 2 usage error.
 ///
 //===----------------------------------------------------------------------===//
@@ -28,6 +37,9 @@
 #include "framework/Tabulation.h"
 #include "govern/Checkpoint.h"
 #include "ir/Dumper.h"
+#include "serve/EditGen.h"
+#include "serve/Engine.h"
+#include "serve/Store.h"
 #include "support/AtomicFile.h"
 #include "support/CliParse.h"
 #include "support/FailPoint.h"
@@ -282,6 +294,174 @@ void runSeed(uint64_t Seed, const ToolOptions &O, SeedStats &St) {
   ::unlink(CkPath.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Serve-store campaign
+//===----------------------------------------------------------------------===//
+
+/// Kill positions inside the serve engine's store save (the same
+/// writeFileAtomic edges as the checkpoint, under the "serve.save"
+/// failpoint prefix).
+const char *const ServeKillSchedules[] = {
+    "serve.save.open=nth(1)!kill",  "serve.save.write=nth(1)!kill",
+    "serve.save.write=nth(2)!kill", "serve.save.write=nth(4)!kill",
+    "serve.save.flush=nth(1)!kill", "serve.save.close=nth(1)!kill",
+    "serve.save.rename=nth(1)!kill"};
+
+serve::EngineOptions serveOptions() {
+  serve::EngineOptions EO;
+  // Tight caps so unprunable fuzz programs fail fast and get skipped
+  // (relation blow-up is a resource fact, the same skip the difftest
+  // oracle applies), instead of stalling the seed loop.
+  EO.MaxStepsPerRequest = 2'000'000;
+  EO.MaxRelsPerPoint = 1 << 12;
+  return EO;
+}
+
+/// Warm-start from the store at \p Path, fill any summary gaps, apply
+/// \p Edit when the store predates it, and save back over \p Path.
+/// Returns false when any solve blew its budget (nothing saved).
+bool resumeStore(const std::string &Path, const serve::FuzzEdit &Edit,
+                 bool ApplyEdit) {
+  serve::ServeEngine E(serve::ServeEngine::FromStore{Path}, serveOptions());
+  if (!E.solveInitial().Ok)
+    return false;
+  if (ApplyEdit) {
+    serve::EditResult R = E.applyEdit(Edit.ProcName, Edit.Body);
+    if (!R.Ok)
+      return false;
+  }
+  E.saveStore(Path);
+  return true;
+}
+
+/// One seed of the serve-store kill campaign. Store A is the cold
+/// solve's save; store B is A after one generated procedure edit. Every
+/// kill schedule crashes a child somewhere inside the save of B, then
+/// the parent asserts decode-clean + old-or-new bytes + edit-replayed
+/// recovery coincides with a from-scratch solve of the edited program.
+void runServeSeed(uint64_t Seed, const ToolOptions &O, SeedStats &St) {
+  std::string Text =
+      programToText(*generateFuzzProgram(difftest::fuzzConfigForSeed(Seed)));
+
+  serve::ServeEngine Cold(Text, serveOptions());
+  if (!Cold.solveInitial().Ok) {
+    ++St.Completed; // blow-up under the tight caps: skip, don't fail
+    return;
+  }
+  std::optional<serve::FuzzEdit> Edit = serve::makeFuzzEdit(Text, Seed, 0);
+  if (!Edit) {
+    ++St.Completed; // nothing editable in this program
+    return;
+  }
+
+  std::string StPath =
+      O.OutDir + "/seed" + std::to_string(Seed) + ".swiftstore";
+  Cold.saveStore(StPath);
+  const std::string BytesA = readWholeFile(StPath);
+
+  // Predict store B byte-for-byte: the child's warm-start + edit + save
+  // is deterministic, so replaying it over a scratch path tells us what
+  // a completed save would have written.
+  std::string DryPath = StPath + ".dry";
+  writeFileAtomic(DryPath, BytesA, "crashtest.scratch");
+  if (!resumeStore(DryPath, *Edit, /*ApplyEdit=*/true)) {
+    ::unlink(DryPath.c_str());
+    ::unlink(StPath.c_str());
+    ++St.Completed; // the edit itself blew the budget: skip
+    return;
+  }
+  const std::string BytesB = readWholeFile(DryPath);
+  ::unlink(DryPath.c_str());
+  ++St.Tested;
+
+  // The from-scratch reference on the edited program, computed once.
+  serve::ServeEngine Scratch(Text, serveOptions());
+  bool ScratchOk = Scratch.solveInitial().Ok &&
+                   Scratch.applyEdit(Edit->ProcName, Edit->Body).Ok;
+
+  for (const char *Schedule : ServeKillSchedules) {
+    writeFileAtomic(StPath, BytesA, "crashtest.scratch");
+
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      reportViolation(St, Seed, Schedule, "fork failed");
+      return;
+    }
+    if (Pid == 0) {
+      try {
+        failpoint::armSpec(Schedule);
+        resumeStore(StPath, *Edit, /*ApplyEdit=*/true);
+      } catch (...) {
+        ::_exit(3);
+      }
+      ::_exit(0);
+    }
+
+    int Status = 0;
+    if (::waitpid(Pid, &Status, 0) != Pid || !WIFEXITED(Status)) {
+      reportViolation(St, Seed, Schedule,
+                      "child did not exit normally (signal?)");
+      continue;
+    }
+    int Code = WEXITSTATUS(Status);
+    if (Code == failpoint::KillExitCode)
+      ++St.KillsLanded;
+    else if (Code == 0)
+      ++St.ChildCompleted;
+    else {
+      reportViolation(St, Seed, Schedule,
+                      "child failed with exit " + std::to_string(Code));
+      continue;
+    }
+
+    // Contract 1+2: the survivor decodes and is old-A or new-B bytes.
+    std::string Survivor;
+    try {
+      Survivor = readWholeFile(StPath);
+      (void)serve::decodeStore(Survivor);
+    } catch (const std::exception &E) {
+      reportViolation(St, Seed, Schedule,
+                      std::string("surviving store unusable: ") + E.what());
+      continue;
+    }
+    if (Survivor != BytesA && Survivor != BytesB) {
+      reportViolation(St, Seed, Schedule,
+                      "surviving store is neither the old nor the new "
+                      "snapshot (torn write?)");
+      continue;
+    }
+
+    // Contract 3: recovery — warm-start the survivor, replay the edit if
+    // the crash preserved A — coincides with the from-scratch solve.
+    if (!ScratchOk)
+      continue; // reference blew the budget; bytes contract still held
+    try {
+      serve::ServeEngine Rec(serve::ServeEngine::FromStore{StPath},
+                             serveOptions());
+      if (!Rec.solveInitial().Ok)
+        continue;
+      if (Survivor == BytesA) {
+        serve::EditResult R = Rec.applyEdit(Edit->ProcName, Edit->Body);
+        if (!R.Ok)
+          continue;
+      }
+      bool Same = Rec.errorSites() == Scratch.errorSites() &&
+                  Rec.programText() == Scratch.programText();
+      for (SiteId S = 0; Same && S != Rec.program().numSites(); ++S)
+        Same = Rec.verdict(S) == Scratch.verdict(S);
+      if (!Same)
+        reportViolation(St, Seed, Schedule,
+                        "post-crash warm start diverges from the "
+                        "from-scratch solve of the edited program");
+    } catch (const std::exception &E) {
+      reportViolation(St, Seed, Schedule,
+                      std::string("post-crash warm start failed: ") +
+                          E.what());
+    }
+  }
+  ::unlink(StPath.c_str());
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -309,6 +489,10 @@ int main(int Argc, char **Argv) {
   for (uint64_t Seed = O.FirstSeed; Seed != O.FirstSeed + O.Seeds; ++Seed)
     runSeed(Seed, O, St);
 
+  SeedStats Sv;
+  for (uint64_t Seed = O.FirstSeed; Seed != O.FirstSeed + O.Seeds; ++Seed)
+    runServeSeed(Seed, O, Sv);
+
   std::printf("%llu seed(s): %llu crash-tested, %llu completed under the "
               "budget; %llu kill(s) landed, %llu child save(s) ran to "
               "completion; %llu violation(s)\n",
@@ -318,9 +502,17 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(St.KillsLanded),
               static_cast<unsigned long long>(St.ChildCompleted),
               static_cast<unsigned long long>(St.Violations));
-  if (St.Violations)
+  std::printf("serve store: %llu seed(s) crash-tested, %llu skipped; "
+              "%llu kill(s) landed, %llu child save(s) ran to completion; "
+              "%llu violation(s)\n",
+              static_cast<unsigned long long>(Sv.Tested),
+              static_cast<unsigned long long>(Sv.Completed),
+              static_cast<unsigned long long>(Sv.KillsLanded),
+              static_cast<unsigned long long>(Sv.ChildCompleted),
+              static_cast<unsigned long long>(Sv.Violations));
+  if (St.Violations || Sv.Violations)
     return 1;
-  if (St.Tested && !St.KillsLanded)
+  if ((St.Tested && !St.KillsLanded) || (Sv.Tested && !Sv.KillsLanded))
     // The harness must actually provoke crashes to certify anything.
     std::printf("warning: no kill schedule landed; raise --steps so "
                 "checkpoints span more write chunks\n");

@@ -1,0 +1,237 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// swift-serve — resident incremental summary server. Loads one swift-ir
+/// program (or a warm-start store written by a previous run), brings the
+/// bottom-up relational summary set to completeness, then answers
+/// line-delimited JSON requests on stdin: per-site verdict queries and
+/// procedure-replacement edits that re-analyze only the summaries the
+/// edit invalidates (docs/MANUAL.md section 11 documents the protocol).
+///
+/// stdout carries exactly one JSON response per request; all human-facing
+/// chatter goes to stderr so scripted sessions can diff responses
+/// directly.
+///
+/// Exit code: 0 clean shutdown (EOF or shutdown request), 2 usage/input
+/// error, 3 the initial solve exhausted the per-request step budget (the
+/// server does not start; raise --max-steps).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "serve/Engine.h"
+#include "serve/Server.h"
+#include "support/CliParse.h"
+#include "support/FailPoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+using namespace swift;
+
+namespace {
+
+struct ToolOptions {
+  std::string InputPath;  ///< swift-ir program (cold start).
+  std::string StoreIn;    ///< warm-start store (--store=).
+  std::string Tracked;    ///< --tracked= class; empty = first spec.
+  std::string StoreOut;   ///< --store-out= auto-save path.
+  uint64_t MaxSteps = 200'000'000;
+  std::string FailPoints;
+  std::string TraceOut;
+  std::string MetricsOut;
+  bool ShowHelp = false;
+};
+
+const char *usageText() {
+  return "usage: swift-serve [options] <program.swiftir>\n"
+         "       swift-serve [options] --store=F\n"
+         "  --store=F           warm-start from store F (the program\n"
+         "                      comes from the store; the positional\n"
+         "                      input is not allowed)\n"
+         "  --tracked=CLASS     typestate class to analyze (default:\n"
+         "                      the program's first spec)\n"
+         "  --store-out=F       auto-save the store to F after the\n"
+         "                      initial solve and every successful edit\n"
+         "  --max-steps=N       per-request solver step budget (default\n"
+         "                      200000000)\n"
+         "  --failpoints=SPEC   arm fault-injection failpoints (also\n"
+         "                      armed from SWIFT_FAILPOINTS)\n"
+         "  --trace-out=F       write a Chrome/Perfetto trace on exit\n"
+         "  --metrics-out=F     write a swift-metrics snapshot on exit\n"
+         "  --help              this text\n"
+         "exit: 0 clean shutdown, 2 usage/input error, 3 initial solve\n"
+         "      exhausted the step budget\n";
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view V;
+    if (cli::matchValueFlag(A, "--store=", V)) {
+      if (V.empty()) {
+        Err = "--store needs a file path";
+        return false;
+      }
+      O.StoreIn = V;
+    } else if (cli::matchValueFlag(A, "--tracked=", V)) {
+      if (V.empty()) {
+        Err = "--tracked needs a class name";
+        return false;
+      }
+      O.Tracked = V;
+    } else if (cli::matchValueFlag(A, "--store-out=", V)) {
+      if (V.empty()) {
+        Err = "--store-out needs a file path";
+        return false;
+      }
+      O.StoreOut = V;
+    } else if (cli::matchValueFlag(A, "--max-steps=", V)) {
+      if (!cli::parseU64(V, O.MaxSteps) || O.MaxSteps == 0) {
+        Err = "invalid --max-steps value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--failpoints=", V)) {
+      if (V.empty()) {
+        Err = "--failpoints needs a spec";
+        return false;
+      }
+      O.FailPoints = V;
+    } else if (cli::matchValueFlag(A, "--trace-out=", V)) {
+      if (V.empty()) {
+        Err = "--trace-out needs a file path";
+        return false;
+      }
+      O.TraceOut = V;
+    } else if (cli::matchValueFlag(A, "--metrics-out=", V)) {
+      if (V.empty()) {
+        Err = "--metrics-out needs a file path";
+        return false;
+      }
+      O.MetricsOut = V;
+    } else if (A == "--help") {
+      O.ShowHelp = true;
+    } else if (!A.empty() && A[0] == '-') {
+      Err = "unknown flag '" + std::string(A) + "'";
+      return false;
+    } else if (O.InputPath.empty()) {
+      O.InputPath = A;
+    } else {
+      Err = "more than one input file";
+      return false;
+    }
+  }
+  if (O.StoreIn.empty() && O.InputPath.empty()) {
+    Err = "no input program or store";
+    return false;
+  }
+  if (!O.StoreIn.empty() && !O.InputPath.empty()) {
+    Err = "--store carries its own program; drop the input file";
+    return false;
+  }
+  return true;
+}
+
+void flushObservability(const ToolOptions &O) {
+  if (!O.TraceOut.empty()) {
+    obs::TraceRecorder::instance().stop();
+    std::string Err;
+    if (!obs::TraceRecorder::instance().flushToFile(O.TraceOut, &Err))
+      std::fprintf(stderr,
+                   "swift-serve: warning: trace write failed: %s\n",
+                   Err.c_str());
+  }
+  if (!O.MetricsOut.empty()) {
+    std::string Err;
+    if (!obs::MetricsRegistry::instance().writeSnapshot(O.MetricsOut,
+                                                        nullptr, &Err))
+      std::fprintf(stderr,
+                   "swift-serve: warning: metrics write failed: %s\n",
+                   Err.c_str());
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions O;
+  std::string Err;
+  if (!parseArgs(Argc, Argv, O, Err)) {
+    std::fprintf(stderr, "swift-serve: %s\n%s", Err.c_str(), usageText());
+    return 2;
+  }
+  if (O.ShowHelp) {
+    std::fputs(usageText(), stdout);
+    return 0;
+  }
+
+  try {
+    failpoint::armFromEnv();
+    if (!O.FailPoints.empty())
+      failpoint::armSpec(O.FailPoints);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-serve: %s\n%s", E.what(), usageText());
+    return 2;
+  }
+
+  if (!O.TraceOut.empty())
+    obs::TraceRecorder::instance().start();
+  if (!O.MetricsOut.empty())
+    obs::MetricsRegistry::instance().enable();
+
+  serve::EngineOptions EO;
+  EO.TrackedClass = O.Tracked;
+  EO.MaxStepsPerRequest = O.MaxSteps;
+  EO.StorePath = O.StoreOut;
+
+  std::unique_ptr<serve::ServeEngine> Engine;
+  try {
+    if (!O.StoreIn.empty()) {
+      Engine = std::make_unique<serve::ServeEngine>(
+          serve::ServeEngine::FromStore{O.StoreIn}, EO);
+    } else {
+      std::ifstream IS(O.InputPath);
+      if (!IS) {
+        std::fprintf(stderr, "swift-serve: cannot open '%s'\n",
+                     O.InputPath.c_str());
+        return 2;
+      }
+      std::ostringstream Buf;
+      Buf << IS.rdbuf();
+      Engine = std::make_unique<serve::ServeEngine>(Buf.str(), EO);
+    }
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-serve: %s\n", E.what());
+    return 2;
+  }
+
+  serve::EditResult Init = Engine->solveInitial();
+  if (!Init.Ok) {
+    std::fprintf(stderr, "swift-serve: initial solve failed: %s\n",
+                 Init.Error.c_str());
+    flushObservability(O);
+    return Init.BudgetExhausted ? 3 : 2;
+  }
+  if (!Init.Warning.empty())
+    std::fprintf(stderr, "swift-serve: warning: %s\n",
+                 Init.Warning.c_str());
+  std::fprintf(stderr,
+               "swift-serve: %s ready: %zu procs, %zu summaries (%zu "
+               "reused), %zu error sites\n",
+               Engine->trackedClass().c_str(), Engine->numProcs(),
+               Engine->numSummaries(), Init.Reused,
+               Engine->errorSites().size());
+
+  int Rc = serve::serveLines(*Engine, std::cin, std::cout);
+  flushObservability(O);
+  return Rc == 0 ? 0 : 2;
+}

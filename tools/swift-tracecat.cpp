@@ -40,18 +40,10 @@ const char *usageText() {
          "exit: 0 merged, 2 usage error or malformed input\n";
 }
 
-json::Value numberValue(double N) {
-  json::Value V;
-  V.K = json::Value::Kind::Number;
-  V.Num = N;
-  return V;
-}
+json::Value numberValue(uint64_t N) { return json::Value::u64(N); }
 
 json::Value stringValue(std::string S) {
-  json::Value V;
-  V.K = json::Value::Kind::String;
-  V.Str = std::move(S);
-  return V;
+  return json::Value::str(std::move(S));
 }
 
 /// Sets (or inserts) key \p K of object \p O.
@@ -103,7 +95,7 @@ int main(int Argc, char **Argv) {
 
   for (size_t I = 0; I != Inputs.size(); ++I) {
     const std::string &Path = Inputs[I];
-    double Pid = static_cast<double>(I + 1);
+    uint64_t Pid = I + 1;
     json::Value Root;
     try {
       Root = json::parse(readWholeFile(Path));
