@@ -12,6 +12,7 @@
 #include "ir/Dumper.h"
 #include "serve/EditGen.h"
 #include "serve/Engine.h"
+#include "shard/Sharded.h"
 #include "typestate/Context.h"
 
 #include <algorithm>
@@ -42,6 +43,8 @@ const char *swift::difftest::checkKindName(CheckKind K) {
     return "checkpoint-resume";
   case CheckKind::IncrementalCoincidence:
     return "incremental-coincidence";
+  case CheckKind::ShardInvariance:
+    return "shard-invariance";
   }
   return "?";
 }
@@ -119,6 +122,8 @@ private:
   void checkCheckpointResume(const TsContext &Ctx, Symbol Tracked,
                              const TsRunResult &Td);
   void checkIncremental(Symbol Tracked, const TsRunResult &Td);
+  void checkShardInvariance(const TsContext &Ctx, Symbol Tracked,
+                            const TsRunResult &Td);
 
   const Program &Prog;
   const OracleOptions &Opts;
@@ -493,6 +498,93 @@ void OracleRun::checkIncremental(Symbol Tracked, const TsRunResult &Td) {
     }
 }
 
+/// Shard-count invariance: the sharded pure-BU pipeline (plan, worker
+/// simulation, segment exchange through the spool codec, assembly) must
+/// produce identical results at K = 1, 2, and 4 — and their error sites
+/// must be TD's, since each sharded run is runTypestateBu by another
+/// route. A forced permanent failure of shard 0 must keep the remaining
+/// verdicts sound: reported errors are TD errors, and no tracked site
+/// whose resolution touched a degraded summary is claimed Proved.
+void OracleRun::checkShardInvariance(const TsContext &Ctx, Symbol Tracked,
+                                     const TsRunResult &Td) {
+  // The sharded runner adopts summaries back through the text codec,
+  // which interns symbols — it needs a mutable program. Run it on a
+  // private text round trip; site ids survive the round trip, so error
+  // sites and verdict vectors compare directly against TD's.
+  std::unique_ptr<Program> Copy;
+  try {
+    Copy = parseProgramText(programToText(Prog));
+  } catch (const std::exception &E) {
+    addViolation(CheckKind::ShardInvariance, "shard/setup",
+                 std::string("program text round trip failed: ") + E.what());
+    return;
+  }
+  std::string Class = Prog.symbols().text(Tracked);
+
+  shard::ShardedOptions SO;
+  SO.MaxSteps = Opts.Limits.MaxSteps;
+  std::optional<shard::ShardedResult> Ref;
+  std::string RefName;
+  for (unsigned K : {1u, 2u, 4u}) {
+    SO.NumShards = K;
+    shard::ShardedResult R = shard::runShardedInProcess(*Copy, Class, SO);
+    if (!R.Complete)
+      return; // budget exhaustion is a resource fact: skip, don't fail
+    std::string KName = "shard/k" + std::to_string(K);
+    if (R.ErrorSites != Td.ErrorSites)
+      addViolation(CheckKind::ShardInvariance, KName,
+                   "error sites " + siteSetStr(R.ErrorSites) + " != td " +
+                       siteSetStr(Td.ErrorSites));
+    if (!Ref) {
+      Ref = std::move(R);
+      RefName = KName;
+      continue;
+    }
+    auto Mismatch = [&](const char *What) {
+      addViolation(CheckKind::ShardInvariance, KName,
+                   std::string(What) + " differ from " + RefName);
+    };
+    if (R.ErrorSites != Ref->ErrorSites)
+      Mismatch("error sites");
+    if (R.ErrorPoints != Ref->ErrorPoints)
+      Mismatch("error points");
+    if (R.MainExit != Ref->MainExit)
+      Mismatch("main-exit states");
+    if (R.Verdicts != Ref->Verdicts)
+      Mismatch("verdicts");
+  }
+
+  // Forced permanent failure of shard 0 of 2 — the deepest callees'
+  // summaries degrade to ignore-all.
+  SO.NumShards = 2;
+  SO.DegradedShards = {0};
+  shard::ShardedResult D = shard::runShardedInProcess(*Copy, Class, SO);
+  if (!D.Complete)
+    return;
+  const char *DName = "shard/k2-degraded0";
+  std::vector<SiteId> Extra = setMinus(D.ErrorSites, Td.ErrorSites);
+  if (!Extra.empty()) {
+    std::ostringstream OS;
+    OS << "degraded run reports error sites td does not:";
+    for (SiteId S : Extra)
+      OS << " @" << S;
+    addViolation(CheckKind::ShardInvariance, DName, OS.str());
+  }
+  if (D.Degraded) {
+    for (uint32_t S = 0; S != D.Verdicts.size(); ++S)
+      if (D.Verdicts[S] == TsVerdict::Proved && Ctx.isTrackedSite(S))
+        addViolation(CheckKind::ShardInvariance, DName,
+                     "degraded run claims Proved for tracked site @" +
+                         std::to_string(S));
+  } else if (D.ErrorSites != Td.ErrorSites) {
+    // Shard 0 fell outside main's closure, so the run was full after all
+    // and owes exact coincidence.
+    addViolation(CheckKind::ShardInvariance, DName,
+                 "error sites " + siteSetStr(D.ErrorSites) + " != td " +
+                     siteSetStr(Td.ErrorSites));
+  }
+}
+
 OracleResult OracleRun::run() {
   if (Prog.numSpecs() == 0)
     throw std::runtime_error("difftest oracle: program has no typestate spec");
@@ -558,6 +650,8 @@ OracleResult OracleRun::run() {
     checkCheckpointResume(Ctx, Tracked, Td.Result);
   if (TdOk && Opts.CheckIncremental)
     checkIncremental(Tracked, Td.Result);
+  if (TdOk && Opts.CheckShard)
+    checkShardInvariance(Ctx, Tracked, Td.Result);
 
   return std::move(Res);
 }

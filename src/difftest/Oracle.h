@@ -62,6 +62,13 @@ enum class CheckKind {
   /// from-scratch solve of the final program (and its initial solve
   /// coincides with the TD reference).
   IncrementalCoincidence,
+  /// The sharded pure-BU pipeline is shard-count invariant: K in
+  /// {1, 2, 4} produce identical error sites, error points, main-exit
+  /// states, and verdicts, all coinciding with the TD reference's error
+  /// sites; and a run with a shard forced into permanent failure stays
+  /// sound — its errors are TD errors and no tracked site whose
+  /// resolution touched a degraded summary is claimed Proved.
+  ShardInvariance,
 };
 
 const char *checkKindName(CheckKind K);
@@ -94,6 +101,8 @@ struct OracleOptions {
   bool CheckIncremental = true;
   /// Edits replayed per program by the incremental check.
   unsigned IncrementalEdits = 3;
+  /// Run the shard-count-invariance and forced-degradation checks.
+  bool CheckShard = true;
 };
 
 struct OracleResult {

@@ -186,6 +186,16 @@ public:
   using DepRecorder = std::function<void(ProcId Caller, ProcId Callee)>;
   void setDepRecorder(DepRecorder R) { Deps = std::move(R); }
 
+  /// Observer of SCC completion: invoked once per SCC group at the end of
+  /// a successful solveScc, after every member's summary is final (sorted
+  /// members). Sharded workers publish each completed SCC's summaries to
+  /// the spool from here, so a crash loses at most the in-flight SCC.
+  /// With NumThreads > 1 the callback fires on worker threads and must be
+  /// thread-safe. An exception thrown from the callback propagates out of
+  /// run().
+  using SccObserver = std::function<void(const std::vector<ProcId> &)>;
+  void setSccObserver(SccObserver O) { SccDone = std::move(O); }
+
   /// Total number of bottom-up summaries: one per (relation, procedure)
   /// pair, matching the paper's counting of (r, phi) pairs.
   uint64_t totalRelations() const {
@@ -308,6 +318,8 @@ private:
         }
       }
     }
+    if (SccDone)
+      SccDone(Members);
     return true;
   }
 
@@ -674,6 +686,7 @@ private:
   ResourceGovernor *Gov;      ///< Optional; see constructor.
   const CancelToken *Cancel;  ///< From Gov; null when ungoverned.
   DepRecorder Deps;           ///< Optional; see setDepRecorder.
+  SccObserver SccDone;        ///< Optional; see setSccObserver.
   std::vector<Summary> Summaries;
   /// Byte-sized (not vector<bool>) so concurrent SCC groups writing
   /// distinct procedures never touch the same object.

@@ -98,6 +98,7 @@ struct Registry {
   std::atomic<uint64_t> Epoch{1};
   std::chrono::steady_clock::time_point T0 =
       std::chrono::steady_clock::now();
+  std::string ProcessName = "swift"; ///< Guarded by M.
 };
 
 Registry &registry() {
@@ -255,6 +256,12 @@ void TraceRecorder::reset() {
   R.Bufs.clear();
 }
 
+void TraceRecorder::setProcessName(std::string Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  R.ProcessName = std::move(Name);
+}
+
 uint64_t TraceRecorder::eventCount() const {
   Registry &R = registry();
   std::lock_guard<std::mutex> L(R.M);
@@ -271,9 +278,11 @@ std::string TraceRecorder::toJson() const {
   };
   std::vector<Flat> All;
   std::vector<uint32_t> Tids;
+  std::string ProcName;
   {
     Registry &R = registry();
     std::lock_guard<std::mutex> L(R.M);
+    ProcName = R.ProcessName;
     for (const auto &B : R.Bufs) {
       Tids.push_back(B->Tid);
       uint64_t N = B->Count.load(std::memory_order_acquire);
@@ -295,7 +304,9 @@ std::string TraceRecorder::toJson() const {
   Out.reserve(All.size() * 96 + 256);
   Out += "{\"traceEvents\":[\n";
   Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-         "\"args\":{\"name\":\"swift\"}}";
+         "\"args\":{\"name\":\"";
+  appendEscaped(Out, ProcName.c_str());
+  Out += "\"}}";
   for (uint32_t Tid : Tids) {
     Out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
     appendU64(Out, Tid);

@@ -158,6 +158,12 @@ public:
   /// Number of published events across all thread buffers.
   uint64_t eventCount() const;
 
+  /// Names this process in the emitted trace (the process_name metadata
+  /// record; default "swift"). Sharded workers set a per-shard name so a
+  /// merged trace (obs/TraceMerge.h) shows one labelled track group per
+  /// worker. Safe at any time; takes effect at the next toJson().
+  void setProcessName(std::string Name);
+
   /// Serializes every published event as Chrome trace JSON
   /// ({"traceEvents":[...]}, one event per line, sorted by timestamp,
   /// with thread-name metadata events).

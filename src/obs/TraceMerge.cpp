@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceMerge.h"
+
+#include "obs/Json.h"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+using namespace swift;
+using namespace swift::obs;
+
+namespace {
+
+void setKey(json::Value &O, const std::string &K, json::Value V) {
+  for (auto &[Key, Val] : O.Obj)
+    if (Key == K) {
+      Val = std::move(V);
+      return;
+    }
+  O.Obj.emplace_back(K, std::move(V));
+}
+
+/// The name carried by an input's own process_name metadata record, or ""
+/// when it has none (older traces, hand-written fixtures).
+std::string embeddedProcessName(const json::Value &TraceEvents) {
+  for (const json::Value &E : TraceEvents.Arr) {
+    if (!E.isObject())
+      continue;
+    const json::Value *Name = E.find("name");
+    if (!Name || !Name->isString() || Name->Str != "process_name")
+      continue;
+    const json::Value *Args = E.find("args");
+    if (!Args || !Args->isObject())
+      continue;
+    const json::Value *N = Args->find("name");
+    if (N && N->isString())
+      return N->Str;
+  }
+  return "";
+}
+
+} // namespace
+
+std::string obs::mergeTraces(const std::vector<TraceInput> &Inputs,
+                             TraceMergeStats *Stats) {
+  // Parse everything first so a malformed input aborts before any output
+  // is assembled, and resolve each input's process name.
+  std::vector<json::Value> Roots;
+  std::vector<std::string> Names;
+  Roots.reserve(Inputs.size());
+  for (const TraceInput &In : Inputs) {
+    json::Value Root;
+    try {
+      Root = json::parse(In.Json);
+    } catch (const std::exception &E) {
+      throw std::runtime_error(In.Label + ": " + E.what());
+    }
+    const json::Value *TraceEvents = Root.find("traceEvents");
+    if (!Root.isObject() || !TraceEvents || !TraceEvents->isArray())
+      throw std::runtime_error(
+          In.Label + ": not a Chrome trace (no traceEvents array)");
+    std::string Name = embeddedProcessName(*TraceEvents);
+    Names.push_back(Name.empty() ? In.Label : Name);
+    Roots.push_back(std::move(Root));
+  }
+
+  // De-conflict duplicates by occurrence: two incarnations of shard
+  // worker "swift-shard-worker 2" become "... 2" and "... 2 #2" instead
+  // of folding into one viewer track.
+  std::map<std::string, size_t> Seen;
+  TraceMergeStats Local;
+  for (std::string &Name : Names) {
+    size_t Occurrence = ++Seen[Name];
+    if (Occurrence > 1) {
+      Name += " #" + std::to_string(Occurrence);
+      ++Local.Renamed;
+    }
+  }
+
+  json::Value Merged;
+  Merged.K = json::Value::Kind::Object;
+  json::Value Events;
+  Events.K = json::Value::Kind::Array;
+
+  for (size_t I = 0; I != Roots.size(); ++I) {
+    uint64_t Pid = I + 1;
+    json::Value Meta;
+    Meta.K = json::Value::Kind::Object;
+    setKey(Meta, "name", json::Value::str("process_name"));
+    setKey(Meta, "ph", json::Value::str("M"));
+    setKey(Meta, "pid", json::Value::u64(Pid));
+    setKey(Meta, "tid", json::Value::u64(0));
+    json::Value Args;
+    Args.K = json::Value::Kind::Object;
+    setKey(Args, "name", json::Value::str(Names[I]));
+    setKey(Meta, "args", std::move(Args));
+    Events.Arr.push_back(std::move(Meta));
+
+    for (const json::Value &E : Roots[I].find("traceEvents")->Arr) {
+      if (!E.isObject())
+        continue;
+      const json::Value *Name = E.find("name");
+      // Per-input process_name records are superseded by ours above.
+      if (Name && Name->isString() && Name->Str == "process_name")
+        continue;
+      json::Value Copy = E;
+      setKey(Copy, "pid", json::Value::u64(Pid));
+      Events.Arr.push_back(std::move(Copy));
+    }
+  }
+
+  Local.Events = Events.Arr.size();
+  if (Stats)
+    *Stats = Local;
+  setKey(Merged, "traceEvents", std::move(Events));
+  setKey(Merged, "displayTimeUnit", json::Value::str("ms"));
+  return json::dump(Merged) + "\n";
+}

@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merging of several Chrome/Perfetto trace files (the per-process traces
+/// of a sharded or crashtest run) into one. Each input keeps its events
+/// but gets a distinct pid (input order, starting at 1) plus a
+/// process_name metadata record, so the viewer shows one track group per
+/// process.
+///
+/// The merged process name is the input's own embedded process_name
+/// (workers set one via TraceRecorder::setProcessName) and falls back to
+/// the caller-supplied label (tracecat passes the source path). Restarted
+/// workers re-emit the *same* embedded name — each incarnation is a
+/// separate trace file of the same logical shard — so duplicate names are
+/// de-conflicted by suffixing the occurrence index (" #2", " #3", ...):
+/// without that, the viewer silently folds distinct incarnations into one
+/// track and a restart reads as one continuous process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_OBS_TRACEMERGE_H
+#define SWIFT_OBS_TRACEMERGE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace swift {
+namespace obs {
+
+/// One input trace: the raw JSON bytes plus a label used both in error
+/// messages and as the process name when the trace has no embedded one.
+struct TraceInput {
+  std::string Label;
+  std::string Json;
+};
+
+struct TraceMergeStats {
+  size_t Events = 0;   ///< Events in the merged traceEvents array.
+  size_t Renamed = 0;  ///< Inputs whose name needed an occurrence suffix.
+};
+
+/// Merges \p Inputs into one Chrome trace JSON document (with trailing
+/// newline). Throws std::runtime_error naming the offending input's label
+/// on malformed JSON or a missing traceEvents array — a silently dropped
+/// trace would misread as "that process did nothing".
+std::string mergeTraces(const std::vector<TraceInput> &Inputs,
+                        TraceMergeStats *Stats = nullptr);
+
+} // namespace obs
+} // namespace swift
+
+#endif // SWIFT_OBS_TRACEMERGE_H

@@ -36,9 +36,15 @@ void put(json::Value &Obj, const char *Key, json::Value V) {
   Obj.Obj.emplace_back(Key, std::move(V));
 }
 
-json::Value errorResp(const std::string &Msg) {
+/// Every failure response carries a machine-readable "code" alongside the
+/// human-readable "error": clients dispatch on the code, never on message
+/// text. Codes: "parse" (not JSON), "bad_request" (JSON but wrong shape),
+/// "unknown_op", "io" (engine-side persistence failure),
+/// "oversized_line" (request exceeded the line cap).
+json::Value errorResp(const char *Code, const std::string &Msg) {
   json::Value R = makeObj();
   put(R, "ok", json::Value::boolean(false));
+  put(R, "code", json::Value::str(Code));
   put(R, "error", json::Value::str(Msg));
   return R;
 }
@@ -77,18 +83,19 @@ json::Value handle(ServeEngine &E, const std::string &Line,
   try {
     Req = json::parse(Line);
   } catch (const std::runtime_error &Err) {
-    return errorResp(std::string("bad request: ") + Err.what());
+    return errorResp("parse", std::string("bad request: ") + Err.what());
   }
   if (!Req.isObject())
-    return errorResp("bad request: not a JSON object");
+    return errorResp("bad_request", "bad request: not a JSON object");
   const json::Value *Op = Req.find("op");
   if (!Op || !Op->isString())
-    return errorResp("bad request: missing string field 'op'");
+    return errorResp("bad_request",
+                     "bad request: missing string field 'op'");
 
   if (Op->Str == "query") {
     const json::Value *Site = Req.find("site");
     if (!Site || !Site->isNumber())
-      return errorResp("query: missing numeric field 'site'");
+      return errorResp("bad_request", "query: missing numeric field 'site'");
     SiteId S = static_cast<SiteId>(Site->asU64());
     json::Value R = makeObj();
     put(R, "ok", json::Value::boolean(true));
@@ -113,9 +120,9 @@ json::Value handle(ServeEngine &E, const std::string &Line,
     const json::Value *Proc = Req.find("proc");
     const json::Value *Body = Req.find("body");
     if (!Proc || !Proc->isString())
-      return errorResp("edit: missing string field 'proc'");
+      return errorResp("bad_request", "edit: missing string field 'proc'");
     if (!Body || !Body->isString())
-      return errorResp("edit: missing string field 'body'");
+      return errorResp("bad_request", "edit: missing string field 'body'");
     return editResp(E.applyEdit(Proc->Str, Body->Str));
   }
 
@@ -136,7 +143,7 @@ json::Value handle(ServeEngine &E, const std::string &Line,
       else
         E.saveStore();
     } catch (const std::exception &Err) {
-      return errorResp(std::string("save failed: ") + Err.what());
+      return errorResp("io", std::string("save failed: ") + Err.what());
     }
     json::Value R = makeObj();
     put(R, "ok", json::Value::boolean(true));
@@ -150,7 +157,39 @@ json::Value handle(ServeEngine &E, const std::string &Line,
     return R;
   }
 
-  return errorResp("unknown op '" + Op->Str + "'");
+  return errorResp("unknown_op", "unknown op '" + Op->Str + "'");
+}
+
+/// Hard cap on one request line. Far above any legitimate request (an
+/// edit body is bounded by procedure size), far below what an unbounded
+/// std::getline would buffer from a runaway or hostile client.
+constexpr size_t MaxRequestLine = 64 * 1024;
+
+enum class LineRead { Ok, Oversized, Eof };
+
+/// Reads one newline-terminated line into \p Line, never buffering more
+/// than MaxRequestLine bytes. On overflow the rest of the line is drained
+/// (not stored) so the session stays line-synchronized and the *next*
+/// request is served normally.
+LineRead readBoundedLine(std::istream &In, std::string &Line) {
+  Line.clear();
+  using Traits = std::istream::traits_type;
+  bool Any = false;
+  for (;;) {
+    int C = In.get();
+    if (Traits::eq_int_type(C, Traits::eof()))
+      return Any ? LineRead::Ok : LineRead::Eof;
+    Any = true;
+    if (C == '\n')
+      return LineRead::Ok;
+    if (Line.size() == MaxRequestLine) {
+      do {
+        C = In.get();
+      } while (!Traits::eq_int_type(C, Traits::eof()) && C != '\n');
+      return LineRead::Oversized;
+    }
+    Line += static_cast<char>(C);
+  }
 }
 
 } // namespace
@@ -158,15 +197,25 @@ json::Value handle(ServeEngine &E, const std::string &Line,
 int swift::serve::serveLines(ServeEngine &Engine, std::istream &In,
                              std::ostream &Out) {
   std::string Line;
-  while (std::getline(In, Line)) {
-    bool OnlySpace = true;
-    for (char C : Line)
-      if (C != ' ' && C != '\t' && C != '\r')
-        OnlySpace = false;
-    if (OnlySpace)
-      continue;
+  for (;;) {
+    LineRead R = readBoundedLine(In, Line);
+    if (R == LineRead::Eof)
+      return 0;
+    json::Value Resp;
     bool Shutdown = false;
-    json::Value Resp = handle(Engine, Line, Shutdown);
+    if (R == LineRead::Oversized) {
+      Resp = errorResp("oversized_line",
+                       "request line exceeds " +
+                           std::to_string(MaxRequestLine) + " bytes");
+    } else {
+      bool OnlySpace = true;
+      for (char C : Line)
+        if (C != ' ' && C != '\t' && C != '\r')
+          OnlySpace = false;
+      if (OnlySpace)
+        continue;
+      Resp = handle(Engine, Line, Shutdown);
+    }
     Out << json::dump(Resp) << '\n';
     Out.flush();
     if (!Out)

@@ -8,8 +8,13 @@
 /// The swift-serve request loop: line-delimited JSON over an istream /
 /// ostream pair (stdin/stdout in the daemon, stringstreams in tests).
 /// One request per line, one response per line; a malformed request gets
-/// an {"ok":false,...} response and the loop keeps serving. EOF or a
-/// shutdown request ends the loop.
+/// an {"ok":false,"code":"...","error":"..."} response and the loop keeps
+/// serving. Failure codes are machine-readable: "parse" (not JSON),
+/// "bad_request" (wrong shape), "unknown_op", "io" (persistence failure),
+/// and "oversized_line" — a request line longer than 64 KiB is rejected
+/// without ever being buffered whole, the rest of the line is drained,
+/// and the session continues with the next line. EOF or a shutdown
+/// request ends the loop.
 ///
 /// Requests (field order free; unknown fields ignored):
 ///   {"op":"query","site":N}      -> {"ok":true,"site":N,

@@ -1,0 +1,306 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Coordinator.h"
+
+#include "ir/Dumper.h"
+#include "shard/Spool.h"
+#include "shard/Worker.h"
+#include "support/AtomicFile.h"
+#include "support/FailPoint.h"
+#include "typestate/Runner.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace swift;
+using namespace swift::shard;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using Millis = std::chrono::milliseconds;
+
+enum class ShardState { Pending, Running, Done, Failed };
+
+struct ShardSlot {
+  ShardState State = ShardState::Pending;
+  pid_t Pid = -1;
+  unsigned Incarnation = 0; ///< Of the *next* launch.
+  Clock::time_point LaunchedAt;
+  Clock::time_point NotBefore = Clock::time_point::min(); ///< Backoff gate.
+};
+
+/// Heartbeat file mtime with nanosecond resolution (heartbeats turn over
+/// far faster than once a second under test timeouts); nullopt when the
+/// file does not exist yet.
+std::optional<struct timespec> fileMtime(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return std::nullopt;
+  return St.st_mtim;
+}
+
+double msSince(const struct timespec &T) {
+  struct timespec Now;
+  clock_gettime(CLOCK_REALTIME, &Now);
+  return (Now.tv_sec - T.tv_sec) * 1e3 + (Now.tv_nsec - T.tv_nsec) / 1e6;
+}
+
+struct Launcher {
+  const CoordinatorOptions &O;
+  ShardRunReport &Report;
+
+  /// fork/execs one worker for \p Shard; returns -1 if fork failed (the
+  /// caller treats that like a crash and retries under backoff).
+  pid_t launch(unsigned Shard, unsigned Incarnation) {
+    std::vector<std::string> Args;
+    Args.push_back(O.WorkerBin);
+    Args.push_back("--program=" + O.ProgramPath);
+    Args.push_back("--class=" + O.TrackedClass);
+    Args.push_back("--shard=" + std::to_string(Shard));
+    Args.push_back("--shards=" + std::to_string(O.NumShards));
+    Args.push_back("--spool-dir=" + O.SpoolDir);
+    if (O.WorkerMaxSteps != UINT64_MAX)
+      Args.push_back("--max-steps=" + std::to_string(O.WorkerMaxSteps));
+    Args.push_back("--incarnation=" + std::to_string(Incarnation));
+    if (!O.WorkerFailpoints.empty() &&
+        (Incarnation == 0 || O.FailpointsAllIncarnations))
+      Args.push_back("--failpoints=" + O.WorkerFailpoints);
+    if (!O.TraceDir.empty()) {
+      std::string Trace = O.TraceDir + "/worker-" + std::to_string(Shard) +
+                          "-inc" + std::to_string(Incarnation) + ".json";
+      Args.push_back("--trace-out=" + Trace);
+      Report.TraceFiles.push_back(Trace);
+    }
+
+    pid_t Pid = ::fork();
+    if (Pid < 0)
+      return -1;
+    if (Pid == 0) {
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::execv(Argv[0], Argv.data());
+      _exit(127); // exec failed: surfaces as a restartable crash
+    }
+    return Pid;
+  }
+};
+
+void note(const CoordinatorOptions &O, const std::string &Msg) {
+  if (O.Verbose)
+    std::fprintf(stderr, "[shardrun] %s\n", Msg.c_str());
+}
+
+} // namespace
+
+ShardRunReport shard::runCoordinator(const CoordinatorOptions &OIn) {
+  // The coordinator's own copy of the program; workers re-parse the same
+  // text, so planShards agrees across every process by determinism.
+  std::unique_ptr<Program> ProgPtr =
+      parseProgramText(readWholeFile(OIn.ProgramPath));
+  Program &Prog = *ProgPtr;
+  CoordinatorOptions O = OIn;
+  if (O.TrackedClass.empty()) {
+    if (Prog.numSpecs() == 0)
+      throw std::runtime_error("program declares no typestate spec");
+    // Workers get the resolved name on their command line, so every
+    // process hashes the same (program, class) pair.
+    O.TrackedClass = Prog.symbols().text(Prog.spec(0).name());
+  }
+  Symbol Tracked = Prog.symbols().intern(O.TrackedClass);
+  if (!Prog.specFor(Tracked))
+    throw std::runtime_error("no typestate spec for class '" +
+                             O.TrackedClass + "'");
+  TsContext Ctx(Prog, Tracked);
+  ShardPlan Plan = planShards(Prog, Ctx.callGraph(), O.NumShards);
+  uint64_t Hash = programSpoolHash(Prog, O.TrackedClass);
+  {
+    struct stat St;
+    if (::stat(O.SpoolDir.c_str(), &St) != 0 || !S_ISDIR(St.st_mode))
+      throw std::runtime_error("spool dir '" + O.SpoolDir +
+                               "' does not exist");
+  }
+
+  ShardRunReport Report;
+  Launcher L{O, Report};
+  std::vector<ShardSlot> Slots(Plan.NumShards);
+  std::vector<unsigned> RestartsLeft(Plan.NumShards, O.RestartBudget);
+  unsigned RunningCount = 0;
+
+  auto MarkFailed = [&](unsigned S, const char *Why) {
+    Slots[S].State = ShardState::Failed;
+    Report.FailedShards.insert(S);
+    note(O, "shard " + std::to_string(S) + " failed: " + Why);
+  };
+
+  auto DepsDone = [&](unsigned S) {
+    for (unsigned D : Plan.ShardDeps[S])
+      if (Slots[D].State != ShardState::Done)
+        return false;
+    return true;
+  };
+  auto DepFailed = [&](unsigned S) {
+    for (unsigned D : Plan.ShardDeps[S])
+      if (Slots[D].State == ShardState::Failed)
+        return true;
+    return false;
+  };
+
+  for (;;) {
+    // Cascade failures and launch every ready shard with a free slot.
+    bool AnyPending = false;
+    for (unsigned S = 0; S != Plan.NumShards; ++S) {
+      if (Slots[S].State != ShardState::Pending)
+        continue;
+      if (DepFailed(S)) {
+        MarkFailed(S, "dependency shard failed");
+        continue;
+      }
+      AnyPending = true;
+      if (RunningCount >= O.MaxWorkers || !DepsDone(S) ||
+          Clock::now() < Slots[S].NotBefore)
+        continue;
+      pid_t Pid = L.launch(S, Slots[S].Incarnation);
+      if (Pid < 0) {
+        // fork failure: retry under the same backoff/budget as a crash.
+        if (RestartsLeft[S] == 0) {
+          MarkFailed(S, "fork failed and restart budget exhausted");
+          continue;
+        }
+        --RestartsLeft[S];
+        Slots[S].NotBefore = Clock::now() + Millis(O.BackoffBaseMs);
+        continue;
+      }
+      note(O, "launched shard " + std::to_string(S) + " inc " +
+                  std::to_string(Slots[S].Incarnation) + " pid " +
+                  std::to_string(Pid));
+      Slots[S].State = ShardState::Running;
+      Slots[S].Pid = Pid;
+      Slots[S].LaunchedAt = Clock::now();
+      ++Slots[S].Incarnation;
+      ++RunningCount;
+    }
+
+    if (RunningCount == 0) {
+      if (!AnyPending)
+        break; // every shard Done or Failed
+      // Pending shards are only waiting on backoff gates; sleep past the
+      // earliest one.
+      ::usleep(1000 * std::max(1u, O.BackoffBaseMs / 2));
+      continue;
+    }
+
+    // Reap any worker that exited.
+    int Status = 0;
+    pid_t Dead = ::waitpid(-1, &Status, WNOHANG);
+    if (Dead > 0) {
+      for (unsigned S = 0; S != Plan.NumShards; ++S) {
+        if (Slots[S].State != ShardState::Running || Slots[S].Pid != Dead)
+          continue;
+        --RunningCount;
+        Slots[S].Pid = -1;
+        int Code = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+        if (Code == WorkerExitOk) {
+          Slots[S].State = ShardState::Done;
+          note(O, "shard " + std::to_string(S) + " done");
+        } else if (Code == WorkerExitBudget) {
+          // Deterministic: a restart would fail identically.
+          MarkFailed(S, "worker budget exhausted");
+        } else if (Code == WorkerExitUsage) {
+          MarkFailed(S, "worker usage error");
+        } else if (RestartsLeft[S] == 0) {
+          MarkFailed(S, "restart budget exhausted");
+        } else {
+          // Crash (fault exit, failpoint kill, or signal): restart with
+          // capped exponential backoff. Published segments are reused, so
+          // the replacement re-does only the in-flight SCC.
+          unsigned Attempt = O.RestartBudget - RestartsLeft[S];
+          --RestartsLeft[S];
+          uint64_t Delay = static_cast<uint64_t>(O.BackoffBaseMs)
+                           << std::min(Attempt, 10u);
+          Delay = std::min<uint64_t>(Delay, O.BackoffCapMs);
+          Slots[S].State = ShardState::Pending;
+          Slots[S].NotBefore = Clock::now() + Millis(Delay);
+          ++Report.Restarts;
+          note(O, "shard " + std::to_string(S) + " crashed (status " +
+                      std::to_string(Status) + "); restarting in " +
+                      std::to_string(Delay) + "ms");
+        }
+        break;
+      }
+      continue; // reap eagerly before sleeping again
+    }
+
+    // Stale-heartbeat detection: a worker that has neither exited nor
+    // published for too long is wedged; SIGKILL it and let the reap path
+    // above handle it as a crash.
+    if (O.HeartbeatTimeoutMs > 0) {
+      for (unsigned S = 0; S != Plan.NumShards; ++S) {
+        if (Slots[S].State != ShardState::Running)
+          continue;
+        double SinceLaunchMs =
+            std::chrono::duration_cast<Millis>(Clock::now() -
+                                               Slots[S].LaunchedAt)
+                .count();
+        if (SinceLaunchMs < O.HeartbeatTimeoutMs)
+          continue; // startup grace
+        std::optional<struct timespec> Mtime =
+            fileMtime(heartbeatPath(O.SpoolDir, S));
+        if (Mtime && msSince(*Mtime) < O.HeartbeatTimeoutMs)
+          continue;
+        note(O, "shard " + std::to_string(S) + " heartbeat stale; killing");
+        ::kill(Slots[S].Pid, SIGKILL);
+        ++Report.HeartbeatKills;
+      }
+    }
+    ::usleep(2000);
+  }
+
+  if (Report.FailedShards.empty()) {
+    ShardedResult A = assembleFromSpool(Prog, Ctx, Plan, O.SpoolDir, Hash,
+                                        /*DegradedShards=*/{},
+                                        /*MaxSteps=*/UINT64_MAX);
+    if (A.Complete) {
+      Report.Complete = true;
+      Report.ErrorSites = std::move(A.ErrorSites);
+      Report.ErrorPoints = std::move(A.ErrorPoints);
+      Report.Verdicts = std::move(A.Verdicts);
+      return Report;
+    }
+    // Assembly could not finish (e.g. the spool vanished mid-assembly and
+    // recomputation is unbounded here): degrade like a shard failure.
+    note(O, "assembly incomplete; using governed fallback");
+  }
+
+  // Some shard failed (or assembly did): fall back to the governed hybrid
+  // TD/theta analysis — exactly the PR 3 path, sound complete or partial.
+  Report.UsedFallback = true;
+  GovernedRunOptions G;
+  G.Limits.MaxSteps = O.FallbackMaxSteps;
+  TsGovernedResult F = runTypestateGoverned(Ctx, G);
+  Report.FallbackPartial = F.Partial;
+  Report.ErrorSites = std::move(F.Run.ErrorSites);
+  Report.ErrorPoints = std::move(F.Run.ErrorPoints);
+  Report.Verdicts = std::move(F.Verdicts);
+  return Report;
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-process coordinator behind swift-shardrun: fork/execs one
+/// swift-shard-worker per ready shard of the plan, supervises them, and
+/// assembles the final verdicts from the spool they populate.
+///
+/// Supervision contract:
+///   * Liveness is tracked through exit status (waitpid) and the
+///     heartbeat file each worker atomically replaces per completed SCC;
+///     a heartbeat stale past the timeout gets the worker SIGKILLed and
+///     treated like any other crash.
+///   * A crashed or killed worker is restarted with capped exponential
+///     backoff. Restarts are cheap by construction: the replacement
+///     adopts every segment its predecessor published and re-solves only
+///     the in-flight SCC.
+///   * Budget exhaustion (WorkerExitBudget) is deterministic — the same
+///     shard would fail the same way again — so it consumes the whole
+///     restart budget at once and marks the shard Failed.
+///   * A shard whose restart budget is spent is Failed; shards depending
+///     on it fail by cascade without being launched.
+///
+/// Degradation contract: with every shard Done, the assembly derives
+/// pure-BU verdicts from the spool (exact, = runTypestateBu). With any
+/// shard Failed, the coordinator falls back to the governed hybrid
+/// TD/theta run of PR 3, whose verdicts are sound whether or not it
+/// completes — Proved / ErrorReported / Unresolved never lie, whatever
+/// the workers did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SHARD_COORDINATOR_H
+#define SWIFT_SHARD_COORDINATOR_H
+
+#include "shard/Sharded.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace swift {
+namespace shard {
+
+struct CoordinatorOptions {
+  std::string ProgramPath; ///< swift-ir v1 text; workers re-read it.
+  std::string TrackedClass;
+  std::string WorkerBin; ///< Path to the swift-shard-worker executable.
+  unsigned NumShards = 2;
+  unsigned MaxWorkers = 2; ///< Concurrent worker processes.
+  std::string SpoolDir;    ///< Must exist; segments and heartbeats live here.
+  uint64_t WorkerMaxSteps = UINT64_MAX;
+  /// Restarts allowed per shard before it is marked Failed.
+  unsigned RestartBudget = 3;
+  unsigned BackoffBaseMs = 25; ///< Doubled per restart, capped below.
+  unsigned BackoffCapMs = 1000;
+  /// A running worker whose heartbeat mtime is older than this is
+  /// SIGKILLed (grace-measured from launch). 0 disables the check.
+  unsigned HeartbeatTimeoutMs = 30000;
+  /// --failpoints= spec injected into workers (the crash campaign's
+  /// lever). By default only incarnation 0 gets it, so a restarted worker
+  /// runs clean; set AllIncarnations to drive restart-budget exhaustion.
+  std::string WorkerFailpoints;
+  bool FailpointsAllIncarnations = false;
+  uint64_t FallbackMaxSteps = UINT64_MAX; ///< Governed TD/theta fallback.
+  std::string TraceDir; ///< Per-worker trace JSON files; empty = off.
+  bool Verbose = false; ///< Supervision narration on stderr.
+};
+
+struct ShardRunReport {
+  /// Every shard Done and the pure-BU assembly finished: verdicts are the
+  /// exact runTypestateBu results.
+  bool Complete = false;
+  bool UsedFallback = false;    ///< Some shard failed; verdicts are PR 3's.
+  bool FallbackPartial = false; ///< The fallback itself ran out of budget.
+  std::set<unsigned> FailedShards; ///< Root failures and cascades.
+  std::set<SiteId> ErrorSites;
+  std::set<TsError> ErrorPoints;
+  std::vector<TsVerdict> Verdicts; ///< One per allocation site; never unsound.
+  unsigned Restarts = 0; ///< Worker processes relaunched.
+  unsigned HeartbeatKills = 0; ///< Workers SIGKILLed for stale heartbeats.
+  std::vector<std::string> TraceFiles; ///< One per worker incarnation.
+};
+
+/// Runs the whole sharded analysis. Throws std::runtime_error on setup
+/// errors (unreadable program, missing spool dir); worker failures never
+/// throw — they degrade per the contract above.
+ShardRunReport runCoordinator(const CoordinatorOptions &Opts);
+
+} // namespace shard
+} // namespace swift
+
+#endif // SWIFT_SHARD_COORDINATOR_H

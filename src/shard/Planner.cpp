@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Planner.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace swift;
+using namespace swift::shard;
+
+ShardPlan shard::planShards(const Program &Prog, const CallGraph &CG,
+                            unsigned RequestedShards) {
+  size_t N = CG.numSccs();
+  ShardPlan Plan;
+  Plan.NumShards = static_cast<unsigned>(
+      std::max<size_t>(1, std::min<size_t>(RequestedShards, N)));
+  Plan.ShardOfScc.assign(N, 0);
+  Plan.ShardSccs.resize(Plan.NumShards);
+  Plan.ShardProcs.resize(Plan.NumShards);
+  Plan.ShardDeps.resize(Plan.NumShards);
+
+  std::vector<uint64_t> Weight(N, 0);
+  uint64_t Total = 0;
+  for (size_t S = 0; S != N; ++S) {
+    for (ProcId P : CG.sccMembers(S))
+      Weight[S] += Prog.proc(P).numNodes();
+    Total += Weight[S];
+  }
+
+  // Greedy contiguous split: each shard takes SCCs until it reaches the
+  // ceiling of an even split of the *remaining* weight (so early
+  // overshoot rebalances later shards), always leaving at least one SCC
+  // per remaining shard. min(K, N) above guarantees that is satisfiable.
+  unsigned K = Plan.NumShards;
+  uint64_t TotalLeft = Total;
+  size_t I = 0;
+  for (unsigned S = 0; S != K; ++S) {
+    uint64_t Target = (TotalLeft + (K - S) - 1) / (K - S);
+    uint64_t Acc = 0;
+    while (I != N && N - I > static_cast<size_t>(K - S - 1) &&
+           (Plan.ShardSccs[S].empty() || Acc < Target)) {
+      Plan.ShardOfScc[I] = S;
+      Plan.ShardSccs[S].push_back(I);
+      Acc += Weight[I];
+      ++I;
+    }
+    TotalLeft -= Acc;
+  }
+
+  for (size_t S = 0; S != N; ++S) {
+    unsigned Shard = Plan.ShardOfScc[S];
+    for (ProcId P : CG.sccMembers(S))
+      Plan.ShardProcs[Shard].push_back(P);
+  }
+  for (auto &Procs : Plan.ShardProcs)
+    std::sort(Procs.begin(), Procs.end());
+
+  std::vector<std::set<unsigned>> Deps(K);
+  for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+    unsigned From = Plan.shardOfProc(CG, P);
+    for (ProcId Q : CG.callees(P)) {
+      unsigned To = Plan.shardOfProc(CG, Q);
+      if (To != From)
+        Deps[From].insert(To);
+    }
+  }
+  for (unsigned S = 0; S != K; ++S)
+    Plan.ShardDeps[S].assign(Deps[S].begin(), Deps[S].end());
+  return Plan;
+}

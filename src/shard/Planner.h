@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic partitioning of the call-graph SCC condensation into K
+/// shards for multi-process bottom-up analysis. SCC indices are in
+/// reverse topological order (a callee's SCC index is lower than its
+/// callers'), so any partition into contiguous ascending-index ranges
+/// respects the DAG: every cross-shard call edge points from a shard to a
+/// strictly earlier one. A shard is therefore runnable as soon as its
+/// dependency shards have published their summaries, and the shard DAG is
+/// a chain-free total order restricted to the edges that actually exist.
+///
+/// The partition is weight-balanced (sum of member CFG node counts, the
+/// same proxy the wavefront scheduler's work is proportional to) and a
+/// pure function of (program, K): the coordinator and every worker
+/// compute it independently and agree, so no plan needs to be exchanged
+/// or persisted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_SHARD_PLANNER_H
+#define SWIFT_SHARD_PLANNER_H
+
+#include "ir/CallGraph.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace swift {
+namespace shard {
+
+struct ShardPlan {
+  unsigned NumShards = 0;
+  /// SCC index -> owning shard. Every SCC is owned by exactly one shard.
+  std::vector<unsigned> ShardOfScc;
+  /// Per shard: owned SCC indices, ascending (callee-first solve order).
+  std::vector<std::vector<size_t>> ShardSccs;
+  /// Per shard: owned procedures, sorted by ProcId.
+  std::vector<std::vector<ProcId>> ShardProcs;
+  /// Per shard: the strictly-earlier shards it has a call edge into,
+  /// sorted ascending. A shard is ready once these are all complete.
+  std::vector<std::vector<unsigned>> ShardDeps;
+
+  unsigned shardOfProc(const CallGraph &CG, ProcId P) const {
+    return ShardOfScc[CG.scc(P)];
+  }
+};
+
+/// Partitions all of \p Prog's SCCs into min(RequestedShards, numSccs)
+/// contiguous ascending ranges, greedily balanced by the sum of member
+/// procedures' CFG node counts. Deterministic; every shard is non-empty.
+ShardPlan planShards(const Program &Prog, const CallGraph &CG,
+                     unsigned RequestedShards);
+
+} // namespace shard
+} // namespace swift
+
+#endif // SWIFT_SHARD_PLANNER_H

@@ -1,0 +1,178 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Sharded.h"
+
+#include "serve/Store.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <map>
+
+using namespace swift;
+using namespace swift::shard;
+
+namespace {
+
+RelationalSolver<TsAnalysis> makeBuSolver(const TsContext &Ctx, Budget &Bud,
+                                          Stats &Stat) {
+  // The runTypestateBu configuration: no pruning, no frequency data, the
+  // observation manifest on — the solver every shard role must agree with
+  // byte for byte.
+  return RelationalSolver<TsAnalysis>(
+      Ctx, Ctx.program(), Ctx.callGraph(), NoPruning,
+      [](ProcId) -> const std::unordered_map<TsAbstractState, uint64_t> * {
+        return nullptr;
+      },
+      Bud, Stat, DefaultMaxRelsPerPoint, /*CollectObservations=*/true,
+      /*NumThreads=*/1);
+}
+
+/// Instantiates main's summary on the initial Lambda state and derives
+/// per-site verdicts — the runTypestateBu harvest, plus the governed
+/// runner's verdict discipline under degradation.
+void deriveOutcome(const TsContext &Ctx,
+                   const RelationalSolver<TsAnalysis> &Solver, bool Degraded,
+                   ShardedResult &R) {
+  const Program &Prog = Ctx.program();
+  const auto &Main = Solver.summary(Prog.mainProc());
+  TState Error = Ctx.spec().errorState();
+  NodeId MainExitNode = Prog.proc(Prog.mainProc()).exit();
+  if (Main.LambdaExit)
+    R.MainExit.insert(TsAbstractState::lambda());
+  for (const auto &Rel : Main.Rels)
+    if (std::optional<TsAbstractState> Out =
+            Rel.apply(Ctx, TsAbstractState::lambda()))
+      R.MainExit.insert(*Out);
+  for (const TsAbstractState &S : R.MainExit)
+    if (!S.isLambda() && S.tstate() == Error) {
+      R.ErrorSites.insert(S.site());
+      R.ErrorPoints.insert(TsError{S.site(), Prog.mainProc(), MainExitNode});
+    }
+  for (const auto &Rel : Main.ObsRels)
+    if (std::optional<TsAbstractState> Out =
+            Rel.apply(Ctx, TsAbstractState::lambda()))
+      if (!Out->isLambda() && Out->tstate() == Error) {
+        R.ErrorSites.insert(Out->site());
+        R.ErrorPoints.insert(
+            TsError{Out->site(), Prog.mainProc(), MainExitNode});
+      }
+
+  // A degraded run must not claim absence of errors it soundly gave up
+  // looking for; reported errors stay exact (degraded summaries only ever
+  // suppress relations, never invent them).
+  R.Verdicts.assign(Prog.numSites(), TsVerdict::Proved);
+  for (uint32_t S = 0; S != Prog.numSites(); ++S) {
+    if (!Ctx.isTrackedSite(S))
+      continue;
+    if (R.ErrorSites.count(S))
+      R.Verdicts[S] = TsVerdict::ErrorReported;
+    else if (Degraded)
+      R.Verdicts[S] = TsVerdict::Unresolved;
+  }
+}
+
+ShardedResult assembleCore(Program &Prog, const TsContext &Ctx,
+                           const ShardPlan &Plan,
+                           const SegmentSource &Source,
+                           const std::set<unsigned> &DegradedShards,
+                           uint64_t MaxSteps) {
+  ShardedResult R;
+  Budget Bud(MaxSteps, 1e18);
+  Stats Stat;
+  RelationalSolver<TsAnalysis> Solver = makeBuSolver(Ctx, Bud, Stat);
+  std::vector<size_t> Target{Ctx.callGraph().scc(Prog.mainProc())};
+  SolveSetup Setup = prepareSolve(Prog, Ctx, Plan, Source, DegradedShards,
+                                  Target, Solver);
+  R.Degraded = Setup.DegradedProcs != 0;
+  bool Finished = Solver.run(Setup.SolveProcs);
+  R.Steps = Bud.steps();
+  if (!Finished)
+    return R; // Complete stays false; results stay empty
+  R.Complete = true;
+  deriveOutcome(Ctx, Solver, R.Degraded, R);
+  return R;
+}
+
+} // namespace
+
+ShardedResult shard::assembleFromSpool(Program &Prog, const TsContext &Ctx,
+                                       const ShardPlan &Plan,
+                                       const std::string &SpoolDir,
+                                       uint64_t ProgHash,
+                                       const std::set<unsigned> &DegradedShards,
+                                       uint64_t MaxSteps) {
+  SegmentSource Source;
+  if (!SpoolDir.empty())
+    Source = [&SpoolDir, ProgHash](size_t S) {
+      return tryLoadSegment(SpoolDir, S, ProgHash);
+    };
+  return assembleCore(Prog, Ctx, Plan, Source, DegradedShards, MaxSteps);
+}
+
+ShardedResult shard::runShardedInProcess(Program &Prog,
+                                         const std::string &TrackedClass,
+                                         const ShardedOptions &Opts) {
+  Symbol Tracked = Prog.symbols().intern(TrackedClass);
+  TsContext Ctx(Prog, Tracked);
+  const CallGraph &CG = Ctx.callGraph();
+  ShardPlan Plan = planShards(Prog, CG, Opts.NumShards);
+  uint64_t Hash = programSpoolHash(Prog, TrackedClass);
+
+  std::map<size_t, std::string> SegBytes; // the in-memory "spool"
+  SegmentSource Source = [&SegBytes, Hash](size_t S) -> std::optional<Segment> {
+    auto It = SegBytes.find(S);
+    if (It == SegBytes.end())
+      return std::nullopt;
+    try {
+      Segment Seg = decodeSegment(It->second);
+      if (Seg.ProgHash != Hash || Seg.Scc != S)
+        return std::nullopt;
+      return Seg;
+    } catch (const std::exception &) {
+      return std::nullopt;
+    }
+  };
+
+  uint64_t Steps = 0;
+  // Workers publish nothing under degradation, so with degraded shards
+  // the simulation adds no segments — skip straight to the assembly,
+  // which recomputes with the degraded SCCs soundly ignored.
+  if (Opts.DegradedShards.empty()) {
+    for (unsigned Sh = 0; Sh != Plan.NumShards; ++Sh) {
+      Budget Bud(Opts.MaxSteps, 1e18);
+      Stats Stat;
+      RelationalSolver<TsAnalysis> Solver = makeBuSolver(Ctx, Bud, Stat);
+      Solver.setSccObserver([&](const std::vector<ProcId> &Members) {
+        size_t Scc = CG.scc(Members.front());
+        if (Plan.ShardOfScc[Scc] != Sh)
+          return;
+        Segment Seg;
+        Seg.ProgHash = Hash;
+        Seg.Scc = Scc;
+        for (ProcId P : Members)
+          Seg.Procs.push_back(
+              {Prog.symbols().text(Prog.proc(P).name()),
+               serve::summaryToText(Prog, Solver.summary(P))});
+        SegBytes[Scc] = encodeSegment(Seg);
+      });
+      SolveSetup Setup = prepareSolve(Prog, Ctx, Plan, Source, {},
+                                      Plan.ShardSccs[Sh], Solver);
+      bool Finished = Solver.run(Setup.SolveProcs);
+      Steps += Bud.steps();
+      if (!Finished) {
+        ShardedResult R;
+        R.Steps = Steps;
+        return R;
+      }
+    }
+  }
+
+  ShardedResult R = assembleCore(Prog, Ctx, Plan, Source,
+                                 Opts.DegradedShards, Opts.MaxSteps);
+  R.Steps += Steps;
+  return R;
+}

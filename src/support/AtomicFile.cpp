@@ -38,21 +38,25 @@ std::string fp(const char *Prefix, const char *Site) {
 }
 
 /// One attempt: create/truncate the temp file, stream the bytes, fsync,
-/// and close — verifying each step. Returns false with \p Err set on any
-/// failure (simulated failures report EIO).
+/// and close — verifying each step. Returns false with \p Err / \p ErrOp
+/// set on any failure (simulated failures report EIO).
 bool writeTempOnce(const std::string &Tmp, std::string_view Bytes,
-                   const char *Prefix, std::string &Err) {
+                   const char *Prefix, std::string &Err,
+                   std::string &ErrOp) {
   if (SWIFT_FAILPOINT(fp(Prefix, "open").c_str())) {
     Err = opError("open", Tmp, EIO) + " (injected)";
+    ErrOp = "open";
     return false;
   }
   int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (Fd < 0) {
     Err = opError("open", Tmp, errno);
+    ErrOp = "open";
     return false;
   }
   auto Fail = [&](const char *Op, int E, bool Injected = false) {
     Err = opError(Op, Tmp, E) + (Injected ? " (injected)" : "");
+    ErrOp = Op;
     ::close(Fd);
     ::unlink(Tmp.c_str());
     return false;
@@ -83,6 +87,7 @@ bool writeTempOnce(const std::string &Tmp, std::string_view Bytes,
     return Fail("close", EIO, /*Injected=*/true);
   if (::close(Fd) != 0) {
     Err = opError("close", Tmp, errno);
+    ErrOp = "close";
     ::unlink(Tmp.c_str());
     return false;
   }
@@ -104,45 +109,52 @@ void syncParentDir(const std::string &Path) {
 
 } // namespace
 
+void (*swift::atomicfile_detail::PreRenameTestHook)() = nullptr;
+
 void swift::writeFileAtomic(const std::string &Path, std::string_view Bytes,
                             const char *FailPrefix) {
   std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
-  std::string Err;
+  std::string Err, ErrOp;
   for (int Attempt = 0; Attempt != MaxAttempts; ++Attempt) {
     if (Attempt) // transient-fault backoff: 20 ms, then 40 ms
       std::this_thread::sleep_for(std::chrono::milliseconds(10 << Attempt));
-    if (!writeTempOnce(Tmp, Bytes, FailPrefix, Err))
+    if (!writeTempOnce(Tmp, Bytes, FailPrefix, Err, ErrOp))
       continue;
+    if (atomicfile_detail::PreRenameTestHook)
+      atomicfile_detail::PreRenameTestHook();
     if (SWIFT_FAILPOINT(fp(FailPrefix, "rename").c_str())) {
       Err = opError("rename", Path, EIO) + " (injected)";
+      ErrOp = "rename";
       continue;
     }
     if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
       Err = opError("rename", Path, errno);
+      ErrOp = "rename";
       continue;
     }
     syncParentDir(Path);
     return;
   }
   ::unlink(Tmp.c_str());
-  throw std::runtime_error("cannot write '" + Path + "' after " +
-                           std::to_string(MaxAttempts) +
-                           " attempts; last error: " + Err);
+  throw IoError(ErrOp, Path,
+                "cannot write '" + Path + "' after " +
+                    std::to_string(MaxAttempts) +
+                    " attempts; last error: " + Err);
 }
 
 std::string swift::readWholeFile(const std::string &Path,
                                  const char *FailPrefix) {
   if (FailPrefix && SWIFT_FAILPOINT(fp(FailPrefix, "open").c_str()))
-    throw std::runtime_error(opError("open", Path, EIO) + " (injected)");
+    throw IoError("open", Path, opError("open", Path, EIO) + " (injected)");
   int Fd = ::open(Path.c_str(), O_RDONLY);
   if (Fd < 0)
-    throw std::runtime_error(opError("open", Path, errno));
+    throw IoError("open", Path, opError("open", Path, errno));
   std::string Out;
   char Buf[1 << 16];
   for (;;) {
     if (FailPrefix && SWIFT_FAILPOINT(fp(FailPrefix, "read").c_str())) {
       ::close(Fd);
-      throw std::runtime_error(opError("read", Path, EIO) + " (injected)");
+      throw IoError("read", Path, opError("read", Path, EIO) + " (injected)");
     }
     ssize_t R = ::read(Fd, Buf, sizeof(Buf));
     if (R < 0) {
@@ -150,7 +162,7 @@ std::string swift::readWholeFile(const std::string &Path,
         continue;
       int E = errno;
       ::close(Fd);
-      throw std::runtime_error(opError("read", Path, E));
+      throw IoError("read", Path, opError("read", Path, E));
     }
     if (R == 0)
       break;

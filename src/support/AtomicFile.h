@@ -25,23 +25,52 @@
 #ifndef SWIFT_SUPPORT_ATOMICFILE_H
 #define SWIFT_SUPPORT_ATOMICFILE_H
 
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace swift {
 
+/// Typed I/O failure from the atomic-file layer: carries the failing
+/// operation ("open", "write", "rename", ...) and the target path in
+/// addition to the human-readable what(). Callers that must distinguish
+/// a vanished directory from a corrupt payload catch this instead of
+/// string-matching a generic runtime_error.
+class IoError : public std::runtime_error {
+public:
+  IoError(std::string Op, std::string Path, const std::string &What)
+      : std::runtime_error(What), Operation(std::move(Op)),
+        TargetPath(std::move(Path)) {}
+
+  const std::string &op() const { return Operation; }
+  const std::string &path() const { return TargetPath; }
+
+private:
+  std::string Operation;
+  std::string TargetPath;
+};
+
 /// Atomically replaces \p Path with \p Bytes (temp file + fsync + rename,
 /// bounded retry on transient errors). \p FailPrefix names the failpoints
-/// instrumenting this write. Throws std::runtime_error with errno detail
-/// on persistent failure; the previous content of \p Path survives.
+/// instrumenting this write. Throws IoError with errno detail on
+/// persistent failure (the temp file is unlinked); the previous content
+/// of \p Path survives.
 void writeFileAtomic(const std::string &Path, std::string_view Bytes,
                      const char *FailPrefix = "file.save");
 
-/// Reads the whole file. Throws std::runtime_error with errno detail on
-/// any I/O failure. \p FailPrefix, when given, names the failpoints
+/// Reads the whole file. Throws IoError with errno detail on any I/O
+/// failure. \p FailPrefix, when given, names the failpoints
 /// instrumenting the read.
 std::string readWholeFile(const std::string &Path,
                           const char *FailPrefix = nullptr);
+
+namespace atomicfile_detail {
+/// Test-only seam: when set, invoked after the temp file is fully
+/// written and fsynced but before the rename — the window a concurrent
+/// actor could remove the destination directory in. Production never
+/// sets it.
+extern void (*PreRenameTestHook)();
+} // namespace atomicfile_detail
 
 } // namespace swift
 

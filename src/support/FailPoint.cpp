@@ -159,6 +159,13 @@ void failpoint::armSpec(std::string_view Spec) {
       continue;
     std::string Name;
     FailPoint F = parseEntry(Entry, Spec, Name);
+    for (const auto &[Seen, Ignored] : Parsed) {
+      (void)Ignored;
+      // Within one spec, last-wins would silently drop the earlier
+      // trigger; a duplicate is always a harness bug, so reject it.
+      if (Seen == Name)
+        badSpec(Spec, "duplicate failpoint '" + Name + "'");
+    }
     Parsed.emplace_back(std::move(Name), std::move(F));
   }
   if (Parsed.empty())

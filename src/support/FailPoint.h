@@ -70,7 +70,9 @@ inline bool shouldFail(const char *Name) {
 
 /// Arms every entry of \p Spec (grammar above), merging with already
 /// armed failpoints (an entry for an armed name replaces it and resets
-/// its counters). Throws std::runtime_error on a malformed spec.
+/// its counters). Throws std::runtime_error on a malformed spec, and on
+/// a name appearing twice within one spec (last-wins would silently drop
+/// the earlier trigger).
 void armSpec(std::string_view Spec);
 
 /// Arms from the SWIFT_FAILPOINTS environment variable. Returns false if

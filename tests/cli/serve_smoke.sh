@@ -69,6 +69,34 @@ EOF
 diff "$work/batch.sites" "$work/serve.sites" ||
   fail "serve session error sites differ from batch swift-analyze"
 
+# Protocol robustness: an oversized request line (> 64 KiB) gets a typed
+# error response, malformed JSON gets code "parse", and the session keeps
+# serving — the follow-up query must still succeed.
+python3 - > "$work/robust.requests" <<'EOF'
+import json
+print('{"op":"query","site":' + '9' * 70000 + '}')  # > 64 KiB, one line
+print('this is not json')
+print(json.dumps({"op": "frobnicate"}))
+print(json.dumps({"op": "stats"}))
+print(json.dumps({"op": "shutdown"}))
+EOF
+"$serve" "$prog" < "$work/robust.requests" \
+  > "$work/robust.out" 2> "$work/robust.err"
+rc=$?
+[ "$rc" -eq 0 ] || { fail "robustness session exited $rc"; cat "$work/robust.err" >&2; }
+python3 - "$work/robust.out" <<'EOF'
+import json, sys
+rs = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(rs) == 5, f"expected 5 responses, got {len(rs)}: {rs}"
+over, bad, unk, stats, bye = rs
+assert over.get("ok") is False and over.get("code") == "oversized_line", over
+assert bad.get("ok") is False and bad.get("code") == "parse", bad
+assert unk.get("ok") is False and unk.get("code") == "unknown_op", unk
+assert stats.get("ok") is True and stats.get("solved") is True, stats
+assert bye.get("ok") is True, bye
+EOF
+[ $? -eq 0 ] || fail "robustness responses malformed (see above)"
+
 # Warm start from the auto-saved store: every summary reused, same sites.
 test -s "$work/store" || fail "auto-saved store missing or empty"
 printf '{"op":"query_all"}\n{"op":"shutdown"}\n' |

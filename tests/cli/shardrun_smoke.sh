@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# swift-shardrun smoke through the real multi-process binaries:
+#
+#  1. a clean sharded run (K=4) reports exactly swift-analyze's error
+#     sites and populates the spool with one segment per SCC,
+#  2. rerunning over the populated spool stays complete and identical
+#     (segments are reused, not recomputed into different bytes),
+#  3. a worker killed mid-segment-save by a failpoint is restarted and
+#     the recovered run's verdict lines are byte-identical to the clean
+#     run's, with every surviving segment identical to the clean run's,
+#  4. an every-incarnation kill drains the restart budget and degrades
+#     to the governed fallback, still exiting 0 with the same verdicts,
+#  5. usage errors (missing spool dir) exit 2.
+#
+# Usage: shardrun_smoke.sh <swift-shardrun> <swift-shard-worker> \
+#        <swift-analyze> <program.swiftir>
+set -u
+
+shardrun=$1
+worker=$2
+analyze=$3
+prog=$4
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fails=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  fails=$((fails + 1))
+}
+
+sites() { # extract sorted "@N" error-site lines from a report
+  grep -o 'error @[0-9]*' "$1" | grep -o '@[0-9]*' | sort
+}
+
+# Batch reference: swift-analyze's error sites.
+"$analyze" "$prog" > "$work/batch.out" 2>/dev/null ||
+  fail "swift-analyze exited $?"
+sites "$work/batch.out" > "$work/batch.sites"
+
+# 1. Clean sharded run.
+mkdir -p "$work/spool"
+"$shardrun" --shards=4 --worker-bin="$worker" --spool-dir="$work/spool" \
+  "$prog" > "$work/clean.out" 2>"$work/clean.err"
+rc=$?
+[ "$rc" -eq 0 ] || { fail "clean shardrun exited $rc"; cat "$work/clean.err" >&2; }
+grep -q '^shardrun: complete' "$work/clean.out" ||
+  fail "clean run not reported complete: $(head -1 "$work/clean.out")"
+sites "$work/clean.out" > "$work/clean.sites"
+cmp -s "$work/batch.sites" "$work/clean.sites" ||
+  fail "sharded error sites differ from swift-analyze's"
+seg_count=$(ls "$work/spool"/seg-*.spool 2>/dev/null | wc -l)
+[ "$seg_count" -ge 1 ] || fail "clean run published no spool segments"
+grep '^verdicts:' "$work/clean.out" > "$work/clean.verdicts"
+
+# 2. Rerun over the populated spool: identical report, identical bytes.
+cp -r "$work/spool" "$work/spool.before"
+"$shardrun" --shards=4 --worker-bin="$worker" --spool-dir="$work/spool" \
+  "$prog" > "$work/rerun.out" 2>/dev/null
+[ "$?" -eq 0 ] || fail "rerun over populated spool failed"
+sites "$work/rerun.out" > "$work/rerun.sites"
+cmp -s "$work/clean.sites" "$work/rerun.sites" || fail "rerun sites differ"
+for seg in "$work/spool.before"/seg-*.spool; do
+  cmp -s "$seg" "$work/spool/$(basename "$seg")" ||
+    fail "rerun rewrote $(basename "$seg") with different bytes"
+done
+
+# 3. Kill a worker mid-save; the coordinator must recover exactly.
+mkdir -p "$work/spool2"
+"$shardrun" --shards=4 --worker-bin="$worker" --spool-dir="$work/spool2" \
+  --failpoints='spool.save.write=nth(1)!kill' \
+  "$prog" > "$work/kill.out" 2>"$work/kill.err"
+rc=$?
+[ "$rc" -eq 0 ] || { fail "kill-recovery run exited $rc"; cat "$work/kill.err" >&2; }
+grep -q '^shardrun: complete' "$work/kill.out" ||
+  fail "kill-recovery run not complete: $(head -1 "$work/kill.out")"
+restarts=$(sed -n 's/^shardrun: complete (\([0-9]*\) restarts.*/\1/p' "$work/kill.out")
+[ "${restarts:-0}" -ge 1 ] || fail "kill schedule landed no restart"
+sites "$work/kill.out" > "$work/kill.sites"
+cmp -s "$work/clean.sites" "$work/kill.sites" ||
+  fail "recovered run's error sites differ from the clean run's"
+grep '^verdicts:' "$work/kill.out" | cmp -s - "$work/clean.verdicts" ||
+  fail "recovered run's verdict counts differ from the clean run's"
+for seg in "$work/spool2"/seg-*.spool; do
+  [ -e "$seg" ] || continue
+  cmp -s "$seg" "$work/spool/$(basename "$seg")" ||
+    fail "surviving segment $(basename "$seg") differs from the clean run's"
+done
+
+# 4. Permanent failure: every incarnation dies, fallback still sound.
+mkdir -p "$work/spool3"
+"$shardrun" --shards=4 --worker-bin="$worker" --spool-dir="$work/spool3" \
+  --failpoints='worker.scc.solve=always!kill' --failpoints-all-incarnations \
+  --restart-budget=1 \
+  "$prog" > "$work/fb.out" 2>"$work/fb.err"
+rc=$?
+[ "$rc" -eq 0 ] || { fail "fallback run exited $rc"; cat "$work/fb.err" >&2; }
+grep -q '^shardrun: fallback complete' "$work/fb.out" ||
+  fail "fallback not taken: $(head -1 "$work/fb.out")"
+grep -q '^failed shards:' "$work/fb.out" || fail "no failed shards reported"
+sites "$work/fb.out" > "$work/fb.sites"
+cmp -s "$work/clean.sites" "$work/fb.sites" ||
+  fail "fallback error sites differ from the clean run's"
+
+# 5. Usage errors exit 2.
+"$shardrun" "$prog" >/dev/null 2>&1
+[ "$?" -eq 2 ] || fail "missing --spool-dir did not exit 2"
+"$shardrun" --spool-dir="$work/nonexistent-dir" "$prog" >/dev/null 2>&1
+[ "$?" -eq 2 ] || fail "nonexistent spool dir did not exit 2"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "shardrun smoke OK"

@@ -19,6 +19,7 @@
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "obs/TraceMerge.h"
 #include "support/AtomicFile.h"
 #include "support/FailPoint.h"
 #include "support/ThreadPool.h"
@@ -485,6 +486,91 @@ TEST(TraceTest, FlushFailureDoesNotAffectAnalysis) {
   EXPECT_EQ(Traced.MainExit, Baseline.MainExit);
   EXPECT_EQ(Traced.Steps, Baseline.Steps);
   EXPECT_EQ(Traced.TdSummaries, Baseline.TdSummaries);
+  R.reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Trace merging (obs/TraceMerge.h)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceMergeTest, DuplicateProcessNamesGetOccurrenceSuffixes) {
+  // Two incarnations of the same restarted worker emit the same embedded
+  // process_name; the third input has no embedded name at all and falls
+  // back to its label.
+  const char *WorkerTrace =
+      "{\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"shard-2\"}},"
+      "{\"name\":\"solve\",\"cat\":\"bu\",\"ph\":\"X\",\"ts\":5,"
+      "\"dur\":7,\"pid\":1,\"tid\":1}"
+      "]}";
+  const char *Unnamed =
+      "{\"traceEvents\":["
+      "{\"name\":\"tick\",\"cat\":\"misc\",\"ph\":\"i\",\"ts\":9,"
+      "\"pid\":1,\"tid\":1}"
+      "]}";
+  TraceMergeStats Stats;
+  std::string Out = mergeTraces({{"a.json", WorkerTrace},
+                                 {"b.json", WorkerTrace},
+                                 {"c.json", Unnamed}},
+                                &Stats);
+  EXPECT_EQ(Stats.Renamed, 1u);
+
+  json::Value Root = json::parse(Out);
+  const json::Value *Events = Root.find("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  // 3 process_name records + 2 worker events + 1 unnamed event.
+  EXPECT_EQ(Events->Arr.size(), 6u);
+  EXPECT_EQ(Stats.Events, 6u);
+
+  std::vector<std::string> Names;
+  std::set<uint64_t> NamePids;
+  for (const json::Value &E : Events->Arr) {
+    if (E.find("name")->Str != "process_name")
+      continue;
+    Names.push_back(E.find("args")->find("name")->Str);
+    NamePids.insert(E.find("pid")->asU64());
+  }
+  EXPECT_EQ(Names, (std::vector<std::string>{"shard-2", "shard-2 #2",
+                                             "c.json"}));
+  EXPECT_EQ(NamePids, (std::set<uint64_t>{1, 2, 3}));
+
+  // Every non-metadata event was re-pidded to its input's track.
+  for (const json::Value &E : Events->Arr)
+    if (E.find("name")->Str == "solve") {
+      EXPECT_GE(E.find("pid")->asU64(), 1u);
+    }
+}
+
+TEST(TraceMergeTest, MalformedInputIsAHardErrorNamingTheLabel) {
+  try {
+    mergeTraces({{"good.json", "{\"traceEvents\":[]}"},
+                 {"bad.json", "{\"notATrace\":true}"}});
+    FAIL() << "malformed input accepted";
+  } catch (const std::runtime_error &E) {
+    EXPECT_NE(std::string(E.what()).find("bad.json"), std::string::npos)
+        << E.what();
+  }
+  EXPECT_THROW(mergeTraces({{"x.json", "not json at all"}}),
+               std::runtime_error);
+}
+
+TEST(TraceTest, SetProcessNameIsEmbeddedInJson) {
+  obs::TraceRecorder &R = obs::TraceRecorder::instance();
+  R.start();
+  obs::instant("test", "ping");
+  R.stop();
+  R.setProcessName("swift-shard-worker 3 inc 1");
+  json::Value Root = json::parse(R.toJson());
+  bool Found = false;
+  for (const json::Value &E : Root.find("traceEvents")->Arr)
+    if (E.find("name")->Str == "process_name") {
+      EXPECT_EQ(E.find("args")->find("name")->Str,
+                "swift-shard-worker 3 inc 1");
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+  R.setProcessName("swift"); // restore the default for later tests
   R.reset();
 }
 

@@ -10,6 +10,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/AtomicFile.h"
 #include "support/Cancellation.h"
 #include "support/FailPoint.h"
 #include "support/Hashing.h"
@@ -23,12 +24,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace swift;
 
@@ -378,6 +382,86 @@ TEST(FailPointTest, SpecParsingMergesAndRejects) {
   EXPECT_THROW(failpoint::armSpec("x=prob(1.5,1)"), std::runtime_error);
   EXPECT_THROW(failpoint::armSpec("x=sometimes"), std::runtime_error);
   EXPECT_EQ(failpoint::armedNames().size(), 2u);
+}
+
+TEST(FailPointTest, DuplicateNameWithinOneSpecIsRejected) {
+  failpoint::disarmAll();
+  // Last-wins used to silently drop the first trigger; now the whole
+  // spec is rejected and nothing is armed.
+  try {
+    failpoint::armSpec("x.y=nth(1);x.y=every(2)");
+    FAIL() << "duplicate name accepted";
+  } catch (const std::runtime_error &E) {
+    EXPECT_NE(std::string(E.what()).find("duplicate failpoint 'x.y'"),
+              std::string::npos)
+        << E.what();
+  }
+  EXPECT_TRUE(failpoint::armedNames().empty());
+
+  // Re-arming the same name across *separate* specs is still the
+  // documented replace-and-reset merge.
+  failpoint::ScopedArm Arm("x.y=nth(2)");
+  failpoint::armSpec("x.y=nth(1)");
+  EXPECT_TRUE(SWIFT_FAILPOINT("x.y"));
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic file writes
+//===----------------------------------------------------------------------===//
+
+TEST(AtomicFileTest, RoundTripAndTypedReadError) {
+  namespace fs = std::filesystem;
+  fs::path Base = fs::temp_directory_path() /
+                  ("swift-atomicfile-rt-" + std::to_string(::getpid()));
+  fs::remove_all(Base);
+  ASSERT_TRUE(fs::create_directories(Base));
+  std::string Target = (Base / "data.bin").string();
+  writeFileAtomic(Target, "first", "fp.test.atomic");
+  writeFileAtomic(Target, "second", "fp.test.atomic");
+  EXPECT_EQ(readWholeFile(Target), "second");
+  try {
+    readWholeFile((Base / "missing").string());
+    FAIL() << "read of a missing file succeeded";
+  } catch (const IoError &E) {
+    EXPECT_EQ(E.op(), "open");
+    EXPECT_EQ(E.path(), (Base / "missing").string());
+  }
+  fs::remove_all(Base);
+}
+
+std::string DoomedDir; // removed by the pre-rename hook below
+void removeDoomedDir() { std::filesystem::remove_all(DoomedDir); }
+
+TEST(AtomicFileTest, VanishingDestinationDirThrowsTypedIoError) {
+  namespace fs = std::filesystem;
+  fs::path Base = fs::temp_directory_path() /
+                  ("swift-atomicfile-vanish-" + std::to_string(::getpid()));
+  fs::remove_all(Base);
+  ASSERT_TRUE(fs::create_directories(Base));
+  std::string Target = (Base / "out.bin").string();
+
+  // Simulate a concurrent actor deleting the destination directory in the
+  // window between the fsynced temp write and the rename.
+  DoomedDir = Base.string();
+  atomicfile_detail::PreRenameTestHook = &removeDoomedDir;
+  bool Threw = false;
+  try {
+    writeFileAtomic(Target, "payload", "fp.test.atomic");
+  } catch (const IoError &E) {
+    Threw = true;
+    EXPECT_EQ(E.path(), Target);
+    // First attempt dies at the rename; the bounded retries then fail to
+    // reopen the temp file inside the vanished directory.
+    EXPECT_TRUE(E.op() == "rename" || E.op() == "open") << E.op();
+    EXPECT_NE(std::string(E.what()).find(Target), std::string::npos)
+        << E.what();
+  }
+  atomicfile_detail::PreRenameTestHook = nullptr;
+  EXPECT_TRUE(Threw);
+
+  // No crash, and nothing recreated the directory or leaked a .tmp file
+  // into a resurrected path.
+  EXPECT_FALSE(fs::exists(Base));
 }
 
 TEST(ThreadPoolTest, WorkerStartupFaultDoesNotLeakThreads) {

@@ -29,6 +29,23 @@
 /// exactly the error sites and verdicts of a from-scratch solve of the
 /// edited program.
 ///
+/// The third campaign kills whole *worker processes* of the sharded
+/// multi-process analysis: for each seed it runs the real coordinator
+/// (fork/exec of swift-shard-worker) to completion once as the
+/// reference, then re-runs it on an empty spool under kill schedules
+/// that land inside the spool-segment save (spool.save.*) or mid-SCC
+/// solve (worker.scc.solve), letting the coordinator restart the dead
+/// workers. After every run:
+///
+///  1. each surviving seg-*.spool decodes cleanly and is byte-for-byte
+///     a segment the uninterrupted run wrote — never torn, never bytes
+///     no clean run would produce, and
+///  2. the recovered run's error sites and verdicts equal the
+///     uninterrupted run's, and
+///  3. under an every-incarnation kill that drains the restart budget,
+///     the coordinator's governed fallback still produces sound
+///     verdicts.
+///
 /// Exit code: 0 all seeds clean, 1 contract violation, 2 usage error.
 ///
 //===----------------------------------------------------------------------===//
@@ -40,6 +57,8 @@
 #include "serve/EditGen.h"
 #include "serve/Engine.h"
 #include "serve/Store.h"
+#include "shard/Coordinator.h"
+#include "shard/Spool.h"
 #include "support/AtomicFile.h"
 #include "support/CliParse.h"
 #include "support/FailPoint.h"
@@ -48,6 +67,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -64,6 +84,7 @@ struct ToolOptions {
   uint64_t FirstSeed = 1;
   uint64_t Steps = 40; ///< Phase-1 budget that provokes the checkpoint.
   std::string OutDir = "results/crashtest";
+  std::string WorkerBin; ///< Default: swift-shard-worker next to us.
   bool ShowHelp = false;
 };
 
@@ -83,6 +104,8 @@ const char *usageText() {
          "  --steps=N       step budget provoking the first checkpoint\n"
          "                  (default 40)\n"
          "  --out-dir=DIR   scratch directory (default results/crashtest)\n"
+         "  --worker-bin=F  swift-shard-worker path for the worker-kill\n"
+         "                  campaign (default: next to this binary)\n"
          "  --help          this text\n"
          "exit: 0 clean, 1 crash-safety violation, 2 usage error\n";
 }
@@ -112,6 +135,12 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
         return false;
       }
       O.OutDir = V;
+    } else if (cli::matchValueFlag(A, "--worker-bin=", V)) {
+      if (V.empty()) {
+        Err = "--worker-bin needs a path";
+        return false;
+      }
+      O.WorkerBin = V;
     } else if (A == "--help") {
       O.ShowHelp = true;
     } else {
@@ -462,6 +491,207 @@ void runServeSeed(uint64_t Seed, const ToolOptions &O, SeedStats &St) {
   ::unlink(StPath.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Worker-kill campaign (sharded multi-process analysis)
+//===----------------------------------------------------------------------===//
+
+/// Kill positions inside a worker: the writeFileAtomic edges of the
+/// spool-segment save, and the middle of an SCC solve (before anything
+/// of that SCC reached the spool). Only incarnation 0 is armed, so the
+/// restarted worker runs clean and the coordinator must recover.
+const char *const ShardKillSchedules[] = {
+    "spool.save.open=nth(1)!kill",  "spool.save.write=nth(1)!kill",
+    "spool.save.write=nth(2)!kill", "spool.save.flush=nth(1)!kill",
+    "spool.save.close=nth(1)!kill", "spool.save.rename=nth(1)!kill",
+    "worker.scc.solve=nth(1)!kill", "worker.scc.solve=nth(2)!kill"};
+
+std::string defaultWorkerBin() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "swift-shard-worker";
+  Buf[N] = '\0';
+  std::string Self(Buf);
+  size_t Slash = Self.rfind('/');
+  if (Slash == std::string::npos)
+    return "swift-shard-worker";
+  return Self.substr(0, Slash + 1) + "swift-shard-worker";
+}
+
+/// Reads every complete segment file ("seg-<scc>.spool") in \p Dir.
+/// In-flight temp files (*.spool.tmp.<pid>) left by killed writers are
+/// invisible to segment loads and deliberately excluded here too.
+std::map<std::string, std::string> readSpoolSegments(const std::string &Dir) {
+  std::map<std::string, std::string> Out;
+  std::error_code EC;
+  for (const std::filesystem::directory_entry &E :
+       std::filesystem::directory_iterator(Dir, EC)) {
+    std::string Name = E.path().filename().string();
+    constexpr std::string_view Suffix = ".spool";
+    if (Name.size() <= Suffix.size() ||
+        std::string_view(Name).substr(Name.size() - Suffix.size()) != Suffix)
+      continue;
+    Out[Name] = readWholeFile(E.path().string());
+  }
+  return Out;
+}
+
+/// One seed of the worker-kill campaign: reference run on a clean spool,
+/// then every kill schedule on a fresh spool, then the every-incarnation
+/// kill that must drain the restart budget into the governed fallback.
+void runShardSeed(uint64_t Seed, const ToolOptions &O, SeedStats &St) {
+  namespace fs = std::filesystem;
+  std::string Text =
+      programToText(*generateFuzzProgram(difftest::fuzzConfigForSeed(Seed)));
+  std::string Base = O.OutDir + "/shard-seed" + std::to_string(Seed);
+  std::error_code EC;
+  fs::remove_all(Base, EC);
+  fs::create_directories(Base + "/ref", EC);
+  std::string ProgPath = Base + "/prog.swiftir";
+  writeFileAtomic(ProgPath, Text, "crashtest.scratch");
+
+  shard::CoordinatorOptions CO;
+  CO.ProgramPath = ProgPath;
+  CO.WorkerBin = O.WorkerBin;
+  CO.NumShards = 2;
+  CO.MaxWorkers = 2;
+  CO.SpoolDir = Base + "/ref";
+  // Blow-ups under this cap are resource facts: the seed is skipped, the
+  // same policy the serve campaign applies.
+  CO.WorkerMaxSteps = 2'000'000;
+  CO.FallbackMaxSteps = 10'000'000;
+  CO.RestartBudget = 5;
+  CO.BackoffBaseMs = 1; // keep the campaign fast; correctness is timing-free
+  CO.HeartbeatTimeoutMs = 0; // exit status is the only liveness signal here
+
+  shard::ShardRunReport Ref;
+  try {
+    Ref = shard::runCoordinator(CO);
+  } catch (const std::exception &E) {
+    reportViolation(St, Seed, "shard-ref",
+                    std::string("reference coordinator run failed: ") +
+                        E.what());
+    return;
+  }
+  if (!Ref.Complete) {
+    ++St.Completed; // budget exhaustion: skip, don't fail
+    fs::remove_all(Base, EC);
+    return;
+  }
+  // The uninterrupted run's segments: the only bytes a survivor may hold.
+  std::map<std::string, std::string> RefSegs =
+      readSpoolSegments(Base + "/ref");
+  if (RefSegs.empty()) {
+    reportViolation(St, Seed, "shard-ref",
+                    "reference run published no spool segments");
+    fs::remove_all(Base, EC);
+    return;
+  }
+  ++St.Tested;
+
+  std::string RunDir = Base + "/run";
+  auto FreshRunDir = [&] {
+    fs::remove_all(RunDir, EC);
+    fs::create_directories(RunDir, EC);
+  };
+
+  for (const char *Schedule : ShardKillSchedules) {
+    FreshRunDir();
+    CO.SpoolDir = RunDir;
+    CO.WorkerFailpoints = Schedule;
+    CO.FailpointsAllIncarnations = false;
+    shard::ShardRunReport R;
+    try {
+      R = shard::runCoordinator(CO);
+    } catch (const std::exception &E) {
+      reportViolation(St, Seed, Schedule,
+                      std::string("coordinator run failed: ") + E.what());
+      continue;
+    }
+    // Every restart is a landed kill (only incarnation 0 is armed, and
+    // nothing else crashes workers here).
+    St.KillsLanded += R.Restarts;
+    if (R.Restarts == 0)
+      ++St.ChildCompleted; // schedule beyond what this program exercises
+
+    // Contract 1: every surviving segment decodes cleanly and is
+    // byte-for-byte a segment the uninterrupted run wrote.
+    for (const auto &[Name, Bytes] : readSpoolSegments(RunDir)) {
+      try {
+        (void)shard::decodeSegment(Bytes);
+      } catch (const std::exception &E) {
+        reportViolation(St, Seed, Schedule,
+                        "surviving segment " + Name +
+                            " unusable: " + E.what());
+        continue;
+      }
+      auto It = RefSegs.find(Name);
+      if (It == RefSegs.end())
+        reportViolation(St, Seed, Schedule,
+                        "surviving segment " + Name +
+                            " has no counterpart in the uninterrupted run");
+      else if (It->second != Bytes)
+        reportViolation(St, Seed, Schedule,
+                        "surviving segment " + Name +
+                            " differs from the uninterrupted run's bytes "
+                            "(torn write?)");
+    }
+
+    // Contract 2: the recovered run coincides with the uninterrupted one.
+    if (R.FallbackPartial) {
+      reportViolation(St, Seed, Schedule,
+                      "recovered run ended with partial verdicts");
+      continue;
+    }
+    if (R.ErrorSites != Ref.ErrorSites || R.Verdicts != Ref.Verdicts)
+      reportViolation(St, Seed, Schedule,
+                      "recovered run diverges from the uninterrupted run");
+  }
+
+  // Contract 3: kill every incarnation mid-solve so the restart budget
+  // drains and the shard permanently fails — the governed fallback must
+  // still produce sound verdicts (exact when it completes, a sound
+  // subset when it does not).
+  const char *AlwaysKill = "worker.scc.solve=always!kill";
+  FreshRunDir();
+  CO.SpoolDir = RunDir;
+  CO.WorkerFailpoints = AlwaysKill;
+  CO.FailpointsAllIncarnations = true;
+  CO.RestartBudget = 1;
+  try {
+    shard::ShardRunReport R = shard::runCoordinator(CO);
+    St.KillsLanded += R.Restarts + static_cast<uint64_t>(!R.Complete);
+    if (!R.UsedFallback) {
+      reportViolation(St, Seed, AlwaysKill,
+                      "every-incarnation kills did not force the fallback");
+    } else if (R.FallbackPartial) {
+      // Sound subset: no error site or error verdict the reference lacks,
+      // and no Proved claim for a site the reference reports.
+      bool Unsound = false;
+      for (SiteId S : R.ErrorSites)
+        Unsound |= !Ref.ErrorSites.count(S);
+      for (uint32_t S = 0; S != R.Verdicts.size(); ++S) {
+        if (R.Verdicts[S] == TsVerdict::ErrorReported)
+          Unsound |= !Ref.ErrorSites.count(S);
+        if (R.Verdicts[S] == TsVerdict::Proved)
+          Unsound |= Ref.ErrorSites.count(S) != 0;
+      }
+      if (Unsound)
+        reportViolation(St, Seed, AlwaysKill,
+                        "partial fallback verdicts are unsound against "
+                        "the uninterrupted run");
+    } else if (R.ErrorSites != Ref.ErrorSites || R.Verdicts != Ref.Verdicts) {
+      reportViolation(St, Seed, AlwaysKill,
+                      "fallback verdicts diverge from the uninterrupted "
+                      "run");
+    }
+  } catch (const std::exception &E) {
+    reportViolation(St, Seed, AlwaysKill,
+                    std::string("coordinator run failed: ") + E.what());
+  }
+  fs::remove_all(Base, EC);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -485,6 +715,16 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  if (O.WorkerBin.empty())
+    O.WorkerBin = defaultWorkerBin();
+  if (::access(O.WorkerBin.c_str(), X_OK) != 0) {
+    std::fprintf(stderr,
+                 "swift-crashtest: worker binary '%s' is not executable "
+                 "(build swift-shard-worker or pass --worker-bin=)\n",
+                 O.WorkerBin.c_str());
+    return 2;
+  }
+
   SeedStats St;
   for (uint64_t Seed = O.FirstSeed; Seed != O.FirstSeed + O.Seeds; ++Seed)
     runSeed(Seed, O, St);
@@ -492,6 +732,10 @@ int main(int Argc, char **Argv) {
   SeedStats Sv;
   for (uint64_t Seed = O.FirstSeed; Seed != O.FirstSeed + O.Seeds; ++Seed)
     runServeSeed(Seed, O, Sv);
+
+  SeedStats Sh;
+  for (uint64_t Seed = O.FirstSeed; Seed != O.FirstSeed + O.Seeds; ++Seed)
+    runShardSeed(Seed, O, Sh);
 
   std::printf("%llu seed(s): %llu crash-tested, %llu completed under the "
               "budget; %llu kill(s) landed, %llu child save(s) ran to "
@@ -510,9 +754,18 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Sv.KillsLanded),
               static_cast<unsigned long long>(Sv.ChildCompleted),
               static_cast<unsigned long long>(Sv.Violations));
-  if (St.Violations || Sv.Violations)
+  std::printf("shard workers: %llu seed(s) crash-tested, %llu skipped; "
+              "%llu worker kill(s) landed, %llu schedule(s) never fired; "
+              "%llu violation(s)\n",
+              static_cast<unsigned long long>(Sh.Tested),
+              static_cast<unsigned long long>(Sh.Completed),
+              static_cast<unsigned long long>(Sh.KillsLanded),
+              static_cast<unsigned long long>(Sh.ChildCompleted),
+              static_cast<unsigned long long>(Sh.Violations));
+  if (St.Violations || Sv.Violations || Sh.Violations)
     return 1;
-  if ((St.Tested && !St.KillsLanded) || (Sv.Tested && !Sv.KillsLanded))
+  if ((St.Tested && !St.KillsLanded) || (Sv.Tested && !Sv.KillsLanded) ||
+      (Sh.Tested && !Sh.KillsLanded))
     // The harness must actually provoke crashes to certify anything.
     std::printf("warning: no kill schedule landed; raise --steps so "
                 "checkpoints span more write chunks\n");

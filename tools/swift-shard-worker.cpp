@@ -1,0 +1,144 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// swift-shard-worker — one shard of a sharded pure-bottom-up analysis.
+/// Launched by swift-shardrun (one process per ready shard, restarted on
+/// crash), but runnable by hand for debugging: it recomputes any missing
+/// cross-shard summaries itself, so a lone worker on an empty spool is
+/// simply a slow way to run its shard.
+///
+/// Exit codes: 0 complete, 1 restartable fault, 2 usage/input error,
+/// 3 budget exhausted (deterministic — do not restart), 85 killed by an
+/// armed '!kill' failpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#include "shard/Worker.h"
+#include "support/CliParse.h"
+#include "support/FailPoint.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+using namespace swift;
+
+namespace {
+
+const char *usageText() {
+  return "usage: swift-shard-worker [options] --program=F --spool-dir=D\n"
+         "  --program=F         swift-ir program text (required)\n"
+         "  --class=NAME        tracked typestate class (default: first "
+         "spec)\n"
+         "  --shard=N           shard index to run (default 0)\n"
+         "  --shards=K          total shard count (default 1)\n"
+         "  --spool-dir=D       summary spool directory (required)\n"
+         "  --max-steps=N       solver step budget (default unlimited)\n"
+         "  --incarnation=N     restart incarnation, for heartbeat/trace\n"
+         "                      labelling (default 0)\n"
+         "  --degraded-shards=L comma-separated shard indices to treat as\n"
+         "                      permanently failed (disables publishing)\n"
+         "  --failpoints=SPEC   arm fault-injection failpoints\n"
+         "  --trace-out=F       write a Chrome/Perfetto trace to F\n"
+         "  --help              this text\n"
+         "exit: 0 complete, 1 restartable fault, 2 usage, 3 budget "
+         "exhausted\n";
+}
+
+bool parseDegraded(std::string_view V, std::set<unsigned> &Out) {
+  while (!V.empty()) {
+    size_t C = V.find(',');
+    std::string_view Item = V.substr(0, C);
+    unsigned S = 0;
+    if (!cli::parseUnsigned(Item, S, 0, 1u << 20))
+      return false;
+    Out.insert(S);
+    V = C == std::string_view::npos ? std::string_view() : V.substr(C + 1);
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  shard::WorkerOptions O;
+  std::string FailPoints;
+  bool ShowHelp = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view V;
+    auto Usage = [&](const std::string &Err) {
+      std::fprintf(stderr, "swift-shard-worker: %s\n%s", Err.c_str(),
+                   usageText());
+      return shard::WorkerExitUsage;
+    };
+    if (cli::matchValueFlag(A, "--program=", V)) {
+      O.ProgramPath = V;
+    } else if (cli::matchValueFlag(A, "--class=", V)) {
+      O.TrackedClass = V;
+    } else if (cli::matchValueFlag(A, "--shard=", V)) {
+      if (!cli::parseUnsigned(V, O.Shard, 0, 1u << 20))
+        return Usage("invalid --shard value '" + std::string(V) + "'");
+    } else if (cli::matchValueFlag(A, "--shards=", V)) {
+      if (!cli::parseUnsigned(V, O.NumShards, 1, 1u << 20))
+        return Usage("invalid --shards value '" + std::string(V) + "'");
+    } else if (cli::matchValueFlag(A, "--spool-dir=", V)) {
+      O.SpoolDir = V;
+    } else if (cli::matchValueFlag(A, "--max-steps=", V)) {
+      if (!cli::parseU64(V, O.MaxSteps) || O.MaxSteps == 0)
+        return Usage("invalid --max-steps value '" + std::string(V) + "'");
+    } else if (cli::matchValueFlag(A, "--incarnation=", V)) {
+      if (!cli::parseUnsigned(V, O.Incarnation, 0, 1u << 20))
+        return Usage("invalid --incarnation value '" + std::string(V) +
+                     "'");
+    } else if (cli::matchValueFlag(A, "--degraded-shards=", V)) {
+      if (!parseDegraded(V, O.DegradedShards))
+        return Usage("invalid --degraded-shards value '" + std::string(V) +
+                     "'");
+    } else if (cli::matchValueFlag(A, "--failpoints=", V)) {
+      if (V.empty())
+        return Usage("--failpoints needs a spec");
+      FailPoints = V;
+    } else if (cli::matchValueFlag(A, "--trace-out=", V)) {
+      if (V.empty())
+        return Usage("--trace-out needs a file path");
+      O.TraceOut = V;
+    } else if (A == "--help") {
+      ShowHelp = true;
+    } else {
+      return Usage("unknown argument '" + std::string(A) + "'");
+    }
+  }
+  if (ShowHelp) {
+    std::fputs(usageText(), stdout);
+    return 0;
+  }
+  if (O.ProgramPath.empty() || O.SpoolDir.empty()) {
+    std::fprintf(stderr,
+                 "swift-shard-worker: --program and --spool-dir are "
+                 "required\n%s",
+                 usageText());
+    return shard::WorkerExitUsage;
+  }
+
+  try {
+    failpoint::armFromEnv();
+    if (!FailPoints.empty())
+      failpoint::armSpec(FailPoints);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-shard-worker: %s\n%s", E.what(),
+                 usageText());
+    return shard::WorkerExitUsage;
+  }
+
+  std::string Err;
+  int Code = shard::runWorker(O, &Err);
+  if (Code != shard::WorkerExitOk && !Err.empty())
+    std::fprintf(stderr, "swift-shard-worker: shard %u: %s\n", O.Shard,
+                 Err.c_str());
+  return Code;
+}

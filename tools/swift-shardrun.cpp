@@ -1,0 +1,221 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// swift-shardrun — sharded multi-process pure-bottom-up analysis with a
+/// fault-tolerant summary spool. Plans K shards over the call-graph SCC
+/// condensation, fork/execs swift-shard-worker per ready shard (up to
+/// --workers concurrently), supervises them (exit status + heartbeat,
+/// capped-backoff restarts), and assembles final per-site verdicts from
+/// the spool. When a shard permanently fails, falls back to the governed
+/// hybrid TD/theta analysis, so verdicts are always sound.
+///
+/// Exit codes: 0 complete (sound full verdicts, sharded or fallback),
+/// 2 usage/input error, 3 partial (fallback ran out of budget too;
+/// verdicts are a sound subset).
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceMerge.h"
+#include "shard/Coordinator.h"
+#include "support/AtomicFile.h"
+#include "support/CliParse.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace swift;
+
+namespace {
+
+const char *usageText() {
+  return "usage: swift-shardrun [options] --spool-dir=D <program.swiftir>\n"
+         "  --shards=K            shard count (default 2; clamped to the\n"
+         "                        program's SCC count)\n"
+         "  --workers=N           max concurrent worker processes\n"
+         "                        (default = shards)\n"
+         "  --spool-dir=D         summary spool directory (required; must\n"
+         "                        exist; reused segments survive reruns)\n"
+         "  --class=NAME          tracked typestate class (default: first\n"
+         "                        spec)\n"
+         "  --worker-bin=F        swift-shard-worker path (default: next\n"
+         "                        to this binary)\n"
+         "  --max-steps=N         per-worker solver step budget\n"
+         "  --restart-budget=N    restarts per shard before it fails\n"
+         "                        (default 3)\n"
+         "  --heartbeat-timeout-ms=N  stale-heartbeat kill threshold\n"
+         "                        (default 30000; 0 disables)\n"
+         "  --failpoints=SPEC     failpoint spec for incarnation-0 workers\n"
+         "  --failpoints-all-incarnations  also arm restarted workers\n"
+         "  --fallback-max-steps=N  budget of the governed TD fallback\n"
+         "  --trace-out=F         merged multi-process Chrome trace\n"
+         "  --verbose             supervision narration on stderr\n"
+         "  --help                this text\n"
+         "exit: 0 complete, 2 usage/input error, 3 partial verdicts\n";
+}
+
+std::string defaultWorkerBin() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "swift-shard-worker";
+  Buf[N] = '\0';
+  std::string Self(Buf);
+  size_t Slash = Self.rfind('/');
+  if (Slash == std::string::npos)
+    return "swift-shard-worker";
+  return Self.substr(0, Slash + 1) + "swift-shard-worker";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  shard::CoordinatorOptions O;
+  std::string TraceOut;
+  bool ShowHelp = false, WorkersSet = false;
+  auto Usage = [](const std::string &Err) {
+    std::fprintf(stderr, "swift-shardrun: %s\n%s", Err.c_str(), usageText());
+    return 2;
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    std::string_view V;
+    if (cli::matchValueFlag(A, "--shards=", V)) {
+      if (!cli::parseUnsigned(V, O.NumShards, 1, 1u << 16))
+        return Usage("invalid --shards value '" + std::string(V) + "'");
+    } else if (cli::matchValueFlag(A, "--workers=", V)) {
+      if (!cli::parseUnsigned(V, O.MaxWorkers, 1, 1u << 16))
+        return Usage("invalid --workers value '" + std::string(V) + "'");
+      WorkersSet = true;
+    } else if (cli::matchValueFlag(A, "--spool-dir=", V)) {
+      O.SpoolDir = V;
+    } else if (cli::matchValueFlag(A, "--class=", V)) {
+      O.TrackedClass = V;
+    } else if (cli::matchValueFlag(A, "--worker-bin=", V)) {
+      O.WorkerBin = V;
+    } else if (cli::matchValueFlag(A, "--max-steps=", V)) {
+      if (!cli::parseU64(V, O.WorkerMaxSteps) || O.WorkerMaxSteps == 0)
+        return Usage("invalid --max-steps value '" + std::string(V) + "'");
+    } else if (cli::matchValueFlag(A, "--restart-budget=", V)) {
+      if (!cli::parseUnsigned(V, O.RestartBudget, 0, 1u << 16))
+        return Usage("invalid --restart-budget value '" + std::string(V) +
+                     "'");
+    } else if (cli::matchValueFlag(A, "--heartbeat-timeout-ms=", V)) {
+      if (!cli::parseUnsigned(V, O.HeartbeatTimeoutMs, 0, 1u << 30))
+        return Usage("invalid --heartbeat-timeout-ms value '" +
+                     std::string(V) + "'");
+    } else if (cli::matchValueFlag(A, "--failpoints=", V)) {
+      if (V.empty())
+        return Usage("--failpoints needs a spec");
+      O.WorkerFailpoints = V;
+    } else if (A == "--failpoints-all-incarnations") {
+      O.FailpointsAllIncarnations = true;
+    } else if (cli::matchValueFlag(A, "--fallback-max-steps=", V)) {
+      if (!cli::parseU64(V, O.FallbackMaxSteps) || O.FallbackMaxSteps == 0)
+        return Usage("invalid --fallback-max-steps value '" +
+                     std::string(V) + "'");
+    } else if (cli::matchValueFlag(A, "--trace-out=", V)) {
+      if (V.empty())
+        return Usage("--trace-out needs a file path");
+      TraceOut = V;
+    } else if (A == "--verbose") {
+      O.Verbose = true;
+    } else if (A == "--help") {
+      ShowHelp = true;
+    } else if (!A.empty() && A[0] == '-') {
+      return Usage("unknown flag '" + std::string(A) + "'");
+    } else if (O.ProgramPath.empty()) {
+      O.ProgramPath = A;
+    } else {
+      return Usage("more than one input file");
+    }
+  }
+  if (ShowHelp) {
+    std::fputs(usageText(), stdout);
+    return 0;
+  }
+  if (O.ProgramPath.empty())
+    return Usage("no input file");
+  if (O.SpoolDir.empty())
+    return Usage("--spool-dir is required");
+  if (!WorkersSet)
+    O.MaxWorkers = O.NumShards;
+  if (O.WorkerBin.empty())
+    O.WorkerBin = defaultWorkerBin();
+  if (!TraceOut.empty())
+    O.TraceDir = O.SpoolDir;
+
+  shard::ShardRunReport R;
+  try {
+    R = shard::runCoordinator(O);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-shardrun: %s\n", E.what());
+    return 2;
+  }
+
+  uint64_t Proved = 0, Errors = 0, Unresolved = 0;
+  for (TsVerdict V : R.Verdicts) {
+    if (V == TsVerdict::Proved)
+      ++Proved;
+    else if (V == TsVerdict::ErrorReported)
+      ++Errors;
+    else
+      ++Unresolved;
+  }
+  std::printf("shardrun: %s (%u restarts, %u heartbeat kills)\n",
+              R.Complete           ? "complete"
+              : R.FallbackPartial  ? "FALLBACK PARTIAL"
+                                   : "fallback complete",
+              R.Restarts, R.HeartbeatKills);
+  if (!R.FailedShards.empty()) {
+    std::printf("failed shards:");
+    for (unsigned S : R.FailedShards)
+      std::printf(" %u", S);
+    std::printf("\n");
+  }
+  std::printf("verdicts: %llu proved, %llu error, %llu unresolved "
+              "(of %llu sites)\n",
+              static_cast<unsigned long long>(Proved),
+              static_cast<unsigned long long>(Errors),
+              static_cast<unsigned long long>(Unresolved),
+              static_cast<unsigned long long>(R.Verdicts.size()));
+  for (SiteId S : R.ErrorSites)
+    std::printf("  error @%u\n", S);
+
+  // Merge the per-worker traces into one multi-process timeline.
+  // Advisory: trace I/O must never change the analysis exit code.
+  if (!TraceOut.empty()) {
+    std::vector<obs::TraceInput> Inputs;
+    for (const std::string &F : R.TraceFiles) {
+      try {
+        std::string Json = readWholeFile(F);
+        size_t Slash = F.rfind('/');
+        Inputs.push_back(
+            {Slash == std::string::npos ? F : F.substr(Slash + 1),
+             std::move(Json)});
+      } catch (const std::exception &) {
+        // A killed worker may never have flushed its trace; skip it.
+      }
+    }
+    try {
+      obs::TraceMergeStats MS;
+      std::string Merged = obs::mergeTraces(Inputs, &MS);
+      writeFileAtomic(TraceOut, Merged, "obs.flush");
+      std::printf("trace: merged %zu worker trace(s), %zu events -> %s\n",
+                  Inputs.size(), MS.Events, TraceOut.c_str());
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "swift-shardrun: warning: trace merge failed: "
+                           "%s\n",
+                   E.what());
+    }
+  }
+
+  return R.FallbackPartial ? 3 : 0;
+}

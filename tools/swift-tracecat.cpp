@@ -6,10 +6,12 @@
 ///
 /// \file
 /// swift-tracecat — merges several Chrome/Perfetto trace files (e.g. the
-/// per-process traces of a multi-process crashtest run) into one. Each
-/// input keeps its events but gets a distinct pid (input order, starting
-/// at 1) plus a process_name metadata record naming the source file, so
-/// the viewer shows one track group per process.
+/// per-process traces of a sharded analysis or crashtest run) into one.
+/// Thin CLI over obs/TraceMerge.h: each input keeps its events but gets a
+/// distinct pid plus a process_name metadata record (the input's embedded
+/// name, falling back to the source path; duplicates from restarted
+/// workers get an occurrence suffix), so the viewer shows one track group
+/// per process incarnation.
 ///
 /// usage: swift-tracecat [--out=F] trace1.json trace2.json ...
 ///
@@ -19,7 +21,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "obs/Json.h"
+#include "obs/TraceMerge.h"
 #include "support/AtomicFile.h"
 #include "support/CliParse.h"
 
@@ -40,27 +42,11 @@ const char *usageText() {
          "exit: 0 merged, 2 usage error or malformed input\n";
 }
 
-json::Value numberValue(uint64_t N) { return json::Value::u64(N); }
-
-json::Value stringValue(std::string S) {
-  return json::Value::str(std::move(S));
-}
-
-/// Sets (or inserts) key \p K of object \p O.
-void setKey(json::Value &O, const std::string &K, json::Value V) {
-  for (auto &[Key, Val] : O.Obj)
-    if (Key == K) {
-      Val = std::move(V);
-      return;
-    }
-  O.Obj.emplace_back(K, std::move(V));
-}
-
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string OutPath;
-  std::vector<std::string> Inputs;
+  std::vector<std::string> Paths;
   for (int I = 1; I < Argc; ++I) {
     std::string_view A = Argv[I];
     std::string_view V;
@@ -79,69 +65,33 @@ int main(int Argc, char **Argv) {
                    std::string(A).c_str(), usageText());
       return 2;
     } else {
-      Inputs.emplace_back(A);
+      Paths.emplace_back(A);
     }
   }
-  if (Inputs.empty()) {
+  if (Paths.empty()) {
     std::fprintf(stderr, "swift-tracecat: no input traces\n%s",
                  usageText());
     return 2;
   }
 
-  json::Value Merged;
-  Merged.K = json::Value::Kind::Object;
-  json::Value Events;
-  Events.K = json::Value::Kind::Array;
-
-  for (size_t I = 0; I != Inputs.size(); ++I) {
-    const std::string &Path = Inputs[I];
-    uint64_t Pid = I + 1;
-    json::Value Root;
+  std::vector<TraceInput> Inputs;
+  for (const std::string &Path : Paths) {
     try {
-      Root = json::parse(readWholeFile(Path));
+      Inputs.push_back({Path, readWholeFile(Path)});
     } catch (const std::exception &E) {
-      std::fprintf(stderr, "swift-tracecat: %s: %s\n", Path.c_str(),
-                   E.what());
+      std::fprintf(stderr, "swift-tracecat: %s\n", E.what());
       return 2;
-    }
-    const json::Value *TraceEvents = Root.find("traceEvents");
-    if (!Root.isObject() || !TraceEvents || !TraceEvents->isArray()) {
-      std::fprintf(stderr,
-                   "swift-tracecat: %s: not a Chrome trace (no "
-                   "traceEvents array)\n",
-                   Path.c_str());
-      return 2;
-    }
-    // Name the merged process track after the source file.
-    json::Value Meta;
-    Meta.K = json::Value::Kind::Object;
-    setKey(Meta, "name", stringValue("process_name"));
-    setKey(Meta, "ph", stringValue("M"));
-    setKey(Meta, "pid", numberValue(Pid));
-    setKey(Meta, "tid", numberValue(0));
-    json::Value Args;
-    Args.K = json::Value::Kind::Object;
-    setKey(Args, "name", stringValue(Path));
-    setKey(Meta, "args", std::move(Args));
-    Events.Arr.push_back(std::move(Meta));
-
-    for (const json::Value &E : TraceEvents->Arr) {
-      if (!E.isObject())
-        continue;
-      const json::Value *Name = E.find("name");
-      // Per-input process_name records are superseded by ours above.
-      if (Name && Name->isString() && Name->Str == "process_name")
-        continue;
-      json::Value Copy = E;
-      setKey(Copy, "pid", numberValue(Pid));
-      Events.Arr.push_back(std::move(Copy));
     }
   }
 
-  setKey(Merged, "traceEvents", std::move(Events));
-  setKey(Merged, "displayTimeUnit", stringValue("ms"));
-  std::string Out = json::dump(Merged);
-  Out += '\n';
+  std::string Out;
+  TraceMergeStats Stats;
+  try {
+    Out = mergeTraces(Inputs, &Stats);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-tracecat: %s\n", E.what());
+    return 2;
+  }
 
   if (OutPath.empty()) {
     std::fwrite(Out.data(), 1, Out.size(), stdout);
@@ -155,6 +105,6 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   std::printf("merged %zu trace(s), %zu events -> %s\n", Inputs.size(),
-              Merged.find("traceEvents")->Arr.size(), OutPath.c_str());
+              Stats.Events, OutPath.c_str());
   return 0;
 }
