@@ -16,9 +16,12 @@
 #include "typestate/Context.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include <unistd.h>
 
 using namespace swift;
 using namespace swift::difftest;
@@ -496,6 +499,82 @@ void OracleRun::checkIncremental(Symbol Tracked, const TsRunResult &Td) {
                        tsVerdictName(Fresh.verdict(S)));
       return;
     }
+
+  // Journal-replay coincidence: walk the same deterministic edit
+  // sequence through a *journaled* engine (fsync'd WAL append before
+  // every commit), then recover crash-style — verified store plus
+  // journal tail — into a third engine. The recovered state must equal
+  // the resident incremental engine's exactly.
+  namespace fs = std::filesystem;
+  std::string Base =
+      (fs::temp_directory_path() /
+       ("swift-oracle-journal-" + std::to_string(::getpid()) + "-" +
+        std::to_string(Opts.InterpSeed)))
+          .string();
+  std::string StPath = Base + ".swiftstore";
+  std::string JPath = Base + ".swiftjournal";
+  auto Cleanup = [&] {
+    std::error_code EC;
+    fs::remove(StPath, EC);
+    fs::remove(JPath, EC);
+  };
+  try {
+    serve::EngineOptions JEO = EO;
+    JEO.StorePath = StPath;
+    JEO.JournalPath = JPath;
+    serve::ServeEngine J(programToText(Prog), JEO);
+    if (!J.solveInitial().Ok) {
+      Cleanup();
+      return;
+    }
+    J.resetJournal();
+    unsigned JApplied = 0;
+    for (uint64_t K = 0;
+         K != 2 * Opts.IncrementalEdits && JApplied != Opts.IncrementalEdits;
+         ++K) {
+      std::optional<serve::FuzzEdit> E =
+          serve::makeFuzzEdit(J.programText(), Opts.InterpSeed, K);
+      if (!E)
+        break;
+      serve::EditResult R = J.applyEdit(E->ProcName, E->Body);
+      if (R.BudgetExhausted)
+        continue;
+      if (!R.Ok)
+        break;
+      ++JApplied;
+    }
+    if (JApplied != Applied || J.programText() != Inc->programText()) {
+      addViolation(CheckKind::IncrementalCoincidence, Name,
+                   "journaled engine diverged from the in-memory edit "
+                   "sequence (same generator, same caps)");
+      Cleanup();
+      return;
+    }
+    serve::ServeEngine Rec(serve::ServeEngine::FromStore{StPath}, JEO);
+    size_t Replayed = 0;
+    if (!Rec.solveInitial().Ok || !Rec.replayJournal(&Replayed).Ok) {
+      addViolation(CheckKind::IncrementalCoincidence, Name,
+                   "store+journal recovery failed to re-solve edits the "
+                   "journaled engine had accepted");
+      Cleanup();
+      return;
+    }
+    bool Same = Replayed == JApplied &&
+                Rec.programText() == Inc->programText() &&
+                Rec.errorSites() == Inc->errorSites();
+    for (SiteId S = 0; Same && S != Rec.program().numSites(); ++S)
+      Same = Rec.verdict(S) == Inc->verdict(S);
+    if (!Same)
+      addViolation(CheckKind::IncrementalCoincidence, Name,
+                   "store+journal recovery diverges from the resident "
+                   "incremental engine after " +
+                       std::to_string(JApplied) + " journaled edits");
+  } catch (const std::exception &E) {
+    addViolation(CheckKind::IncrementalCoincidence, Name,
+                 std::string("journal-replay coincidence check failed: ") +
+                     E.what());
+  }
+  Cleanup();
 }
 
 /// Shard-count invariance: the sharded pure-BU pipeline (plan, worker

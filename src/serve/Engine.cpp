@@ -130,6 +130,8 @@ uint64_t ServeEngine::fingerprint(const TsContext &C, ProcId P) const {
 
 ServeEngine::ServeEngine(std::string_view ProgramText, EngineOptions Opts)
     : Opt(std::move(Opts)) {
+  if (!Opt.JournalPath.empty())
+    Jrnl = std::make_unique<Journal>(Opt.JournalPath);
   Prog = parseProgramText(ProgramText);
   Symbol Tracked = resolveTracked(*Prog, Opt.TrackedClass);
   TrackedName = Prog->symbols().text(Tracked);
@@ -145,6 +147,8 @@ ServeEngine::ServeEngine(std::string_view ProgramText, EngineOptions Opts)
 
 ServeEngine::ServeEngine(const FromStore &From, EngineOptions Opts)
     : Opt(std::move(Opts)) {
+  if (!Opt.JournalPath.empty())
+    Jrnl = std::make_unique<Journal>(Opt.JournalPath);
   ParsedStore Store = loadStoreFile(From.Path);
   if (!Opt.TrackedClass.empty() && Opt.TrackedClass != Store.TrackedClass)
     throw StoreError("swift-serve-store: store tracks class '" +
@@ -204,7 +208,9 @@ EditResult ServeEngine::solveAndCommit(std::unique_ptr<Program> NewProg,
                                        std::unique_ptr<TsContext> NewCtx,
                                        std::string NewText,
                                        std::vector<ProcState> NewPS,
-                                       size_t Invalidated) {
+                                       size_t Invalidated, uint64_t DeadlineMs,
+                                       const Journal::Record *Rec,
+                                       bool AutoSave) {
   const Program &Pr = *NewProg;
   const TsContext &C = *NewCtx;
   EditResult R;
@@ -223,6 +229,12 @@ EditResult ServeEngine::solveAndCommit(std::unique_ptr<Program> NewProg,
                         {"need", static_cast<uint64_t>(Need.size())});
     GovernorLimits Limits;
     Limits.MaxSteps = Opt.MaxStepsPerRequest;
+    // A request deadline rides the same budget the step cap does: the
+    // solver's periodic wall-clock poll trips it, the solve fails
+    // transactionally, and the caller serves the retained verdicts as a
+    // sound-but-stale degraded answer.
+    if (DeadlineMs != 0)
+      Limits.MaxSeconds = static_cast<double>(DeadlineMs) / 1000.0;
     ResourceGovernor Gov(Limits);
     Stats Stat;
     RelationalSolver<TsAnalysis> Solver(
@@ -242,10 +254,18 @@ EditResult ServeEngine::solveAndCommit(std::unique_ptr<Program> NewProg,
     });
     if (!Solver.run(Need)) {
       R.BudgetExhausted = true;
-      R.Error = "per-request resource budget exhausted (step or "
-                "relation cap) after " +
-                std::to_string(Gov.budget().steps()) +
-                " steps; state unchanged";
+      R.Degraded = DeadlineMs != 0;
+      if (R.Degraded)
+        R.Error = "request deadline (" + std::to_string(DeadlineMs) +
+                  " ms) or resource budget exceeded after " +
+                  std::to_string(Gov.budget().steps()) +
+                  " steps; state unchanged, pre-edit verdicts remain "
+                  "the sound answer";
+      else
+        R.Error = "per-request resource budget exhausted (step or "
+                  "relation cap) after " +
+                  std::to_string(Gov.budget().steps()) +
+                  " steps; state unchanged";
       return R;
     }
     for (ProcId P : Need) {
@@ -255,6 +275,21 @@ EditResult ServeEngine::solveAndCommit(std::unique_ptr<Program> NewProg,
       std::sort(D.begin(), D.end());
       D.erase(std::unique(D.begin(), D.end()), D.end());
       NewPS[P].Deps = std::move(D);
+    }
+  }
+
+  // Durable-then-visible: the journal record hits stable storage before
+  // the commit below, so every state a client was ever told about is
+  // reconstructible from store + journal. An append failure rejects the
+  // edit with the engine untouched.
+  if (Rec) {
+    try {
+      Jrnl->append(*Rec);
+    } catch (const std::exception &E) {
+      R.Ok = false;
+      R.Error = std::string("journal append failed; edit rejected: ") +
+                E.what();
+      return R;
     }
   }
 
@@ -280,7 +315,7 @@ EditResult ServeEngine::solveAndCommit(std::unique_ptr<Program> NewProg,
     Invd->record(R.Invalidated);
   }
 
-  if (!Opt.StorePath.empty()) {
+  if (AutoSave && !Opt.StorePath.empty()) {
     try {
       saveStore();
     } catch (const std::exception &E) {
@@ -313,8 +348,13 @@ EditResult ServeEngine::solveInitial() {
     NewPS[P].Deps = PS[P].Deps;
     NewPS[P].Sum = parseSummaryText(*NewProg, summaryToText(*Prog, PS[P].Sum));
   }
+  // The initial solve is startup, not client traffic: no deadline, no
+  // journal record, and it does auto-save (it establishes the baseline
+  // store the journal is replayed on top of).
   return solveAndCommit(std::move(NewProg), std::move(NewCtx), Text,
-                        std::move(NewPS), /*Invalidated=*/0);
+                        std::move(NewPS), /*Invalidated=*/0,
+                        /*DeadlineMs=*/0, /*Rec=*/nullptr,
+                        /*AutoSave=*/true);
 }
 
 //===----------------------------------------------------------------------===//
@@ -332,7 +372,17 @@ EditResult editError(std::string Msg) {
 } // namespace
 
 EditResult ServeEngine::applyEdit(const std::string &ProcName,
-                                  std::string_view BodyText) {
+                                  std::string_view BodyText,
+                                  uint64_t DeadlineMs) {
+  return applyEditImpl(ProcName, BodyText,
+                       DeadlineMs != 0 ? DeadlineMs : Opt.RequestDeadlineMs,
+                       /*JournalAppend=*/true);
+}
+
+EditResult ServeEngine::applyEditImpl(const std::string &ProcName,
+                                      std::string_view BodyText,
+                                      uint64_t DeadlineMs,
+                                      bool JournalAppend) {
   if (!Complete)
     return editError("engine is not solved yet; run the initial solve "
                      "before editing");
@@ -436,8 +486,60 @@ EditResult ServeEngine::applyEdit(const std::string &ProcName,
     }
   }
 
+  // The journal logs the *normalized* body (the exact bytes spliced), so
+  // replay reconstructs the same canonical text byte for byte. Replayed
+  // records (JournalAppend = false) are already durable and never
+  // re-appended; auto-save stays off whenever a journal exists —
+  // durability is the append's job and the store only moves on compact().
+  Journal::Record Rec{ProcName, Body};
+  bool Append = JournalAppend && Jrnl != nullptr;
   return solveAndCommit(std::move(NewProg), std::move(NewCtx),
-                        std::move(NewText), std::move(NewPS), Invalidated);
+                        std::move(NewText), std::move(NewPS), Invalidated,
+                        DeadlineMs, Append ? &Rec : nullptr,
+                        /*AutoSave=*/JournalAppend && !Jrnl);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal
+//===----------------------------------------------------------------------===//
+
+EditResult ServeEngine::replayJournal(size_t *NumReplayed) {
+  if (NumReplayed)
+    *NumReplayed = 0;
+  EditResult R;
+  R.Ok = true;
+  if (!Jrnl)
+    return R;
+  std::vector<Journal::Record> Recs = Jrnl->replayAndRepair();
+  for (const Journal::Record &Rec : Recs) {
+    // No deadline: a logged edit was accepted once and must be accepted
+    // again (the step cap still guards against pathological blow-ups).
+    R = applyEditImpl(Rec.ProcName, Rec.Body, /*DeadlineMs=*/0,
+                      /*JournalAppend=*/false);
+    if (!R.Ok) {
+      R.Error = "journal replay: record for '" + Rec.ProcName +
+                "' failed: " + R.Error;
+      return R;
+    }
+    if (NumReplayed)
+      ++*NumReplayed;
+  }
+  return R;
+}
+
+void ServeEngine::resetJournal() {
+  if (Jrnl)
+    Jrnl->reset();
+}
+
+void ServeEngine::compact() {
+  // Order matters for the crash contract: the store snapshot must be
+  // durably in place (writeFileAtomic) before the log that reproduces it
+  // is emptied. A kill between the two leaves store = new + journal =
+  // old, and replay onto the new store is idempotent (every record's
+  // body already matches, so nothing seeds).
+  saveStore();
+  resetJournal();
 }
 
 //===----------------------------------------------------------------------===//

@@ -41,6 +41,7 @@
 #ifndef SWIFT_SERVE_ENGINE_H
 #define SWIFT_SERVE_ENGINE_H
 
+#include "serve/Journal.h"
 #include "serve/Store.h"
 #include "typestate/Runner.h"
 
@@ -65,9 +66,20 @@ struct EngineOptions {
   /// running out of memory); batch callers that sweep many programs
   /// lower it to fail fast on relation blow-ups.
   uint64_t MaxRelsPerPoint = DefaultMaxRelsPerPoint;
-  /// Warm-start store path; empty disables persistence. A successful
-  /// edit (and the initial solve) auto-saves when set.
+  /// Warm-start store path; empty disables persistence. The initial
+  /// solve auto-saves when set; so does every successful edit *unless* a
+  /// journal is configured — with a journal, durability comes from the
+  /// fsync'd append and the store is only rewritten by compact().
   std::string StorePath;
+  /// Write-ahead journal path; empty disables journaling. When set,
+  /// every accepted edit is framed, appended, and fsync'd before the
+  /// engine commits it (so before any success response can be sent).
+  std::string JournalPath;
+  /// Default per-request wall-clock deadline in milliseconds; 0 means no
+  /// deadline. Mapped onto the per-request governor budget, so a solve
+  /// that overruns it fails like budget exhaustion — transactionally,
+  /// with the result flagged Degraded.
+  uint64_t RequestDeadlineMs = 0;
 };
 
 /// Outcome of solveInitial / applyEdit. On !Ok the engine state is
@@ -75,6 +87,10 @@ struct EngineOptions {
 struct EditResult {
   bool Ok = false;
   bool BudgetExhausted = false; ///< The per-request governor went Red.
+  /// The request ran under a deadline and exhausted its budget: the
+  /// engine's retained (pre-edit) verdicts are the sound partial answer
+  /// the caller should serve. Implies BudgetExhausted && !Ok.
+  bool Degraded = false;
   std::string Error;            ///< Empty iff Ok.
   std::string Warning;          ///< Non-fatal (e.g. store auto-save failed).
   size_t Invalidated = 0;       ///< Summaries dropped by the edit.
@@ -111,9 +127,36 @@ public:
 
   /// Replaces procedure \p ProcName's block with \p BodyText (a full
   /// `proc ...` block in swift-ir syntax), re-validates, invalidates, and
-  /// incrementally re-solves. Transactional; see file header.
+  /// incrementally re-solves. Transactional; see file header. When a
+  /// journal is configured the accepted edit is appended + fsync'd
+  /// *before* commit (append failure rejects the edit). \p DeadlineMs
+  /// overrides EngineOptions::RequestDeadlineMs for this request only;
+  /// 0 keeps the configured default.
   EditResult applyEdit(const std::string &ProcName,
-                       std::string_view BodyText);
+                       std::string_view BodyText, uint64_t DeadlineMs = 0);
+
+  /// True iff a write-ahead journal is configured.
+  bool journaling() const { return Jrnl != nullptr; }
+
+  /// Replays every valid journal record against the current state (a
+  /// torn tail is truncated off the file first — see
+  /// Journal::replayAndRepair). Replay is idempotent: a record whose
+  /// body already matches the resident block seeds nothing and reuses
+  /// everything. Replayed edits are not re-appended and never auto-save.
+  /// Returns the first failure (budget exhaustion, corrupt record) or
+  /// Ok; \p NumReplayed (optional) receives the number of records
+  /// applied so far.
+  EditResult replayJournal(size_t *NumReplayed = nullptr);
+
+  /// Resets the journal to the fresh magic header (no-op without one).
+  void resetJournal();
+
+  /// Compaction: snapshot the current state into the configured store
+  /// (atomically), then reset the journal — the crash contract is that
+  /// store+journal recovery coincides with the pre-compaction state at
+  /// every kill position. Throws on I/O failure (journal left intact if
+  /// the store save fails).
+  void compact();
 
   /// True once summaries cover every procedure reachable from main.
   bool solved() const { return Complete; }
@@ -149,17 +192,29 @@ private:
 
   /// Solves `Need` procedures on (NewProg, NewCtx) with the still-valid
   /// summaries pre-installed, then commits everything on success. Shared
-  /// by solveInitial and applyEdit.
+  /// by solveInitial and applyEdit. \p DeadlineMs bounds the solve's
+  /// wall clock (0 = none); on overrun the result is Degraded. \p Rec,
+  /// when non-null, is journal-appended after a successful solve and
+  /// *before* commit — durable-then-visible. \p AutoSave controls the
+  /// store auto-save (suppressed under journaling and during replay).
   EditResult solveAndCommit(std::unique_ptr<Program> NewProg,
                             std::unique_ptr<TsContext> NewCtx,
                             std::string NewText,
                             std::vector<ProcState> NewPS,
-                            size_t Invalidated);
+                            size_t Invalidated, uint64_t DeadlineMs,
+                            const Journal::Record *Rec, bool AutoSave);
+
+  /// applyEdit minus the journal-append/auto-save policy decisions;
+  /// replayJournal uses it with \p JournalAppend = false.
+  EditResult applyEditImpl(const std::string &ProcName,
+                           std::string_view BodyText, uint64_t DeadlineMs,
+                           bool JournalAppend);
 
   void deriveErrors();
   uint64_t fingerprint(const TsContext &Ctx, ProcId P) const;
 
   EngineOptions Opt;
+  std::unique_ptr<Journal> Jrnl; ///< Null unless Opt.JournalPath is set.
   std::string TrackedName;
   std::string Text; ///< Always the canonical printProgramText output.
   std::unique_ptr<Program> Prog;

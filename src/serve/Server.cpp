@@ -7,9 +7,12 @@
 #include "serve/Server.h"
 
 #include "obs/Json.h"
+#include "serve/EditGen.h"
 #include "serve/Engine.h"
 
+#include <chrono>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -40,7 +43,8 @@ void put(json::Value &Obj, const char *Key, json::Value V) {
 /// human-readable "error": clients dispatch on the code, never on message
 /// text. Codes: "parse" (not JSON), "bad_request" (JSON but wrong shape),
 /// "unknown_op", "io" (engine-side persistence failure),
-/// "oversized_line" (request exceeded the line cap).
+/// "oversized_line" (request exceeded the line cap), and "retry" (the
+/// admission gate shed an edit-class request; back off and resend).
 json::Value errorResp(const char *Code, const std::string &Msg) {
   json::Value R = makeObj();
   put(R, "ok", json::Value::boolean(false));
@@ -67,6 +71,10 @@ json::Value editResp(const EditResult &R) {
   if (!R.Ok) {
     put(Resp, "error", json::Value::str(R.Error));
     put(Resp, "budget_exhausted", json::Value::boolean(R.BudgetExhausted));
+    // degraded=true is the deadline contract: the edit was not applied,
+    // but the engine's retained pre-edit verdicts are still served and
+    // still sound — a partial answer, not a wedge.
+    put(Resp, "degraded", json::Value::boolean(R.Degraded));
     return Resp;
   }
   put(Resp, "invalidated", json::Value::u64(R.Invalidated));
@@ -77,8 +85,56 @@ json::Value editResp(const EditResult &R) {
   return Resp;
 }
 
+/// Per-session admission-gate state. The latch arms when an edit
+/// exhausts its budget (the governor went Red at least once this
+/// cooldown window); queue pressure is read fresh off the input stream's
+/// buffer each time.
+struct Session {
+  const ServeLimits &Limits;
+  std::istream &In;
+  bool ShedLatched = false;
+  std::chrono::steady_clock::time_point ShedUntil{};
+
+  /// True when an edit-class request should be shed with code "retry".
+  bool shouldShed() {
+    if (Limits.ShedCooldownMs != 0 && ShedLatched) {
+      if (std::chrono::steady_clock::now() < ShedUntil)
+        return true;
+      ShedLatched = false;
+    }
+    if (Limits.MaxPendingBytes != 0) {
+      std::streamsize Avail = In.rdbuf()->in_avail();
+      if (Avail > 0 &&
+          static_cast<uint64_t>(Avail) > Limits.MaxPendingBytes)
+        return true;
+    }
+    return false;
+  }
+
+  /// Called with every edit outcome; budget exhaustion arms the latch.
+  void noteEdit(const EditResult &R) {
+    if (R.BudgetExhausted && Limits.ShedCooldownMs != 0) {
+      ShedLatched = true;
+      ShedUntil = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(Limits.ShedCooldownMs);
+    }
+  }
+};
+
+json::Value shedResp() {
+  return errorResp("retry",
+                   "server overloaded (recent budget exhaustion or "
+                   "queue pressure); retry after backoff");
+}
+
+/// Optional numeric "deadline_ms" field; 0 = absent = engine default.
+uint64_t deadlineField(const json::Value &Req) {
+  const json::Value *D = Req.find("deadline_ms");
+  return D && D->isNumber() ? D->asU64() : 0;
+}
+
 json::Value handle(ServeEngine &E, const std::string &Line,
-                   bool &Shutdown) {
+                   bool &Shutdown, Session &S) {
   json::Value Req;
   try {
     Req = json::parse(Line);
@@ -123,7 +179,34 @@ json::Value handle(ServeEngine &E, const std::string &Line,
       return errorResp("bad_request", "edit: missing string field 'proc'");
     if (!Body || !Body->isString())
       return errorResp("bad_request", "edit: missing string field 'body'");
-    return editResp(E.applyEdit(Proc->Str, Body->Str));
+    if (S.shouldShed())
+      return shedResp();
+    EditResult R = E.applyEdit(Proc->Str, Body->Str, deadlineField(Req));
+    S.noteEdit(R);
+    return editResp(R);
+  }
+
+  if (Op->Str == "fuzz_edit") {
+    const json::Value *Seed = Req.find("seed");
+    const json::Value *K = Req.find("k");
+    if (!Seed || !Seed->isNumber())
+      return errorResp("bad_request",
+                       "fuzz_edit: missing numeric field 'seed'");
+    if (!K || !K->isNumber())
+      return errorResp("bad_request",
+                       "fuzz_edit: missing numeric field 'k'");
+    if (S.shouldShed())
+      return shedResp();
+    std::optional<FuzzEdit> FE =
+        makeFuzzEdit(E.programText(), Seed->asU64(), K->asU64());
+    if (!FE)
+      return errorResp("bad_request",
+                       "fuzz_edit: program has no editable command");
+    EditResult R = E.applyEdit(FE->ProcName, FE->Body, deadlineField(Req));
+    S.noteEdit(R);
+    json::Value Resp = editResp(R);
+    put(Resp, "proc", json::Value::str(FE->ProcName));
+    return Resp;
   }
 
   if (Op->Str == "stats") {
@@ -135,13 +218,25 @@ json::Value handle(ServeEngine &E, const std::string &Line,
     return R;
   }
 
+  if (Op->Str == "dump") {
+    json::Value R = makeObj();
+    put(R, "ok", json::Value::boolean(true));
+    put(R, "program", json::Value::str(E.programText()));
+    return R;
+  }
+
   if (Op->Str == "save") {
     const json::Value *Path = Req.find("path");
     try {
-      if (Path && Path->isString())
+      if (Path && Path->isString()) {
+        // An explicit path is an export: the journal keeps covering the
+        // configured store, so it stays intact.
         E.saveStore(Path->Str);
-      else
+      } else if (E.journaling()) {
+        E.compact();
+      } else {
         E.saveStore();
+      }
     } catch (const std::exception &Err) {
       return errorResp("io", std::string("save failed: ") + Err.what());
     }
@@ -195,12 +290,41 @@ LineRead readBoundedLine(std::istream &In, std::string &Line) {
 } // namespace
 
 int swift::serve::serveLines(ServeEngine &Engine, std::istream &In,
-                             std::ostream &Out) {
+                             std::ostream &Out,
+                             const ServeLimits &Limits) {
+  Session S{Limits, In};
+  auto DrainRequested = [&Limits] {
+    return Limits.Drain != nullptr && Limits.Drain->load();
+  };
+  // The final line of a drained session: a self-identifying stats object
+  // so an operator's log shows what state the daemon carried out the
+  // door. Journal durability needs no work here — every append fsync'd.
+  auto EmitDrain = [&] {
+    json::Value R = makeObj();
+    put(R, "ok", json::Value::boolean(true));
+    put(R, "drain", json::Value::boolean(true));
+    put(R, "procs", json::Value::u64(Engine.numProcs()));
+    put(R, "summaries", json::Value::u64(Engine.numSummaries()));
+    put(R, "solved", json::Value::boolean(Engine.solved()));
+    Out << json::dump(R) << '\n';
+    Out.flush();
+  };
   std::string Line;
   for (;;) {
     LineRead R = readBoundedLine(In, Line);
-    if (R == LineRead::Eof)
+    if (R == LineRead::Eof) {
+      if (DrainRequested())
+        EmitDrain();
       return 0;
+    }
+    // The drain handler closes the input fd; a line the close cut short
+    // (no terminating newline, eofbit set) was never fully sent and is
+    // discarded rather than half-parsed. A fully buffered line is the
+    // in-flight request and is finished below.
+    if (R == LineRead::Ok && In.eof() && DrainRequested()) {
+      EmitDrain();
+      return 0;
+    }
     json::Value Resp;
     bool Shutdown = false;
     if (R == LineRead::Oversized) {
@@ -214,7 +338,7 @@ int swift::serve::serveLines(ServeEngine &Engine, std::istream &In,
           OnlySpace = false;
       if (OnlySpace)
         continue;
-      Resp = handle(Engine, Line, Shutdown);
+      Resp = handle(Engine, Line, Shutdown, S);
     }
     Out << json::dump(Resp) << '\n';
     Out.flush();
@@ -222,6 +346,10 @@ int swift::serve::serveLines(ServeEngine &Engine, std::istream &In,
       return 1;
     if (Shutdown)
       break;
+    if (DrainRequested()) {
+      EmitDrain();
+      return 0;
+    }
   }
   return 0;
 }

@@ -22,22 +22,41 @@
 ///                                    "tracked":bool}
 ///   {"op":"query_all"}           -> {"ok":true,"num_sites":N,
 ///                                    "error_sites":[...]}
-///   {"op":"edit","proc":"p","body":"proc p(...) ... {...}"}
-///                                -> {"ok":true,"invalidated":I,
+///   {"op":"edit","proc":"p","body":"proc p(...) ... {...}"
+///        [,"deadline_ms":D]}     -> {"ok":true,"invalidated":I,
 ///                                    "reanalyzed":R,"reused":U} or
 ///                                   {"ok":false,"error":"...",
-///                                    "budget_exhausted":bool}
+///                                    "budget_exhausted":bool,
+///                                    "degraded":bool}
+///   {"op":"fuzz_edit","seed":S,"k":K[,"deadline_ms":D]}
+///                                -> edit response + "proc" (the edit is
+///                                    makeFuzzEdit(text, S, K), derived
+///                                    server-side — the soak harness's
+///                                    way of editing without shipping
+///                                    program text through JSON)
 ///   {"op":"stats"}               -> {"ok":true,"procs":N,"summaries":N,
 ///                                    "solved":bool}
-///   {"op":"save"[,"path":"f"]}   -> {"ok":true} (engine store path when
-///                                    no explicit path is given)
+///   {"op":"dump"}                -> {"ok":true,"program":"..."}
+///                                    (canonical text, for scratch checks)
+///   {"op":"save"[,"path":"f"]}   -> {"ok":true}; with no explicit path
+///                                    and a journal configured this is
+///                                    compaction: store snapshot, then
+///                                    journal reset
 ///   {"op":"shutdown"}            -> {"ok":true} and the loop returns
+///
+/// Overload protection: when ServeLimits arms it, edit-class requests
+/// (edit/fuzz_edit) are shed with code "retry" while the previous edit's
+/// budget exhaustion cools down or while input-queue pressure exceeds the
+/// bound. Queries are never shed — answering from retained summaries is
+/// cheap and always sound.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWIFT_SERVE_SERVER_H
 #define SWIFT_SERVE_SERVER_H
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 
 namespace swift {
@@ -45,11 +64,32 @@ namespace serve {
 
 class ServeEngine;
 
-/// Serves requests from \p In to \p Out until EOF or shutdown. Returns 0
-/// on a clean exit (shutdown or EOF), non-zero only on an unwritable
-/// output stream. The engine must already be solved; requests arriving
-/// before that report unresolved verdicts but are still answered.
-int serveLines(ServeEngine &Engine, std::istream &In, std::ostream &Out);
+/// Request-loop policy knobs; default-constructed = PR-7 behavior (no
+/// shedding, no drain coordination).
+struct ServeLimits {
+  /// After an edit exhausts its budget/deadline, shed further edit-class
+  /// requests with code "retry" until this many milliseconds pass (the
+  /// governor latched Red once; give the operator's retry loop backoff
+  /// instead of grinding). 0 disables the latch.
+  uint64_t ShedCooldownMs = 0;
+  /// Shed edit-class requests while more than this many bytes are
+  /// already buffered on \p In (queue pressure: clients are pipelining
+  /// faster than re-analysis drains). 0 disables the check.
+  uint64_t MaxPendingBytes = 0;
+  /// Graceful-drain flag, set by an async-signal-safe SIGTERM/SIGINT
+  /// handler (which also closes the input fd to unblock the read). When
+  /// observed, the loop finishes the in-flight request, emits one final
+  /// {"ok":true,"drain":true,...} stats line, and returns 0. A partial
+  /// line cut off by the close is discarded, never half-parsed.
+  std::atomic<bool> *Drain = nullptr;
+};
+
+/// Serves requests from \p In to \p Out until EOF, shutdown, or drain.
+/// Returns 0 on a clean exit, non-zero only on an unwritable output
+/// stream. The engine must already be solved; requests arriving before
+/// that report unresolved verdicts but are still answered.
+int serveLines(ServeEngine &Engine, std::istream &In, std::ostream &Out,
+               const ServeLimits &Limits = {});
 
 } // namespace serve
 } // namespace swift

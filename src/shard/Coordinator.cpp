@@ -7,6 +7,8 @@
 #include "shard/Coordinator.h"
 
 #include "ir/Dumper.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "shard/Spool.h"
 #include "shard/Worker.h"
 #include "support/AtomicFile.h"
@@ -147,9 +149,19 @@ ShardRunReport shard::runCoordinator(const CoordinatorOptions &OIn) {
   std::vector<unsigned> RestartsLeft(Plan.NumShards, O.RestartBudget);
   unsigned RunningCount = 0;
 
+  // Restart/fallback decisions used to be visible only in stderr notes;
+  // counters + trace instants make them operable: a fleet dashboard can
+  // alert on shard.restarts without scraping logs.
+  auto Count = [](const char *Name) {
+    if (obs::metricsEnabled())
+      obs::MetricsRegistry::instance().histogram(Name)->record(1);
+  };
+
   auto MarkFailed = [&](unsigned S, const char *Why) {
     Slots[S].State = ShardState::Failed;
     Report.FailedShards.insert(S);
+    obs::instant("shard", "shard.failed", {"shard", S});
+    Count("shard.failed");
     note(O, "shard " + std::to_string(S) + " failed: " + Why);
   };
 
@@ -242,6 +254,9 @@ ShardRunReport shard::runCoordinator(const CoordinatorOptions &OIn) {
           Slots[S].State = ShardState::Pending;
           Slots[S].NotBefore = Clock::now() + Millis(Delay);
           ++Report.Restarts;
+          obs::instant("shard", "shard.restart", {"shard", S},
+                       {"attempt", Attempt + 1});
+          Count("shard.restarts");
           note(O, "shard " + std::to_string(S) + " crashed (status " +
                       std::to_string(Status) + "); restarting in " +
                       std::to_string(Delay) + "ms");
@@ -271,6 +286,8 @@ ShardRunReport shard::runCoordinator(const CoordinatorOptions &OIn) {
         note(O, "shard " + std::to_string(S) + " heartbeat stale; killing");
         ::kill(Slots[S].Pid, SIGKILL);
         ++Report.HeartbeatKills;
+        obs::instant("shard", "shard.heartbeat_kill", {"shard", S});
+        Count("shard.heartbeat_kills");
       }
     }
     ::usleep(2000);
@@ -295,6 +312,10 @@ ShardRunReport shard::runCoordinator(const CoordinatorOptions &OIn) {
   // Some shard failed (or assembly did): fall back to the governed hybrid
   // TD/theta analysis — exactly the PR 3 path, sound complete or partial.
   Report.UsedFallback = true;
+  obs::instant("shard", "shard.fallback",
+               {"failed_shards",
+                static_cast<uint64_t>(Report.FailedShards.size())});
+  Count("shard.fallback");
   GovernedRunOptions G;
   G.Limits.MaxSteps = O.FallbackMaxSteps;
   TsGovernedResult F = runTypestateGoverned(Ctx, G);

@@ -4,6 +4,10 @@
 # self-edit through the protocol (the first proc block resubmitted
 # verbatim) must be accepted and change no verdict, and a warm start
 # from the auto-saved store must reuse every summary and still agree.
+# Also covers the shutdown contract (shutdown response sent and
+# --metrics-out/--trace-out flushed before exit 0) and graceful drain
+# (SIGTERM finishes the in-flight request, emits the drain stats line,
+# and exits 0).
 #
 # Usage: serve_smoke.sh <swift-serve> <swift-analyze> <program.swiftir>
 set -u
@@ -70,11 +74,14 @@ diff "$work/batch.sites" "$work/serve.sites" ||
   fail "serve session error sites differ from batch swift-analyze"
 
 # Protocol robustness: an oversized request line (> 64 KiB) gets a typed
-# error response, malformed JSON gets code "parse", and the session keeps
-# serving — the follow-up query must still succeed.
+# error response, and the valid query_all PIPELINED RIGHT BEHIND IT in
+# the same write is answered correctly — the server resynchronizes on
+# the line boundary, it does not swallow or garble the follow-up.
+# Malformed JSON gets code "parse", and the session keeps serving.
 python3 - > "$work/robust.requests" <<'EOF'
 import json
 print('{"op":"query","site":' + '9' * 70000 + '}')  # > 64 KiB, one line
+print(json.dumps({"op": "query_all"}))  # pipelined behind the overflow
 print('this is not json')
 print(json.dumps({"op": "frobnicate"}))
 print(json.dumps({"op": "stats"}))
@@ -84,18 +91,23 @@ EOF
   > "$work/robust.out" 2> "$work/robust.err"
 rc=$?
 [ "$rc" -eq 0 ] || { fail "robustness session exited $rc"; cat "$work/robust.err" >&2; }
-python3 - "$work/robust.out" <<'EOF'
+python3 - "$work/robust.out" > "$work/robust.sites" <<'EOF'
 import json, sys
 rs = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
-assert len(rs) == 5, f"expected 5 responses, got {len(rs)}: {rs}"
-over, bad, unk, stats, bye = rs
+assert len(rs) == 6, f"expected 6 responses, got {len(rs)}: {rs}"
+over, qa, bad, unk, stats, bye = rs
 assert over.get("ok") is False and over.get("code") == "oversized_line", over
+assert qa.get("ok") is True and "error_sites" in qa, qa
 assert bad.get("ok") is False and bad.get("code") == "parse", bad
 assert unk.get("ok") is False and unk.get("code") == "unknown_op", unk
 assert stats.get("ok") is True and stats.get("solved") is True, stats
 assert bye.get("ok") is True, bye
+for s in sorted(qa["error_sites"]):
+    print(f"@{s}")
 EOF
 [ $? -eq 0 ] || fail "robustness responses malformed (see above)"
+diff "$work/batch.sites" "$work/robust.sites" ||
+  fail "query pipelined behind an oversized line got wrong content"
 
 # Warm start from the auto-saved store: every summary reused, same sites.
 test -s "$work/store" || fail "auto-saved store missing or empty"
@@ -122,6 +134,57 @@ EOF
 [ $? -eq 0 ] || fail "warm-start responses malformed"
 diff "$work/batch.sites" "$work/warm.sites" ||
   fail "warm-start error sites differ from batch swift-analyze"
+
+# Shutdown contract: the shutdown response is sent AND the requested
+# observability files are flushed, valid JSON before the process exits 0.
+printf '{"op":"stats"}\n{"op":"shutdown"}\n' |
+  "$serve" --metrics-out="$work/shutdown.metrics.json" \
+           --trace-out="$work/shutdown.trace.json" "$prog" \
+  > "$work/shutdown.out" 2> "$work/shutdown.err"
+rc=$?
+[ "$rc" -eq 0 ] || { fail "shutdown session exited $rc"; cat "$work/shutdown.err" >&2; }
+python3 - "$work/shutdown.out" "$work/shutdown.metrics.json" \
+          "$work/shutdown.trace.json" <<'EOF'
+import json, sys
+rs = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(rs) == 2 and all(r.get("ok") for r in rs), rs
+m = json.load(open(sys.argv[2]))
+assert m.get("format") == "swift-metrics" and m.get("version") == 1, m
+json.load(open(sys.argv[3]))  # must at least parse
+EOF
+[ $? -eq 0 ] || fail "shutdown did not flush valid metrics/trace files"
+
+# Graceful drain: SIGTERM mid-session finishes the in-flight request,
+# emits the final drain stats line, flushes observability, and exits 0.
+mkfifo "$work/drain.fifo"
+"$serve" --metrics-out="$work/drain.metrics.json" "$prog" \
+  < "$work/drain.fifo" > "$work/drain.out" 2> "$work/drain.err" &
+pid=$!
+exec 3> "$work/drain.fifo"
+printf '{"op":"stats"}\n' >&3
+for _ in $(seq 100); do
+  grep -q '"procs"' "$work/drain.out" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q '"procs"' "$work/drain.out" || fail "drain session never responded"
+kill -TERM "$pid"
+for _ in $(seq 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  kill -9 "$pid"
+  fail "serve did not drain on SIGTERM"
+fi
+wait "$pid"
+rc=$?
+exec 3>&-
+[ "$rc" -eq 0 ] || { fail "drained session exited $rc"; cat "$work/drain.err" >&2; }
+grep -q '"drain":true' "$work/drain.out" || fail "drain stats line missing"
+grep -q 'drained on signal' "$work/drain.err" ||
+  fail "drain notice missing from stderr"
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+  "$work/drain.metrics.json" || fail "drain did not flush metrics"
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails check(s) failed" >&2

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Bounded crash soak for the swift-serve WAL: several rounds of a live
+# daemon fed random fuzz_edit requests over a fifo, each round ended by
+# an un-negotiated `kill -9` mid-session. Every edit the daemon
+# acknowledged before the kill must survive: the next round warm-starts
+# from the store + journal and its ready line must report exactly the
+# cumulative acknowledged-edit count replayed. A final clean session
+# dumps the recovered program and its query_all verdicts, which must
+# coincide with batch swift-analyze run from scratch on that dump.
+#
+# Usage: serve_soak.sh <swift-serve> <swift-analyze> <program.swiftir>
+#        [rounds] [edits-per-round]
+set -u
+
+serve=$1
+analyze=$2
+prog=$3
+rounds=${4:-4}
+edits=${5:-3}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fails=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  fails=$((fails + 1))
+}
+
+store=$work/soak.store
+journal=$work/soak.journal
+acked_total=0
+
+# One kill round: start the daemon (cold on round 1, warm after), pump
+# $edits fuzz_edit requests, count the acks, then SIGKILL it.
+run_round() {
+  local round=$1
+  local fifo=$work/round$round.fifo
+  local out=$work/round$round.out
+  local err=$work/round$round.err
+  mkfifo "$fifo"
+  # Cold round 1 takes the program; warm rounds get it from the store.
+  local flags=(--store-out="$store" --journal="$journal"
+               --request-deadline-ms=30000)
+  if [ "$round" -gt 1 ]; then
+    flags+=(--store="$store")
+  else
+    flags+=("$prog")
+  fi
+  "$serve" "${flags[@]}" < "$fifo" > "$out" 2> "$err" &
+  local pid=$!
+  exec 3> "$fifo"
+
+  # Warm rounds must replay every previously acknowledged edit.
+  local i
+  for i in $(seq 100); do
+    grep -q 'ready:' "$err" 2>/dev/null && break
+    sleep 0.1
+  done
+  if ! grep -q 'ready:' "$err"; then
+    fail "round $round: daemon never became ready"
+    cat "$err" >&2
+    kill -9 "$pid" 2>/dev/null
+    exec 3>&-
+    return
+  fi
+  local replayed
+  replayed=$(sed -n 's/.* \([0-9]*\) journal edits replayed.*/\1/p' "$err")
+  [ "$replayed" = "$acked_total" ] ||
+    fail "round $round: replayed $replayed edits, expected $acked_total"
+
+  # Random-ish but reproducible fuzz edits: seed varies per round/slot.
+  for i in $(seq "$edits"); do
+    printf '{"op":"fuzz_edit","seed":%d,"k":%d}\n' \
+      $((round * 97 + i)) $(((round + i) % 5)) >&3
+  done
+  # Wait until every request got its response line, then count acks.
+  for i in $(seq 100); do
+    [ "$(wc -l < "$out" 2>/dev/null)" -ge "$edits" ] && break
+    sleep 0.1
+  done
+  [ "$(wc -l < "$out")" -ge "$edits" ] ||
+    fail "round $round: daemon answered $(wc -l < "$out")/$edits requests"
+  local acked
+  acked=$(grep -c '"ok":true' "$out")
+  acked_total=$((acked_total + acked))
+
+  # The crash. Acked edits are fsync'd in the journal; nothing else is.
+  kill -9 "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+  exec 3>&-
+}
+
+for r in $(seq "$rounds"); do
+  run_round "$r"
+done
+[ "$acked_total" -ge 1 ] || fail "soak acknowledged no edits at all"
+
+# Final clean session: recover once more, dump the program, and pin the
+# served verdicts against batch swift-analyze on the dumped text.
+printf '{"op":"query_all"}\n{"op":"dump"}\n{"op":"shutdown"}\n' |
+  "$serve" --store="$store" --store-out="$store" --journal="$journal" \
+    > "$work/final.out" 2> "$work/final.err"
+rc=$?
+[ "$rc" -eq 0 ] || { fail "final session exited $rc"; cat "$work/final.err" >&2; }
+replayed=$(sed -n 's/.* \([0-9]*\) journal edits replayed.*/\1/p' \
+  "$work/final.err")
+[ "$replayed" = "$acked_total" ] ||
+  fail "final recovery replayed $replayed edits, expected $acked_total"
+
+python3 - "$work/final.out" "$work/recovered.swiftir" \
+  > "$work/serve.sites" <<'EOF'
+import json, sys
+rs = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(rs) == 3 and all(r.get("ok") for r in rs), rs
+qa, dump, bye = rs
+open(sys.argv[2], "w").write(dump["program"])
+for s in sorted(qa["error_sites"]):
+    print(f"@{s}")
+EOF
+[ $? -eq 0 ] || fail "final session responses malformed"
+
+"$analyze" "$work/recovered.swiftir" > "$work/batch.out" 2>/dev/null ||
+  fail "swift-analyze exited $? on the recovered program"
+grep -o 'error @[0-9]*' "$work/batch.out" | grep -o '@[0-9]*' |
+  sort > "$work/batch.sites"
+diff "$work/batch.sites" "$work/serve.sites" ||
+  fail "recovered verdicts differ from batch analysis of the dump"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "serve soak: $rounds round(s), $acked_total acked edit(s) survived"

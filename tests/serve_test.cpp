@@ -9,14 +9,17 @@
 /// invalidation (an edit to one leaf re-analyzes strictly fewer
 /// procedures than a from-scratch run — the PR's acceptance assertion),
 /// transactional edit rejection, per-request budget enforcement, the
-/// summary store round trip, the JSON request loop, and an
+/// summary store round trip, the JSON request loop, an
 /// incremental-vs-from-scratch coincidence sweep over generated edit
-/// sequences.
+/// sequences, the crash-durable edit journal (framing, torn-tail repair,
+/// crash-replay recovery, compaction), and the overload protections
+/// (request deadlines, admission-gate shedding, graceful drain).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "serve/EditGen.h"
 #include "serve/Engine.h"
+#include "serve/Journal.h"
 #include "serve/Server.h"
 #include "serve/Store.h"
 
@@ -25,6 +28,7 @@
 
 #include "gtest/gtest.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -91,6 +95,18 @@ std::string gBlockWith(const ServeEngine &E, const std::string &OldCmd,
 
 std::string tempPath(const char *Name) {
   return ::testing::TempDir() + Name;
+}
+
+std::string readAll(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  return Buf.str();
+}
+
+void writeAll(const std::string &Path, const std::string &Bytes) {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  OS << Bytes;
 }
 
 TEST(ServeEngine, InitialSolveFindsTheErrorSite) {
@@ -348,6 +364,270 @@ TEST(ServeEditGen, IsDeterministicAndStructurePreserving) {
     // Never an alloc rewrite: both sites survive every generated edit.
     EXPECT_NE(A->Body.find("proc " + A->ProcName), std::string::npos);
   }
+}
+
+TEST(ServeJournal, AppendReplayRoundTripMatchesTheEncoding) {
+  std::string Path = tempPath("serve_journal_roundtrip.log");
+  std::remove(Path.c_str());
+  Journal J(Path);
+  EXPECT_TRUE(J.replayAndRepair().empty()); // missing file = empty log
+
+  Journal::Record A{"f", "proc f() entry 0 exit 1 nodes 2 {\n}\n"};
+  Journal::Record B{"g", "body with\nembedded newlines\n"};
+  J.append(A);
+  J.append(B);
+
+  // The on-disk bytes are exactly magic + encodeRecord per record — the
+  // contract the crash harness's byte-prefix checks rely on.
+  EXPECT_EQ(readAll(Path), std::string(Journal::Magic) +
+                               Journal::encodeRecord(A) +
+                               Journal::encodeRecord(B));
+
+  std::vector<Journal::Record> R = J.replayAndRepair();
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0].ProcName, "f");
+  EXPECT_EQ(R[0].Body, A.Body);
+  EXPECT_EQ(R[1].ProcName, "g");
+  EXPECT_EQ(R[1].Body, B.Body);
+  std::remove(Path.c_str());
+}
+
+TEST(ServeJournal, TornTailIsTruncatedAndReplayIsStable) {
+  std::string Path = tempPath("serve_journal_torn.log");
+  std::remove(Path.c_str());
+  Journal J(Path);
+  J.append({"f", "first\n"});
+  J.append({"g", "second\n"});
+  const std::string Intact = readAll(Path);
+
+  // A kill mid-append leaves a record prefix; replay must cut it off.
+  std::string Torn = Journal::encodeRecord({"h", "never finished\n"});
+  {
+    std::ofstream OS(Path, std::ios::binary | std::ios::app);
+    OS << Torn.substr(0, Torn.size() / 2);
+  }
+  std::vector<Journal::Record> R = J.replayAndRepair();
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[1].ProcName, "g");
+  EXPECT_EQ(readAll(Path), Intact) << "torn tail not truncated off";
+
+  // Repair is idempotent, and the repaired log appends normally again.
+  EXPECT_EQ(J.replayAndRepair().size(), 2u);
+  J.append({"h", "third\n"});
+  EXPECT_EQ(J.replayAndRepair().size(), 3u);
+  std::remove(Path.c_str());
+}
+
+TEST(ServeJournal, CorruptFrameEndsTheScanAtTheLastValidRecord) {
+  std::string Path = tempPath("serve_journal_corrupt.log");
+  std::remove(Path.c_str());
+  Journal J(Path);
+  J.append({"f", "only record\n"});
+  std::string Bytes = readAll(Path);
+  Bytes[Journal::Magic.size() + 8] ^= 0x20; // inside the record frame
+  writeAll(Path, Bytes);
+  EXPECT_TRUE(J.replayAndRepair().empty());
+  EXPECT_EQ(readAll(Path), std::string(Journal::Magic));
+  std::remove(Path.c_str());
+}
+
+TEST(ServeJournal, WrongMagicIsATypedLoadError) {
+  std::string Path = tempPath("serve_journal_badmagic.log");
+  writeAll(Path, "not a journal at all\nedit 1 1\nab...\n");
+  Journal J(Path);
+  EXPECT_THROW(J.replayAndRepair(), JournalLoadError);
+  // And the unusable file was left alone for the operator to inspect.
+  EXPECT_NE(readAll(Path).find("not a journal"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(ServeEngine, JournaledEditsSurviveACrashAndCompactionFoldsThem) {
+  std::string Store = tempPath("serve_wal_store.bin");
+  std::string Log = tempPath("serve_wal_journal.log");
+  std::remove(Store.c_str());
+  std::remove(Log.c_str());
+  EngineOptions EO;
+  EO.StorePath = Store;
+  EO.JournalPath = Log;
+
+  std::string EditedText;
+  {
+    ServeEngine E(DiamondText, EO);
+    ASSERT_TRUE(E.solveInitial().Ok); // auto-saves the baseline store
+    E.resetJournal();                 // cold start: fresh log
+    ASSERT_TRUE(
+        E.applyEdit("g", gBlockWith(E, "3: w.close() -> 1", "3: nop -> 1"))
+            .Ok);
+    EXPECT_TRUE(E.errorSites().empty());
+    EditedText = E.programText();
+    // No save, no compaction: the daemon "crashes" here. The edit was
+    // acknowledged, so it must be journaled already.
+  }
+
+  ServeEngine R(ServeEngine::FromStore{Store}, EO);
+  ASSERT_TRUE(R.solveInitial().Ok);
+  EXPECT_EQ(R.errorSites(), std::set<SiteId>{1}) // store = pre-edit
+      << "store snapshot should not contain the unjournaled-only edit";
+  size_t Replayed = 0;
+  EditResult Rep = R.replayJournal(&Replayed);
+  ASSERT_TRUE(Rep.Ok) << Rep.Error;
+  EXPECT_EQ(Replayed, 1u);
+  EXPECT_TRUE(R.errorSites().empty());
+  EXPECT_EQ(R.programText(), EditedText);
+
+  // Compaction folds the log into the store and resets it; a second
+  // warm start then replays nothing and still sees the edited program.
+  R.compact();
+  EXPECT_EQ(readAll(Log), std::string(Journal::Magic));
+  ServeEngine R2(ServeEngine::FromStore{Store}, EO);
+  ASSERT_TRUE(R2.solveInitial().Ok);
+  size_t Replayed2 = 99;
+  ASSERT_TRUE(R2.replayJournal(&Replayed2).Ok);
+  EXPECT_EQ(Replayed2, 0u);
+  EXPECT_TRUE(R2.errorSites().empty());
+  EXPECT_EQ(R2.programText(), EditedText);
+  std::remove(Store.c_str());
+  std::remove(Log.c_str());
+}
+
+TEST(ServeEngine, DeadlineExceededYieldsSoundDegradedAnswer) {
+  std::string Store = tempPath("serve_deadline_store.bin");
+  std::remove(Store.c_str());
+  {
+    ServeEngine E(DiamondText, EngineOptions());
+    ASSERT_TRUE(E.solveInitial().Ok);
+    E.saveStore(Store);
+  }
+  // MaxSteps=1 makes any re-analysis deterministically exhaust its
+  // budget; the warm start itself reuses every summary, so it fits.
+  EngineOptions Tight;
+  Tight.MaxStepsPerRequest = 1;
+  ServeEngine E(ServeEngine::FromStore{Store}, Tight);
+  ASSERT_TRUE(E.solveInitial().Ok);
+
+  std::string Body = gBlockWith(E, "3: w.close() -> 1", "3: nop -> 1");
+  EditResult R = E.applyEdit("g", Body, /*DeadlineMs=*/1000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.BudgetExhausted);
+  EXPECT_TRUE(R.Degraded) << "deadline-bounded failure must be degraded";
+  EXPECT_NE(R.Error.find("sound"), std::string::npos);
+
+  // The same exhaustion without a deadline is a plain budget failure.
+  EditResult R2 = E.applyEdit("g", Body);
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_TRUE(R2.BudgetExhausted);
+  EXPECT_FALSE(R2.Degraded);
+
+  // Soundness of the degraded answer: pre-edit verdicts still served.
+  EXPECT_EQ(E.errorSites(), std::set<SiteId>{1});
+  EXPECT_EQ(E.verdict(1), TsVerdict::ErrorReported);
+
+  // EngineOptions::RequestDeadlineMs is the per-request default.
+  EngineOptions Deadlined = Tight;
+  Deadlined.RequestDeadlineMs = 750;
+  ServeEngine D(ServeEngine::FromStore{Store}, Deadlined);
+  ASSERT_TRUE(D.solveInitial().Ok);
+  EditResult R3 = D.applyEdit("g", Body);
+  EXPECT_FALSE(R3.Ok);
+  EXPECT_TRUE(R3.Degraded);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeServer, BudgetExhaustionLatchesTheAdmissionGate) {
+  std::string Store = tempPath("serve_shed_store.bin");
+  std::remove(Store.c_str());
+  {
+    ServeEngine E(DiamondText, EngineOptions());
+    ASSERT_TRUE(E.solveInitial().Ok);
+    E.saveStore(Store);
+  }
+  EngineOptions Tight;
+  Tight.MaxStepsPerRequest = 1;
+  ServeEngine E(ServeEngine::FromStore{Store}, Tight);
+  ASSERT_TRUE(E.solveInitial().Ok);
+
+  std::string Body = gBlockWith(E, "3: w.close() -> 1", "3: nop -> 1");
+  std::string Escaped;
+  for (char C : Body)
+    if (C == '\n')
+      Escaped += "\\n";
+    else
+      Escaped += C;
+  std::string Edit =
+      "{\"op\":\"edit\",\"proc\":\"g\",\"body\":\"" + Escaped + "\"}\n";
+
+  ServeLimits SL;
+  SL.ShedCooldownMs = 60'000; // latch outlives this test once armed
+  std::istringstream In(Edit + Edit + "{\"op\":\"query\",\"site\":1}\n" +
+                        "{\"op\":\"shutdown\"}\n");
+  std::ostringstream Out;
+  EXPECT_EQ(serveLines(E, In, Out, SL), 0);
+
+  std::istringstream Lines(Out.str());
+  std::string L;
+  ASSERT_TRUE(std::getline(Lines, L)); // first edit: ran, exhausted
+  EXPECT_NE(L.find("\"budget_exhausted\":true"), std::string::npos);
+  ASSERT_TRUE(std::getline(Lines, L)); // second edit: shed, not run
+  EXPECT_NE(L.find("\"code\":\"retry\""), std::string::npos);
+  ASSERT_TRUE(std::getline(Lines, L)); // queries are never shed
+  EXPECT_NE(L.find("\"verdict\":\"error\""), std::string::npos);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeServer, QueuePressureShedsEditsButNeverQueries) {
+  ServeEngine E(DiamondText, EngineOptions());
+  ASSERT_TRUE(E.solveInitial().Ok);
+  ServeLimits SL;
+  SL.MaxPendingBytes = 8; // the padding below dwarfs this
+  std::string Pad(4096, ' ');
+  std::istringstream In("{\"op\":\"fuzz_edit\",\"seed\":3,\"k\":0}\n" +
+                        Pad + "\n" + Pad + "\n" +
+                        "{\"op\":\"query\",\"site\":1}\n"
+                        "{\"op\":\"shutdown\"}\n");
+  std::ostringstream Out;
+  EXPECT_EQ(serveLines(E, In, Out, SL), 0);
+
+  std::istringstream Lines(Out.str());
+  std::string L;
+  ASSERT_TRUE(std::getline(Lines, L)); // edit under pressure: shed
+  EXPECT_NE(L.find("\"code\":\"retry\""), std::string::npos);
+  // Whitespace-only pad lines get no response; the query (now the
+  // near-empty tail of the queue) is served normally.
+  ASSERT_TRUE(std::getline(Lines, L));
+  EXPECT_NE(L.find("\"verdict\":\"error\""), std::string::npos);
+}
+
+TEST(ServeServer, DrainFinishesTheInFlightRequestThenExits) {
+  ServeEngine E(DiamondText, EngineOptions());
+  ASSERT_TRUE(E.solveInitial().Ok);
+  std::atomic<bool> Drain{true}; // the signal has already arrived
+  ServeLimits SL;
+  SL.Drain = &Drain;
+  std::istringstream In("{\"op\":\"stats\"}\n{\"op\":\"query_all\"}\n");
+  std::ostringstream Out;
+  EXPECT_EQ(serveLines(E, In, Out, SL), 0);
+
+  // The in-flight request was answered, the drain line closed the
+  // session, and the queued query_all was never served.
+  std::istringstream Lines(Out.str());
+  std::string L;
+  ASSERT_TRUE(std::getline(Lines, L));
+  EXPECT_NE(L.find("\"procs\":4"), std::string::npos);
+  ASSERT_TRUE(std::getline(Lines, L));
+  EXPECT_NE(L.find("\"drain\":true"), std::string::npos);
+  EXPECT_FALSE(std::getline(Lines, L)) << "served past drain: " << L;
+
+  // A line the closed fd cut short (no newline, eofbit) was never fully
+  // sent: it is discarded, not half-parsed.
+  std::istringstream In2("{\"op\":\"stats\"");
+  std::ostringstream Out2;
+  EXPECT_EQ(serveLines(E, In2, Out2, SL), 0);
+  // Exactly one line came out — the drain stats, not a response to the
+  // truncated request.
+  std::istringstream Lines2(Out2.str());
+  ASSERT_TRUE(std::getline(Lines2, L));
+  EXPECT_NE(L.find("\"drain\":true"), std::string::npos);
+  EXPECT_FALSE(std::getline(Lines2, L)) << "answered a torn line: " << L;
 }
 
 } // namespace

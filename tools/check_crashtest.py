@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validates a "swift-crashtest" v1 result file emitted by --json-out.
+
+Schema checks (CI's crash-recovery job runs this on the fresh campaign
+result before trusting the tool's exit code; see
+.github/workflows/ci.yml and tools/swift-crashtest.cpp):
+  * the file parses as JSON with format "swift-crashtest" and version 1;
+  * "campaigns" is a non-empty array; every campaign has a non-empty
+    string "name" and non-negative integer "seeds_tested",
+    "seeds_skipped", "kills_landed", "child_completed", "violations";
+  * campaign names are unique and the four known campaigns (checkpoint,
+    serve-store, shard-workers, serve-journal) are all present;
+  * every campaign reports violations == 0 — the crash-safety gate;
+  * at least one campaign both tested seeds and landed kills (a run
+    that provoked no crash certifies nothing).
+
+Exit 0 with a one-line summary on success, exit 1 with a diagnostic on
+the first violation.
+"""
+
+import json
+import sys
+
+REQUIRED_CAMPAIGNS = ("checkpoint", "serve-store", "shard-workers",
+                      "serve-journal")
+COUNTERS = ("seeds_tested", "seeds_skipped", "kills_landed",
+            "child_completed", "violations")
+
+
+def fail(msg):
+    print(f"check_crashtest: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_crashtest.py <crashtest.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(root, dict):
+        fail(f"{path}: top level is not an object")
+    if root.get("format") != "swift-crashtest":
+        fail(f"{path}: format is not \"swift-crashtest\"")
+    if root.get("version") != 1:
+        fail(f"{path}: unsupported version {root.get('version')!r}")
+
+    campaigns = root.get("campaigns")
+    if not isinstance(campaigns, list) or not campaigns:
+        fail(f"{path}: missing or empty campaigns array")
+
+    seen = {}
+    for i, c in enumerate(campaigns):
+        where = f"{path}: campaigns[{i}]"
+        if not isinstance(c, dict):
+            fail(f"{where} is not an object")
+        name = c.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing or empty name")
+        if name in seen:
+            fail(f"{where}: duplicate campaign {name!r}")
+        for key in COUNTERS:
+            val = c.get(key)
+            if isinstance(val, bool) or not isinstance(val, int):
+                fail(f"{where}: {key} is not an integer")
+            if val < 0:
+                fail(f"{where}: {key} is negative")
+        seen[name] = c
+
+    for name in REQUIRED_CAMPAIGNS:
+        if name not in seen:
+            fail(f"{path}: campaign {name!r} is missing")
+
+    for name, c in seen.items():
+        if c["violations"] != 0:
+            fail(f"{path}: campaign {name!r} reports {c['violations']} "
+                 f"crash-safety violation(s)")
+
+    if not any(c["seeds_tested"] and c["kills_landed"]
+               for c in seen.values()):
+        fail(f"{path}: no campaign tested seeds and landed kills; the "
+             f"run certifies nothing")
+
+    tested = sum(c["seeds_tested"] for c in seen.values())
+    kills = sum(c["kills_landed"] for c in seen.values())
+    print(f"check_crashtest: {path}: OK ({len(seen)} campaigns, "
+          f"{tested} seeds crash-tested, {kills} kills, 0 violations)")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,19 @@
 /// exactly the error sites and verdicts of a from-scratch solve of the
 /// edited program.
 ///
+/// The fourth campaign targets the serve daemon's write-ahead edit
+/// journal: a child warm-starts from a baseline store with an empty
+/// journal, applies a short accepted-edit sequence (each edit fsync-
+/// appended before commit), and compacts — and is killed mid-append
+/// (journal.append.*), mid-warm-start-save or mid-compaction-store-save
+/// (serve.save.*), or mid-journal-reset (journal.compact.*). The parent
+/// asserts: the store survivor is byte-for-byte the baseline or the
+/// compacted snapshot; the journal survivor is a clean byte prefix of
+/// the uninterrupted run's journal (a fresh reset header is itself such
+/// a prefix); and store+journal recovery coincides exactly — error
+/// sites, all verdicts, program text — with the reference state over
+/// the same accepted-edit prefix.
+///
 /// The third campaign kills whole *worker processes* of the sharded
 /// multi-process analysis: for each seed it runs the real coordinator
 /// (fork/exec of swift-shard-worker) to completion once as the
@@ -56,6 +69,7 @@
 #include "ir/Dumper.h"
 #include "serve/EditGen.h"
 #include "serve/Engine.h"
+#include "serve/Journal.h"
 #include "serve/Store.h"
 #include "shard/Coordinator.h"
 #include "shard/Spool.h"
@@ -85,6 +99,7 @@ struct ToolOptions {
   uint64_t Steps = 40; ///< Phase-1 budget that provokes the checkpoint.
   std::string OutDir = "results/crashtest";
   std::string WorkerBin; ///< Default: swift-shard-worker next to us.
+  std::string JsonOut;   ///< --json-out= machine-readable result file.
   bool ShowHelp = false;
 };
 
@@ -106,6 +121,9 @@ const char *usageText() {
          "  --out-dir=DIR   scratch directory (default results/crashtest)\n"
          "  --worker-bin=F  swift-shard-worker path for the worker-kill\n"
          "                  campaign (default: next to this binary)\n"
+         "  --json-out=F    write a versioned machine-readable result\n"
+         "                  (format swift-crashtest v1: per-campaign\n"
+         "                  seeds/kills/violations) for CI gating\n"
          "  --help          this text\n"
          "exit: 0 clean, 1 crash-safety violation, 2 usage error\n";
 }
@@ -141,6 +159,12 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
         return false;
       }
       O.WorkerBin = V;
+    } else if (cli::matchValueFlag(A, "--json-out=", V)) {
+      if (V.empty()) {
+        Err = "--json-out needs a file path";
+        return false;
+      }
+      O.JsonOut = V;
     } else if (A == "--help") {
       O.ShowHelp = true;
     } else {
@@ -492,6 +516,257 @@ void runServeSeed(uint64_t Seed, const ToolOptions &O, SeedStats &St) {
 }
 
 //===----------------------------------------------------------------------===//
+// Journal campaign (WAL kill-mid-append / kill-mid-compaction)
+//===----------------------------------------------------------------------===//
+
+/// Reference state after an accepted-edit prefix: what any recovery that
+/// lands on this prefix must reproduce exactly.
+struct JournalPrefixState {
+  std::string Text;
+  std::set<SiteId> Errors;
+  std::vector<TsVerdict> Verdicts;
+  size_t JournalSize = 0; ///< Uninterrupted journal bytes at this prefix.
+};
+
+std::vector<TsVerdict> allVerdicts(const serve::ServeEngine &E) {
+  std::vector<TsVerdict> V;
+  V.reserve(E.program().numSites());
+  for (SiteId S = 0; S != E.program().numSites(); ++S)
+    V.push_back(E.verdict(S));
+  return V;
+}
+
+JournalPrefixState snapshotPrefix(const serve::ServeEngine &E,
+                                  size_t JournalSize) {
+  JournalPrefixState P;
+  P.Text = E.programText();
+  P.Errors = E.errorSites();
+  P.Verdicts = allVerdicts(E);
+  P.JournalSize = JournalSize;
+  return P;
+}
+
+/// One seed of the journal kill campaign. The parent dry-runs the whole
+/// uninterrupted life of a journaled session — warm start, K accepted
+/// edits, compaction — recording the store bytes before (A) and after
+/// (B) compaction, the full journal bytes, and the reference state at
+/// every accepted-edit prefix. Then each kill schedule crashes a child
+/// redoing that life on fresh A + empty journal, and the parent asserts
+/// the survivor-byte and recovery-coincidence contracts.
+void runJournalSeed(uint64_t Seed, const ToolOptions &O, SeedStats &St) {
+  std::string Text =
+      programToText(*generateFuzzProgram(difftest::fuzzConfigForSeed(Seed)));
+  std::string Base = O.OutDir + "/journal-seed" + std::to_string(Seed);
+  std::string StPath = Base + ".swiftstore";
+  std::string JPath = Base + ".swiftjournal";
+  std::string DryStore = StPath + ".dry";
+  std::string DryJournal = JPath + ".dry";
+  auto CleanupDry = [&] {
+    ::unlink(DryStore.c_str());
+    ::unlink(DryJournal.c_str());
+  };
+
+  // Dry run: the uninterrupted byte trajectory and per-prefix references.
+  serve::EngineOptions DEO = serveOptions();
+  DEO.StorePath = DryStore;
+  DEO.JournalPath = DryJournal;
+  std::vector<JournalPrefixState> Ref;
+  std::vector<serve::FuzzEdit> Edits;
+  std::string BytesA, BytesB, FullJournal, FreshJournal;
+  try {
+    serve::ServeEngine Dry(Text, DEO);
+    if (!Dry.solveInitial().Ok) {
+      ++St.Completed; // blow-up under the tight caps: skip, don't fail
+      CleanupDry();
+      return;
+    }
+    Dry.resetJournal();
+    BytesA = readWholeFile(DryStore);
+    FreshJournal = readWholeFile(DryJournal);
+    Ref.push_back(snapshotPrefix(Dry, FreshJournal.size()));
+    // Up to 3 accepted edits from the first few candidates; rejected
+    // candidates (budget under the tight caps) are transactional no-ops,
+    // so the child's replay of the accepted list is deterministic.
+    for (uint64_t K = 0; K != 6 && Edits.size() != 3; ++K) {
+      std::optional<serve::FuzzEdit> FE =
+          serve::makeFuzzEdit(Dry.programText(), Seed, K);
+      if (!FE)
+        break;
+      if (!Dry.applyEdit(FE->ProcName, FE->Body).Ok)
+        continue;
+      Edits.push_back(*FE);
+      Ref.push_back(snapshotPrefix(Dry, readWholeFile(DryJournal).size()));
+    }
+    if (Edits.empty()) {
+      ++St.Completed; // nothing editable / nothing accepted
+      CleanupDry();
+      return;
+    }
+    FullJournal = readWholeFile(DryJournal);
+    Dry.compact();
+    BytesB = readWholeFile(DryStore);
+  } catch (const std::exception &E) {
+    reportViolation(St, Seed, "journal-dry",
+                    std::string("uninterrupted journal run failed: ") +
+                        E.what());
+    CleanupDry();
+    return;
+  }
+  CleanupDry();
+  ++St.Tested;
+
+  // The child's life fires serve.save twice: the warm-start auto-save
+  // (store A's chunk count, known from the dry bytes) and compaction's
+  // snapshot of B. nth() positions past the first save land inside the
+  // second.
+  const uint64_t ChunksA = (BytesA.size() + 511) / 512;
+  const std::string Schedules[] = {
+      // Mid-append: before the first record, inside record bytes, at the
+      // fsync/close edges of the first and second append.
+      "journal.append.open=nth(1)!kill",
+      "journal.append.write=nth(1)!kill",
+      "journal.append.write=nth(2)!kill",
+      "journal.append.write=nth(3)!kill",
+      "journal.append.flush=nth(1)!kill",
+      "journal.append.flush=nth(2)!kill",
+      "journal.append.close=nth(1)!kill",
+      // Mid-warm-start auto-save (before any append).
+      "serve.save.rename=nth(1)!kill",
+      // Mid-compaction store snapshot.
+      "serve.save.write=nth(" + std::to_string(ChunksA + 1) + ")!kill",
+      "serve.save.flush=nth(2)!kill",
+      "serve.save.rename=nth(2)!kill",
+      // Mid-compaction journal reset.
+      "journal.compact.write=nth(1)!kill",
+      "journal.compact.rename=nth(1)!kill",
+  };
+
+  for (const std::string &Schedule : Schedules) {
+    // Fresh baseline on disk: store A, empty (header-only) journal.
+    writeFileAtomic(StPath, BytesA, "crashtest.scratch");
+    writeFileAtomic(JPath, FreshJournal, "crashtest.scratch");
+
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      reportViolation(St, Seed, Schedule.c_str(), "fork failed");
+      return;
+    }
+    if (Pid == 0) {
+      try {
+        failpoint::armSpec(Schedule);
+        serve::EngineOptions EO = serveOptions();
+        EO.StorePath = StPath;
+        EO.JournalPath = JPath;
+        serve::ServeEngine E(serve::ServeEngine::FromStore{StPath}, EO);
+        if (!E.solveInitial().Ok)
+          ::_exit(4);
+        if (!E.replayJournal().Ok)
+          ::_exit(4);
+        for (const serve::FuzzEdit &FE : Edits)
+          if (!E.applyEdit(FE.ProcName, FE.Body).Ok)
+            ::_exit(4);
+        E.compact();
+      } catch (...) {
+        ::_exit(3);
+      }
+      ::_exit(0);
+    }
+
+    int Status = 0;
+    if (::waitpid(Pid, &Status, 0) != Pid || !WIFEXITED(Status)) {
+      reportViolation(St, Seed, Schedule.c_str(),
+                      "child did not exit normally (signal?)");
+      continue;
+    }
+    int Code = WEXITSTATUS(Status);
+    if (Code == failpoint::KillExitCode)
+      ++St.KillsLanded;
+    else if (Code == 0)
+      ++St.ChildCompleted; // schedule beyond what this seed exercises
+    else {
+      reportViolation(St, Seed, Schedule.c_str(),
+                      "child failed with exit " + std::to_string(Code));
+      continue;
+    }
+
+    // Contract 1: the store survivor decodes and is old-A or new-B; the
+    // journal survivor is a clean byte prefix of the uninterrupted
+    // journal (O_APPEND never reorders, writeFileAtomic never tears, and
+    // the fresh reset header is itself such a prefix).
+    std::string SurvStore, SurvJournal;
+    try {
+      SurvStore = readWholeFile(StPath);
+      (void)serve::decodeStore(SurvStore);
+      SurvJournal = readWholeFile(JPath);
+    } catch (const std::exception &E) {
+      reportViolation(St, Seed, Schedule.c_str(),
+                      std::string("survivor unusable: ") + E.what());
+      continue;
+    }
+    if (SurvStore != BytesA && SurvStore != BytesB) {
+      reportViolation(St, Seed, Schedule.c_str(),
+                      "surviving store is neither the baseline nor the "
+                      "compacted snapshot (torn write?)");
+      continue;
+    }
+    if (SurvJournal.size() > FullJournal.size() ||
+        FullJournal.compare(0, SurvJournal.size(), SurvJournal) != 0) {
+      reportViolation(St, Seed, Schedule.c_str(),
+                      "surviving journal is not a clean prefix of the "
+                      "uninterrupted journal (torn or reordered write?)");
+      continue;
+    }
+
+    // Which accepted-edit prefix did the crash preserve? With the
+    // compacted store, all of them (replay onto it is idempotent);
+    // otherwise the number of *complete* records in the journal
+    // survivor, by the dry run's per-prefix byte boundaries.
+    size_t N = 0;
+    if (SurvStore == BytesB) {
+      N = Edits.size();
+    } else {
+      while (N + 1 < Ref.size() &&
+             Ref[N + 1].JournalSize <= SurvJournal.size())
+        ++N;
+    }
+
+    // Contract 2: store + journal-tail recovery coincides with the
+    // reference state over exactly that prefix.
+    try {
+      serve::EngineOptions REO = serveOptions();
+      REO.StorePath = StPath;
+      REO.JournalPath = JPath;
+      serve::ServeEngine Rec(serve::ServeEngine::FromStore{StPath}, REO);
+      if (!Rec.solveInitial().Ok) {
+        reportViolation(St, Seed, Schedule.c_str(),
+                        "recovery initial solve failed");
+        continue;
+      }
+      serve::EditResult RR = Rec.replayJournal();
+      if (!RR.Ok) {
+        reportViolation(St, Seed, Schedule.c_str(),
+                        "recovery journal replay failed: " + RR.Error);
+        continue;
+      }
+      const JournalPrefixState &Want = Ref[N];
+      if (Rec.programText() != Want.Text ||
+          Rec.errorSites() != Want.Errors ||
+          allVerdicts(Rec) != Want.Verdicts)
+        reportViolation(St, Seed, Schedule.c_str(),
+                        "recovery diverges from the reference over the "
+                        "accepted-edit prefix (" + std::to_string(N) +
+                            " of " + std::to_string(Edits.size()) +
+                            " edits)");
+    } catch (const std::exception &E) {
+      reportViolation(St, Seed, Schedule.c_str(),
+                      std::string("recovery failed: ") + E.what());
+    }
+  }
+  ::unlink(StPath.c_str());
+  ::unlink(JPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
 // Worker-kill campaign (sharded multi-process analysis)
 //===----------------------------------------------------------------------===//
 
@@ -737,6 +1012,10 @@ int main(int Argc, char **Argv) {
   for (uint64_t Seed = O.FirstSeed; Seed != O.FirstSeed + O.Seeds; ++Seed)
     runShardSeed(Seed, O, Sh);
 
+  SeedStats Jn;
+  for (uint64_t Seed = O.FirstSeed; Seed != O.FirstSeed + O.Seeds; ++Seed)
+    runJournalSeed(Seed, O, Jn);
+
   std::printf("%llu seed(s): %llu crash-tested, %llu completed under the "
               "budget; %llu kill(s) landed, %llu child save(s) ran to "
               "completion; %llu violation(s)\n",
@@ -762,10 +1041,43 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Sh.KillsLanded),
               static_cast<unsigned long long>(Sh.ChildCompleted),
               static_cast<unsigned long long>(Sh.Violations));
-  if (St.Violations || Sv.Violations || Sh.Violations)
+  std::printf("serve journal: %llu seed(s) crash-tested, %llu skipped; "
+              "%llu kill(s) landed, %llu child run(s) ran to completion; "
+              "%llu violation(s)\n",
+              static_cast<unsigned long long>(Jn.Tested),
+              static_cast<unsigned long long>(Jn.Completed),
+              static_cast<unsigned long long>(Jn.KillsLanded),
+              static_cast<unsigned long long>(Jn.ChildCompleted),
+              static_cast<unsigned long long>(Jn.Violations));
+
+  if (!O.JsonOut.empty()) {
+    auto Campaign = [](const char *Name, const SeedStats &S) {
+      auto U = [](uint64_t V) { return std::to_string(V); };
+      return std::string("{\"name\":\"") + Name +
+             "\",\"seeds_tested\":" + U(S.Tested) +
+             ",\"seeds_skipped\":" + U(S.Completed) +
+             ",\"kills_landed\":" + U(S.KillsLanded) +
+             ",\"child_completed\":" + U(S.ChildCompleted) +
+             ",\"violations\":" + U(S.Violations) + "}";
+    };
+    std::string Json =
+        "{\"format\":\"swift-crashtest\",\"version\":1,\"campaigns\":[" +
+        Campaign("checkpoint", St) + "," + Campaign("serve-store", Sv) +
+        "," + Campaign("shard-workers", Sh) + "," +
+        Campaign("serve-journal", Jn) + "]}\n";
+    try {
+      writeFileAtomic(O.JsonOut, Json, "crashtest.scratch");
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "swift-crashtest: cannot write '%s': %s\n",
+                   O.JsonOut.c_str(), E.what());
+      return 2;
+    }
+  }
+
+  if (St.Violations || Sv.Violations || Sh.Violations || Jn.Violations)
     return 1;
   if ((St.Tested && !St.KillsLanded) || (Sv.Tested && !Sv.KillsLanded) ||
-      (Sh.Tested && !Sh.KillsLanded))
+      (Sh.Tested && !Sh.KillsLanded) || (Jn.Tested && !Jn.KillsLanded))
     // The harness must actually provoke crashes to certify anything.
     std::printf("warning: no kill schedule landed; raise --steps so "
                 "checkpoints span more write chunks\n");

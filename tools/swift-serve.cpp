@@ -16,9 +16,18 @@
 /// chatter goes to stderr so scripted sessions can diff responses
 /// directly.
 ///
-/// Exit code: 0 clean shutdown (EOF or shutdown request), 2 usage/input
-/// error, 3 the initial solve exhausted the per-request step budget (the
-/// server does not start; raise --max-steps).
+/// Durability: with --journal every accepted edit is fsync'd to the
+/// write-ahead log before its success response; a warm start (--store)
+/// replays the journal tail on top of the verified store, so a crash
+/// loses nothing a client was ever told succeeded. SIGTERM/SIGINT drain
+/// gracefully: the in-flight request finishes, one final
+/// {"ok":true,"drain":true,...} stats line is emitted, trace/metrics are
+/// flushed, and the process exits 0.
+///
+/// Exit code: 0 clean shutdown (EOF, shutdown request, or drain signal),
+/// 2 usage/input error, 3 the initial solve exhausted the per-request
+/// step budget or journal replay failed on a budget (the server does not
+/// start; raise --max-steps).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,12 +38,17 @@
 #include "support/CliParse.h"
 #include "support/FailPoint.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include <unistd.h>
 
 using namespace swift;
 
@@ -45,7 +59,11 @@ struct ToolOptions {
   std::string StoreIn;    ///< warm-start store (--store=).
   std::string Tracked;    ///< --tracked= class; empty = first spec.
   std::string StoreOut;   ///< --store-out= auto-save path.
+  std::string JournalPath; ///< --journal= write-ahead log path.
   uint64_t MaxSteps = 200'000'000;
+  uint64_t RequestDeadlineMs = 0; ///< --request-deadline-ms= default.
+  uint64_t ShedCooldownMs = 0;    ///< --shed-cooldown-ms= gate latch.
+  uint64_t MaxPendingBytes = 0;   ///< --max-pending-bytes= gate bound.
   std::string FailPoints;
   std::string TraceOut;
   std::string MetricsOut;
@@ -62,6 +80,23 @@ const char *usageText() {
          "                      the program's first spec)\n"
          "  --store-out=F       auto-save the store to F after the\n"
          "                      initial solve and every successful edit\n"
+         "                      (with --journal: only the initial solve\n"
+         "                      and save/compaction rewrite the store)\n"
+         "  --journal=F         crash-durable write-ahead edit journal:\n"
+         "                      every accepted edit is fsync'd to F\n"
+         "                      before its response; a warm start\n"
+         "                      replays F's tail, a cold start resets F\n"
+         "                      to the new baseline; requires\n"
+         "                      --store-out (the compaction target)\n"
+         "  --request-deadline-ms=N  default wall-clock deadline per\n"
+         "                      edit request; an overrun returns a sound\n"
+         "                      degraded response (0 = none; a request's\n"
+         "                      own deadline_ms field overrides)\n"
+         "  --shed-cooldown-ms=N  after a budget-exhausted edit, shed\n"
+         "                      edit requests with code \"retry\" for N\n"
+         "                      ms (0 = never shed)\n"
+         "  --max-pending-bytes=N  shed edit requests while more than N\n"
+         "                      bytes are queued on stdin (0 = no bound)\n"
          "  --max-steps=N       per-request solver step budget (default\n"
          "                      200000000)\n"
          "  --failpoints=SPEC   arm fault-injection failpoints (also\n"
@@ -69,8 +104,10 @@ const char *usageText() {
          "  --trace-out=F       write a Chrome/Perfetto trace on exit\n"
          "  --metrics-out=F     write a swift-metrics snapshot on exit\n"
          "  --help              this text\n"
-         "exit: 0 clean shutdown, 2 usage/input error, 3 initial solve\n"
-         "      exhausted the step budget\n";
+         "signals: SIGTERM/SIGINT drain gracefully (finish the in-flight\n"
+         "      request, emit a final drain stats line, flush, exit 0)\n"
+         "exit: 0 clean shutdown or drain, 2 usage/input error, 3 initial\n"
+         "      solve or journal replay exhausted the step budget\n";
 }
 
 bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
@@ -95,6 +132,27 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
         return false;
       }
       O.StoreOut = V;
+    } else if (cli::matchValueFlag(A, "--journal=", V)) {
+      if (V.empty()) {
+        Err = "--journal needs a file path";
+        return false;
+      }
+      O.JournalPath = V;
+    } else if (cli::matchValueFlag(A, "--request-deadline-ms=", V)) {
+      if (!cli::parseU64(V, O.RequestDeadlineMs)) {
+        Err = "invalid --request-deadline-ms value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--shed-cooldown-ms=", V)) {
+      if (!cli::parseU64(V, O.ShedCooldownMs)) {
+        Err = "invalid --shed-cooldown-ms value '" + std::string(V) + "'";
+        return false;
+      }
+    } else if (cli::matchValueFlag(A, "--max-pending-bytes=", V)) {
+      if (!cli::parseU64(V, O.MaxPendingBytes)) {
+        Err = "invalid --max-pending-bytes value '" + std::string(V) + "'";
+        return false;
+      }
     } else if (cli::matchValueFlag(A, "--max-steps=", V)) {
       if (!cli::parseU64(V, O.MaxSteps) || O.MaxSteps == 0) {
         Err = "invalid --max-steps value '" + std::string(V) + "'";
@@ -138,7 +196,40 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
     Err = "--store carries its own program; drop the input file";
     return false;
   }
+  if (!O.JournalPath.empty() && O.StoreOut.empty()) {
+    Err = "--journal needs --store-out: compaction folds the log into "
+          "that store";
+    return false;
+  }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful drain
+//===----------------------------------------------------------------------===//
+
+/// Set by the signal handler, observed by the request loop after the
+/// in-flight request completes.
+std::atomic<bool> GDrain{false};
+
+/// Async-signal-safe SIGTERM/SIGINT handler (the swift-analyze pattern:
+/// flag + syscall, nothing else). Closing stdin deterministically
+/// unblocks the request loop's blocking read; the loop then sees the
+/// flag, finishes cleanly, and main flushes and exits 0. No journal work
+/// is needed here — every accepted edit was already fsync'd.
+extern "C" void onDrainSignal(int) {
+  GDrain.store(true);
+  ::close(0);
+}
+
+void installDrainHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onDrainSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: the blocked read must return
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
 }
 
 void flushObservability(const ToolOptions &O) {
@@ -192,6 +283,8 @@ int main(int Argc, char **Argv) {
   EO.TrackedClass = O.Tracked;
   EO.MaxStepsPerRequest = O.MaxSteps;
   EO.StorePath = O.StoreOut;
+  EO.JournalPath = O.JournalPath;
+  EO.RequestDeadlineMs = O.RequestDeadlineMs;
 
   std::unique_ptr<serve::ServeEngine> Engine;
   try {
@@ -224,14 +317,55 @@ int main(int Argc, char **Argv) {
   if (!Init.Warning.empty())
     std::fprintf(stderr, "swift-serve: warning: %s\n",
                  Init.Warning.c_str());
+
+  size_t Replayed = 0;
+  if (!O.JournalPath.empty()) {
+    if (O.StoreIn.empty()) {
+      // Cold start: the input program is the new baseline; whatever a
+      // previous run left in the journal belongs to a different baseline
+      // and must not be replayed into this one.
+      try {
+        Engine->resetJournal();
+      } catch (const std::exception &E) {
+        std::fprintf(stderr, "swift-serve: journal reset failed: %s\n",
+                     E.what());
+        flushObservability(O);
+        return 2;
+      }
+    } else {
+      // Warm start: store + journal tail = every edit ever acknowledged.
+      try {
+        serve::EditResult RR = Engine->replayJournal(&Replayed);
+        if (!RR.Ok) {
+          std::fprintf(stderr, "swift-serve: journal replay failed: %s\n",
+                       RR.Error.c_str());
+          flushObservability(O);
+          return RR.BudgetExhausted ? 3 : 2;
+        }
+      } catch (const std::exception &E) {
+        std::fprintf(stderr, "swift-serve: journal replay failed: %s\n",
+                     E.what());
+        flushObservability(O);
+        return 2;
+      }
+    }
+  }
+
   std::fprintf(stderr,
                "swift-serve: %s ready: %zu procs, %zu summaries (%zu "
-               "reused), %zu error sites\n",
+               "reused), %zu error sites, %zu journal edits replayed\n",
                Engine->trackedClass().c_str(), Engine->numProcs(),
                Engine->numSummaries(), Init.Reused,
-               Engine->errorSites().size());
+               Engine->errorSites().size(), Replayed);
 
-  int Rc = serve::serveLines(*Engine, std::cin, std::cout);
+  installDrainHandlers();
+  serve::ServeLimits SL;
+  SL.ShedCooldownMs = O.ShedCooldownMs;
+  SL.MaxPendingBytes = O.MaxPendingBytes;
+  SL.Drain = &GDrain;
+  int Rc = serve::serveLines(*Engine, std::cin, std::cout, SL);
+  if (GDrain.load())
+    std::fprintf(stderr, "swift-serve: drained on signal\n");
   flushObservability(O);
   return Rc == 0 ? 0 : 2;
 }

@@ -19,6 +19,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
 #include "obs/TraceMerge.h"
 #include "shard/Coordinator.h"
 #include "support/AtomicFile.h"
@@ -56,6 +57,9 @@ const char *usageText() {
          "  --failpoints-all-incarnations  also arm restarted workers\n"
          "  --fallback-max-steps=N  budget of the governed TD fallback\n"
          "  --trace-out=F         merged multi-process Chrome trace\n"
+         "  --metrics-out=F       coordinator metrics snapshot on exit\n"
+         "                        (shard.restarts, shard.heartbeat_kills,\n"
+         "                        shard.failed, shard.fallback)\n"
          "  --verbose             supervision narration on stderr\n"
          "  --help                this text\n"
          "exit: 0 complete, 2 usage/input error, 3 partial verdicts\n";
@@ -78,7 +82,7 @@ std::string defaultWorkerBin() {
 
 int main(int Argc, char **Argv) {
   shard::CoordinatorOptions O;
-  std::string TraceOut;
+  std::string TraceOut, MetricsOut;
   bool ShowHelp = false, WorkersSet = false;
   auto Usage = [](const std::string &Err) {
     std::fprintf(stderr, "swift-shardrun: %s\n%s", Err.c_str(), usageText());
@@ -125,6 +129,10 @@ int main(int Argc, char **Argv) {
       if (V.empty())
         return Usage("--trace-out needs a file path");
       TraceOut = V;
+    } else if (cli::matchValueFlag(A, "--metrics-out=", V)) {
+      if (V.empty())
+        return Usage("--metrics-out needs a file path");
+      MetricsOut = V;
     } else if (A == "--verbose") {
       O.Verbose = true;
     } else if (A == "--help") {
@@ -151,6 +159,8 @@ int main(int Argc, char **Argv) {
     O.WorkerBin = defaultWorkerBin();
   if (!TraceOut.empty())
     O.TraceDir = O.SpoolDir;
+  if (!MetricsOut.empty())
+    obs::MetricsRegistry::instance().enable();
 
   shard::ShardRunReport R;
   try {
@@ -215,6 +225,19 @@ int main(int Argc, char **Argv) {
                            "%s\n",
                    E.what());
     }
+  }
+
+  // Supervision counters (shard.restarts, shard.heartbeat_kills,
+  // shard.failed, shard.fallback). Advisory, like the trace merge above.
+  if (!MetricsOut.empty()) {
+    std::string Err;
+    if (!obs::MetricsRegistry::instance().writeSnapshot(MetricsOut,
+                                                        nullptr, &Err))
+      std::fprintf(stderr,
+                   "swift-shardrun: warning: metrics write failed: %s\n",
+                   Err.c_str());
+    else
+      std::printf("metrics: %s\n", MetricsOut.c_str());
   }
 
   return R.FallbackPartial ? 3 : 0;
