@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A domain-independent call-site binding shared by every client analysis
+/// (the IFDS adapter and the interval domain): callee, result variable,
+/// the program's $ret variable, and the actual-to-formal map, with the
+/// stable-formal query the return mappings need. This is the IR-level
+/// slice of typestate's CallBinding with no domain state attached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_CLIENTS_BINDING_H
+#define SWIFT_CLIENTS_BINDING_H
+
+#include "ir/Program.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace swift {
+namespace clients {
+
+class Binding {
+public:
+  Binding(const Program &Prog, const Command &Call)
+      : Callee(Call.Callee), CalleeProc(&Prog.proc(Call.Callee)),
+        Result(Call.Dst), Ret(Prog.retVar()) {
+    assert(Call.Kind == CmdKind::Call);
+    for (size_t I = 0; I != Call.Args.size(); ++I) {
+      Symbol Actual = Call.Args[I];
+      Symbol Formal = CalleeProc->params()[I];
+      bool Found = false;
+      for (auto &[A, Fs] : ActualToFormals)
+        if (A == Actual) {
+          Fs.push_back(Formal);
+          Found = true;
+          break;
+        }
+      if (!Found)
+        ActualToFormals.push_back({Actual, {Formal}});
+    }
+  }
+
+  ProcId callee() const { return Callee; }
+  Symbol resultVar() const { return Result; }
+  Symbol retVar() const { return Ret; }
+  const std::vector<std::pair<Symbol, std::vector<Symbol>>> &
+  bindings() const {
+    return ActualToFormals;
+  }
+  const std::vector<Symbol> &formalsOf(Symbol V) const {
+    static const std::vector<Symbol> Empty;
+    for (const auto &[A, Fs] : ActualToFormals)
+      if (A == V)
+        return Fs;
+    return Empty;
+  }
+  Symbol actualOf(Symbol F) const {
+    for (const auto &[A, Fs] : ActualToFormals)
+      for (Symbol G : Fs)
+        if (G == F)
+          return A;
+    return Symbol();
+  }
+  bool isStableFormal(Symbol F) const {
+    return CalleeProc->isStableParam(F);
+  }
+
+private:
+  ProcId Callee;
+  const Procedure *CalleeProc;
+  Symbol Result;
+  Symbol Ret;
+  std::vector<std::pair<Symbol, std::vector<Symbol>>> ActualToFormals;
+};
+
+} // namespace clients
+} // namespace swift
+
+#endif // SWIFT_CLIENTS_BINDING_H

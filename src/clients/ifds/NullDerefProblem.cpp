@@ -1,0 +1,270 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/ifds/NullDerefProblem.h"
+
+#include "clients/TestHooks.h"
+
+#include <set>
+
+using namespace swift;
+using namespace swift::ifds;
+
+NullDerefProblem::NullDerefProblem(const Program &Prog)
+    : IfdsProblem(Prog) {
+  Info.push_back({}); // Fact 0: Lambda.
+
+  std::set<Symbol> Vars, Fields;
+  Vars.insert(Prog.retVar());
+  for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    for (Symbol V : Proc.vars())
+      Vars.insert(V);
+    for (const CfgNode &Node : Proc.nodes())
+      if (Node.Cmd.Kind == CmdKind::Load ||
+          Node.Cmd.Kind == CmdKind::Store)
+        Fields.insert(Node.Cmd.Field);
+  }
+  for (Symbol V : Vars) {
+    VarIds.emplace(V, static_cast<FactId>(Info.size()));
+    Info.push_back({Kind::MayNull, V, InvalidProc, InvalidNode});
+  }
+  for (Symbol F : Fields) {
+    FieldIds.emplace(F, static_cast<FactId>(Info.size()));
+    AllFieldFacts.push_back(static_cast<FactId>(Info.size()));
+    Info.push_back({Kind::NullField, F, InvalidProc, InvalidNode});
+  }
+  for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    for (NodeId N : Proc.reachableRpo()) {
+      CmdKind K = Proc.node(N).Cmd.Kind;
+      if (K == CmdKind::Load || K == CmdKind::Store ||
+          K == CmdKind::TsCall) {
+        DerefIds.emplace(std::make_pair(P, N),
+                         static_cast<FactId>(Info.size()));
+        Info.push_back({Kind::Deref, Symbol(), P, N});
+      }
+    }
+  }
+}
+
+std::string NullDerefProblem::factText(FactId F) const {
+  const SymbolTable &Syms = program().symbols();
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    return "(lambda)";
+  case Kind::MayNull:
+    return "maynull(" + Syms.text(I.Sym) + ")";
+  case Kind::NullField:
+    return "maynull(*." + Syms.text(I.Sym) + ")";
+  case Kind::Deref:
+    return "deref@" + Syms.text(program().proc(I.P).name()) + ":" +
+           std::to_string(I.N);
+  }
+  return "<?>";
+}
+
+void NullDerefProblem::transfer(ProcId P, const Command &Cmd, FactId F,
+                                std::vector<FactId> &Out) const {
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    assert(false && "the adapter handles Lambda");
+    return;
+
+  case Kind::MayNull: {
+    Symbol V = I.Sym;
+    switch (Cmd.Kind) {
+    case CmdKind::Nop:
+      Out.push_back(F);
+      return;
+    case CmdKind::Alloc:
+      if (Cmd.Dst != V)
+        Out.push_back(F);
+      return;
+    case CmdKind::AssignNull:
+      Out.push_back(F); // Still null after re-nulling.
+      return;
+    case CmdKind::Copy:
+      if (Cmd.Src == V) {
+        Out.push_back(F);
+        if (Cmd.Dst != V)
+          Out.push_back(varId(Cmd.Dst));
+        return;
+      }
+      if (Cmd.Dst != V)
+        Out.push_back(F);
+      return;
+    case CmdKind::Load:
+      // Dereferences the base; the loaded value overwrites Dst.
+      if (Cmd.Src == V) {
+        if (Cmd.Dst != V)
+          Out.push_back(F);
+        Out.push_back(derefId(P, Cmd.Self));
+        return;
+      }
+      if (Cmd.Dst != V)
+        Out.push_back(F);
+      return;
+    case CmdKind::Store:
+      Out.push_back(F);
+      if (Cmd.Dst == V) // Base dereference.
+        Out.push_back(derefId(P, Cmd.Self));
+      if (Cmd.Src == V && !clients::test::InjectNullStoreBug.load())
+        Out.push_back(fieldId(Cmd.Field));
+      return;
+    case CmdKind::TsCall:
+      Out.push_back(F);
+      if (Cmd.Src == V) // Receiver dereference.
+        Out.push_back(derefId(P, Cmd.Self));
+      return;
+    case CmdKind::Call:
+      break;
+    }
+    break;
+  }
+
+  case Kind::NullField:
+    Out.push_back(F); // Weak heap fact, never killed.
+    if (Cmd.Kind == CmdKind::Load && Cmd.Field == I.Sym)
+      Out.push_back(varId(Cmd.Dst));
+    return;
+
+  case Kind::Deref:
+    Out.push_back(F); // Absorbing observation.
+    return;
+  }
+  assert(false && "calls are handled by the solver");
+}
+
+void NullDerefProblem::affected(const Command &Cmd,
+                                std::vector<FactId> &Out) const {
+  switch (Cmd.Kind) {
+  case CmdKind::Nop:
+  case CmdKind::AssignNull: // MayNull(dst) maps to itself; Lambda gens it.
+    return;
+  case CmdKind::Alloc:
+    Out.push_back(varId(Cmd.Dst));
+    return;
+  case CmdKind::Copy:
+    if (Cmd.Dst == Cmd.Src)
+      return;
+    Out.push_back(varId(Cmd.Dst));
+    Out.push_back(varId(Cmd.Src));
+    return;
+  case CmdKind::Load:
+    Out.push_back(varId(Cmd.Dst));
+    if (Cmd.Src != Cmd.Dst)
+      Out.push_back(varId(Cmd.Src));
+    Out.push_back(fieldId(Cmd.Field));
+    return;
+  case CmdKind::Store:
+    Out.push_back(varId(Cmd.Dst));
+    if (Cmd.Src != Cmd.Dst)
+      Out.push_back(varId(Cmd.Src));
+    return;
+  case CmdKind::TsCall:
+    Out.push_back(varId(Cmd.Src));
+    return;
+  case CmdKind::Call:
+    break;
+  }
+  assert(false && "calls have no kill/gen footprint");
+}
+
+void NullDerefProblem::lambdaGen(ProcId P, const Command &Cmd,
+                                 std::vector<FactId> &Out) const {
+  (void)P;
+  if (Cmd.Kind == CmdKind::AssignNull)
+    Out.push_back(varId(Cmd.Dst));
+}
+
+void NullDerefProblem::enter(const clients::Binding &B, FactId F,
+                             std::vector<FactId> &Out) const {
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    return;
+  case Kind::MayNull:
+    for (Symbol Formal : B.formalsOf(I.Sym))
+      Out.push_back(varId(Formal));
+    return;
+  case Kind::NullField:
+    Out.push_back(F); // Heap facts are global.
+    return;
+  case Kind::Deref:
+    return; // Observations stay in the frame (callLocal).
+  }
+}
+
+void NullDerefProblem::callLocal(const clients::Binding &B, FactId F,
+                                 std::vector<FactId> &Out) const {
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    return;
+  case Kind::MayNull:
+    if (I.Sym == B.resultVar() && B.resultVar().isValid())
+      return; // The result variable is rebound by the call.
+    Out.push_back(F);
+    return;
+  case Kind::NullField:
+    return; // Heap facts travel through the callee.
+  case Kind::Deref:
+    Out.push_back(F);
+    return;
+  }
+}
+
+void NullDerefProblem::combineExit(const clients::Binding &B, FactId F,
+                                   std::vector<FactId> &Out) const {
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    return;
+  case Kind::MayNull: {
+    if (I.Sym == B.retVar()) {
+      if (B.resultVar().isValid())
+        Out.push_back(varId(B.resultVar()));
+      return;
+    }
+    Symbol Actual = B.actualOf(I.Sym);
+    // A may-null stable formal still holds the caller's actual's value.
+    if (Actual.isValid() && Actual != B.resultVar() &&
+        B.isStableFormal(I.Sym))
+      Out.push_back(varId(Actual));
+    return;
+  }
+  case Kind::NullField:
+  case Kind::Deref:
+    Out.push_back(F); // Globals and observations propagate to callers.
+    return;
+  }
+}
+
+void NullDerefProblem::callFootprint(const clients::Binding &B,
+                                     std::vector<FactId> &Out) const {
+  if (B.resultVar().isValid())
+    Out.push_back(varId(B.resultVar()));
+  for (const auto &[Actual, Formals] : B.bindings()) {
+    (void)Formals;
+    Out.push_back(varId(Actual));
+  }
+  Out.insert(Out.end(), AllFieldFacts.begin(), AllFieldFacts.end());
+}
+
+bool NullDerefProblem::isReport(FactId F) const {
+  return Info[F].K == Kind::Deref;
+}
+
+bool NullDerefProblem::reportSite(FactId F, ProcId &P, NodeId &N) const {
+  if (Info[F].K != Kind::Deref)
+    return false;
+  P = Info[F].P;
+  N = Info[F].N;
+  return true;
+}

@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Null-pointer-dereference analysis as an `IfdsProblem`. `x = null`
+/// makes x may-null; may-nullness propagates through copies, the heap
+/// (field-insensitively, one NullField fact per field symbol), and calls;
+/// dereferencing a may-null base — a load, a store, or a typestate method
+/// call on it — is a report fact Deref(p, n).
+///
+/// The concrete witness (clients/Concrete.h) distinguishes explicit nulls
+/// (assigned by `x = null`, directly or via copies/heap/calls) from
+/// ambient nulls (uninitialized variables, never-written fields): only a
+/// dereference of an *explicit* null is a witnessed event, and every null
+/// dereference terminates the run (mirroring the repo's concrete-semantics
+/// choice for typestate). The soundness obligation is therefore: every
+/// witnessed explicit-null dereference is an abstract Deref report. The
+/// analysis does not model ambient nulls, which keeps the fact universe
+/// aligned with what `x = null` seeds — the IFDS shape of the problem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_CLIENTS_IFDS_NULLDEREFPROBLEM_H
+#define SWIFT_CLIENTS_IFDS_NULLDEREFPROBLEM_H
+
+#include "clients/ifds/IfdsProblem.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace swift {
+namespace ifds {
+
+class NullDerefProblem : public IfdsProblem {
+public:
+  explicit NullDerefProblem(const Program &Prog);
+
+  std::string name() const override { return "nullderef"; }
+  uint32_t numFacts() const override {
+    return static_cast<uint32_t>(Info.size());
+  }
+  std::string factText(FactId F) const override;
+
+  void transfer(ProcId P, const Command &Cmd, FactId F,
+                std::vector<FactId> &Out) const override;
+  void affected(const Command &Cmd,
+                std::vector<FactId> &Out) const override;
+  void lambdaGen(ProcId P, const Command &Cmd,
+                 std::vector<FactId> &Out) const override;
+  void enter(const clients::Binding &B, FactId F,
+             std::vector<FactId> &Out) const override;
+  void callLocal(const clients::Binding &B, FactId F,
+                 std::vector<FactId> &Out) const override;
+  void combineExit(const clients::Binding &B, FactId F,
+                   std::vector<FactId> &Out) const override;
+  void callFootprint(const clients::Binding &B,
+                     std::vector<FactId> &Out) const override;
+  bool isReport(FactId F) const override;
+  bool reportSite(FactId F, ProcId &P, NodeId &N) const override;
+
+private:
+  enum class Kind : uint8_t { Lambda, MayNull, NullField, Deref };
+  struct FactInfo {
+    Kind K = Kind::Lambda;
+    Symbol Sym;             ///< MayNull / NullField.
+    ProcId P = InvalidProc; ///< Deref.
+    NodeId N = InvalidNode; ///< Deref.
+  };
+
+  FactId varId(Symbol V) const {
+    auto It = VarIds.find(V);
+    assert(It != VarIds.end() && "unenumerated variable");
+    return It->second;
+  }
+  FactId fieldId(Symbol F) const {
+    auto It = FieldIds.find(F);
+    assert(It != FieldIds.end() && "unenumerated field");
+    return It->second;
+  }
+  FactId derefId(ProcId P, NodeId N) const {
+    auto It = DerefIds.find({P, N});
+    assert(It != DerefIds.end() && "unenumerated deref node");
+    return It->second;
+  }
+
+  std::vector<FactInfo> Info;
+  std::unordered_map<Symbol, FactId> VarIds;
+  std::unordered_map<Symbol, FactId> FieldIds;
+  std::map<std::pair<ProcId, NodeId>, FactId> DerefIds;
+  std::vector<FactId> AllFieldFacts;
+};
+
+} // namespace ifds
+} // namespace swift
+
+#endif // SWIFT_CLIENTS_IFDS_NULLDEREFPROBLEM_H

@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/ifds/ReachingDefsProblem.h"
+
+#include "clients/TestHooks.h"
+
+using namespace swift;
+using namespace swift::ifds;
+
+ReachingDefsProblem::ReachingDefsProblem(const Program &Prog)
+    : IfdsProblem(Prog) {
+  Info.push_back({}); // Fact 0: Lambda.
+  for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    for (NodeId N : Proc.reachableRpo()) {
+      const Command &Cmd = Proc.node(N).Cmd;
+      if (isDirectDef(Cmd)) {
+        FactId F = static_cast<FactId>(Info.size());
+        SiteIds.emplace(std::make_pair(P, N), F);
+        VarDefs[Cmd.Dst].push_back(F);
+        Info.push_back({Kind::Def, Cmd.Dst, P, N});
+      } else if (Cmd.Kind == CmdKind::Store) {
+        FactId F = static_cast<FactId>(Info.size());
+        SiteIds.emplace(std::make_pair(P, N), F);
+        AllFieldDefs.push_back(F);
+        Info.push_back({Kind::DefF, Cmd.Field, P, N});
+      }
+    }
+  }
+}
+
+std::string ReachingDefsProblem::factText(FactId F) const {
+  const SymbolTable &Syms = program().symbols();
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    return "(lambda)";
+  case Kind::Def:
+    return "def(" + Syms.text(I.Sym) + "@" +
+           Syms.text(program().proc(I.P).name()) + ":" +
+           std::to_string(I.N) + ")";
+  case Kind::DefF:
+    return "def(*." + Syms.text(I.Sym) + "@" +
+           Syms.text(program().proc(I.P).name()) + ":" +
+           std::to_string(I.N) + ")";
+  }
+  return "<?>";
+}
+
+void ReachingDefsProblem::transfer(ProcId P, const Command &Cmd, FactId F,
+                                   std::vector<FactId> &Out) const {
+  (void)P;
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    assert(false && "the adapter handles Lambda");
+    return;
+  case Kind::Def:
+    // A direct assignment to the same variable supersedes this def.
+    if (isDirectDef(Cmd) && Cmd.Dst == I.Sym)
+      return;
+    Out.push_back(F);
+    return;
+  case Kind::DefF:
+    Out.push_back(F); // Weak heap defs are never killed.
+    return;
+  }
+}
+
+void ReachingDefsProblem::affected(const Command &Cmd,
+                                   std::vector<FactId> &Out) const {
+  if (!isDirectDef(Cmd))
+    return;
+  auto It = VarDefs.find(Cmd.Dst);
+  if (It != VarDefs.end())
+    Out.insert(Out.end(), It->second.begin(), It->second.end());
+}
+
+void ReachingDefsProblem::lambdaGen(ProcId P, const Command &Cmd,
+                                    std::vector<FactId> &Out) const {
+  (void)P;
+  if (Cmd.Kind == CmdKind::Store &&
+      clients::test::InjectReachDefsStoreBug.load())
+    return;
+  if (isDirectDef(Cmd) || Cmd.Kind == CmdKind::Store) {
+    auto Site = siteOf(Cmd);
+    Out.push_back(SiteIds.at(Site));
+  }
+}
+
+void ReachingDefsProblem::enter(const clients::Binding &B, FactId F,
+                                std::vector<FactId> &Out) const {
+  (void)B;
+  // Variable defs are procedure-local; field defs are global.
+  if (Info[F].K == Kind::DefF)
+    Out.push_back(F);
+}
+
+void ReachingDefsProblem::callLocal(const clients::Binding &B, FactId F,
+                                    std::vector<FactId> &Out) const {
+  const FactInfo &I = Info[F];
+  if (I.K == Kind::DefF)
+    return; // Travels through the callee.
+  // The call untracks its result variable: its def set empties.
+  if (I.Sym == B.resultVar() && B.resultVar().isValid())
+    return;
+  Out.push_back(F);
+}
+
+void ReachingDefsProblem::combineExit(const clients::Binding &B, FactId F,
+                                      std::vector<FactId> &Out) const {
+  (void)B;
+  // Callee variable defs die at the return; field defs flow back.
+  if (Info[F].K == Kind::DefF)
+    Out.push_back(F);
+}
+
+void ReachingDefsProblem::callFootprint(const clients::Binding &B,
+                                        std::vector<FactId> &Out) const {
+  // The result variable's defs are killed by the call, and field defs
+  // travel *through* the callee (enter/combineExit), so both must peel
+  // off the bottom-up identity. Field defs are never killed, but leaving
+  // them on the identity would let them skip the callee entirely and
+  // survive calls to procedures whose exit is unreachable (unconditional
+  // recursion) — which the top-down least fixpoint correctly rules out.
+  // Other variables' defs survive in the caller frame untouched.
+  if (B.resultVar().isValid()) {
+    auto It = VarDefs.find(B.resultVar());
+    if (It != VarDefs.end())
+      Out.insert(Out.end(), It->second.begin(), It->second.end());
+  }
+  Out.insert(Out.end(), AllFieldDefs.begin(), AllFieldDefs.end());
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reaching definitions as an `IfdsProblem` — the classic IFDS textbook
+/// example, and the worked example of docs/DOMAINS.md. A fact Def(v@p:n)
+/// says the direct assignment to v at node n of procedure p may be v's
+/// most recent assignment; DefF(f@p:n) says the store at (p, n) may reach
+/// through field f (weak — field defs are never killed, matching the
+/// may-alias heap treatment of the other clients).
+///
+/// Variable definitions are procedure-local: they neither enter callees
+/// nor survive a return (a callee's defs are its own business), and a call
+/// "untracks" its result variable — the call kills Def(result@*) and gens
+/// nothing, so at any point the Def set for v lists exactly the *direct*
+/// assignments that may be v's latest. Field definitions are global and
+/// travel through calls like the heap facts of the other clients. The
+/// client has no report facts; the difftest oracle compares the full fact
+/// set at main's exit instead, which the bottom-up mode reproduces by
+/// applying main's summary relations to Lambda.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_CLIENTS_IFDS_REACHINGDEFSPROBLEM_H
+#define SWIFT_CLIENTS_IFDS_REACHINGDEFSPROBLEM_H
+
+#include "clients/ifds/IfdsProblem.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace swift {
+namespace ifds {
+
+class ReachingDefsProblem : public IfdsProblem {
+public:
+  explicit ReachingDefsProblem(const Program &Prog);
+
+  std::string name() const override { return "reachdefs"; }
+  uint32_t numFacts() const override {
+    return static_cast<uint32_t>(Info.size());
+  }
+  std::string factText(FactId F) const override;
+
+  void transfer(ProcId P, const Command &Cmd, FactId F,
+                std::vector<FactId> &Out) const override;
+  void affected(const Command &Cmd,
+                std::vector<FactId> &Out) const override;
+  void lambdaGen(ProcId P, const Command &Cmd,
+                 std::vector<FactId> &Out) const override;
+  void enter(const clients::Binding &B, FactId F,
+             std::vector<FactId> &Out) const override;
+  void callLocal(const clients::Binding &B, FactId F,
+                 std::vector<FactId> &Out) const override;
+  void combineExit(const clients::Binding &B, FactId F,
+                   std::vector<FactId> &Out) const override;
+  void callFootprint(const clients::Binding &B,
+                     std::vector<FactId> &Out) const override;
+  bool isReport(FactId) const override { return false; }
+  bool reportSite(FactId F, ProcId &P, NodeId &N) const override {
+    (void)F;
+    (void)P;
+    (void)N;
+    return false;
+  }
+
+private:
+  enum class Kind : uint8_t { Lambda, Def, DefF };
+  struct FactInfo {
+    Kind K = Kind::Lambda;
+    Symbol Sym; ///< Defined variable / stored-through field.
+    ProcId P = InvalidProc;
+    NodeId N = InvalidNode;
+  };
+
+  /// True if \p Cmd directly assigns a variable (Call excluded: calls
+  /// untrack their result instead of defining it).
+  static bool isDirectDef(const Command &Cmd) {
+    return Cmd.Kind == CmdKind::Alloc || Cmd.Kind == CmdKind::Copy ||
+           Cmd.Kind == CmdKind::AssignNull || Cmd.Kind == CmdKind::Load;
+  }
+
+  std::vector<FactInfo> Info;
+  std::map<std::pair<ProcId, NodeId>, FactId> SiteIds; ///< Def and DefF.
+  /// All Def facts per defined variable (the kill set of an assignment).
+  std::unordered_map<Symbol, std::vector<FactId>> VarDefs;
+  /// Every DefF fact: the heap part of the call footprint.
+  std::vector<FactId> AllFieldDefs;
+};
+
+} // namespace ifds
+} // namespace swift
+
+#endif // SWIFT_CLIENTS_IFDS_REACHINGDEFSPROBLEM_H

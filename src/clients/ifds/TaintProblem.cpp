@@ -1,0 +1,261 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/ifds/TaintProblem.h"
+
+#include "clients/TestHooks.h"
+
+#include <algorithm>
+
+using namespace swift;
+using namespace swift::ifds;
+
+TaintProblem::TaintProblem(const Program &Prog,
+                           std::set<Symbol> SourceClasses,
+                           std::set<Symbol> SinkMethods)
+    : IfdsProblem(Prog), Sources(std::move(SourceClasses)),
+      Sinks(std::move(SinkMethods)) {
+  Info.push_back({}); // Fact 0: Lambda.
+
+  std::set<Symbol> Vars, Fields;
+  Vars.insert(Prog.retVar());
+  for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    for (Symbol V : Proc.vars())
+      Vars.insert(V);
+    for (const CfgNode &Node : Proc.nodes())
+      if (Node.Cmd.Kind == CmdKind::Load ||
+          Node.Cmd.Kind == CmdKind::Store)
+        Fields.insert(Node.Cmd.Field);
+  }
+  for (Symbol V : Vars) {
+    VarIds.emplace(V, static_cast<FactId>(Info.size()));
+    Info.push_back({Kind::Var, V, InvalidProc, InvalidNode});
+  }
+  for (Symbol F : Fields) {
+    FieldIds.emplace(F, static_cast<FactId>(Info.size()));
+    AllFieldFacts.push_back(static_cast<FactId>(Info.size()));
+    Info.push_back({Kind::Field, F, InvalidProc, InvalidNode});
+  }
+  for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    for (NodeId N : Proc.reachableRpo()) {
+      const Command &Cmd = Proc.node(N).Cmd;
+      if (Cmd.Kind == CmdKind::TsCall && Sinks.count(Cmd.Method)) {
+        LeakIds.emplace(std::make_pair(P, N),
+                        static_cast<FactId>(Info.size()));
+        Info.push_back({Kind::Leak, Symbol(), P, N});
+      }
+    }
+  }
+}
+
+std::string TaintProblem::factText(FactId F) const {
+  const SymbolTable &Syms = program().symbols();
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    return "(lambda)";
+  case Kind::Var:
+    return "taint(" + Syms.text(I.Sym) + ")";
+  case Kind::Field:
+    return "taint(*." + Syms.text(I.Sym) + ")";
+  case Kind::Leak:
+    return "leak@" + Syms.text(program().proc(I.P).name()) + ":" +
+           std::to_string(I.N);
+  }
+  return "<?>";
+}
+
+void TaintProblem::transfer(ProcId P, const Command &Cmd, FactId F,
+                            std::vector<FactId> &Out) const {
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    assert(false && "the adapter handles Lambda");
+    return;
+
+  case Kind::Var: {
+    Symbol V = I.Sym;
+    switch (Cmd.Kind) {
+    case CmdKind::Nop:
+      Out.push_back(F);
+      return;
+    case CmdKind::Alloc:
+    case CmdKind::AssignNull:
+      if (Cmd.Dst != V)
+        Out.push_back(F);
+      return;
+    case CmdKind::Copy:
+      if (Cmd.Src == V) {
+        Out.push_back(F);
+        if (Cmd.Dst != V)
+          Out.push_back(varId(Cmd.Dst));
+        return;
+      }
+      if (Cmd.Dst != V)
+        Out.push_back(F);
+      return;
+    case CmdKind::Load:
+      // The loaded value's taint comes from the Field fact; v's old
+      // taint is overwritten.
+      if (Cmd.Dst != V)
+        Out.push_back(F);
+      return;
+    case CmdKind::Store:
+      Out.push_back(F);
+      if (Cmd.Src == V && !clients::test::InjectTaintStoreBug.load())
+        Out.push_back(fieldId(Cmd.Field));
+      return;
+    case CmdKind::TsCall:
+      Out.push_back(F);
+      if (Cmd.Src == V && Sinks.count(Cmd.Method))
+        Out.push_back(leakId(P, Cmd.Self));
+      return;
+    case CmdKind::Call:
+      break;
+    }
+    break;
+  }
+
+  case Kind::Field:
+    Out.push_back(F);
+    if (Cmd.Kind == CmdKind::Load && Cmd.Field == I.Sym)
+      Out.push_back(varId(Cmd.Dst));
+    return;
+
+  case Kind::Leak:
+    Out.push_back(F); // Absorbing observation.
+    return;
+  }
+  assert(false && "calls are handled by the solver");
+}
+
+void TaintProblem::affected(const Command &Cmd,
+                            std::vector<FactId> &Out) const {
+  switch (Cmd.Kind) {
+  case CmdKind::Nop:
+    return;
+  case CmdKind::Alloc:
+  case CmdKind::AssignNull:
+    Out.push_back(varId(Cmd.Dst));
+    return;
+  case CmdKind::Copy:
+    if (Cmd.Dst == Cmd.Src)
+      return;
+    Out.push_back(varId(Cmd.Dst));
+    Out.push_back(varId(Cmd.Src));
+    return;
+  case CmdKind::Load:
+    Out.push_back(varId(Cmd.Dst));
+    Out.push_back(fieldId(Cmd.Field));
+    return;
+  case CmdKind::Store:
+    Out.push_back(varId(Cmd.Src));
+    return;
+  case CmdKind::TsCall:
+    if (Sinks.count(Cmd.Method))
+      Out.push_back(varId(Cmd.Src));
+    return;
+  case CmdKind::Call:
+    break;
+  }
+  assert(false && "calls have no kill/gen footprint");
+}
+
+void TaintProblem::lambdaGen(ProcId P, const Command &Cmd,
+                             std::vector<FactId> &Out) const {
+  (void)P;
+  if (Cmd.Kind == CmdKind::Alloc && Sources.count(Cmd.Class))
+    Out.push_back(varId(Cmd.Dst));
+}
+
+void TaintProblem::enter(const clients::Binding &B, FactId F,
+                         std::vector<FactId> &Out) const {
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    return;
+  case Kind::Var:
+    for (Symbol Formal : B.formalsOf(I.Sym))
+      Out.push_back(varId(Formal));
+    return;
+  case Kind::Field:
+    Out.push_back(F); // Heap facts are global.
+    return;
+  case Kind::Leak:
+    return; // Observations stay in the frame (callLocal).
+  }
+}
+
+void TaintProblem::callLocal(const clients::Binding &B, FactId F,
+                             std::vector<FactId> &Out) const {
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    return;
+  case Kind::Var:
+    if (I.Sym == B.resultVar() && B.resultVar().isValid())
+      return; // The result variable is rebound by the call.
+    Out.push_back(F);
+    return;
+  case Kind::Field:
+    return; // Heap facts travel through the callee.
+  case Kind::Leak:
+    Out.push_back(F);
+    return;
+  }
+}
+
+void TaintProblem::combineExit(const clients::Binding &B, FactId F,
+                               std::vector<FactId> &Out) const {
+  const FactInfo &I = Info[F];
+  switch (I.K) {
+  case Kind::Lambda:
+    return;
+  case Kind::Var: {
+    if (I.Sym == B.retVar()) {
+      if (B.resultVar().isValid())
+        Out.push_back(varId(B.resultVar()));
+      return;
+    }
+    Symbol Actual = B.actualOf(I.Sym);
+    // A tainted formal means the caller's actual holds a tainted value
+    // only if the callee did not rebind the formal.
+    if (Actual.isValid() && Actual != B.resultVar() &&
+        B.isStableFormal(I.Sym))
+      Out.push_back(varId(Actual));
+    return;
+  }
+  case Kind::Field:
+  case Kind::Leak:
+    Out.push_back(F); // Globals and observations propagate to callers.
+    return;
+  }
+}
+
+void TaintProblem::callFootprint(const clients::Binding &B,
+                                 std::vector<FactId> &Out) const {
+  if (B.resultVar().isValid())
+    Out.push_back(varId(B.resultVar()));
+  for (const auto &[Actual, Formals] : B.bindings()) {
+    (void)Formals;
+    Out.push_back(varId(Actual));
+  }
+  Out.insert(Out.end(), AllFieldFacts.begin(), AllFieldFacts.end());
+}
+
+bool TaintProblem::isReport(FactId F) const {
+  return Info[F].K == Kind::Leak;
+}
+
+bool TaintProblem::reportSite(FactId F, ProcId &P, NodeId &N) const {
+  if (Info[F].K != Kind::Leak)
+    return false;
+  P = Info[F].P;
+  N = Info[F].N;
+  return true;
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Taint reachability as an `IfdsProblem`: the same analysis as the
+/// hand-written killgen instantiation (`killgen/KgDomain.h`), re-expressed
+/// through the generic adapter. Objects allocated at designated source
+/// classes are tainted; taint propagates through copies, loads, stores
+/// (field-insensitively, via a global per-field fact), and calls; invoking
+/// a designated sink method on a tainted receiver is a leak. Because the
+/// semantics are fact-for-fact identical to KgDomain, this client doubles
+/// as the adapter's differential test: the adapter run must report exactly
+/// the leak sites of the native killgen run on every program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_CLIENTS_IFDS_TAINTPROBLEM_H
+#define SWIFT_CLIENTS_IFDS_TAINTPROBLEM_H
+
+#include "clients/ifds/IfdsProblem.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace swift {
+namespace ifds {
+
+class TaintProblem : public IfdsProblem {
+public:
+  TaintProblem(const Program &Prog, std::set<Symbol> SourceClasses,
+               std::set<Symbol> SinkMethods);
+
+  std::string name() const override { return "taint"; }
+  uint32_t numFacts() const override {
+    return static_cast<uint32_t>(Info.size());
+  }
+  std::string factText(FactId F) const override;
+
+  void transfer(ProcId P, const Command &Cmd, FactId F,
+                std::vector<FactId> &Out) const override;
+  void affected(const Command &Cmd,
+                std::vector<FactId> &Out) const override;
+  void lambdaGen(ProcId P, const Command &Cmd,
+                 std::vector<FactId> &Out) const override;
+  void enter(const clients::Binding &B, FactId F,
+             std::vector<FactId> &Out) const override;
+  void callLocal(const clients::Binding &B, FactId F,
+                 std::vector<FactId> &Out) const override;
+  void combineExit(const clients::Binding &B, FactId F,
+                   std::vector<FactId> &Out) const override;
+  void callFootprint(const clients::Binding &B,
+                     std::vector<FactId> &Out) const override;
+  bool isReport(FactId F) const override;
+  bool reportSite(FactId F, ProcId &P, NodeId &N) const override;
+
+private:
+  enum class Kind : uint8_t { Lambda, Var, Field, Leak };
+  struct FactInfo {
+    Kind K = Kind::Lambda;
+    Symbol Sym;                ///< Var / Field.
+    ProcId P = InvalidProc;    ///< Leak.
+    NodeId N = InvalidNode;    ///< Leak.
+  };
+
+  FactId varId(Symbol V) const {
+    auto It = VarIds.find(V);
+    assert(It != VarIds.end() && "unenumerated variable");
+    return It->second;
+  }
+  FactId fieldId(Symbol F) const {
+    auto It = FieldIds.find(F);
+    assert(It != FieldIds.end() && "unenumerated field");
+    return It->second;
+  }
+  FactId leakId(ProcId P, NodeId N) const {
+    auto It = LeakIds.find({P, N});
+    assert(It != LeakIds.end() && "unenumerated sink node");
+    return It->second;
+  }
+
+  std::set<Symbol> Sources;
+  std::set<Symbol> Sinks;
+  std::vector<FactInfo> Info;
+  std::unordered_map<Symbol, FactId> VarIds;
+  std::unordered_map<Symbol, FactId> FieldIds;
+  std::map<std::pair<ProcId, NodeId>, FactId> LeakIds;
+  std::vector<FactId> AllFieldFacts; ///< For call footprints.
+};
+
+} // namespace ifds
+} // namespace swift
+
+#endif // SWIFT_CLIENTS_IFDS_TAINTPROBLEM_H

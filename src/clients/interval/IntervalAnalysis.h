@@ -1,0 +1,738 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Framework traits for the interval domain. Unlike the kill/gen clients,
+/// bottom-up relations here carry *transformers*: a summary row is
+/// "entry counter at key F, passed through transformer T, lands at key
+/// To", and an underflow report row is conditional on the entry interval
+/// ("if T(I) may be <= 0, Under(p, n) fires"), so rtrans and composeCall
+/// genuinely compose functions rather than chase edges. This is the
+/// stress case for the framework's (A, B, C1-C3) contract: C2 holds
+/// because transformer composition is exact (compose() is canonical), and
+/// C3 because pruned rows record their whole domain key in Sigma.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_CLIENTS_INTERVAL_INTERVALANALYSIS_H
+#define SWIFT_CLIENTS_INTERVAL_INTERVALANALYSIS_H
+
+#include "clients/Binding.h"
+#include "clients/interval/IntervalDomain.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+namespace swift {
+namespace interval {
+
+/// A bottom-up relation of the interval family.
+struct IvRel {
+  enum class Kind : uint8_t {
+    IdExcept,  ///< {(Num(k,I), Num(k,I)) | k not in Excl} + Under rows.
+    Map,       ///< {(Num(From,I), Num(To, T(I)))}.
+    Birth,     ///< {(Lambda, Num(To, BI))}.
+    Rep,       ///< {(Num(From,I), Under(p,n)) | underflows(T(I))}.
+    BirthRep,  ///< {(Lambda, Under(p,n))}.
+  };
+
+  Kind K = Kind::IdExcept;
+  std::vector<IvKey> Excl; ///< Sorted, unique (IdExcept).
+  IvKey From, To;          ///< Map / Rep (From), Map / Birth (To).
+  Transformer T;           ///< Map / Rep.
+  Interval BI;             ///< Birth.
+  ProcId P = InvalidProc;  ///< Rep / BirthRep.
+  NodeId N = InvalidNode;  ///< Rep / BirthRep.
+
+  static IvRel identity() { return IvRel(); }
+  static IvRel identityExcept(std::vector<IvKey> X) {
+    IvRel R;
+    std::sort(X.begin(), X.end());
+    X.erase(std::unique(X.begin(), X.end()), X.end());
+    R.Excl = std::move(X);
+    return R;
+  }
+  static IvRel map(IvKey From, IvKey To, Transformer T) {
+    IvRel R;
+    R.K = Kind::Map;
+    R.From = From;
+    R.To = To;
+    R.T = T;
+    return R;
+  }
+  static IvRel birth(IvKey To, Interval BI) {
+    IvRel R;
+    R.K = Kind::Birth;
+    R.To = To;
+    R.BI = BI;
+    return R;
+  }
+  static IvRel rep(IvKey From, Transformer T, ProcId P, NodeId N) {
+    IvRel R;
+    R.K = Kind::Rep;
+    R.From = From;
+    R.T = T;
+    R.P = P;
+    R.N = N;
+    return R;
+  }
+  static IvRel birthRep(ProcId P, NodeId N) {
+    IvRel R;
+    R.K = Kind::BirthRep;
+    R.P = P;
+    R.N = N;
+    return R;
+  }
+
+  bool excludes(IvKey K2) const {
+    return std::binary_search(Excl.begin(), Excl.end(), K2);
+  }
+
+  friend bool operator==(const IvRel &A, const IvRel &B) {
+    return A.K == B.K && A.Excl == B.Excl && A.From == B.From &&
+           A.To == B.To && A.T == B.T && A.BI == B.BI && A.P == B.P &&
+           A.N == B.N;
+  }
+  friend bool operator<(const IvRel &A, const IvRel &B) {
+    if (A.K != B.K)
+      return A.K < B.K;
+    if (A.Excl != B.Excl)
+      return A.Excl < B.Excl;
+    if (A.From != B.From)
+      return A.From < B.From;
+    if (A.To != B.To)
+      return A.To < B.To;
+    if (!(A.T == B.T))
+      return A.T < B.T;
+    if (A.BI != B.BI)
+      return A.BI < B.BI;
+    if (A.P != B.P)
+      return A.P < B.P;
+    return A.N < B.N;
+  }
+};
+
+/// Ignored inputs: key-granular (a pruned row's domain is every interval
+/// at its key, so Sigma records whole keys).
+class IvIgnore {
+public:
+  bool containsLambda() const { return Lambda || All; }
+  bool containsKey(IvKey K) const { return All || Keys.count(K) != 0; }
+  bool containsFact(const IvFact &F) const {
+    if (All)
+      return true;
+    switch (F.K) {
+    case IvFact::Kind::Lambda:
+      return Lambda;
+    case IvFact::Kind::Num:
+      return Keys.count(F.Key) != 0;
+    case IvFact::Kind::Under:
+      return false; // Reports never enter a procedure.
+    }
+    return false;
+  }
+  void makeAll() {
+    All = true;
+    Lambda = true;
+    Keys.clear();
+  }
+  bool contains(const IvContext &Ctx, const IvFact &F) const {
+    (void)Ctx;
+    return containsFact(F);
+  }
+  bool addLambda() {
+    bool Grew = !Lambda;
+    Lambda = true;
+    return Grew;
+  }
+  bool addKey(IvKey K) {
+    if (All)
+      return false;
+    return Keys.insert(K).second;
+  }
+  bool add(const IvFact &F) {
+    if (F.isLambda())
+      return addLambda();
+    if (F.K == IvFact::Kind::Num)
+      return addKey(F.Key);
+    return false; // Under rows are never ignored inputs.
+  }
+  bool unionWith(const IvIgnore &Other) {
+    if (All)
+      return false;
+    if (Other.All) {
+      makeAll();
+      return true;
+    }
+    bool Grew = false;
+    if (Other.Lambda)
+      Grew |= addLambda();
+    for (IvKey K : Other.Keys)
+      Grew |= Keys.insert(K).second;
+    return Grew;
+  }
+  friend bool operator==(const IvIgnore &A, const IvIgnore &B) {
+    return A.All == B.All && A.Lambda == B.Lambda && A.Keys == B.Keys;
+  }
+  friend bool operator!=(const IvIgnore &A, const IvIgnore &B) {
+    return !(A == B);
+  }
+  const std::set<IvKey> &keys() const { return Keys; }
+  size_t size() const { return Keys.size() + (Lambda ? 1 : 0); }
+
+private:
+  bool All = false;
+  bool Lambda = false;
+  std::set<IvKey> Keys;
+};
+
+struct IvBinding {
+  IvBinding(const IvContext &Ctx, const Command &Cmd)
+      : B(Ctx.program(), Cmd) {}
+  clients::Binding B;
+};
+
+struct IvAnalysis {
+  using Context = IvContext;
+  using State = IvFact;
+  using Rel = IvRel;
+  using Ignore = IvIgnore;
+  using Binding = IvBinding;
+
+  // -- Top-down analysis --
+  static State lambda() { return IvFact::lambda(); }
+  static bool isLambda(const State &S) { return S.isLambda(); }
+
+  static std::vector<State> transfer(const Context &Ctx, ProcId P,
+                                     const Command &Cmd, const State &S) {
+    if (S.isLambda()) {
+      std::vector<State> Out{S};
+      if (Cmd.Kind == CmdKind::Alloc)
+        Out.push_back(IvFact::num(IvKey::var(Cmd.Dst), Interval::point(0)));
+      return Out;
+    }
+    if (S.K == IvFact::Kind::Under)
+      return {S}; // Absorbing observation.
+
+    const IvKey K = S.Key;
+    const Interval I = S.I;
+    if (K.IsField) {
+      if (Cmd.Kind == CmdKind::Load && Cmd.Field == K.Sym)
+        return {S, IvFact::num(IvKey::var(Cmd.Dst), I)};
+      return {S};
+    }
+    Symbol V = K.Sym;
+    switch (Cmd.Kind) {
+    case CmdKind::Nop:
+      return {S};
+    case CmdKind::Alloc:
+    case CmdKind::AssignNull:
+      return Cmd.Dst == V ? std::vector<State>{} : std::vector<State>{S};
+    case CmdKind::Copy:
+      if (Cmd.Src == V) {
+        if (Cmd.Dst == V)
+          return {S};
+        return {S, IvFact::num(IvKey::var(Cmd.Dst), I)};
+      }
+      return Cmd.Dst == V ? std::vector<State>{} : std::vector<State>{S};
+    case CmdKind::Load:
+      return Cmd.Dst == V ? std::vector<State>{} : std::vector<State>{S};
+    case CmdKind::Store:
+      if (Cmd.Src == V)
+        return {S, IvFact::num(IvKey::field(Cmd.Field), I)};
+      return {S};
+    case CmdKind::TsCall:
+      if (Cmd.Src != V)
+        return {S};
+      switch (Ctx.methodOp(Cmd.Method)) {
+      case MethodOp::Inc:
+        return {IvFact::num(K, Transformer::inc().apply(I))};
+      case MethodOp::Dec: {
+        std::vector<State> Out{IvFact::num(K, Transformer::dec().apply(I))};
+        if (IvContext::underflows(I))
+          Out.push_back(IvFact::under(P, Cmd.Self));
+        return Out;
+      }
+      case MethodOp::Reset:
+        return {IvFact::num(K, Interval::point(0))};
+      case MethodOp::Nop:
+        return {S};
+      }
+      return {S};
+    case CmdKind::Call:
+      break;
+    }
+    assert(false && "calls are handled by the solver");
+    return {S};
+  }
+
+  static Binding makeBinding(const Context &Ctx, ProcId P,
+                             const Command &Cmd) {
+    (void)P;
+    return IvBinding(Ctx, Cmd);
+  }
+
+  static std::vector<State> enter(const Binding &B, const State &S) {
+    if (S.isLambda())
+      return {S};
+    if (S.K == IvFact::Kind::Under)
+      return {}; // Observations stay in the frame (callLocal).
+    if (S.Key.IsField)
+      return {S}; // The field store is global.
+    std::vector<State> Out;
+    for (Symbol Formal : B.B.formalsOf(S.Key.Sym))
+      Out.push_back(IvFact::num(IvKey::var(Formal), S.I));
+    return Out;
+  }
+
+  static std::vector<State> callLocal(const Binding &B, const State &S) {
+    if (S.isLambda())
+      return {}; // Lambda travels through the callee.
+    if (S.K == IvFact::Kind::Under)
+      return {S};
+    if (S.Key.IsField)
+      return {}; // Travels through the callee.
+    if (S.Key.Sym == B.B.resultVar() && B.B.resultVar().isValid())
+      return {}; // The result variable is rebound by the call.
+    return {S};
+  }
+
+  static std::vector<State> combine(const Binding &B, const State &Frame,
+                                    const State &Exit) {
+    (void)Frame; // Atomic may-facts need no frame merge.
+    return combineFresh(B, Exit);
+  }
+
+  static std::vector<State> combineFresh(const Binding &B,
+                                         const State &Exit) {
+    if (Exit.isLambda())
+      return {Exit};
+    if (Exit.K == IvFact::Kind::Under)
+      return {Exit}; // Reports propagate to callers.
+    if (Exit.Key.IsField)
+      return {Exit};
+    // Counters pass by value: only $ret maps back (no formal/actual
+    // mapping — a callee mutating a formal never affects the caller).
+    if (Exit.Key.Sym == B.B.retVar() && B.B.resultVar().isValid())
+      return {IvFact::num(IvKey::var(B.B.resultVar()), Exit.I)};
+    return {};
+  }
+
+  // -- Bottom-up analysis --
+  struct SummaryView {
+    const std::vector<Rel> *Rels = nullptr;
+    const Ignore *Sigma = nullptr;
+  };
+
+  static Rel identityRel(const Context &Ctx) {
+    (void)Ctx;
+    return IvRel::identity();
+  }
+
+  /// The keys whose identity row changes under \p Cmd.
+  static void affectedKeys(const Context &Ctx, const Command &Cmd,
+                           std::vector<IvKey> &Out) {
+    switch (Cmd.Kind) {
+    case CmdKind::Nop:
+      return;
+    case CmdKind::Alloc:
+    case CmdKind::AssignNull:
+      Out.push_back(IvKey::var(Cmd.Dst));
+      return;
+    case CmdKind::Copy:
+      if (Cmd.Dst == Cmd.Src)
+        return;
+      Out.push_back(IvKey::var(Cmd.Dst));
+      Out.push_back(IvKey::var(Cmd.Src));
+      return;
+    case CmdKind::Load:
+      Out.push_back(IvKey::var(Cmd.Dst));
+      Out.push_back(IvKey::field(Cmd.Field));
+      return;
+    case CmdKind::Store:
+      Out.push_back(IvKey::var(Cmd.Src));
+      return;
+    case CmdKind::TsCall:
+      if (Ctx.methodOp(Cmd.Method) != MethodOp::Nop)
+        Out.push_back(IvKey::var(Cmd.Src));
+      return;
+    case CmdKind::Call:
+      break;
+    }
+    assert(false && "calls have no kill/gen footprint");
+  }
+
+  /// Extends one (From -> To via T) row across \p Cmd; shared by the Map
+  /// and identity-peel paths of rtrans.
+  static void stepRow(const Context &Ctx, ProcId P, const Command &Cmd,
+                      IvKey From, IvKey To, const Transformer &T,
+                      std::vector<Rel> &Out) {
+    switch (Cmd.Kind) {
+    case CmdKind::Nop:
+      Out.push_back(IvRel::map(From, To, T));
+      return;
+    case CmdKind::Alloc:
+    case CmdKind::AssignNull:
+      if (!(!To.IsField && Cmd.Dst == To.Sym))
+        Out.push_back(IvRel::map(From, To, T));
+      return;
+    case CmdKind::Copy:
+      if (!To.IsField && Cmd.Src == To.Sym) {
+        Out.push_back(IvRel::map(From, To, T));
+        if (Cmd.Dst != To.Sym)
+          Out.push_back(IvRel::map(From, IvKey::var(Cmd.Dst), T));
+        return;
+      }
+      if (!(!To.IsField && Cmd.Dst == To.Sym))
+        Out.push_back(IvRel::map(From, To, T));
+      return;
+    case CmdKind::Load:
+      if (To.IsField && Cmd.Field == To.Sym) {
+        Out.push_back(IvRel::map(From, To, T));
+        Out.push_back(IvRel::map(From, IvKey::var(Cmd.Dst), T));
+        return;
+      }
+      if (!(!To.IsField && Cmd.Dst == To.Sym))
+        Out.push_back(IvRel::map(From, To, T));
+      return;
+    case CmdKind::Store:
+      Out.push_back(IvRel::map(From, To, T));
+      if (!To.IsField && Cmd.Src == To.Sym)
+        Out.push_back(IvRel::map(From, IvKey::field(Cmd.Field), T));
+      return;
+    case CmdKind::TsCall: {
+      if (To.IsField || Cmd.Src != To.Sym) {
+        Out.push_back(IvRel::map(From, To, T));
+        return;
+      }
+      switch (Ctx.methodOp(Cmd.Method)) {
+      case MethodOp::Inc:
+        Out.push_back(IvRel::map(From, To, compose(Transformer::inc(), T)));
+        return;
+      case MethodOp::Dec:
+        Out.push_back(IvRel::map(From, To, compose(Transformer::dec(), T)));
+        Out.push_back(IvRel::rep(From, T, P, Cmd.Self));
+        return;
+      case MethodOp::Reset:
+        Out.push_back(IvRel::map(From, To, Transformer::constant(0)));
+        return;
+      case MethodOp::Nop:
+        Out.push_back(IvRel::map(From, To, T));
+        return;
+      }
+      return;
+    }
+    case CmdKind::Call:
+      break;
+    }
+    assert(false && "calls are handled by the solver");
+  }
+
+  static std::vector<Rel> rtrans(const Context &Ctx, ProcId P,
+                                 const Command &Cmd, const Rel &R) {
+    std::vector<Rel> Out;
+    switch (R.K) {
+    case IvRel::Kind::Rep:
+    case IvRel::Kind::BirthRep:
+      Out.push_back(R); // Absorbing.
+      return Out;
+
+    case IvRel::Kind::Map:
+      stepRow(Ctx, P, Cmd, R.From, R.To, R.T, Out);
+      return Out;
+
+    case IvRel::Kind::Birth: {
+      // Same shape as stepRow, but the carried value is concrete.
+      std::vector<Rel> Rows;
+      stepRow(Ctx, P, Cmd, R.To /*dummy From*/, R.To,
+              Transformer::identity(), Rows);
+      for (const Rel &Row : Rows) {
+        if (Row.K == IvRel::Kind::Map) {
+          Out.push_back(IvRel::birth(Row.To, Row.T.apply(R.BI)));
+        } else {
+          assert(Row.K == IvRel::Kind::Rep);
+          if (IvContext::underflows(Row.T.apply(R.BI)))
+            Out.push_back(IvRel::birthRep(Row.P, Row.N));
+        }
+      }
+      return Out;
+    }
+
+    case IvRel::Kind::IdExcept: {
+      std::vector<IvKey> Affected;
+      affectedKeys(Ctx, Cmd, Affected);
+      std::vector<IvKey> NewExcl = R.Excl;
+      for (IvKey K : Affected) {
+        if (R.excludes(K))
+          continue;
+        NewExcl.push_back(K);
+        // Peel the identity row at K into explicit rows, minus the
+        // killed cases (births are Lambda's business).
+        std::vector<Rel> Rows;
+        stepRow(Ctx, P, Cmd, K, K, Transformer::identity(), Rows);
+        for (const Rel &Row : Rows) {
+          // Kills drop the row entirely: stepRow already omits them.
+          Out.push_back(Row);
+        }
+      }
+      Out.push_back(IvRel::identityExcept(std::move(NewExcl)));
+      return Out;
+    }
+    }
+    return Out;
+  }
+
+  static std::vector<Rel> lambdaEmits(const Context &Ctx,
+                                      const Command &Cmd) {
+    (void)Ctx;
+    std::vector<Rel> Out;
+    if (Cmd.Kind == CmdKind::Alloc)
+      Out.push_back(
+          IvRel::birth(IvKey::var(Cmd.Dst), Interval::point(0)));
+    return Out;
+  }
+
+  /// Maps a callee-exit key back into the caller; invalid Symbol means
+  /// "does not map back".
+  static std::optional<IvKey> combineKey(const Binding &B, IvKey Exit) {
+    if (Exit.IsField)
+      return Exit;
+    if (Exit.Sym == B.B.retVar() && B.B.resultVar().isValid())
+      return IvKey::var(B.B.resultVar());
+    return std::nullopt; // Value semantics: formals do not map back.
+  }
+
+  /// Composes one caller row reaching the call with output key \p Mid and
+  /// accumulated transformer \p T (identity for peeled identity rows).
+  /// Emits Map/Rep rows with domain key \p From.
+  static void composeKeyThroughCall(const Context &Ctx, const Binding &B,
+                                    IvKey From, IvKey Mid,
+                                    const Transformer &T,
+                                    const SummaryView &Callee,
+                                    std::vector<Rel> &Out,
+                                    Ignore &SigmaOut) {
+    (void)Ctx;
+    // Caller-side survival (the analogue of callLocal).
+    if (!Mid.IsField &&
+        !(Mid.Sym == B.B.resultVar() && B.B.resultVar().isValid()))
+      Out.push_back(IvRel::map(From, Mid, T));
+
+    // Entry into the callee: fields as themselves, actuals as formals.
+    std::vector<IvKey> Entered;
+    if (Mid.IsField) {
+      Entered.push_back(Mid);
+    } else {
+      for (Symbol Formal : B.B.formalsOf(Mid.Sym))
+        Entered.push_back(IvKey::var(Formal));
+    }
+
+    for (IvKey E : Entered) {
+      if (Callee.Sigma->containsKey(E)) {
+        SigmaOut.addKey(From);
+        continue;
+      }
+      for (const Rel &CR : *Callee.Rels) {
+        switch (CR.K) {
+        case IvRel::Kind::IdExcept:
+          if (!CR.excludes(E))
+            if (auto Back = combineKey(B, E))
+              Out.push_back(IvRel::map(From, *Back, T));
+          break;
+        case IvRel::Kind::Map:
+          if (CR.From == E)
+            if (auto Back = combineKey(B, CR.To))
+              Out.push_back(IvRel::map(From, *Back, compose(CR.T, T)));
+          break;
+        case IvRel::Kind::Rep:
+          if (CR.From == E)
+            Out.push_back(
+                IvRel::rep(From, compose(CR.T, T), CR.P, CR.N));
+          break;
+        case IvRel::Kind::Birth:
+        case IvRel::Kind::BirthRep:
+          break; // Lambda rows; composeCallLambda's business.
+        }
+      }
+    }
+  }
+
+  static void composeCall(const Context &Ctx, const Binding &B,
+                          const Rel &R, const SummaryView &Callee,
+                          std::vector<Rel> &Out, Ignore &SigmaOut) {
+    switch (R.K) {
+    case IvRel::Kind::Rep:
+    case IvRel::Kind::BirthRep:
+      Out.push_back(R); // Reports survive in the caller frame.
+      return;
+
+    case IvRel::Kind::Map:
+      composeKeyThroughCall(Ctx, B, R.From, R.To, R.T, Callee, Out,
+                            SigmaOut);
+      return;
+
+    case IvRel::Kind::Birth: {
+      // Same composition, with the concrete interval threaded through.
+      std::vector<Rel> Rows;
+      IvIgnore Sig;
+      composeKeyThroughCall(Ctx, B, R.To /*dummy*/, R.To,
+                            Transformer::identity(), Callee, Rows, Sig);
+      if (Sig.size() != 0)
+        SigmaOut.addLambda();
+      for (const Rel &Row : Rows) {
+        if (Row.K == IvRel::Kind::Map) {
+          Out.push_back(IvRel::birth(Row.To, Row.T.apply(R.BI)));
+        } else {
+          assert(Row.K == IvRel::Kind::Rep);
+          if (IvContext::underflows(Row.T.apply(R.BI)))
+            Out.push_back(IvRel::birthRep(Row.P, Row.N));
+        }
+      }
+      return;
+    }
+
+    case IvRel::Kind::IdExcept: {
+      // Footprint: the result variable, every actual, and every field key.
+      // Actuals pass by value, so a peeled actual re-emits its own
+      // identity row (composeKeyThroughCall's caller-survival row) — but
+      // it must still enter the callee as its formals, because the callee
+      // can funnel the actual's value back out through a field store or
+      // $ret, and those rows have a formal (not a field) as their domain
+      // key.
+      std::vector<IvKey> Footprint;
+      if (B.B.resultVar().isValid())
+        Footprint.push_back(IvKey::var(B.B.resultVar()));
+      for (const auto &[Actual, Formals] : B.B.bindings()) {
+        (void)Formals;
+        Footprint.push_back(IvKey::var(Actual));
+      }
+      for (Symbol F : Ctx.allFields())
+        Footprint.push_back(IvKey::field(F));
+      std::sort(Footprint.begin(), Footprint.end());
+      Footprint.erase(std::unique(Footprint.begin(), Footprint.end()),
+                      Footprint.end());
+
+      std::vector<IvKey> NewExcl = R.Excl;
+      for (IvKey K : Footprint) {
+        if (R.excludes(K))
+          continue;
+        NewExcl.push_back(K);
+        composeKeyThroughCall(Ctx, B, K, K, Transformer::identity(),
+                              Callee, Out, SigmaOut);
+      }
+      Out.push_back(IvRel::identityExcept(std::move(NewExcl)));
+      return;
+    }
+    }
+  }
+
+  static void composeCallLambda(const Context &Ctx, const Binding &B,
+                                const SummaryView &Callee,
+                                std::vector<Rel> &Out, Ignore &SigmaOut) {
+    (void)Ctx;
+    if (Callee.Sigma->containsLambda()) {
+      SigmaOut.addLambda();
+      return;
+    }
+    for (const Rel &CR : *Callee.Rels) {
+      if (CR.K == IvRel::Kind::Birth) {
+        if (auto Back = combineKey(B, CR.To))
+          Out.push_back(IvRel::birth(*Back, CR.BI));
+      } else if (CR.K == IvRel::Kind::BirthRep) {
+        Out.push_back(CR); // Reports propagate to callers.
+      }
+    }
+  }
+
+  static std::optional<State> applyRel(const Context &Ctx, const Rel &R,
+                                       const State &S) {
+    (void)Ctx;
+    switch (R.K) {
+    case IvRel::Kind::IdExcept:
+      if (S.isLambda())
+        return std::nullopt;
+      if (S.K == IvFact::Kind::Under)
+        return S;
+      return R.excludes(S.Key) ? std::nullopt : std::optional<State>(S);
+    case IvRel::Kind::Map:
+      if (S.K == IvFact::Kind::Num && S.Key == R.From)
+        return IvFact::num(R.To, R.T.apply(S.I));
+      return std::nullopt;
+    case IvRel::Kind::Birth:
+      if (S.isLambda())
+        return IvFact::num(R.To, R.BI);
+      return std::nullopt;
+    case IvRel::Kind::Rep:
+      if (S.K == IvFact::Kind::Num && S.Key == R.From &&
+          IvContext::underflows(R.T.apply(S.I)))
+        return IvFact::under(R.P, R.N);
+      return std::nullopt;
+    case IvRel::Kind::BirthRep:
+      if (S.isLambda())
+        return IvFact::under(R.P, R.N);
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  // -- Observation support --
+  static bool relMayObserve(const Context &Ctx, const Rel &R) {
+    (void)Ctx;
+    return R.K == IvRel::Kind::Rep || R.K == IvRel::Kind::BirthRep;
+  }
+  static bool stateObservable(const Context &Ctx, const State &S) {
+    (void)Ctx;
+    return S.K == IvFact::Kind::Under;
+  }
+
+  // -- Pruning support --
+  static bool relIsPrunable(const Rel &R) {
+    // Rows with a concrete domain key are pruned; births are bounded by
+    // allocation commands and the identity dominates everything.
+    return R.K == IvRel::Kind::Map || R.K == IvRel::Kind::Rep;
+  }
+  static size_t relGenerality(const Rel &R) {
+    return R.K == IvRel::Kind::IdExcept ? 0 : 1;
+  }
+  static bool domContains(const Context &Ctx, const Rel &R,
+                          const State &S) {
+    (void)Ctx;
+    switch (R.K) {
+    case IvRel::Kind::IdExcept:
+      return S.K == IvFact::Kind::Num && !R.excludes(S.Key);
+    case IvRel::Kind::Map:
+    case IvRel::Kind::Rep:
+      return S.K == IvFact::Kind::Num && S.Key == R.From;
+    case IvRel::Kind::Birth:
+    case IvRel::Kind::BirthRep:
+      return S.isLambda();
+    }
+    return false;
+  }
+  static void addDomToIgnore(const Rel &R, Ignore &Sigma) {
+    assert(R.K == IvRel::Kind::Map || R.K == IvRel::Kind::Rep);
+    Sigma.addKey(R.From);
+  }
+  static bool ignoreCoversDom(const Ignore &Sigma, const Rel &R) {
+    switch (R.K) {
+    case IvRel::Kind::Map:
+    case IvRel::Kind::Rep:
+      return Sigma.containsKey(R.From);
+    case IvRel::Kind::Birth:
+    case IvRel::Kind::BirthRep:
+      return Sigma.containsLambda();
+    case IvRel::Kind::IdExcept:
+      return false;
+    }
+    return false;
+  }
+  static void ignoreAll(Ignore &Sigma) { Sigma.makeAll(); }
+};
+
+} // namespace interval
+} // namespace swift
+
+#endif // SWIFT_CLIENTS_INTERVAL_INTERVALANALYSIS_H

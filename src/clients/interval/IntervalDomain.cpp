@@ -1,0 +1,173 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/interval/IntervalDomain.h"
+
+#include "clients/TestHooks.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace swift;
+using namespace swift::interval;
+
+static std::string valStr(int V) {
+  if (V == Neg)
+    return "-inf";
+  if (V == Pos)
+    return "+inf";
+  return std::to_string(V);
+}
+
+std::string Interval::str() const {
+  return "[" + valStr(Lo) + "," + valStr(Hi) + "]";
+}
+
+Transformer Transformer::step(int Threshold) {
+  Transformer T;
+  if (Threshold == Neg || Threshold < -Cap) {
+    T.L = Neg; // No finite input saturates low...
+    T.H = -Cap; // ...and every finite input saturates high.
+    return T;
+  }
+  if (Threshold == Pos || Threshold >= Cap) {
+    T.L = Cap; // Every finite input saturates low.
+    T.H = Pos;
+    return T;
+  }
+  T.L = Threshold;
+  T.H = Threshold + 1;
+  return T;
+}
+
+Transformer Transformer::normalize(int D, int L, int H) {
+  // Middle outputs that would leave [-Cap, Cap] saturate; fold them into
+  // the thresholds: e + D < -Cap iff e <= -Cap - D - 1, and
+  // e + D > Cap iff e >= Cap - D + 1.
+  if (L == Neg)
+    L = -Cap - D - 1;
+  else
+    L = std::max(L, -Cap - D - 1);
+  if (H == Pos)
+    H = Cap - D + 1;
+  else
+    H = std::min(H, Cap - D + 1);
+
+  // Clamp thresholds to the canonical ranges.
+  if (L < -Cap)
+    L = Neg;
+  else if (L > Cap)
+    L = Cap;
+  if (H > Cap)
+    H = Pos;
+  else if (H < -Cap)
+    H = -Cap;
+
+  int MidLo = (L == Neg) ? -Cap : L + 1;
+  int MidHi = (H == Pos) ? Cap : H - 1;
+  if (std::max(MidLo, -Cap) > std::min(MidHi, Cap))
+    return step(L); // Empty middle: a pure threshold (low wins in eval).
+
+  Transformer T;
+  T.D = D;
+  T.L = L;
+  T.H = H;
+  return T;
+}
+
+int Transformer::eval(int E) const {
+  if (K == Kind::Const)
+    return C;
+  if (E == Neg || E == Pos)
+    return E; // Saturation is sticky.
+  if (E <= L)
+    return Neg;
+  if (E >= H)
+    return Pos;
+  return satAdd(E, D);
+}
+
+std::string Transformer::str() const {
+  if (K == Kind::Const)
+    return "const(" + valStr(C) + ")";
+  return "shift(" + std::to_string(D) + "," + valStr(L) + "," +
+         valStr(H) + ")";
+}
+
+Transformer swift::interval::compose(const Transformer &G,
+                                     const Transformer &F) {
+  if (F.K == Transformer::Kind::Const)
+    return Transformer::constant(G.eval(F.C));
+  if (G.K == Transformer::Kind::Const)
+    return G;
+
+  auto Sub = [](int X, int D) {
+    return (X == Neg || X == Pos) ? X : X - D;
+  };
+  // g(f(e)): NEG iff e <= F.L, or e in f's middle and f(e) <= G.L; POS
+  // symmetrically. With a non-empty composite middle both regions are
+  // contiguous, giving a plain shift.
+  int L2 = Sub(G.L, F.D), H2 = Sub(G.H, F.D);
+  int L = std::max(F.L, L2);
+  int H = std::min(F.H, H2);
+
+  int MidLo = (L == Neg) ? -Cap : std::max(L + 1, -Cap);
+  int MidHi = (H == Pos) ? Cap : std::min(H - 1, Cap);
+  if (MidLo > MidHi) {
+    // Empty middle: everything is a threshold. The NEG region is
+    // e <= F.L plus the prefix of f's middle whose image is <= G.L.
+    int LastMid = (F.H == Pos) ? Cap : F.H - 1;
+    int T = std::max(F.L, std::min(L2, LastMid));
+    return Transformer::step(T);
+  }
+  return Transformer::normalize(F.D + G.D, L, H);
+}
+
+std::string IvFact::str(const Program &Prog) const {
+  const SymbolTable &Syms = Prog.symbols();
+  switch (K) {
+  case Kind::Lambda:
+    return "(lambda)";
+  case Kind::Num:
+    if (Key.IsField)
+      return "in(*." + Syms.text(Key.Sym) + "," + I.str() + ")";
+    return "in(" + Syms.text(Key.Sym) + "," + I.str() + ")";
+  case Kind::Under:
+    return "under@" + Syms.text(Prog.proc(P).name()) + ":" +
+           std::to_string(N);
+  }
+  return "<?>";
+}
+
+IvContext::IvContext(const Program &Prog)
+    : Prog(Prog), CG(std::make_unique<CallGraph>(Prog)) {
+  std::set<Symbol> FieldSet;
+  for (ProcId P = 0; P != Prog.numProcs(); ++P) {
+    for (const CfgNode &Node : Prog.proc(P).nodes()) {
+      const Command &Cmd = Node.Cmd;
+      if (Cmd.Kind == CmdKind::Load || Cmd.Kind == CmdKind::Store)
+        FieldSet.insert(Cmd.Field);
+      if (Cmd.Kind == CmdKind::TsCall && !Ops.count(Cmd.Method)) {
+        const std::string &Name = Prog.symbols().text(Cmd.Method);
+        MethodOp Op = MethodOp::Nop;
+        if (Name == "open")
+          Op = MethodOp::Inc;
+        else if (Name == "close")
+          Op = MethodOp::Dec;
+        else if (Name == "reset")
+          Op = MethodOp::Reset;
+        Ops.emplace(Cmd.Method, Op);
+      }
+    }
+  }
+  Fields.assign(FieldSet.begin(), FieldSet.end());
+}
+
+bool IvContext::underflows(Interval I) {
+  if (clients::test::InjectIntervalGuardBug.load())
+    return I.Lo < 0; // Injected bug: misses the exactly-zero close.
+  return I.mayBeNonPositive();
+}

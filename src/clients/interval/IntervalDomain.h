@@ -1,0 +1,280 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the SWIFT hybrid-analysis reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A numeric interval domain over saturating counters — the non-kill/gen
+/// stress case for the framework, with genuinely relational bottom-up
+/// summaries in the spirit of "Underapproximation of Procedure Summaries
+/// for Integer Programs" (PAPERS.md): a procedure's effect on a counter is
+/// captured as a *transformer* (a saturating shift with low/high
+/// saturation thresholds, or a constant), not as a value set, so summary
+/// composition is function composition rather than set algebra.
+///
+/// Counter semantics (the "interval language" reinterpretation of the IR;
+/// mirrored exactly by the concrete witness in clients/Concrete.h):
+///  * values are null or a saturating counter in NEG ∪ [-Cap, Cap] ∪ POS,
+///    with NEG/POS absorbing (saturation is sticky),
+///  * `x = new C` births a counter at 0; `x = null` clears it,
+///  * `x.open()` increments, `x.close()` decrements, `x.reset()` zeroes;
+///    other methods (and any method on null) are no-ops,
+///  * a close() on a counter that may be <= 0 is an *underflow report*
+///    Under(p, n), the domain's observable,
+///  * `x = y` copies the value; calls pass counters by value (a callee
+///    mutating a formal never affects the caller's actual); `x.f = y` /
+///    `x = y.f` move values through a field-indexed global store with
+///    weak (accumulating) updates.
+///
+/// Abstract facts are (key, interval) pairs plus the absorbing Under
+/// reports; bottom-up relations map keys to keys *through a transformer*,
+/// so the relation domain is infinite-in-principle and pruning/Sigma have
+/// real work to do — unlike the kill/gen clients where relations are
+/// finite edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWIFT_CLIENTS_INTERVAL_INTERVALDOMAIN_H
+#define SWIFT_CLIENTS_INTERVAL_INTERVALDOMAIN_H
+
+#include "ir/CallGraph.h"
+#include "ir/Program.h"
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace swift {
+namespace interval {
+
+/// Saturation cap: counters live in NEG ∪ [-Cap, Cap] ∪ POS.
+inline constexpr int Cap = 4;
+/// Sentinels; ordered below/above every finite value so plain int
+/// comparisons work on Val directly.
+inline constexpr int Neg = -100;
+inline constexpr int Pos = 100;
+
+/// Saturating add of a finite value (sentinels are fixed points).
+inline int satAdd(int E, int D) {
+  if (E == Neg || E == Pos)
+    return E;
+  int R = E + D;
+  if (R > Cap)
+    return Pos;
+  if (R < -Cap)
+    return Neg;
+  return R;
+}
+
+/// A closed interval [Lo, Hi] over Val; Lo <= Hi always.
+struct Interval {
+  int Lo = 0;
+  int Hi = 0;
+
+  static Interval point(int V) { return {V, V}; }
+  /// The underflow guard: does the interval contain a value <= 0?
+  bool mayBeNonPositive() const { return Lo <= 0; }
+  bool contains(int V) const { return Lo <= V && V <= Hi; }
+
+  friend bool operator==(Interval A, Interval B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+  friend bool operator!=(Interval A, Interval B) { return !(A == B); }
+  friend bool operator<(Interval A, Interval B) {
+    if (A.Lo != B.Lo)
+      return A.Lo < B.Lo;
+    return A.Hi < B.Hi;
+  }
+
+  std::string str() const;
+};
+
+/// A monotone counter transformer: either a saturating shift — inputs
+/// <= L saturate to NEG, inputs >= H saturate to POS, the middle shifts
+/// by D (NEG and POS are always fixed points) — or a constant. Kept in a
+/// canonical form (normalize) so structural equality is semantic
+/// equality, which is what lets the relational solver deduplicate
+/// summary relations.
+struct Transformer {
+  enum class Kind : uint8_t { Shift, Const };
+
+  Kind K = Kind::Shift;
+  int D = 0;   ///< Shift amount.
+  int L = Neg; ///< Low saturation threshold (e <= L -> NEG).
+  int H = Pos; ///< High saturation threshold (e >= H -> POS).
+  int C = 0;   ///< Const value.
+
+  static Transformer identity() { return {}; }
+  static Transformer inc() { return normalize(1, Neg, Cap); }
+  static Transformer dec() { return normalize(-1, -Cap, Pos); }
+  static Transformer constant(int V) {
+    Transformer T;
+    T.K = Kind::Const;
+    T.C = V;
+    return T;
+  }
+
+  /// Canonicalizes a shift: folds out-of-range middle outputs into the
+  /// saturation thresholds, clamps thresholds to {NEG} ∪ [-Cap, Cap] and
+  /// [-Cap, Cap] ∪ {POS}, and rewrites an empty middle into the canonical
+  /// step form (D = 0, H = L + 1).
+  static Transformer normalize(int D, int L, int H);
+
+  /// A pure threshold step: e <= C -> NEG, else POS (over finite inputs).
+  static Transformer step(int Threshold);
+
+  int eval(int E) const;
+  Interval apply(Interval I) const {
+    // Transformers are monotone, so the image of an interval is the
+    // interval of the endpoint images.
+    return {eval(I.Lo), eval(I.Hi)};
+  }
+
+  friend bool operator==(const Transformer &A, const Transformer &B) {
+    return A.K == B.K && A.D == B.D && A.L == B.L && A.H == B.H &&
+           A.C == B.C;
+  }
+  friend bool operator<(const Transformer &A, const Transformer &B) {
+    if (A.K != B.K)
+      return A.K < B.K;
+    if (A.D != B.D)
+      return A.D < B.D;
+    if (A.L != B.L)
+      return A.L < B.L;
+    if (A.H != B.H)
+      return A.H < B.H;
+    return A.C < B.C;
+  }
+
+  std::string str() const;
+};
+
+/// g after f: the canonical transformer computing g(f(e)).
+Transformer compose(const Transformer &G, const Transformer &F);
+
+/// A counter location: a variable or a (global, field-indexed) heap slot.
+/// IsField disambiguates symbols used as both.
+struct IvKey {
+  Symbol Sym;
+  bool IsField = false;
+
+  static IvKey var(Symbol V) { return {V, false}; }
+  static IvKey field(Symbol F) { return {F, true}; }
+
+  friend bool operator==(IvKey A, IvKey B) {
+    return A.Sym == B.Sym && A.IsField == B.IsField;
+  }
+  friend bool operator!=(IvKey A, IvKey B) { return !(A == B); }
+  friend bool operator<(IvKey A, IvKey B) {
+    if (A.Sym != B.Sym)
+      return A.Sym < B.Sym;
+    return A.IsField < B.IsField;
+  }
+};
+
+/// One abstract fact: Lambda, a counter bound, or an underflow report.
+struct IvFact {
+  enum class Kind : uint8_t { Lambda, Num, Under };
+
+  Kind K = Kind::Lambda;
+  IvKey Key;              ///< Num.
+  Interval I;             ///< Num.
+  ProcId P = InvalidProc; ///< Under.
+  NodeId N = InvalidNode; ///< Under.
+
+  static IvFact lambda() { return IvFact(); }
+  static IvFact num(IvKey Key, Interval I) {
+    IvFact F;
+    F.K = Kind::Num;
+    F.Key = Key;
+    F.I = I;
+    return F;
+  }
+  static IvFact under(ProcId P, NodeId N) {
+    IvFact F;
+    F.K = Kind::Under;
+    F.P = P;
+    F.N = N;
+    return F;
+  }
+
+  bool isLambda() const { return K == Kind::Lambda; }
+
+  friend bool operator==(const IvFact &A, const IvFact &B) {
+    return A.K == B.K && A.Key == B.Key && A.I == B.I && A.P == B.P &&
+           A.N == B.N;
+  }
+  friend bool operator!=(const IvFact &A, const IvFact &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const IvFact &A, const IvFact &B) {
+    if (A.K != B.K)
+      return A.K < B.K;
+    if (A.Key != B.Key)
+      return A.Key < B.Key;
+    if (A.I != B.I)
+      return A.I < B.I;
+    if (A.P != B.P)
+      return A.P < B.P;
+    return A.N < B.N;
+  }
+
+  std::string str(const Program &Prog) const;
+};
+
+/// What a TsCall method does to a counter.
+enum class MethodOp : uint8_t { Inc, Dec, Reset, Nop };
+
+/// Environment of one interval-analysis run.
+class IvContext {
+public:
+  explicit IvContext(const Program &Prog);
+
+  const Program &program() const { return Prog; }
+  const CallGraph &callGraph() const { return *CG; }
+  MethodOp methodOp(Symbol Method) const {
+    auto It = Ops.find(Method);
+    return It == Ops.end() ? MethodOp::Nop : It->second;
+  }
+  /// Every field symbol occurring in the program.
+  const std::vector<Symbol> &allFields() const { return Fields; }
+  /// The underflow guard, honoring the fault-injection hook.
+  static bool underflows(Interval I);
+
+private:
+  const Program &Prog;
+  std::unique_ptr<CallGraph> CG;
+  std::unordered_map<Symbol, MethodOp> Ops;
+  std::vector<Symbol> Fields;
+};
+
+} // namespace interval
+} // namespace swift
+
+namespace std {
+template <> struct hash<swift::interval::IvKey> {
+  size_t operator()(swift::interval::IvKey K) const noexcept {
+    return (static_cast<size_t>(K.Sym.id()) << 1) | (K.IsField ? 1 : 0);
+  }
+};
+template <> struct hash<swift::interval::IvFact> {
+  size_t operator()(const swift::interval::IvFact &F) const noexcept {
+    uint64_t X = (static_cast<uint64_t>(F.K) << 56) ^
+                 (static_cast<uint64_t>(F.Key.Sym.id()) << 24) ^
+                 (static_cast<uint64_t>(F.Key.IsField) << 23) ^
+                 (static_cast<uint64_t>(F.I.Lo & 0xff) << 40) ^
+                 (static_cast<uint64_t>(F.I.Hi & 0xff) << 48) ^
+                 (static_cast<uint64_t>(F.P) << 8) ^ F.N;
+    X ^= X >> 33;
+    X *= 0xff51afd7ed558ccdULL;
+    X ^= X >> 33;
+    return static_cast<size_t>(X);
+  }
+};
+} // namespace std
+
+#endif // SWIFT_CLIENTS_INTERVAL_INTERVALDOMAIN_H

@@ -200,14 +200,15 @@ size_t countStmts(const Program &Prog) {
 
 class Reducer {
 public:
-  Reducer(CheckKind Kind, const ReduceOptions &Opts)
-      : Kind(Kind), Opts(Opts) {}
+  Reducer(std::function<bool(const Program &)> Pred, size_t MaxRounds,
+          size_t MaxRuns)
+      : Pred(std::move(Pred)), MaxRounds(MaxRounds), MaxRuns(MaxRuns) {}
 
   ReduceResult run(const Program &Seed);
 
 private:
-  /// True if the candidate parses, is CFG-sane, and still violates the
-  /// target check. Counts one oracle run.
+  /// True if the candidate parses, is CFG-sane, and still satisfies the
+  /// interestingness predicate. Counts one predicate run.
   bool stillFails(const std::string &Text,
                   std::unique_ptr<Program> &ParsedOut);
   /// Tries \p Mut against the baseline; on success installs the result as
@@ -220,10 +221,11 @@ private:
   bool phaseMergeVars();
   bool phaseMergeFields();
 
-  bool budgetLeft() const { return OracleRuns < Opts.MaxOracleRuns; }
+  bool budgetLeft() const { return OracleRuns < MaxRuns; }
 
-  CheckKind Kind;
-  const ReduceOptions &Opts;
+  std::function<bool(const Program &)> Pred;
+  size_t MaxRounds;
+  size_t MaxRuns;
   std::unique_ptr<Program> Cur;
   std::string CurText;
   size_t OracleRuns = 0;
@@ -242,12 +244,10 @@ bool Reducer::stillFails(const std::string &Text,
   if (!cfgSane(*P))
     return false;
   ++OracleRuns;
-  OracleResult R = runOracle(*P, Opts.Oracle);
-  for (const Violation &V : R.Violations)
-    if (V.Kind == Kind) {
-      ParsedOut = std::move(P);
-      return true;
-    }
+  if (Pred(*P)) {
+    ParsedOut = std::move(P);
+    return true;
+  }
   return false;
 }
 
@@ -429,7 +429,7 @@ ReduceResult Reducer::run(const Program &Seed) {
   }
   Cur = std::move(P);
 
-  for (size_t Round = 0; Round != Opts.MaxRounds && budgetLeft(); ++Round) {
+  for (size_t Round = 0; Round != MaxRounds && budgetLeft(); ++Round) {
     bool Any = false;
     Any |= phaseDropProcs();
     Any |= phaseNopStmts();
@@ -453,6 +453,22 @@ ReduceResult Reducer::run(const Program &Seed) {
 ReduceResult swift::difftest::reduceViolation(const Program &Prog,
                                               CheckKind Kind,
                                               const ReduceOptions &Opts) {
-  Reducer R(Kind, Opts);
+  return reducePredicate(
+      Prog,
+      [&](const Program &Cand) {
+        OracleResult R = runOracle(Cand, Opts.Oracle);
+        for (const Violation &V : R.Violations)
+          if (V.Kind == Kind)
+            return true;
+        return false;
+      },
+      Opts.MaxRounds, Opts.MaxOracleRuns);
+}
+
+ReduceResult swift::difftest::reducePredicate(
+    const Program &Prog,
+    const std::function<bool(const Program &)> &StillFails,
+    size_t MaxRounds, size_t MaxRuns) {
+  Reducer R(StillFails, MaxRounds, MaxRuns);
   return R.run(Prog);
 }

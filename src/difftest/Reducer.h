@@ -24,6 +24,7 @@
 #include "ir/Program.h"
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
 namespace swift {
@@ -52,6 +53,18 @@ struct ReduceResult {
 /// the input is returned unreduced.
 ReduceResult reduceViolation(const Program &Prog, CheckKind Kind,
                              const ReduceOptions &Opts);
+
+/// The generic core behind reduceViolation: shrinks \p Prog while
+/// \p StillFails keeps returning true on the candidate. The predicate is
+/// the expensive part; \p MaxRuns caps its evaluations and \p MaxRounds
+/// the passes over the mutation phases. Candidates that fail to re-parse
+/// or are not CFG-sane are rejected without consuming a run. Used by the
+/// per-domain oracle campaign, whose interestingness test is a domain
+/// check rather than the typestate oracle.
+ReduceResult
+reducePredicate(const Program &Prog,
+                const std::function<bool(const Program &)> &StillFails,
+                size_t MaxRounds = 4, size_t MaxRuns = 400);
 
 } // namespace difftest
 } // namespace swift

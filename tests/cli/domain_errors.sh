@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Strict-CLI contract for the --mode/--domain flags of swift-analyze (and
+# the --domain flag of swift-difftest):
+#  * an unknown value exits 2 AND the error names every valid value, so
+#    the failure is actionable without opening the manual;
+#  * every registered client domain actually runs in every mode through
+#    the real binary (exit 0 on a tiny corpus program);
+#  * --mode=bu without a client domain is rejected with the domain list.
+#
+# Usage: domain_errors.sh <swift-analyze> <swift-difftest> <corpus-dir>
+set -u
+
+analyze=$1
+difftest=$2
+corpus=$3
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fails=0
+
+check() { # check <desc> <expected-rc> <actual-rc>
+  if [ "$3" -ne "$2" ]; then
+    echo "FAIL: $1: expected exit $2, got $3" >&2
+    fails=$((fails + 1))
+  fi
+}
+expect_grep() { # expect_grep <desc> <pattern> <file>
+  if ! grep -q "$2" "$3"; then
+    echo "FAIL: $1: output lacks '$2'" >&2
+    cat "$3" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+prog="$corpus/clients/interval-guard.swiftir"
+
+# --- unknown --mode lists the valid modes -------------------------------
+"$analyze" --mode=bogus "$prog" >"$work/out" 2>&1
+check "unknown --mode exits 2" 2 $?
+expect_grep "unknown --mode names the value" "invalid --mode value 'bogus'" "$work/out"
+expect_grep "unknown --mode lists valid values" "valid values: td, swift, bu" "$work/out"
+
+# --- unknown --domain lists the registered domains ----------------------
+"$analyze" --domain=bogus "$prog" >"$work/out" 2>&1
+check "unknown --domain exits 2" 2 $?
+expect_grep "unknown --domain names the value" "invalid --domain value 'bogus'" "$work/out"
+expect_grep "unknown --domain lists valid values" \
+  "valid values: typestate, taint, nullderef, reachdefs, interval" "$work/out"
+
+# --- swift-difftest shares the contract ---------------------------------
+"$difftest" --domain=bogus --seeds=1 >"$work/out" 2>&1
+check "difftest unknown --domain exits 2" 2 $?
+expect_grep "difftest lists valid values" \
+  "valid values: typestate, taint, nullderef, reachdefs, interval" "$work/out"
+
+# --- --mode=bu needs a client domain ------------------------------------
+"$analyze" --mode=bu "$prog" >"$work/out" 2>&1
+check "--mode=bu without client domain exits 2" 2 $?
+expect_grep "bu rejection lists the client domains" \
+  "valid domains: taint, nullderef, reachdefs, interval" "$work/out"
+
+# --- checkpointing stays typestate-only ---------------------------------
+"$analyze" --domain=taint --checkpoint-out="$work/ck" "$prog" >"$work/out" 2>&1
+check "client domain + checkpoint exits 2" 2 $?
+expect_grep "checkpoint rejection explains itself" \
+  "checkpoint/resume supports only the typestate domain" "$work/out"
+
+# --- every domain runs in every mode ------------------------------------
+for domain in taint nullderef reachdefs interval; do
+  for mode in td swift bu; do
+    "$analyze" --domain=$domain --mode=$mode "$prog" >"$work/out" 2>&1
+    check "$domain/$mode runs" 0 $?
+    expect_grep "$domain/$mode reports completion" "$domain/$mode: complete" "$work/out"
+  done
+done
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "all domain CLI checks passed"

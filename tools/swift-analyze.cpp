@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "clients/Registry.h"
 #include "framework/Tabulation.h"
 #include "govern/Checkpoint.h"
 #include "ir/Dumper.h"
@@ -62,7 +63,8 @@ extern "C" void interruptHandler(int) {
 
 struct ToolOptions {
   std::string InputPath;
-  std::string Mode = "td";       ///< "td" or "swift".
+  std::string Domain = "typestate"; ///< "typestate" or a client domain.
+  std::string Mode = "td";       ///< "td", "swift", or "bu" (clients only).
   uint64_t K = 5;
   uint64_t Theta = 2;
   bool AsyncBu = false;
@@ -78,9 +80,25 @@ struct ToolOptions {
   bool ShowHelp = false;
 };
 
+/// The valid --domain values: the governed typestate analysis plus every
+/// registered client domain, comma-separated for error messages.
+std::string clientDomainList() {
+  std::string S;
+  for (const std::string &N : clients::clientDomainNames())
+    S += (S.empty() ? "" : ", ") + N;
+  return S;
+}
+
+std::string domainValueList() { return "typestate, " + clientDomainList(); }
+
 const char *usageText() {
   return "usage: swift-analyze [options] <program.swiftir>\n"
-         "  --mode=td|swift     analysis mode (default td)\n"
+         "  --domain=NAME       analysis domain: typestate (default,\n"
+         "                      governed) or a client domain — taint,\n"
+         "                      nullderef, reachdefs, interval\n"
+         "                      (docs/MANUAL.md section 14)\n"
+         "  --mode=td|swift|bu  analysis mode (default td; bu is valid\n"
+         "                      only for client domains)\n"
          "  --k=N               SWIFT trigger threshold (default 5)\n"
          "  --theta=N           SWIFT pruning bound (default 2)\n"
          "  --async             asynchronous bottom-up triggers\n"
@@ -109,12 +127,19 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
     std::string_view A = Argv[I];
     std::string_view V;
     if (cli::matchValueFlag(A, "--mode=", V)) {
-      if (V != "td" && V != "swift") {
+      if (V != "td" && V != "swift" && V != "bu") {
         Err = "invalid --mode value '" + std::string(V) +
-              "' (want td or swift)";
+              "' (valid values: td, swift, bu)";
         return false;
       }
       O.Mode = V;
+    } else if (cli::matchValueFlag(A, "--domain=", V)) {
+      if (V != "typestate" && !clients::isClientDomain(std::string(V))) {
+        Err = "invalid --domain value '" + std::string(V) +
+              "' (valid values: " + domainValueList() + ")";
+        return false;
+      }
+      O.Domain = V;
     } else if (cli::matchValueFlag(A, "--k=", V)) {
       if (!cli::parseU64(V, O.K)) {
         Err = "invalid --k value '" + std::string(V) + "'";
@@ -197,7 +222,64 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
     Err = "--resume-from carries its own program; drop the input file";
     return false;
   }
+  if (O.Domain == "typestate" && O.Mode == "bu") {
+    Err = "--mode=bu is valid only with a client --domain (valid "
+          "domains: " +
+          clientDomainList() + ")";
+    return false;
+  }
+  if (O.Domain != "typestate" &&
+      (!O.ResumeFrom.empty() || !O.CheckpointOut.empty())) {
+    Err = "checkpoint/resume supports only the typestate domain";
+    return false;
+  }
   return true;
+}
+
+/// The client-domain path: parse, run the registry, print normalized
+/// results. No governor, checkpointing, or typestate spec involved.
+int runClientDomainTool(const ToolOptions &O) {
+  std::unique_ptr<Program> Prog;
+  try {
+    std::ifstream IS(O.InputPath);
+    if (!IS) {
+      std::fprintf(stderr, "swift-analyze: cannot open '%s'\n",
+                   O.InputPath.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << IS.rdbuf();
+    Prog = parseProgramText(Buf.str());
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-analyze: %s\n", E.what());
+    return 2;
+  }
+
+  clients::DomainMode Mode = O.Mode == "td"      ? clients::DomainMode::Td
+                             : O.Mode == "swift" ? clients::DomainMode::Swift
+                                                 : clients::DomainMode::Bu;
+  clients::DomainRunLimits Limits;
+  Limits.MaxSteps = O.Steps;
+  Limits.MaxSeconds = O.Seconds;
+  clients::DomainRunResult R = clients::runClientDomain(
+      O.Domain, *Prog, Mode, O.K, O.Theta, O.Threads, Limits);
+
+  std::printf("%s/%s: %s in %.2fs, %llu steps\n", O.Domain.c_str(),
+              O.Mode.c_str(), R.Timeout ? "PARTIAL" : "complete",
+              R.Seconds, static_cast<unsigned long long>(R.Steps));
+  std::printf("reports: %llu site(s)\n",
+              static_cast<unsigned long long>(R.Reports.size()));
+  for (const auto &[P, N] : R.Reports)
+    std::printf("  report @%s:%u\n",
+                Prog->symbols().text(Prog->proc(P).name()).c_str(), N);
+  std::printf("main-exit facts: %llu\n",
+              static_cast<unsigned long long>(R.ExitFacts.size()));
+  for (const std::string &F : R.ExitFacts)
+    std::printf("  %s\n", F.c_str());
+  std::printf("summaries: %llu td, %llu bu relation(s)\n",
+              static_cast<unsigned long long>(R.TdSummaries),
+              static_cast<unsigned long long>(R.BuRelations));
+  return R.Timeout ? 3 : 0;
 }
 
 uint64_t statOf(const Stats &S, const char *Name) { return S.get(Name); }
@@ -215,6 +297,9 @@ int main(int Argc, char **Argv) {
     std::fputs(usageText(), stdout);
     return 0;
   }
+
+  if (O.Domain != "typestate")
+    return runClientDomainTool(O);
 
   try {
     failpoint::armFromEnv();

@@ -20,7 +20,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "clients/TestHooks.h"
 #include "difftest/Difftest.h"
+#include "difftest/DomainOracle.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/CliParse.h"
@@ -38,6 +40,7 @@ using namespace swift::difftest;
 namespace {
 
 struct ToolOptions {
+  std::string Domain = "typestate";
   uint64_t Seeds = 50;
   uint64_t FirstSeed = 1;
   unsigned Schedules = 8;
@@ -53,8 +56,19 @@ struct ToolOptions {
   bool ShowHelp = false;
 };
 
+std::string domainValueList() {
+  std::string S = "typestate";
+  for (const std::string &N : clients::clientDomainNames())
+    S += ", " + N;
+  return S;
+}
+
 const char *usageText() {
   return "usage: swift-difftest [options]\n"
+         "  --domain=NAME    oracle to run: typestate (default, the full\n"
+         "                   matrix of docs/MANUAL.md section 7) or a\n"
+         "                   client domain — taint, nullderef, reachdefs,\n"
+         "                   interval (section 14)\n"
          "  --seeds=N        fuzz seeds to test (default 50)\n"
          "  --first-seed=N   first seed (default 1)\n"
          "  --schedules=N    concrete schedules per seed (default 8)\n"
@@ -78,7 +92,14 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &O, std::string &Err) {
   for (int I = 1; I < Argc; ++I) {
     std::string_view A = Argv[I];
     std::string_view V;
-    if (cli::matchValueFlag(A, "--seeds=", V)) {
+    if (cli::matchValueFlag(A, "--domain=", V)) {
+      if (V != "typestate" && !clients::isClientDomain(std::string(V))) {
+        Err = "invalid --domain value '" + std::string(V) +
+              "' (valid values: " + domainValueList() + ")";
+        return false;
+      }
+      O.Domain = V;
+    } else if (cli::matchValueFlag(A, "--seeds=", V)) {
       if (!cli::parseU64(V, O.Seeds) || O.Seeds == 0) {
         Err = "invalid --seeds value '" + std::string(V) + "'";
         return false;
@@ -151,6 +172,62 @@ OracleOptions oracleOptions(const ToolOptions &O) {
   return OO;
 }
 
+DomainOracleOptions domainOracleOptions(const ToolOptions &O) {
+  DomainOracleOptions OO;
+  OO.Limits.MaxSteps = O.Steps;
+  OO.Limits.MaxSeconds = O.RunSeconds;
+  OO.Schedules = O.Schedules;
+  return OO;
+}
+
+int domainReplay(const ToolOptions &O) {
+  DomainOracleResult R;
+  try {
+    R = replayDomainFile(O.ReplayPath, O.Domain, domainOracleOptions(O));
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "swift-difftest: %s\n", E.what());
+    return 2;
+  }
+  std::printf("replayed %s under %s: %u run(s), %u timed out, %zu "
+              "violation(s)\n",
+              O.ReplayPath.c_str(), O.Domain.c_str(), R.RunsDone,
+              R.RunsTimedOut, R.Violations.size());
+  for (const Violation &V : R.Violations)
+    std::printf("  [%s] %s: %s\n", checkKindName(V.Kind), V.Config.c_str(),
+                V.Detail.c_str());
+  if (!R.clean())
+    return 1;
+  if (R.ReferenceTimedOut) {
+    std::printf("note: the td reference run exhausted its budget; "
+                "every check was skipped\n");
+    return 3;
+  }
+  return 0;
+}
+
+int domainCampaign(const ToolOptions &O) {
+  DomainCampaignOptions CO;
+  CO.Domain = O.Domain;
+  CO.FirstSeed = O.FirstSeed;
+  CO.NumSeeds = O.Seeds;
+  CO.Oracle = domainOracleOptions(O);
+  CO.ReduceViolations = !O.NoReduce;
+  CO.OutDir = O.OutDir;
+  CO.BudgetSeconds = O.BudgetSeconds;
+
+  CampaignResult R = runDomainCampaign(CO, std::cout);
+  std::printf("[%s] %llu seed(s) tested, %zu with violations, %llu "
+              "resource-exhausted%s\n",
+              O.Domain.c_str(),
+              static_cast<unsigned long long>(R.SeedsRun),
+              R.BadSeeds.size(),
+              static_cast<unsigned long long>(R.ExhaustedSeeds),
+              R.StoppedOnBudget ? " (stopped on --budget)" : "");
+  if (!R.clean())
+    return 1;
+  return R.ExhaustedSeeds != 0 ? 3 : 0;
+}
+
 int replay(const ToolOptions &O) {
   OracleResult R;
   try {
@@ -211,8 +288,12 @@ int main(int Argc, char **Argv) {
     std::fputs(usageText(), stdout);
     return 0;
   }
-  if (O.InjectBug)
-    test::InjectTsCallWeakUpdateBug.store(true);
+  if (O.InjectBug) {
+    if (O.Domain == "typestate")
+      test::InjectTsCallWeakUpdateBug.store(true);
+    else
+      clients::test::injectDomainBug(O.Domain, true);
+  }
   try {
     failpoint::armFromEnv();
   } catch (const std::exception &E) {
@@ -225,7 +306,11 @@ int main(int Argc, char **Argv) {
   if (!O.MetricsOut.empty())
     obs::MetricsRegistry::instance().enable();
 
-  int Rc = O.ReplayPath.empty() ? campaign(O) : replay(O);
+  int Rc;
+  if (O.Domain == "typestate")
+    Rc = O.ReplayPath.empty() ? campaign(O) : replay(O);
+  else
+    Rc = O.ReplayPath.empty() ? domainCampaign(O) : domainReplay(O);
 
   // Advisory flushes: an observability write failure warns but never
   // changes the campaign verdict.
